@@ -1,0 +1,96 @@
+//! On-chip SRAM bandwidth requirements per dataflow — the paper's Table I.
+//!
+//! All figures are steady-state bytes per clock for a `PE_H × PE_W` array,
+//! assuming 16-bit (2 B) input operands and 32-bit (4 B) outputs:
+//!
+//! | operand | Systolic WS         | Systolic OS & Outer-product |
+//! |---------|---------------------|------------------------------|
+//! | LHS in  | `PE_H × 2B`         | `PE_H × 2B`                  |
+//! | RHS in  | `PE_W × 8 × 2B`     | `PE_W × 2B`                  |
+//! | Output  | `PE_W × 4B`         | `PE_W × 8 × 4B`              |
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::PeArray;
+use crate::ops::Dataflow;
+
+/// SRAM read/write bandwidth requirements in bytes per clock (paper Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SramBandwidth {
+    /// LHS input-matrix read bandwidth.
+    pub lhs_read: u64,
+    /// RHS input-matrix read bandwidth.
+    pub rhs_read: u64,
+    /// Output write bandwidth.
+    pub output_write: u64,
+}
+
+impl SramBandwidth {
+    /// Total bytes per clock.
+    pub fn total(&self) -> u64 {
+        self.lhs_read + self.rhs_read + self.output_write
+    }
+}
+
+/// Computes the Table I SRAM bandwidth requirement for a dataflow.
+///
+/// `fill_rows` is the WS RHS fill rate (8 for TPUv3); `drain_rows` is the
+/// OS/outer-product output drain rate `R` (8 for DiVa).
+pub fn sram_bandwidth(
+    dataflow: Dataflow,
+    pe: PeArray,
+    fill_rows: u64,
+    drain_rows: u64,
+) -> SramBandwidth {
+    const IN_BYTES: u64 = 2; // BF16 operands
+    const OUT_BYTES: u64 = 4; // FP32 accumulator outputs
+    match dataflow {
+        Dataflow::WeightStationary => SramBandwidth {
+            lhs_read: pe.rows * IN_BYTES,
+            rhs_read: pe.cols * fill_rows * IN_BYTES,
+            output_write: pe.cols * OUT_BYTES,
+        },
+        Dataflow::OutputStationary | Dataflow::OuterProduct => SramBandwidth {
+            lhs_read: pe.rows * IN_BYTES,
+            rhs_read: pe.cols * IN_BYTES,
+            output_write: pe.cols * drain_rows * OUT_BYTES,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PE: PeArray = PeArray { rows: 128, cols: 128 };
+
+    #[test]
+    fn ws_matches_table_i() {
+        let bw = sram_bandwidth(Dataflow::WeightStationary, PE, 8, 8);
+        assert_eq!(bw.lhs_read, 128 * 2);
+        assert_eq!(bw.rhs_read, 128 * 8 * 2);
+        assert_eq!(bw.output_write, 128 * 4);
+        // Table I total: (2·PE_H + 20·PE_W) bytes.
+        assert_eq!(bw.total(), 2 * 128 + 20 * 128);
+    }
+
+    #[test]
+    fn os_and_outer_product_match_table_i() {
+        for df in [Dataflow::OutputStationary, Dataflow::OuterProduct] {
+            let bw = sram_bandwidth(df, PE, 8, 8);
+            assert_eq!(bw.lhs_read, 128 * 2);
+            assert_eq!(bw.rhs_read, 128 * 2);
+            assert_eq!(bw.output_write, 128 * 8 * 4);
+            // Table I total: (2·PE_H + 34·PE_W) bytes.
+            assert_eq!(bw.total(), 2 * 128 + 34 * 128);
+        }
+    }
+
+    #[test]
+    fn outer_product_needs_more_sram_bandwidth_than_ws() {
+        // The design-overhead trade-off the paper quantifies in IV-D.
+        let ws = sram_bandwidth(Dataflow::WeightStationary, PE, 8, 8);
+        let op = sram_bandwidth(Dataflow::OuterProduct, PE, 8, 8);
+        assert!(op.total() > ws.total());
+    }
+}

@@ -1,0 +1,153 @@
+//! GEMM shapes and numeric data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `(M, K, N)` dimensions of a GEMM: `(M,K) × (K,N) → (M,N)`
+/// (paper Figure 3(a)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of the LHS matrix and of the output.
+    pub m: u64,
+    /// The contraction (inner-product) dimension.
+    pub k: u64,
+    /// Columns of the RHS matrix and of the output.
+    pub n: u64,
+}
+
+impl GemmShape {
+    /// Creates a GEMM shape.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        Self { m, k, n }
+    }
+
+    /// Multiply-accumulate operations required: `M·K·N`.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+
+    /// Floating-point operations (2 per MAC, the usual convention).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Number of LHS elements (`M·K`).
+    pub fn lhs_elems(&self) -> u64 {
+        self.m * self.k
+    }
+
+    /// Number of RHS elements (`K·N`).
+    pub fn rhs_elems(&self) -> u64 {
+        self.k * self.n
+    }
+
+    /// Number of output elements (`M·N`).
+    pub fn out_elems(&self) -> u64 {
+        self.m * self.n
+    }
+
+    /// Returns `true` for degenerate shapes with any zero dimension.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0 || self.k == 0 || self.n == 0
+    }
+
+    /// The shape of the transposed product `Bᵀ×Aᵀ = (N, K, M)` — useful when
+    /// an engine prefers the wider operand on a particular edge.
+    pub fn transposed(&self) -> Self {
+        Self {
+            m: self.n,
+            k: self.k,
+            n: self.m,
+        }
+    }
+
+    /// Arithmetic intensity in MACs per input/output element moved once
+    /// (`MKN / (MK + KN + MN)`), a roofline-style irregularity indicator.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let denom = (self.lhs_elems() + self.rhs_elems() + self.out_elems()) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.macs() as f64 / denom
+        }
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.m, self.k, self.n)
+    }
+}
+
+/// Numeric storage formats used by the modeled accelerators.
+///
+/// Per the paper's Table I footnote: LHS/RHS matrices are 16-bit
+/// (BF16), accumulation and outputs are 32-bit (FP32).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// bfloat16 (2 bytes): GEMM input operands.
+    Bf16,
+    /// IEEE half precision (2 bytes): GPU tensor-core inputs.
+    Fp16,
+    /// IEEE single precision (4 bytes): accumulators and outputs.
+    Fp32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            DataType::Bf16 | DataType::Fp16 => 2,
+            DataType::Fp32 => 4,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataType::Bf16 => "BF16",
+            DataType::Fp16 => "FP16",
+            DataType::Fp32 => "FP32",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_and_flops() {
+        let g = GemmShape::new(4, 2, 4);
+        assert_eq!(g.macs(), 32);
+        assert_eq!(g.flops(), 64);
+    }
+
+    #[test]
+    fn transpose_swaps_m_and_n() {
+        let g = GemmShape::new(3, 5, 7).transposed();
+        assert_eq!(g, GemmShape::new(7, 5, 3));
+    }
+
+    #[test]
+    fn intensity_is_low_for_skinny_gemms() {
+        // Per-example MLP weight gradient: K = 1 outer product.
+        let skinny = GemmShape::new(1024, 1, 1024);
+        let square = GemmShape::new(1024, 1024, 1024);
+        assert!(skinny.arithmetic_intensity() < 1.0);
+        assert!(square.arithmetic_intensity() > 100.0);
+    }
+
+    #[test]
+    fn datatype_sizes() {
+        assert_eq!(DataType::Bf16.bytes(), 2);
+        assert_eq!(DataType::Fp16.bytes(), 2);
+        assert_eq!(DataType::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(GemmShape::new(0, 5, 5).is_empty());
+        assert!(!GemmShape::new(1, 1, 1).is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Hardware architecture description for the DiVa reproduction.
+//!
+//! This crate is the shared vocabulary of the simulator stack: PE-array
+//! geometry, dataflows (paper Figure 3 / Section IV), memory-system
+//! configuration (paper Table II), SRAM bandwidth requirements (paper
+//! Table I), GEMM shapes (paper Figure 6) and the taxonomy of training-step
+//! operations whose latencies the paper breaks down (Figures 5 and 14).
+//!
+//! # Example
+//!
+//! ```
+//! use diva_arch::{AcceleratorConfig, Dataflow};
+//!
+//! let cfg = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
+//! assert_eq!(cfg.pe.rows, 128);
+//! assert_eq!(cfg.pe.macs(), 16_384);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod config;
+mod gemm;
+mod ops;
+
+pub use bandwidth::{sram_bandwidth, SramBandwidth};
+pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, ConfigError, MemoryConfig, PeArray};
+pub use gemm::{DataType, GemmShape};
+pub use ops::{Dataflow, Phase, TrainingOp, TrainingOpKind, VectorOpKind};

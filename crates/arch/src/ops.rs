@@ -1,0 +1,319 @@
+//! Dataflow taxonomy and the training-step operation vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::gemm::GemmShape;
+
+/// GEMM-engine dataflows studied by the paper (Figure 3, Section IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weight-stationary systolic array (Google TPU style): RHS latched into
+    /// the PEs, LHS streamed through. The paper's baseline.
+    WeightStationary,
+    /// Output-stationary systolic array: operands streamed from two edges,
+    /// outputs accumulate in place.
+    OutputStationary,
+    /// DiVa's outer-product dataflow: one LHS column and one RHS row
+    /// broadcast per cycle, all-to-all multiplied; `M×N` MACs per cycle
+    /// regardless of K.
+    OuterProduct,
+}
+
+impl Dataflow {
+    /// All three dataflows in the paper's presentation order.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::WeightStationary,
+        Dataflow::OutputStationary,
+        Dataflow::OuterProduct,
+    ];
+
+    /// Short display label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataflow::WeightStationary => "WS",
+            Dataflow::OutputStationary => "OS",
+            Dataflow::OuterProduct => "DiVa",
+        }
+    }
+
+    /// Whether outputs remain stationary in the PEs (true for OS and
+    /// outer-product), enabling direct drain into the PPU (Section IV-C).
+    pub fn is_output_stationary(&self) -> bool {
+        matches!(self, Dataflow::OutputStationary | Dataflow::OuterProduct)
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Training-step phases, matching the stacked-bar legend of the paper's
+/// Figures 5 and 14.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Forward propagation.
+    Forward,
+    /// Backprop: input-activation gradients, first (or only) pass.
+    BwdActGrad1,
+    /// Backprop: per-example weight gradients.
+    BwdPerExampleGrad,
+    /// Backprop: per-example gradient L2 norm derivation.
+    BwdGradNorm,
+    /// Backprop: input-activation gradients, second pass (DP-SGD(R) only).
+    BwdActGrad2,
+    /// Backprop: per-batch weight gradients.
+    BwdPerBatchGrad,
+    /// Gradient clipping (vanilla DP-SGD only; fused away in DP-SGD(R)).
+    BwdGradClip,
+    /// Gradient reduction across examples plus noise addition.
+    BwdReduceNoise,
+    /// Weight update (`w ← w − ηg`); small, shown for completeness.
+    WeightUpdate,
+}
+
+impl Phase {
+    /// All phases in presentation order.
+    pub const ALL: [Phase; 9] = [
+        Phase::Forward,
+        Phase::BwdActGrad1,
+        Phase::BwdPerExampleGrad,
+        Phase::BwdGradNorm,
+        Phase::BwdActGrad2,
+        Phase::BwdPerBatchGrad,
+        Phase::BwdGradClip,
+        Phase::BwdReduceNoise,
+        Phase::WeightUpdate,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Forward => "Fwdprop",
+            Phase::BwdActGrad1 => "Bwd(activation grad, 1st pass)",
+            Phase::BwdPerExampleGrad => "Bwd(per-example grad)",
+            Phase::BwdGradNorm => "Bwd(grad norm)",
+            Phase::BwdActGrad2 => "Bwd(activation grad, 2nd pass)",
+            Phase::BwdPerBatchGrad => "Bwd(per-batch grad)",
+            Phase::BwdGradClip => "Bwd(grad clip)",
+            Phase::BwdReduceNoise => "Bwd(reduce/noise)",
+            Phase::WeightUpdate => "Weight update",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Non-GEMM (vector) operations of DP-SGD's gradient post-processing
+/// (paper Section III-C: "memory-bound gradient norm derivation").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VectorOpKind {
+    /// Square-and-reduce for L2 norms (Algorithm 1 line 22).
+    GradNorm,
+    /// Scale each per-example gradient by its clip factor (line 23).
+    GradClip,
+    /// Sum per-example gradients into one set (line 24).
+    GradReduce,
+    /// Add Gaussian noise to the reduced gradient (line 24).
+    NoiseAdd,
+    /// Apply the weight update.
+    WeightUpdate,
+}
+
+impl VectorOpKind {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VectorOpKind::GradNorm => "grad-norm",
+            VectorOpKind::GradClip => "grad-clip",
+            VectorOpKind::GradReduce => "grad-reduce",
+            VectorOpKind::NoiseAdd => "noise-add",
+            VectorOpKind::WeightUpdate => "weight-update",
+        }
+    }
+}
+
+/// One schedulable operation of a lowered training step.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrainingOpKind {
+    /// `count` independent GEMMs of identical shape (per-example weight
+    /// gradients lower to `B` GEMMs; everything else has `count == 1`).
+    Gemm {
+        /// The `(M, K, N)` dimensions of each GEMM.
+        shape: GemmShape,
+        /// How many independent instances execute back-to-back.
+        count: u64,
+        /// Whether the output tensor must survive the op (be written back).
+        ///
+        /// `false` for DP-SGD(R)'s per-example weight gradients, which are
+        /// only needed transiently for norm derivation: an output-stationary
+        /// engine with a PPU can then avoid off-chip write-back entirely
+        /// (paper Section IV-C). Engines without that capability must still
+        /// spill the tensor.
+        output_persists: bool,
+    },
+    /// A bandwidth-bound vector operation touching `read_bytes` of input and
+    /// producing `write_bytes` of output.
+    Vector {
+        /// Which post-processing operation this is.
+        kind: VectorOpKind,
+        /// Bytes that must be read (from SRAM or DRAM, decided by the
+        /// timing model's placement logic).
+        read_bytes: u64,
+        /// Bytes written.
+        write_bytes: u64,
+        /// Whether the operand is a per-example weight-gradient tensor,
+        /// which a PPU-equipped output-stationary engine can consume
+        /// on-the-fly during drain (paper Section IV-C).
+        fusable_into_drain: bool,
+    },
+}
+
+/// A [`TrainingOpKind`] tagged with the phase it belongs to (for latency
+/// breakdowns) and a human-readable origin label (layer name).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrainingOp {
+    /// The operation itself.
+    pub kind: TrainingOpKind,
+    /// Reporting phase.
+    pub phase: Phase,
+    /// Originating layer (or pseudo-op) label, for debugging.
+    pub label: String,
+}
+
+impl TrainingOp {
+    /// Creates a single GEMM op whose output persists.
+    pub fn gemm(shape: GemmShape, phase: Phase, label: impl Into<String>) -> Self {
+        Self {
+            kind: TrainingOpKind::Gemm {
+                shape,
+                count: 1,
+                output_persists: true,
+            },
+            phase,
+            label: label.into(),
+        }
+    }
+
+    /// Creates a batched GEMM op (`count` identical, independent GEMMs)
+    /// whose outputs persist.
+    pub fn gemm_batch(
+        shape: GemmShape,
+        count: u64,
+        phase: Phase,
+        label: impl Into<String>,
+    ) -> Self {
+        Self {
+            kind: TrainingOpKind::Gemm {
+                shape,
+                count,
+                output_persists: true,
+            },
+            phase,
+            label: label.into(),
+        }
+    }
+
+    /// Creates a batched GEMM op whose outputs are transient (consumed
+    /// on-the-fly when the hardware allows, e.g. DP-SGD(R) per-example
+    /// gradients feeding norm derivation).
+    pub fn gemm_batch_ephemeral(
+        shape: GemmShape,
+        count: u64,
+        phase: Phase,
+        label: impl Into<String>,
+    ) -> Self {
+        Self {
+            kind: TrainingOpKind::Gemm {
+                shape,
+                count,
+                output_persists: false,
+            },
+            phase,
+            label: label.into(),
+        }
+    }
+
+    /// Creates a vector op.
+    pub fn vector(
+        kind: VectorOpKind,
+        read_bytes: u64,
+        write_bytes: u64,
+        fusable_into_drain: bool,
+        phase: Phase,
+        label: impl Into<String>,
+    ) -> Self {
+        Self {
+            kind: TrainingOpKind::Vector {
+                kind,
+                read_bytes,
+                write_bytes,
+                fusable_into_drain,
+            },
+            phase,
+            label: label.into(),
+        }
+    }
+
+    /// Total MACs if this is a GEMM op, else 0.
+    pub fn macs(&self) -> u64 {
+        match &self.kind {
+            TrainingOpKind::Gemm { shape, count, .. } => shape.macs() * count,
+            TrainingOpKind::Vector { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataflow_labels_match_paper() {
+        assert_eq!(Dataflow::WeightStationary.label(), "WS");
+        assert_eq!(Dataflow::OuterProduct.label(), "DiVa");
+    }
+
+    #[test]
+    fn output_stationarity() {
+        assert!(!Dataflow::WeightStationary.is_output_stationary());
+        assert!(Dataflow::OutputStationary.is_output_stationary());
+        assert!(Dataflow::OuterProduct.is_output_stationary());
+    }
+
+    #[test]
+    fn batched_gemm_macs_scale_with_count() {
+        let op = TrainingOp::gemm_batch(
+            GemmShape::new(8, 2, 8),
+            32,
+            Phase::BwdPerExampleGrad,
+            "conv1",
+        );
+        assert_eq!(op.macs(), 8 * 2 * 8 * 32);
+    }
+
+    #[test]
+    fn vector_ops_have_no_macs() {
+        let op = TrainingOp::vector(
+            VectorOpKind::GradNorm,
+            1024,
+            4,
+            true,
+            Phase::BwdGradNorm,
+            "norm",
+        );
+        assert_eq!(op.macs(), 0);
+    }
+
+    #[test]
+    fn phase_order_matches_paper_legend() {
+        assert_eq!(Phase::ALL[0], Phase::Forward);
+        assert!(Phase::Forward < Phase::BwdReduceNoise);
+    }
+}

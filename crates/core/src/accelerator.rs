@@ -1,0 +1,188 @@
+//! The assembled accelerator: simulator + energy model + reporting.
+
+use diva_arch::{AcceleratorConfig, ConfigError, Phase};
+use diva_energy::{EnergyModel, EnergyReport};
+use diva_sim::{Simulator, StepTiming};
+use diva_workload::{Algorithm, ModelSpec};
+
+use crate::design_point::DesignPoint;
+
+/// A fully configured accelerator that can execute (simulate) training
+/// steps of any zoo model under any of the three training algorithms.
+#[derive(Clone, Debug)]
+pub struct Accelerator {
+    name: String,
+    simulator: Simulator,
+    energy_model: EnergyModel,
+}
+
+/// The result of simulating one training step.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Accelerator name (design-point label).
+    pub accelerator: String,
+    /// Model name.
+    pub model: String,
+    /// Training algorithm.
+    pub algorithm: Algorithm,
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Full per-op / per-phase timing.
+    pub timing: StepTiming,
+    /// Wall-clock seconds for one step at the configured frequency.
+    pub seconds: f64,
+    /// Energy breakdown for the step.
+    pub energy: EnergyReport,
+    /// Whole-step FLOPS utilization (the Figure 7 metric).
+    pub flops_utilization: f64,
+}
+
+impl RunReport {
+    /// Speedup of `self` relative to `baseline` (>1 means `self` is faster).
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.seconds / self.seconds
+    }
+
+    /// Energy of `baseline` relative to `self` (>1 means `self` uses less).
+    pub fn energy_reduction_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.energy.total() / self.energy.total()
+    }
+
+    /// Cycles spent in one phase.
+    pub fn phase_cycles(&self, phase: Phase) -> u64 {
+        self.timing.phase_cycles(phase)
+    }
+
+    /// Per-phase FLOPS utilization.
+    pub fn phase_utilization(&self, phase: Phase, pe_macs: u64) -> f64 {
+        self.timing.phase_utilization(phase, pe_macs)
+    }
+}
+
+impl Accelerator {
+    /// Builds one of the paper's design points at Table II scale.
+    pub fn from_design_point(point: DesignPoint) -> Self {
+        let config = point.config();
+        Self {
+            name: point.label().to_string(),
+            simulator: Simulator::new(config).expect("design-point configs are valid"),
+            energy_model: EnergyModel::calibrated(),
+        }
+    }
+
+    /// Builds an accelerator from a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent.
+    pub fn from_config(name: impl Into<String>, config: AcceleratorConfig) -> Result<Self, ConfigError> {
+        Ok(Self {
+            name: name.into(),
+            simulator: Simulator::new(config)?,
+            energy_model: EnergyModel::calibrated(),
+        })
+    }
+
+    /// The accelerator's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying analytic simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.simulator
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        self.simulator.config()
+    }
+
+    /// Simulates one training step of `model` under `algorithm` with
+    /// mini-batch `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn run(&self, model: &ModelSpec, algorithm: Algorithm, batch: u64) -> RunReport {
+        let ops = model.lower(algorithm, batch);
+        let timing = self.simulator.time_step(&ops);
+        let seconds = self.simulator.cycles_to_seconds(timing.total_cycles());
+        let energy = self.energy_model.step_energy(self.config(), &timing);
+        let flops_utilization = timing.flops_utilization(self.config().pe.macs());
+        RunReport {
+            accelerator: self.name.clone(),
+            model: model.name.clone(),
+            algorithm,
+            batch,
+            timing,
+            seconds,
+            energy,
+            flops_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_workload::zoo;
+
+    #[test]
+    fn diva_beats_ws_on_dp_training() {
+        // The headline claim, on a small model for test speed.
+        let model = zoo::squeezenet();
+        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+        let fast = diva.run(&model, Algorithm::DpSgdReweighted, 32);
+        let slow = ws.run(&model, Algorithm::DpSgdReweighted, 32);
+        let speedup = fast.speedup_vs(&slow);
+        assert!(speedup > 1.5, "DiVa speedup only {speedup:.2}x");
+    }
+
+    #[test]
+    fn ppu_matters() {
+        let model = zoo::squeezenet();
+        let full = Accelerator::from_design_point(DesignPoint::Diva);
+        let ablated = Accelerator::from_design_point(DesignPoint::DivaNoPpu);
+        let with = full.run(&model, Algorithm::DpSgdReweighted, 32);
+        let without = ablated.run(&model, Algorithm::DpSgdReweighted, 32);
+        assert!(with.seconds < without.seconds);
+        // The PPU specifically kills grad-norm time.
+        assert_eq!(with.phase_cycles(Phase::BwdGradNorm), 0);
+        assert!(without.phase_cycles(Phase::BwdGradNorm) > 0);
+    }
+
+    #[test]
+    fn dp_sgd_slower_than_sgd_on_baseline() {
+        let model = zoo::squeezenet();
+        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+        let sgd = ws.run(&model, Algorithm::Sgd, 32);
+        let dp = ws.run(&model, Algorithm::DpSgd, 32);
+        let dpr = ws.run(&model, Algorithm::DpSgdReweighted, 32);
+        assert!(dp.seconds > 2.0 * sgd.seconds);
+        // The paper's Section III-B: DP-SGD(R) outperforms DP-SGD on the
+        // baseline despite its second backprop pass.
+        assert!(dpr.seconds < dp.seconds);
+    }
+
+    #[test]
+    fn reports_are_self_consistent() {
+        let model = zoo::lstm_small();
+        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let r = diva.run(&model, Algorithm::DpSgdReweighted, 16);
+        assert_eq!(r.accelerator, "DiVa");
+        assert_eq!(r.model, "LSTM-small");
+        assert!(r.seconds > 0.0);
+        assert!(r.energy.total() > 0.0);
+        assert!(r.flops_utilization > 0.0 && r.flops_utilization <= 1.0);
+        assert!((r.speedup_vs(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_config_rejects_garbage() {
+        let mut bad = DesignPoint::Diva.config();
+        bad.sram_bytes = 0;
+        assert!(Accelerator::from_config("broken", bad).is_err());
+    }
+}

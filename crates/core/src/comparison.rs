@@ -1,0 +1,79 @@
+//! Comparison helpers used by the figure-regeneration harness.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled normalized value (one bar of a paper figure).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Model name.
+    pub model: String,
+    /// Design point / configuration label.
+    pub config: String,
+    /// The normalized value (speedup, normalized energy, ...).
+    pub value: f64,
+}
+
+/// Geometric mean of a set of strictly positive values.
+///
+/// Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive (geomean is undefined there — this
+/// is always a harness bug).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean of non-positive value {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Normalizes `values` so the entry at `baseline_idx` becomes 1.0.
+///
+/// # Panics
+///
+/// Panics if `baseline_idx` is out of bounds or the baseline is zero.
+pub fn normalize_to(values: &[f64], baseline_idx: usize) -> Vec<f64> {
+    let base = values[baseline_idx];
+    assert!(base != 0.0, "cannot normalize to a zero baseline");
+    values.iter().map(|v| v / base).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_reciprocal_pair_is_one() {
+        assert!((geomean(&[4.0, 0.25]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_singleton_is_identity() {
+        assert!((geomean(&[7.5]) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalization_sets_baseline_to_one() {
+        let n = normalize_to(&[2.0, 4.0, 8.0], 1);
+        assert_eq!(n, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,92 @@
+//! The accelerator design points evaluated in the paper's Figures 13–16.
+
+use diva_arch::{AcceleratorConfig, Dataflow};
+use serde::{Deserialize, Serialize};
+
+/// The four hardware design points the paper compares (Figure 13):
+/// the WS systolic baseline, an OS systolic array with the PPU attached,
+/// and DiVa with/without its PPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignPoint {
+    /// Weight-stationary systolic array (Google TPUv3-like baseline).
+    /// Cannot host a PPU (Section IV-C).
+    WsBaseline,
+    /// Output-stationary systolic array with PPU.
+    OsWithPpu,
+    /// DiVa's outer-product engine without the PPU (ablation).
+    DivaNoPpu,
+    /// Full DiVa: outer-product engine + PPU.
+    Diva,
+}
+
+impl DesignPoint {
+    /// All design points in the paper's presentation order.
+    pub const ALL: [DesignPoint; 4] = [
+        DesignPoint::WsBaseline,
+        DesignPoint::OsWithPpu,
+        DesignPoint::DivaNoPpu,
+        DesignPoint::Diva,
+    ];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignPoint::WsBaseline => "WS",
+            DesignPoint::OsWithPpu => "OS+PPU",
+            DesignPoint::DivaNoPpu => "DiVa w/o PPU",
+            DesignPoint::Diva => "DiVa",
+        }
+    }
+
+    /// The Table II-scale accelerator configuration of this design point.
+    pub fn config(&self) -> AcceleratorConfig {
+        match self {
+            DesignPoint::WsBaseline => {
+                AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary)
+            }
+            DesignPoint::OsWithPpu => {
+                AcceleratorConfig::tpu_v3_like(Dataflow::OutputStationary)
+            }
+            DesignPoint::DivaNoPpu => {
+                let mut cfg = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
+                cfg.has_ppu = false;
+                cfg
+            }
+            DesignPoint::Diva => AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct),
+        }
+    }
+}
+
+impl std::fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_validate() {
+        for dp in DesignPoint::ALL {
+            assert!(dp.config().validate().is_ok(), "{dp} config invalid");
+        }
+    }
+
+    #[test]
+    fn ppu_flags_match_design_points() {
+        assert!(!DesignPoint::WsBaseline.config().has_ppu);
+        assert!(DesignPoint::OsWithPpu.config().has_ppu);
+        assert!(!DesignPoint::DivaNoPpu.config().has_ppu);
+        assert!(DesignPoint::Diva.config().has_ppu);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = DesignPoint::ALL.iter().map(|d| d.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Figure 17 comparison: DiVa vs GPUs on DP-SGD's backpropagation
+//! bottleneck GEMMs.
+//!
+//! The paper compares "those key GEMM operations that constitute DP-SGD's
+//! backpropagation bottleneck stages" — the per-example weight-gradient
+//! GEMMs — on DiVa against V100/A100 running JAX with auto-vectorization
+//! (per-example gradients lowered to batched GEMM kernels).
+
+use diva_arch::{Phase, TrainingOpKind};
+use diva_gpu::{GpuModel, Precision};
+use diva_workload::{Algorithm, ModelSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::accelerator::Accelerator;
+
+/// The phases counted as "DP-SGD backpropagation bottleneck stages".
+pub fn bottleneck_phases() -> [Phase; 2] {
+    [Phase::BwdPerExampleGrad, Phase::BwdGradNorm]
+}
+
+/// One Figure 17 data point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckComparison {
+    /// Model name.
+    pub model: String,
+    /// Device label ("V100 (FP32)", "DiVa (BF16)", ...).
+    pub device: String,
+    /// Time in seconds for the bottleneck GEMMs of one training step.
+    pub seconds: f64,
+}
+
+/// Time for a GPU to execute the DP-SGD bottleneck GEMMs of one training
+/// step of `model` at batch `batch`: every per-example weight-gradient GEMM
+/// is dispatched as one batched kernel (the JAX `vmap` lowering).
+pub fn bottleneck_gpu_seconds(
+    model: &ModelSpec,
+    batch: u64,
+    gpu: &GpuModel,
+    precision: Precision,
+) -> f64 {
+    let ops = model.lower(Algorithm::DpSgdReweighted, batch);
+    ops.iter()
+        .filter(|op| op.phase == Phase::BwdPerExampleGrad)
+        .map(|op| match &op.kind {
+            TrainingOpKind::Gemm { shape, count, .. } => {
+                gpu.batched_gemm_seconds(*shape, *count, precision)
+            }
+            // Embedding scatter traffic: bandwidth-bound on the GPU too.
+            TrainingOpKind::Vector {
+                read_bytes,
+                write_bytes,
+                ..
+            } => (*read_bytes + *write_bytes) as f64 / gpu.mem_bw_bytes_per_sec,
+        })
+        .sum()
+}
+
+/// Time for an accelerator design point to execute the same bottleneck
+/// stages (per-example gradients + norm derivation).
+pub fn bottleneck_accel_seconds(accel: &Accelerator, model: &ModelSpec, batch: u64) -> f64 {
+    let report = accel.run(model, Algorithm::DpSgdReweighted, batch);
+    let cycles: u64 = bottleneck_phases()
+        .iter()
+        .map(|&p| report.timing.phase_cycles(p))
+        .sum();
+    accel.simulator().cycles_to_seconds(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_point::DesignPoint;
+    use diva_workload::zoo;
+
+    #[test]
+    fn diva_is_competitive_despite_lower_peak() {
+        // Figure 17's point: DiVa (29.5 peak TFLOPS) lands in the same
+        // league as V100 tensor cores (125 TFLOPS) on these GEMMs.
+        let model = zoo::resnet50();
+        let batch = 32;
+        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let t_diva = bottleneck_accel_seconds(&diva, &model, batch);
+        let t_v100 = bottleneck_gpu_seconds(
+            &model,
+            batch,
+            &GpuModel::v100(),
+            Precision::Fp16TensorCore,
+        );
+        let ratio = t_v100 / t_diva;
+        assert!(
+            ratio > 0.3 && ratio < 30.0,
+            "DiVa vs V100 ratio {ratio} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn fp32_is_slower_than_tensor_cores_for_bottleneck_gemms() {
+        let model = zoo::bert_base();
+        let fp32 =
+            bottleneck_gpu_seconds(&model, 8, &GpuModel::v100(), Precision::Fp32);
+        let fp16 =
+            bottleneck_gpu_seconds(&model, 8, &GpuModel::v100(), Precision::Fp16TensorCore);
+        assert!(fp16 < fp32);
+    }
+
+    #[test]
+    fn bottleneck_time_is_a_fraction_of_total() {
+        let model = zoo::vgg16();
+        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let total = diva.run(&model, Algorithm::DpSgdReweighted, 16).seconds;
+        let bottleneck = bottleneck_accel_seconds(&diva, &model, 16);
+        assert!(bottleneck > 0.0);
+        assert!(bottleneck <= total);
+    }
+}

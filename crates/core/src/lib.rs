@@ -1,0 +1,52 @@
+//! **DiVa** — an accelerator for differentially private machine learning,
+//! reproduced as a library (Park, Hwang, Yoon, Choi, Rhu; MICRO 2022).
+//!
+//! This crate assembles the paper's contribution from the substrate crates:
+//!
+//! * the **outer-product GEMM engine** (robust to the irregular, small-K
+//!   per-example weight-gradient GEMMs of DP-SGD, Section IV-B),
+//! * the **post-processing unit** (eight pipelined 7-level adder trees that
+//!   derive gradient norms on the fly during output drain, Section IV-C),
+//! * the **baseline accelerators** (weight- and output-stationary systolic
+//!   arrays at Google TPUv3 scale, Table II),
+//! * and the **evaluation machinery**: running a lowered training step of
+//!   any zoo model on any design point yields cycle counts, per-phase
+//!   breakdowns, DRAM traffic, utilization and energy.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use diva_core::{Accelerator, DesignPoint};
+//! use diva_workload::{zoo, Algorithm};
+//!
+//! let diva = Accelerator::from_design_point(DesignPoint::Diva);
+//! let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+//! let model = zoo::squeezenet();
+//!
+//! let fast = diva.run(&model, Algorithm::DpSgdReweighted, 32);
+//! let slow = ws.run(&model, Algorithm::DpSgdReweighted, 32);
+//! assert!(fast.seconds < slow.seconds); // the paper's headline result
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+mod comparison;
+mod design_point;
+mod gpu_compare;
+mod training_run;
+
+pub use accelerator::{Accelerator, RunReport};
+pub use comparison::{geomean, normalize_to, SpeedupRow};
+pub use design_point::DesignPoint;
+pub use training_run::{TrainingRunEstimate, TrainingRunPlan};
+pub use gpu_compare::{
+    bottleneck_accel_seconds, bottleneck_gpu_seconds, bottleneck_phases, BottleneckComparison,
+};
+
+// Re-export the substrate types users need to drive the API.
+pub use diva_arch::{AcceleratorConfig, Dataflow, GemmShape, Phase};
+pub use diva_energy::{EnergyModel, EnergyReport};
+pub use diva_sim::{Simulator, StepTiming};
+pub use diva_workload::{Algorithm, ModelSpec};

@@ -1,0 +1,181 @@
+//! Whole-training-run estimation: the performance, energy and privacy
+//! stacks joined into the question a practitioner actually asks —
+//! *"what does it cost, in hours, joules and ε, to train this model
+//! privately on this accelerator?"*
+//!
+//! This is the downstream workflow the paper motivates: DiVa's cheaper
+//! DP-SGD steps let you train longer (more steps ⇒ better accuracy) inside
+//! the same wall-clock budget, at the same privacy cost per step.
+
+use diva_dp::RdpAccountant;
+use diva_workload::{Algorithm, ModelSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::accelerator::Accelerator;
+
+/// A training-run specification.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRunPlan {
+    /// Number of examples in the training set (e.g. 50,000 for CIFAR-10).
+    pub dataset_size: u64,
+    /// Mini-batch size per step.
+    pub batch: u64,
+    /// Number of epochs.
+    pub epochs: u64,
+    /// DP noise multiplier σ (ignored for non-private training).
+    pub noise_multiplier: f64,
+    /// Target δ for the (ε, δ) report.
+    pub delta: f64,
+}
+
+impl TrainingRunPlan {
+    /// Total optimizer steps: `epochs × ⌈dataset / batch⌉`.
+    pub fn steps(&self) -> u64 {
+        self.epochs * self.dataset_size.div_ceil(self.batch)
+    }
+
+    /// The Poisson sampling rate `q = batch / dataset`.
+    pub fn sampling_rate(&self) -> f64 {
+        self.batch as f64 / self.dataset_size as f64
+    }
+}
+
+/// The estimated cost of a training run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRunEstimate {
+    /// Optimizer steps executed.
+    pub steps: u64,
+    /// Wall-clock seconds on the accelerator.
+    pub seconds: f64,
+    /// Total energy in joules.
+    pub energy_joules: f64,
+    /// Privacy cost ε at the plan's δ (`None` for non-private training).
+    pub epsilon: Option<f64>,
+}
+
+impl TrainingRunEstimate {
+    /// Wall-clock hours.
+    pub fn hours(&self) -> f64 {
+        self.seconds / 3600.0
+    }
+
+    /// Energy in watt-hours.
+    pub fn watt_hours(&self) -> f64 {
+        self.energy_joules / 3600.0
+    }
+}
+
+impl Accelerator {
+    /// Estimates the full cost of training `model` under `algorithm` per
+    /// `plan`: one step is simulated and scaled by the step count; privacy
+    /// is accounted with the RDP accountant at the plan's sampling rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is degenerate (zero batch/dataset/epochs, or a
+    /// batch larger than the dataset).
+    pub fn estimate_training_run(
+        &self,
+        model: &ModelSpec,
+        algorithm: Algorithm,
+        plan: &TrainingRunPlan,
+    ) -> TrainingRunEstimate {
+        assert!(plan.batch > 0 && plan.dataset_size > 0 && plan.epochs > 0);
+        assert!(
+            plan.batch <= plan.dataset_size,
+            "batch {} exceeds dataset {}",
+            plan.batch,
+            plan.dataset_size
+        );
+        let step = self.run(model, algorithm, plan.batch);
+        let steps = plan.steps();
+        let epsilon = if algorithm.is_private() && plan.noise_multiplier > 0.0 {
+            let acc = RdpAccountant::new(plan.sampling_rate(), plan.noise_multiplier);
+            Some(acc.epsilon(steps, plan.delta))
+        } else {
+            None
+        };
+        TrainingRunEstimate {
+            steps,
+            seconds: step.seconds * steps as f64,
+            energy_joules: step.energy.total() * steps as f64,
+            epsilon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design_point::DesignPoint;
+    use diva_workload::zoo;
+
+    fn cifar_plan() -> TrainingRunPlan {
+        TrainingRunPlan {
+            dataset_size: 50_000,
+            batch: 64,
+            epochs: 10,
+            noise_multiplier: 1.1,
+            delta: 1e-5,
+        }
+    }
+
+    #[test]
+    fn private_runs_report_epsilon_sgd_does_not() {
+        let model = zoo::squeezenet();
+        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let dp = diva.estimate_training_run(&model, Algorithm::DpSgdReweighted, &cifar_plan());
+        let sgd = diva.estimate_training_run(&model, Algorithm::Sgd, &cifar_plan());
+        assert!(dp.epsilon.is_some());
+        assert!(sgd.epsilon.is_none());
+        let eps = dp.epsilon.unwrap();
+        assert!(eps > 0.0 && eps < 50.0, "epsilon {eps}");
+    }
+
+    #[test]
+    fn diva_shrinks_the_wall_clock_not_the_privacy_cost() {
+        // Same plan on WS and DiVa: ε identical (it is a property of the
+        // algorithm), time and energy much lower on DiVa.
+        let model = zoo::squeezenet();
+        let plan = cifar_plan();
+        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline)
+            .estimate_training_run(&model, Algorithm::DpSgdReweighted, &plan);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva)
+            .estimate_training_run(&model, Algorithm::DpSgdReweighted, &plan);
+        assert_eq!(ws.epsilon, diva.epsilon);
+        assert_eq!(ws.steps, diva.steps);
+        assert!(diva.seconds < ws.seconds);
+        assert!(diva.energy_joules < ws.energy_joules);
+    }
+
+    #[test]
+    fn epsilon_grows_with_epochs() {
+        let model = zoo::lstm_small();
+        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let mut plan = cifar_plan();
+        let e10 = diva
+            .estimate_training_run(&model, Algorithm::DpSgd, &plan)
+            .epsilon
+            .unwrap();
+        plan.epochs = 40;
+        let e40 = diva
+            .estimate_training_run(&model, Algorithm::DpSgd, &plan)
+            .epsilon
+            .unwrap();
+        assert!(e40 > e10);
+    }
+
+    #[test]
+    fn step_accounting_is_exact() {
+        let plan = TrainingRunPlan {
+            dataset_size: 1000,
+            batch: 64,
+            epochs: 3,
+            noise_multiplier: 1.0,
+            delta: 1e-5,
+        };
+        // ceil(1000/64) = 16 steps per epoch.
+        assert_eq!(plan.steps(), 48);
+        assert!((plan.sampling_rate() - 0.064).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Differential-privacy machinery for DP-SGD training, reproducing the
+//! algorithms the DiVa paper characterizes (Algorithm 1):
+//!
+//! * **Vanilla DP-SGD** (Abadi et al., CCS'16): per-example gradients →
+//!   per-example L2 norms → clip → reduce → Gaussian noise.
+//! * **Reweighted DP-SGD(R)** (Lee & Kifer, PoPETs'21): a first
+//!   backpropagation computes per-example gradient *norms only*; the loss is
+//!   then reweighted by the clip factors and a second backpropagation
+//!   produces the already-clipped per-batch gradient. Mathematically
+//!   identical output, ~B× smaller gradient memory.
+//!
+//! Plus the supporting cast: the Gaussian mechanism, a Rényi-DP privacy
+//! accountant for the subsampled Gaussian mechanism with σ calibration, and
+//! synthetic dataset generators used by tests and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_dp::{DpSgdConfig, TrainingAlgorithm};
+//!
+//! let cfg = DpSgdConfig {
+//!     algorithm: TrainingAlgorithm::DpSgdReweighted,
+//!     clip_norm: 1.0,
+//!     noise_multiplier: 1.1,
+//!     learning_rate: 0.1,
+//! };
+//! assert!(cfg.is_private());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accountant;
+mod clip;
+mod mechanism;
+mod optimizer;
+mod sampling;
+mod synthetic;
+
+pub use accountant::{calibrate_sigma, RdpAccountant};
+pub use clip::{clip_factors, ClipSummary};
+pub use mechanism::GaussianMechanism;
+pub use optimizer::{ClipMode, DpSgdConfig, DpTrainer, StepReport, TrainingAlgorithm};
+pub use sampling::poisson_sample;
+pub use synthetic::{make_blobs, make_image_blobs, make_sequence_blobs, Dataset};

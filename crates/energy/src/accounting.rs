@@ -1,0 +1,195 @@
+//! Per-training-step energy accounting (paper Figure 16).
+//!
+//! `E = E_engine + E_ppu + E_sram + E_dram + E_uncore`, with the engine
+//! split into an activity-proportional dynamic part and an idle/leakage
+//! part, SRAM energy per byte from a CACTI-style capacity curve, and DRAM
+//! energy per byte from the Horowitz ISSCC'14 model.
+
+use diva_arch::AcceleratorConfig;
+use diva_sim::StepTiming;
+use serde::{Deserialize, Serialize};
+
+use crate::synthesis::SynthesisModel;
+
+/// Energy breakdown of one training step, in joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// GEMM-engine energy (dynamic + idle).
+    pub engine_j: f64,
+    /// Post-processing unit energy.
+    pub ppu_j: f64,
+    /// On-chip SRAM access energy.
+    pub sram_j: f64,
+    /// Off-chip DRAM access energy.
+    pub dram_j: f64,
+    /// Uncore energy (vector unit, DMA, NoC, IO) — time-proportional.
+    pub uncore_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.engine_j + self.ppu_j + self.sram_j + self.dram_j + self.uncore_j
+    }
+}
+
+/// The assembled energy model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Component area/power model.
+    pub synthesis: SynthesisModel,
+    /// Fraction of engine power that is activity-independent (clock tree,
+    /// leakage). The rest scales with MAC utilization.
+    pub engine_idle_fraction: f64,
+    /// SRAM access energy in pJ/byte for the 16 MB buffer (CACTI-style
+    /// figure at 65 nm; large SRAMs land in the single-digit pJ/byte range).
+    pub sram_pj_per_byte: f64,
+    /// DRAM access energy in pJ/byte (Horowitz ISSCC'14 reports
+    /// 1.3–2.6 nJ per 64-bit DRAM access → ~20 pJ/bit; we use 160 pJ/byte).
+    pub dram_pj_per_byte: f64,
+    /// Constant uncore power in watts (vector unit, DMA engines, control,
+    /// I/O) charged for the whole step duration.
+    pub uncore_power_w: f64,
+}
+
+impl EnergyModel {
+    /// The calibrated default model.
+    pub fn calibrated() -> Self {
+        Self {
+            synthesis: SynthesisModel::calibrated(),
+            engine_idle_fraction: 0.3,
+            sram_pj_per_byte: 6.0,
+            dram_pj_per_byte: 160.0,
+            uncore_power_w: 25.0,
+        }
+    }
+
+    /// Computes the energy of one simulated training step on the given
+    /// accelerator configuration.
+    ///
+    /// Engine dynamic energy is charged per useful MAC
+    /// (`P_dyn / peak_mac_rate`); idle energy and uncore power are charged
+    /// for the full step duration.
+    pub fn step_energy(&self, config: &AcceleratorConfig, step: &StepTiming) -> EnergyReport {
+        let seconds = step.total_cycles() as f64 / config.freq_hz;
+        let engine = self
+            .synthesis
+            .engine(config.dataflow, false);
+
+        let peak_macs_per_sec = config.peak_macs_per_sec();
+        let dynamic_power = engine.power_w * (1.0 - self.engine_idle_fraction);
+        let energy_per_mac = dynamic_power / peak_macs_per_sec;
+        let engine_j = energy_per_mac * step.total_macs() as f64
+            + engine.power_w * self.engine_idle_fraction * seconds;
+
+        let ppu_j = if config.has_ppu {
+            self.synthesis.ppu.power_w * seconds
+        } else {
+            0.0
+        };
+        let sram_j = self.sram_pj_per_byte * 1e-12 * step.total_sram_bytes() as f64;
+        let dram_j = self.dram_pj_per_byte * 1e-12 * step.total_dram_bytes() as f64;
+        let uncore_j = self.uncore_power_w * seconds;
+
+        EnergyReport {
+            engine_j,
+            ppu_j,
+            sram_j,
+            dram_j,
+            uncore_j,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_arch::{Dataflow, GemmShape, Phase, TrainingOp};
+    use diva_sim::Simulator;
+
+    fn step(df: Dataflow, ops: &[TrainingOp]) -> (AcceleratorConfig, StepTiming) {
+        let cfg = AcceleratorConfig::tpu_v3_like(df);
+        let sim = Simulator::new(cfg.clone()).unwrap();
+        let t = sim.time_step(ops);
+        (cfg, t)
+    }
+
+    #[test]
+    fn energy_is_positive_and_decomposes() {
+        let ops = vec![TrainingOp::gemm(
+            GemmShape::new(1024, 512, 1024),
+            Phase::Forward,
+            "fc",
+        )];
+        let (cfg, t) = step(Dataflow::WeightStationary, &ops);
+        let e = EnergyModel::calibrated().step_energy(&cfg, &t);
+        assert!(e.total() > 0.0);
+        let sum = e.engine_j + e.ppu_j + e.sram_j + e.dram_j + e.uncore_j;
+        assert!((e.total() - sum).abs() < 1e-15);
+        // WS has no PPU.
+        assert_eq!(e.ppu_j, 0.0);
+    }
+
+    #[test]
+    fn faster_engine_saves_energy_on_skinny_gemms() {
+        // Per-example gradient pattern: many small-K GEMMs, ephemeral.
+        let ops = vec![TrainingOp::gemm_batch_ephemeral(
+            GemmShape::new(4608, 16, 512),
+            32,
+            Phase::BwdPerExampleGrad,
+            "conv",
+        )];
+        let (ws_cfg, ws_t) = step(Dataflow::WeightStationary, &ops);
+        let (diva_cfg, diva_t) = step(Dataflow::OuterProduct, &ops);
+        let model = EnergyModel::calibrated();
+        let e_ws = model.step_energy(&ws_cfg, &ws_t).total();
+        let e_diva = model.step_energy(&diva_cfg, &diva_t).total();
+        assert!(
+            e_diva < e_ws,
+            "DiVa {e_diva} J should beat WS {e_ws} J on per-example gradients"
+        );
+    }
+
+    #[test]
+    fn dram_energy_scales_with_traffic() {
+        let small = vec![TrainingOp::gemm(
+            GemmShape::new(128, 128, 128),
+            Phase::Forward,
+            "s",
+        )];
+        let big = vec![TrainingOp::gemm(
+            GemmShape::new(4096, 128, 4096),
+            Phase::Forward,
+            "b",
+        )];
+        let model = EnergyModel::calibrated();
+        let (cfg, ts) = step(Dataflow::WeightStationary, &small);
+        let (_, tb) = step(Dataflow::WeightStationary, &big);
+        let es = model.step_energy(&cfg, &ts);
+        let eb = model.step_energy(&cfg, &tb);
+        assert!(eb.dram_j > 10.0 * es.dram_j);
+    }
+
+    #[test]
+    fn idle_energy_charged_even_with_zero_macs() {
+        let ops = vec![TrainingOp::vector(
+            diva_arch::VectorOpKind::GradNorm,
+            1 << 20,
+            4,
+            false,
+            Phase::BwdGradNorm,
+            "norm",
+        )];
+        let (cfg, t) = step(Dataflow::WeightStationary, &ops);
+        let e = EnergyModel::calibrated().step_energy(&cfg, &t);
+        assert_eq!(t.total_macs(), 0);
+        assert!(e.engine_j > 0.0); // idle fraction
+        assert!(e.uncore_j > 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Area, power and energy models for the DiVa reproduction.
+//!
+//! The paper obtains these numbers from Synopsys Design Compiler synthesis
+//! of SystemVerilog RTL at 65 nm (compute units), CACTI (SRAM) and the
+//! Horowitz ISSCC'14 energy model (DRAM). We have no EDA tools, so this
+//! crate provides **parametric component models whose free constants are
+//! calibrated to the paper's published synthesis results** (Table III and
+//! Section VI-B):
+//!
+//! | engine        | area    | power   |
+//! |---------------|---------|---------|
+//! | Systolic WS   | 68 mm²  | 13.4 W  |
+//! | Systolic OS   | 70 mm²  | 13.6 W  |
+//! | Outer-product | 82 mm²  | 21.2 W  |
+//! | + PPU         | +3 mm²  | +2.6 W  |
+//!
+//! Per-workload energy (Figure 16) is then derived from simulated busy
+//! time, utilization, and SRAM/DRAM access counts — the same accounting the
+//! paper performs.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_arch::Dataflow;
+//! use diva_energy::SynthesisModel;
+//!
+//! let synth = SynthesisModel::calibrated();
+//! let ws = synth.engine(Dataflow::WeightStationary, false);
+//! assert!((ws.area_mm2 - 68.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod synthesis;
+mod table3;
+
+pub use accounting::{EnergyModel, EnergyReport};
+pub use synthesis::{ComponentCost, SynthesisModel};
+pub use table3::{table_iii, TableIiiRow};

@@ -1,0 +1,160 @@
+//! Synthesis-proxy area/power model, calibrated to the paper's Table III.
+
+use diva_arch::Dataflow;
+use serde::{Deserialize, Serialize};
+
+/// Area and power of one hardware component.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComponentCost {
+    /// Silicon area in mm² (65 nm standard cells).
+    pub area_mm2: f64,
+    /// Power at full activity in watts (0.94 GHz, 65 nm).
+    pub power_w: f64,
+}
+
+impl ComponentCost {
+    /// Component-wise sum.
+    pub fn plus(self, other: ComponentCost) -> ComponentCost {
+        ComponentCost {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_w: self.power_w + other.power_w,
+        }
+    }
+}
+
+/// A component-level area/power model of the three GEMM engines and the
+/// PPU, with constants calibrated so the assembled totals reproduce the
+/// paper's synthesis results (Table III).
+///
+/// The decomposition (MAC array + per-dataflow overhead) is what a
+/// synthesis report would show; only the constants are fitted.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisModel {
+    /// Number of MAC units (16,384 for the 128×128 array).
+    pub mac_count: u64,
+    /// Area of one BF16×BF16+FP32 MAC with pipeline latches, mm².
+    pub mac_area_mm2: f64,
+    /// Dynamic power of one MAC at full activity, W.
+    pub mac_power_w: f64,
+    /// WS extras: weight latches, vertical psum chains, control.
+    pub ws_overhead: ComponentCost,
+    /// OS extras: in-place accumulators, dual operand registers.
+    pub os_overhead: ComponentCost,
+    /// Outer-product extras: per-row/column broadcast buses and drivers —
+    /// the paper's "all-to-all multiplication datapath" (Section IV-D).
+    pub outer_overhead: ComponentCost,
+    /// PPU: R = 8 pipelined 7-level FP32 adder trees plus squaring units.
+    pub ppu: ComponentCost,
+}
+
+impl SynthesisModel {
+    /// The calibrated 65 nm / 940 MHz model matching Table III.
+    pub fn calibrated() -> Self {
+        Self {
+            mac_count: 16_384,
+            // 16,384 MACs ≈ 57.3 mm² / 11.5 W: the common core of all
+            // three engines.
+            mac_area_mm2: 0.0035,
+            mac_power_w: 0.0007,
+            ws_overhead: ComponentCost {
+                area_mm2: 10.7,
+                power_w: 1.9,
+            },
+            os_overhead: ComponentCost {
+                area_mm2: 12.7,
+                power_w: 2.1,
+            },
+            outer_overhead: ComponentCost {
+                area_mm2: 24.7,
+                power_w: 9.7,
+            },
+            ppu: ComponentCost {
+                area_mm2: 3.0,
+                power_w: 2.6,
+            },
+        }
+    }
+
+    /// The MAC array alone.
+    pub fn mac_array(&self) -> ComponentCost {
+        ComponentCost {
+            area_mm2: self.mac_area_mm2 * self.mac_count as f64,
+            power_w: self.mac_power_w * self.mac_count as f64,
+        }
+    }
+
+    /// Area/power of a full GEMM engine, optionally with the PPU attached.
+    pub fn engine(&self, dataflow: Dataflow, with_ppu: bool) -> ComponentCost {
+        let overhead = match dataflow {
+            Dataflow::WeightStationary => self.ws_overhead,
+            Dataflow::OutputStationary => self.os_overhead,
+            Dataflow::OuterProduct => self.outer_overhead,
+        };
+        let mut total = self.mac_array().plus(overhead);
+        if with_ppu {
+            total = total.plus(self.ppu);
+        }
+        total
+    }
+
+    /// DiVa's area overhead versus the WS baseline as a fraction — the
+    /// paper reports 19.6% for the engine plus 4.6% for the PPU.
+    pub fn area_overhead_vs_ws(&self, with_ppu: bool) -> f64 {
+        let ws = self.engine(Dataflow::WeightStationary, false).area_mm2;
+        let diva = self.engine(Dataflow::OuterProduct, with_ppu).area_mm2;
+        (diva - ws) / ws
+    }
+}
+
+impl Default for SynthesisModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table_iii() {
+        let s = SynthesisModel::calibrated();
+        let ws = s.engine(Dataflow::WeightStationary, false);
+        let os = s.engine(Dataflow::OutputStationary, false);
+        let op = s.engine(Dataflow::OuterProduct, false);
+        assert!((ws.area_mm2 - 68.0).abs() < 1.0, "{}", ws.area_mm2);
+        assert!((os.area_mm2 - 70.0).abs() < 1.0, "{}", os.area_mm2);
+        assert!((op.area_mm2 - 82.0).abs() < 1.0, "{}", op.area_mm2);
+        assert!((ws.power_w - 13.4).abs() < 0.2, "{}", ws.power_w);
+        assert!((os.power_w - 13.6).abs() < 0.2, "{}", os.power_w);
+        assert!((op.power_w - 21.2).abs() < 0.2, "{}", op.power_w);
+    }
+
+    #[test]
+    fn overhead_fractions_match_section_vi_b() {
+        let s = SynthesisModel::calibrated();
+        // Outer-product engine alone: ~19.6% over WS.
+        assert!((s.area_overhead_vs_ws(false) - 0.196).abs() < 0.02);
+        // With the PPU: ~24–25% over WS (19.6% + 4.6%).
+        assert!((s.area_overhead_vs_ws(true) - 0.242).abs() < 0.02);
+    }
+
+    #[test]
+    fn diva_power_delta_matches_paper() {
+        // Paper: +7.8 W (outer-product datapath) + 2.6 W (PPU) vs WS.
+        let s = SynthesisModel::calibrated();
+        let ws = s.engine(Dataflow::WeightStationary, false).power_w;
+        let diva = s.engine(Dataflow::OuterProduct, true).power_w;
+        assert!((diva - ws - 10.4).abs() < 0.2, "{}", diva - ws);
+    }
+
+    #[test]
+    fn mac_array_dominates_every_engine() {
+        let s = SynthesisModel::calibrated();
+        let macs = s.mac_array();
+        for df in Dataflow::ALL {
+            let engine = s.engine(df, false);
+            assert!(macs.area_mm2 / engine.area_mm2 > 0.5);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Assembly of the paper's Table III: power, area, and effective
+//! throughput normalized to power and area, per GEMM engine.
+
+use diva_arch::{AcceleratorConfig, Dataflow};
+use serde::{Deserialize, Serialize};
+
+use crate::synthesis::SynthesisModel;
+
+/// One row of Table III.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableIiiRow {
+    /// Engine dataflow.
+    pub dataflow: Dataflow,
+    /// Peak TFLOPS (identical across engines: same MAC count and clock).
+    pub peak_tflops: f64,
+    /// Effective TFLOPS measured on the DP-SGD(R) workload suite.
+    pub effective_tflops: f64,
+    /// Engine power in watts.
+    pub power_w: f64,
+    /// Engine area in mm².
+    pub area_mm2: f64,
+    /// Effective TFLOPS per watt.
+    pub tflops_per_watt: f64,
+    /// Effective TFLOPS per mm².
+    pub tflops_per_mm2: f64,
+}
+
+/// Builds Table III rows from measured effective throughput per dataflow
+/// (WS, OS, outer-product order). The effective numbers come from the
+/// simulator; peak/power/area come from the synthesis model.
+pub fn table_iii(
+    config: &AcceleratorConfig,
+    synthesis: &SynthesisModel,
+    effective_tflops: [f64; 3],
+) -> Vec<TableIiiRow> {
+    let peak = config.peak_tflops();
+    Dataflow::ALL
+        .iter()
+        .zip(effective_tflops)
+        .map(|(&df, eff)| {
+            // Table III's outer-product column includes the all-to-all
+            // datapath; the PPU is reported separately in the text, so the
+            // engine-only cost is used here (matching the 82 mm² figure).
+            let cost = synthesis.engine(df, false);
+            TableIiiRow {
+                dataflow: df,
+                peak_tflops: peak,
+                effective_tflops: eff,
+                power_w: cost.power_w,
+                area_mm2: cost.area_mm2,
+                tflops_per_watt: eff / cost.power_w,
+                tflops_per_mm2: eff / cost.area_mm2,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_reproduces_paper_ratios_with_paper_inputs() {
+        // Feed the paper's own effective-TFLOPS measurements (1.2 / 0.9 /
+        // 6.6) and check the derived efficiency columns match Table III.
+        let cfg = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
+        let rows = table_iii(&cfg, &SynthesisModel::calibrated(), [1.2, 0.9, 6.6]);
+        assert_eq!(rows.len(), 3);
+        // WS: 1.2 TFLOPS / 13.4 W = 0.089; 1.2 / 68 = 0.017.
+        assert!((rows[0].tflops_per_watt - 0.089).abs() < 0.005);
+        assert!((rows[0].tflops_per_mm2 - 0.017).abs() < 0.002);
+        // Outer-product: 6.6 / 21.2 = 0.311; 6.6 / 82 = 0.081.
+        assert!((rows[2].tflops_per_watt - 0.311).abs() < 0.01);
+        assert!((rows[2].tflops_per_mm2 - 0.081).abs() < 0.005);
+        // The headline: DiVa is ~3.5× better TFLOPS/W and ~4.6× TFLOPS/mm².
+        assert!((rows[2].tflops_per_watt / rows[0].tflops_per_watt - 3.5).abs() < 0.3);
+        assert!((rows[2].tflops_per_mm2 / rows[0].tflops_per_mm2 - 4.6).abs() < 0.5);
+    }
+
+    #[test]
+    fn peak_is_shared_across_engines() {
+        let cfg = AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary);
+        let rows = table_iii(&cfg, &SynthesisModel::calibrated(), [1.0, 1.0, 1.0]);
+        assert_eq!(rows[0].peak_tflops, rows[1].peak_tflops);
+        assert_eq!(rows[1].peak_tflops, rows[2].peak_tflops);
+    }
+}

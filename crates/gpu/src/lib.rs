@@ -1,0 +1,231 @@
+//! Analytical GPU performance model for the paper's Figure 17 comparison
+//! (DiVa vs NVIDIA V100 and A100 running JAX with auto-vectorization).
+//!
+//! We obviously cannot run CUDA here; instead a roofline-style model
+//! captures the effects that decide the comparison:
+//!
+//! * **Peak throughput** per precision (tensor cores vs CUDA cores).
+//! * **Tile quantization**: tensor-core GEMMs execute in coarse tiles, so
+//!   skinny/odd shapes waste lanes (the irregular per-example gradient
+//!   problem again, in GPU form).
+//! * **SM occupancy**: a GEMM must produce enough thread blocks to fill
+//!   all SMs; *batched* GEMMs (JAX `vmap` over examples) multiply the block
+//!   count — which is why GPUs handle MobileNet's many micro-GEMMs
+//!   relatively well (the paper's noted exception).
+//! * **Memory roofline** and a per-kernel launch overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_arch::GemmShape;
+//! use diva_gpu::{GpuModel, Precision};
+//!
+//! let v100 = GpuModel::v100();
+//! let t = v100.batched_gemm_seconds(GemmShape::new(512, 16, 512), 32, Precision::Fp16TensorCore);
+//! assert!(t > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use diva_arch::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// GEMM execution precision on the GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// FP32 on CUDA cores (tensor cores disabled) — the paper's "GPU(FP32)".
+    Fp32,
+    /// FP16 on tensor cores — the paper's "GPU(FP16)".
+    Fp16TensorCore,
+}
+
+impl Precision {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::Fp32 => "FP32",
+            Precision::Fp16TensorCore => "FP16",
+        }
+    }
+}
+
+/// An analytical GPU device model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Device name.
+    pub name: String,
+    /// FP32 CUDA-core peak, TFLOPS.
+    pub fp32_tflops: f64,
+    /// FP16 tensor-core peak, TFLOPS.
+    pub fp16_tflops: f64,
+    /// Memory bandwidth, bytes/second.
+    pub mem_bw_bytes_per_sec: f64,
+    /// Streaming multiprocessor count.
+    pub sms: u64,
+    /// Fixed kernel-launch + framework overhead per launched kernel,
+    /// seconds (JAX/XLA dispatch).
+    pub kernel_overhead_s: f64,
+}
+
+impl GpuModel {
+    /// NVIDIA V100 (32 GB): 15.7 FP32 / 125 FP16-TC TFLOPS, 900 GB/s
+    /// (paper Section VI-D).
+    pub fn v100() -> Self {
+        Self {
+            name: "V100".into(),
+            fp32_tflops: 15.7,
+            fp16_tflops: 125.0,
+            mem_bw_bytes_per_sec: 900.0e9,
+            sms: 80,
+            kernel_overhead_s: 5.0e-6,
+        }
+    }
+
+    /// NVIDIA A100 (40 GB): 19.5 FP32 / 312 FP16-TC TFLOPS, 1555 GB/s.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".into(),
+            fp32_tflops: 19.5,
+            fp16_tflops: 312.0,
+            mem_bw_bytes_per_sec: 1555.0e9,
+            sms: 108,
+            kernel_overhead_s: 5.0e-6,
+        }
+    }
+
+    /// Peak TFLOPS for the given precision.
+    pub fn peak_tflops(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp32 => self.fp32_tflops,
+            Precision::Fp16TensorCore => self.fp16_tflops,
+        }
+    }
+
+    /// Tile-quantization efficiency for one GEMM: the fraction of lanes in
+    /// the rounded-up tile grid doing useful work.
+    pub fn tile_efficiency(&self, shape: GemmShape, precision: Precision) -> f64 {
+        // Tensor cores schedule coarse (M, N) macro-tiles with K in steps
+        // of 16; CUDA-core SGEMM tiles are finer grained.
+        let (gm, gk, gn) = match precision {
+            Precision::Fp16TensorCore => (64, 16, 64),
+            Precision::Fp32 => (32, 1, 32),
+        };
+        let rounded = |v: u64, g: u64| v.div_ceil(g) * g;
+        let useful = shape.macs() as f64;
+        let padded =
+            (rounded(shape.m, gm) * rounded(shape.k, gk) * rounded(shape.n, gn)) as f64;
+        if padded == 0.0 {
+            0.0
+        } else {
+            useful / padded
+        }
+    }
+
+    /// SM occupancy for a batched GEMM: thread blocks (128×128 output
+    /// tiles × batch count) over the SM count, capped at 1.
+    pub fn occupancy(&self, shape: GemmShape, count: u64) -> f64 {
+        let blocks = shape.m.div_ceil(128) * shape.n.div_ceil(128) * count;
+        (blocks as f64 / self.sms as f64).min(1.0)
+    }
+
+    /// Time to execute `count` independent GEMMs of identical shape as one
+    /// batched kernel (the JAX `vmap` lowering the paper's baseline uses).
+    ///
+    /// Roofline: `max(flops / effective_peak, bytes / bandwidth)` plus one
+    /// kernel overhead.
+    pub fn batched_gemm_seconds(
+        &self,
+        shape: GemmShape,
+        count: u64,
+        precision: Precision,
+    ) -> f64 {
+        if shape.is_empty() || count == 0 {
+            return 0.0;
+        }
+        let eff = self.tile_efficiency(shape, precision) * self.occupancy(shape, count);
+        let flops = (shape.flops() * count) as f64;
+        let effective_peak = self.peak_tflops(precision) * 1e12 * eff.max(1e-6);
+        let compute_s = flops / effective_peak;
+
+        let in_bytes = match precision {
+            Precision::Fp32 => 4,
+            Precision::Fp16TensorCore => 2,
+        };
+        let bytes =
+            count * (shape.lhs_elems() * in_bytes + shape.rhs_elems() * in_bytes
+                + shape.out_elems() * 4);
+        let mem_s = bytes as f64 / self.mem_bw_bytes_per_sec;
+        compute_s.max(mem_s) + self.kernel_overhead_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_beats_v100_on_big_gemms() {
+        let shape = GemmShape::new(4096, 4096, 4096);
+        let v = GpuModel::v100().batched_gemm_seconds(shape, 1, Precision::Fp16TensorCore);
+        let a = GpuModel::a100().batched_gemm_seconds(shape, 1, Precision::Fp16TensorCore);
+        assert!(a < v);
+    }
+
+    #[test]
+    fn tensor_cores_beat_fp32_on_aligned_shapes() {
+        let shape = GemmShape::new(2048, 2048, 2048);
+        let gpu = GpuModel::v100();
+        let tc = gpu.batched_gemm_seconds(shape, 1, Precision::Fp16TensorCore);
+        let fp32 = gpu.batched_gemm_seconds(shape, 1, Precision::Fp32);
+        assert!(tc < fp32 / 3.0);
+    }
+
+    #[test]
+    fn tile_quantization_punishes_skinny_k_on_tensor_cores() {
+        let gpu = GpuModel::v100();
+        // K = 1 wastes 15/16 of each tensor-core K-step.
+        let skinny = gpu.tile_efficiency(GemmShape::new(1024, 1, 1024), Precision::Fp16TensorCore);
+        let square =
+            gpu.tile_efficiency(GemmShape::new(1024, 1024, 1024), Precision::Fp16TensorCore);
+        assert!(skinny <= 1.0 / 16.0 + 1e-9);
+        assert!(square > 0.99);
+    }
+
+    #[test]
+    fn batching_restores_occupancy_for_micro_gemms() {
+        let gpu = GpuModel::v100();
+        let micro = GemmShape::new(9, 16, 1);
+        assert!(gpu.occupancy(micro, 1) < 0.02);
+        assert!((gpu.occupancy(micro, 16_384) - 1.0).abs() < 1e-12);
+        // And batching as one kernel amortizes the launch overhead: 16384
+        // micro-GEMMs cost far less than 16384 × single-GEMM time.
+        let batched = gpu.batched_gemm_seconds(micro, 16_384, Precision::Fp16TensorCore);
+        let serial = 16_384.0 * gpu.batched_gemm_seconds(micro, 1, Precision::Fp16TensorCore);
+        assert!(batched < serial / 100.0);
+    }
+
+    #[test]
+    fn memory_bound_shapes_hit_the_bandwidth_roof() {
+        let gpu = GpuModel::a100();
+        // A huge, K=1 outer product is pure memory traffic.
+        let shape = GemmShape::new(8192, 1, 8192);
+        let t = gpu.batched_gemm_seconds(shape, 1, Precision::Fp16TensorCore);
+        let bytes = (shape.lhs_elems() * 2 + shape.rhs_elems() * 2 + shape.out_elems() * 4) as f64;
+        let mem_floor = bytes / gpu.mem_bw_bytes_per_sec;
+        assert!(t >= mem_floor);
+    }
+
+    #[test]
+    fn empty_work_costs_nothing() {
+        let gpu = GpuModel::v100();
+        assert_eq!(
+            gpu.batched_gemm_seconds(GemmShape::new(0, 5, 5), 1, Precision::Fp32),
+            0.0
+        );
+        assert_eq!(
+            gpu.batched_gemm_seconds(GemmShape::new(5, 5, 5), 0, Precision::Fp32),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! 2-D convolution layer (lowered to GEMM via `im2col`).
+//!
+//! Per the paper's Figure 6, the forward GEMM is
+//! `(M, K, N) = (B·P·Q, C_in·R·S, C_out)`, the per-batch weight-gradient
+//! GEMM is `(C_in·R·S, B·P·Q, C_out)`, and the per-example weight gradient
+//! is a `(C_in·R·S, P·Q, C_out)` GEMM per example — the small-K shape that
+//! underutilizes systolic arrays.
+
+use diva_tensor::{
+    conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dGeom, DivaRng, Tensor,
+};
+
+use crate::layer::{BackwardOutput, GradMode, ParamGrads};
+use crate::slice_example;
+
+/// A 2-D convolution layer with square filters and optional bias.
+#[derive(Clone, Debug)]
+pub struct Conv2dLayer {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    geom: Conv2dGeom,
+}
+
+/// Forward cache for [`Conv2dLayer`]: the layer input.
+#[derive(Clone, Debug)]
+pub struct Conv2dCache {
+    x: Tensor,
+}
+
+impl Conv2dLayer {
+    /// Creates a convolution layer with Kaiming-uniform initialization and
+    /// a bias vector.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cin: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        in_h: usize,
+        in_w: usize,
+        rng: &mut DivaRng,
+    ) -> Self {
+        let geom = Conv2dGeom::new(cin, cout, k, stride, pad, in_h, in_w);
+        let fan_in = (cin * k * k) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        Self {
+            weight: Tensor::uniform(&[cout, cin, k, k], -bound, bound, rng),
+            bias: Some(Tensor::zeros(&[cout])),
+            geom,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> &Conv2dGeom {
+        &self.geom
+    }
+
+    /// Runs the layer forward on `(B, C_in, H, W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input does not match the layer geometry.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Conv2dCache) {
+        let mut y = conv2d(x, &self.weight, &self.geom);
+        if let Some(b) = &self.bias {
+            let dims = y.shape().dims().to_vec();
+            let (n, c, p, q) = (dims[0], dims[1], dims[2], dims[3]);
+            let yv = y.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let bc = b.data()[ci];
+                    let base = (ni * c + ci) * p * q;
+                    for v in &mut yv[base..base + p * q] {
+                        *v += bc;
+                    }
+                }
+            }
+        }
+        (y, Conv2dCache { x: x.clone() })
+    }
+
+    /// Backward pass; see [`GradMode`].
+    pub fn backward(
+        &self,
+        cache: &Conv2dCache,
+        grad_out: &Tensor,
+        mode: GradMode,
+    ) -> BackwardOutput {
+        let b = grad_out.shape().dim(0);
+        let grad_input = conv2d_backward_data(grad_out, &self.weight, &self.geom);
+
+        let grads = match mode {
+            GradMode::PerBatch => {
+                let gw = conv2d_backward_weight(&cache.x, grad_out, &self.geom);
+                let mut out = vec![gw];
+                if self.bias.is_some() {
+                    out.push(bias_grad(grad_out));
+                }
+                ParamGrads::PerBatch(out)
+            }
+            GradMode::PerExample => {
+                let mut per_example = Vec::with_capacity(b);
+                for i in 0..b {
+                    per_example.push(self.example_grads(cache, grad_out, i));
+                }
+                ParamGrads::PerExample(per_example)
+            }
+            GradMode::NormOnly => {
+                let mut norms = Vec::with_capacity(b);
+                for i in 0..b {
+                    let sq: f64 = self
+                        .example_grads(cache, grad_out, i)
+                        .iter()
+                        .map(Tensor::squared_norm)
+                        .sum();
+                    norms.push(sq);
+                }
+                ParamGrads::SqNorms(norms)
+            }
+        };
+        BackwardOutput { grad_input, grads }
+    }
+
+    fn example_grads(&self, cache: &Conv2dCache, grad_out: &Tensor, i: usize) -> Vec<Tensor> {
+        let xi = slice_example(&cache.x, i);
+        let gi = slice_example(grad_out, i);
+        let gw = conv2d_backward_weight(&xi, &gi, &self.geom);
+        let mut out = vec![gw];
+        if self.bias.is_some() {
+            out.push(bias_grad(&gi));
+        }
+        out
+    }
+
+    /// Immutable parameter views.
+    pub fn params(&self) -> Vec<&Tensor> {
+        let mut p = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            p.push(b);
+        }
+        p
+    }
+
+    /// Mutable parameter views.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut p = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            p.push(b);
+        }
+        p
+    }
+}
+
+/// Bias gradient: sums `(N, C, P, Q)` over batch and spatial dims to `(C,)`.
+fn bias_grad(grad_out: &Tensor) -> Tensor {
+    let dims = grad_out.shape().dims();
+    let (n, c, p, q) = (dims[0], dims[1], dims[2], dims[3]);
+    let mut out = Tensor::zeros(&[c]);
+    let gv = grad_out.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * p * q;
+            let s: f32 = gv[base..base + p * q].iter().sum();
+            out.data_mut()[ci] += s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_example_grads_sum_to_per_batch() {
+        let mut rng = DivaRng::seed_from_u64(5);
+        let layer = Conv2dLayer::new(2, 3, 3, 1, 1, 6, 6, &mut rng);
+        let x = Tensor::uniform(&[3, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let (y, cache) = layer.forward(&x);
+        let g = Tensor::uniform(y.shape().dims(), -1.0, 1.0, &mut rng);
+        let batch = layer
+            .backward(&cache, &g, GradMode::PerBatch)
+            .grads
+            .expect_per_batch();
+        let per_ex = match layer.backward(&cache, &g, GradMode::PerExample).grads {
+            ParamGrads::PerExample(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        for (pi, batch_grad) in batch.iter().enumerate() {
+            let mut sum = Tensor::zeros(batch_grad.shape().dims());
+            for ex in &per_ex {
+                sum.add_assign(&ex[pi]);
+            }
+            assert!(sum.max_abs_diff(batch_grad) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bias_changes_output_by_constant() {
+        let mut rng = DivaRng::seed_from_u64(6);
+        let mut layer = Conv2dLayer::new(1, 1, 3, 1, 1, 4, 4, &mut rng);
+        let x = Tensor::uniform(&[1, 1, 4, 4], -1.0, 1.0, &mut rng);
+        let (y0, _) = layer.forward(&x);
+        if let Some(b) = &mut layer.bias {
+            b.data_mut()[0] = 2.5;
+        }
+        let (y1, _) = layer.forward(&x);
+        let mut diff = y1;
+        diff.sub_assign(&y0);
+        assert!(diff.data().iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn norm_only_is_consistent() {
+        let mut rng = DivaRng::seed_from_u64(7);
+        let layer = Conv2dLayer::new(2, 2, 3, 2, 1, 6, 6, &mut rng);
+        let x = Tensor::uniform(&[2, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let (y, cache) = layer.forward(&x);
+        let g = Tensor::uniform(y.shape().dims(), -1.0, 1.0, &mut rng);
+        let norms = match layer.backward(&cache, &g, GradMode::NormOnly).grads {
+            ParamGrads::SqNorms(n) => n,
+            other => panic!("unexpected {other:?}"),
+        };
+        let per_ex = match layer.backward(&cache, &g, GradMode::PerExample).grads {
+            ParamGrads::PerExample(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        for (i, ex) in per_ex.iter().enumerate() {
+            let sq: f64 = ex.iter().map(Tensor::squared_norm).sum();
+            assert!((sq - norms[i]).abs() / sq.max(1.0) < 1e-5);
+        }
+    }
+}

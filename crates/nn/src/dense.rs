@@ -1,0 +1,263 @@
+//! Fully-connected (MLP) layer.
+//!
+//! The forward GEMM is `(M, K, N) = (B, I, O)`; the per-batch weight
+//! gradient GEMM is `(I, B, O)`; the per-example weight gradient is the
+//! degenerate `(I, 1, O)` GEMM — an outer product — exactly the paper's
+//! Figure 6 "MLP layer" row. That K=1 shape is the pathological case for
+//! weight-stationary systolic arrays that motivates DiVa.
+
+use diva_tensor::{matmul, matmul_nt, matmul_tn, DivaRng, Tensor};
+
+use crate::layer::{BackwardOutput, GradMode, ParamGrads};
+
+/// A fully-connected layer computing `Y = X·W (+ b)`.
+///
+/// `W` has shape `(input, output)`; the optional bias has shape `(output,)`.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    input: usize,
+    output: usize,
+}
+
+/// Forward cache for [`Dense`]: the layer input.
+#[derive(Clone, Debug)]
+pub struct DenseCache {
+    x: Tensor,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform initialized weights.
+    pub fn new(input: usize, output: usize, bias: bool, rng: &mut DivaRng) -> Self {
+        let bound = (6.0 / input as f32).sqrt();
+        Self {
+            weight: Tensor::uniform(&[input, output], -bound, bound, rng),
+            bias: bias.then(|| Tensor::zeros(&[output])),
+            input,
+            output,
+        }
+    }
+
+    /// Input feature count.
+    pub fn input(&self) -> usize {
+        self.input
+    }
+
+    /// Output feature count.
+    pub fn output(&self) -> usize {
+        self.output
+    }
+
+    /// Runs the layer forward on `(B, input)`, producing `(B, output)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `(B, input)`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, DenseCache) {
+        let (_, features) = x.dims2();
+        assert_eq!(
+            features, self.input,
+            "Dense expects {} input features, got {features}",
+            self.input
+        );
+        let mut y = matmul(x, &self.weight);
+        if let Some(b) = &self.bias {
+            let (rows, cols) = y.dims2();
+            let yv = y.data_mut();
+            for r in 0..rows {
+                for c in 0..cols {
+                    yv[r * cols + c] += b.data()[c];
+                }
+            }
+        }
+        (y, DenseCache { x: x.clone() })
+    }
+
+    /// Backward pass. See [`GradMode`] for the three gradient flavours.
+    pub fn backward(&self, cache: &DenseCache, grad_out: &Tensor, mode: GradMode) -> BackwardOutput {
+        let (b, o) = grad_out.dims2();
+        assert_eq!(o, self.output, "gradient feature mismatch");
+        // G(X) = G(Y) × Wᵀ — the activation-gradient GEMM.
+        let grad_input = matmul_nt(grad_out, &self.weight);
+
+        let grads = match mode {
+            GradMode::PerBatch => {
+                // G(W) = Xᵀ × G(Y): (I, B, O) GEMM; K = B reduces over the batch.
+                let gw = matmul_tn(&cache.x, grad_out);
+                let mut out = vec![gw];
+                if self.bias.is_some() {
+                    out.push(column_sums(grad_out));
+                }
+                ParamGrads::PerBatch(out)
+            }
+            GradMode::PerExample => {
+                let mut per_example = Vec::with_capacity(b);
+                for i in 0..b {
+                    per_example.push(self.example_grads(cache, grad_out, i));
+                }
+                ParamGrads::PerExample(per_example)
+            }
+            GradMode::NormOnly => {
+                let mut norms = Vec::with_capacity(b);
+                for i in 0..b {
+                    let sq: f64 = self
+                        .example_grads(cache, grad_out, i)
+                        .iter()
+                        .map(Tensor::squared_norm)
+                        .sum();
+                    norms.push(sq);
+                }
+                ParamGrads::SqNorms(norms)
+            }
+        };
+        BackwardOutput { grad_input, grads }
+    }
+
+    /// The per-example gradient of example `i`: `x_i ⊗ g_i` (and `g_i` for
+    /// the bias). This is the `(I, 1, O)` GEMM of the paper's Figure 6.
+    fn example_grads(&self, cache: &DenseCache, grad_out: &Tensor, i: usize) -> Vec<Tensor> {
+        let xi = Tensor::from_vec(cache.x.row(i).to_vec(), &[1, self.input]);
+        let gi = Tensor::from_vec(grad_out.row(i).to_vec(), &[1, self.output]);
+        let gw = matmul_tn(&xi, &gi);
+        let mut out = vec![gw];
+        if self.bias.is_some() {
+            out.push(gi.reshape(&[self.output]));
+        }
+        out
+    }
+
+    /// Immutable parameter views (`[weight]` or `[weight, bias]`).
+    pub fn params(&self) -> Vec<&Tensor> {
+        let mut p = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            p.push(b);
+        }
+        p
+    }
+
+    /// Mutable parameter views.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut p = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            p.push(b);
+        }
+        p
+    }
+}
+
+/// Sums a `(B, O)` tensor over rows, producing `(O,)`.
+fn column_sums(t: &Tensor) -> Tensor {
+    let (b, o) = t.dims2();
+    let mut out = Tensor::zeros(&[o]);
+    for i in 0..b {
+        for (acc, &v) in out.data_mut().iter_mut().zip(t.row(i)) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(rng: &mut DivaRng) -> (Dense, Tensor, Tensor) {
+        let layer = Dense::new(5, 3, true, rng);
+        let x = Tensor::uniform(&[4, 5], -1.0, 1.0, rng);
+        let g = Tensor::uniform(&[4, 3], -1.0, 1.0, rng);
+        (layer, x, g)
+    }
+
+    #[test]
+    fn per_example_grads_sum_to_per_batch() {
+        let mut rng = DivaRng::seed_from_u64(1);
+        let (layer, x, g) = make(&mut rng);
+        let (_, cache) = layer.forward(&x);
+        let batch = layer
+            .backward(&cache, &g, GradMode::PerBatch)
+            .grads
+            .expect_per_batch();
+        let per_ex = match layer.backward(&cache, &g, GradMode::PerExample).grads {
+            ParamGrads::PerExample(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        for (pi, batch_grad) in batch.iter().enumerate() {
+            let mut sum = Tensor::zeros(batch_grad.shape().dims());
+            for ex in &per_ex {
+                sum.add_assign(&ex[pi]);
+            }
+            assert!(
+                sum.max_abs_diff(batch_grad) < 1e-4,
+                "per-example grads do not reduce to per-batch for param {pi}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_only_matches_per_example_norms() {
+        let mut rng = DivaRng::seed_from_u64(2);
+        let (layer, x, g) = make(&mut rng);
+        let (_, cache) = layer.forward(&x);
+        let norms = match layer.backward(&cache, &g, GradMode::NormOnly).grads {
+            ParamGrads::SqNorms(n) => n,
+            other => panic!("unexpected {other:?}"),
+        };
+        let per_ex = match layer.backward(&cache, &g, GradMode::PerExample).grads {
+            ParamGrads::PerExample(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        for (i, ex) in per_ex.iter().enumerate() {
+            let sq: f64 = ex.iter().map(Tensor::squared_norm).sum();
+            assert!((sq - norms[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = DivaRng::seed_from_u64(3);
+        let mut layer = Dense::new(4, 2, true, &mut rng);
+        let x = Tensor::uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        // Loss = sum(Y).
+        let (y0, cache) = layer.forward(&x);
+        let g = Tensor::full(y0.shape().dims(), 1.0);
+        let grads = layer
+            .backward(&cache, &g, GradMode::PerBatch)
+            .grads
+            .expect_per_batch();
+        let eps = 1e-3;
+        for idx in [0usize, 3, 7] {
+            let orig = layer.weight.data()[idx];
+            layer.weight.data_mut()[idx] = orig + eps;
+            let up = layer.forward(&x).0.sum();
+            layer.weight.data_mut()[idx] = orig - eps;
+            let dn = layer.forward(&x).0.sum();
+            layer.weight.data_mut()[idx] = orig;
+            let fd = (up - dn) / (2.0 * f64::from(eps));
+            assert!((fd - f64::from(grads[0].data()[idx])).abs() < 1e-2);
+        }
+        // Bias gradient for loss=sum is the batch size per output unit.
+        assert!(grads[1].data().iter().all(|&v| (v - 3.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = DivaRng::seed_from_u64(4);
+        let layer = Dense::new(4, 2, false, &mut rng);
+        let mut x = Tensor::uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        let (y0, cache) = layer.forward(&x);
+        let g = Tensor::full(y0.shape().dims(), 1.0);
+        let gx = layer.backward(&cache, &g, GradMode::PerBatch).grad_input;
+        let eps = 1e-3;
+        for idx in [0usize, 5] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let up = layer.forward(&x).0.sum();
+            x.data_mut()[idx] = orig - eps;
+            let dn = layer.forward(&x).0.sum();
+            x.data_mut()[idx] = orig;
+            let fd = (up - dn) / (2.0 * f64::from(eps));
+            assert!((fd - f64::from(gx.data()[idx])).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Sequential networks and whole-network gradient plumbing.
+
+use diva_tensor::Tensor;
+
+use crate::layer::{GradMode, Layer, LayerCache, ParamGrads};
+
+/// A feed-forward stack of [`Layer`]s applied in order.
+///
+/// The network itself is immutable during forward/backward; all per-batch
+/// state lives in the returned caches. This makes the two-pass reweighted
+/// backpropagation of DP-SGD(R) trivial: run `backward` twice against the
+/// same caches with different loss gradients.
+#[derive(Clone, Debug)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+/// Whole-network gradients, one [`ParamGrads`] per layer (parameter-free
+/// layers contribute [`ParamGrads::None`]).
+#[derive(Clone, Debug)]
+pub struct NetworkGrads {
+    /// Per-layer gradients, in layer order.
+    pub layers: Vec<ParamGrads>,
+}
+
+impl Network {
+    /// Creates a network from a list of layers.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers }
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (for weight updates).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Runs the network forward, returning the output and per-layer caches.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, Vec<LayerCache>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            let (y, cache) = layer.forward(&cur);
+            caches.push(cache);
+            cur = y;
+        }
+        (cur, caches)
+    }
+
+    /// Runs the network backward from the loss gradient at the output.
+    ///
+    /// `grad_loss` must have the shape of the network output, with one row
+    /// per example and *no* batch averaging applied (DP-SGD needs raw
+    /// per-example gradients; plain SGD can divide the result by `B`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches` was not produced by a matching `forward` call.
+    pub fn backward(
+        &self,
+        caches: &[LayerCache],
+        grad_loss: &Tensor,
+        mode: GradMode,
+    ) -> NetworkGrads {
+        assert_eq!(
+            caches.len(),
+            self.layers.len(),
+            "cache count {} does not match layer count {}",
+            caches.len(),
+            self.layers.len()
+        );
+        let mut grads = vec![ParamGrads::None; self.layers.len()];
+        let mut grad = grad_loss.clone();
+        for (idx, (layer, cache)) in self.layers.iter().zip(caches).enumerate().rev() {
+            let out = layer.backward(cache, &grad, mode);
+            grads[idx] = out.grads;
+            grad = out.grad_input;
+        }
+        NetworkGrads { layers: grads }
+    }
+
+    /// Applies `param -= lr * grad` for per-batch gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not contain per-batch gradients matching this
+    /// network's parameters.
+    pub fn apply_update(&mut self, grads: &NetworkGrads, lr: f32) {
+        assert_eq!(grads.layers.len(), self.layers.len());
+        for (layer, g) in self.layers.iter_mut().zip(&grads.layers) {
+            match g {
+                ParamGrads::None => {}
+                ParamGrads::PerBatch(tensors) => {
+                    let mut params = layer.params_mut();
+                    assert_eq!(params.len(), tensors.len(), "parameter count mismatch");
+                    for (p, t) in params.iter_mut().zip(tensors) {
+                        diva_tensor::add_scaled(p, t, -lr);
+                    }
+                }
+                other => panic!("apply_update requires per-batch gradients, got {other:?}"),
+            }
+        }
+    }
+}
+
+impl NetworkGrads {
+    /// For per-example gradients: the squared L2 norm of each example's
+    /// full (all-layer) gradient vector — Algorithm 1 line 22.
+    ///
+    /// Works for both `PerExample` (sums tensor norms) and `SqNorms`
+    /// (sums the pre-computed per-layer squared norms, as DP-SGD(R)'s first
+    /// pass does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradients are per-batch, or per-example counts differ
+    /// across layers.
+    pub fn per_example_sq_norms(&self) -> Vec<f64> {
+        let mut norms: Option<Vec<f64>> = None;
+        for g in &self.layers {
+            let layer_norms: Option<Vec<f64>> = match g {
+                ParamGrads::None => None,
+                ParamGrads::PerExample(per_ex) => Some(
+                    per_ex
+                        .iter()
+                        .map(|ex| ex.iter().map(Tensor::squared_norm).sum())
+                        .collect(),
+                ),
+                ParamGrads::SqNorms(n) => Some(n.clone()),
+                ParamGrads::PerBatch(_) => {
+                    panic!("per-example norms requested from per-batch gradients")
+                }
+            };
+            if let Some(ln) = layer_norms {
+                match &mut norms {
+                    None => norms = Some(ln),
+                    Some(acc) => {
+                        assert_eq!(acc.len(), ln.len(), "batch size mismatch across layers");
+                        for (a, b) in acc.iter_mut().zip(ln) {
+                            *a += b;
+                        }
+                    }
+                }
+            }
+        }
+        norms.unwrap_or_default()
+    }
+
+    /// Per-layer, per-example squared gradient norms: `out[layer][example]`.
+    /// Layers without parameters produce empty vectors. Used by per-layer
+    /// clipping (an Opacus-style extension of Algorithm 1 where each layer
+    /// gets its own bound `C_l` with `Σ C_l² = C²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer gradient is per-batch.
+    pub fn per_layer_sq_norms(&self) -> Vec<Vec<f64>> {
+        self.layers
+            .iter()
+            .map(|g| match g {
+                ParamGrads::None => Vec::new(),
+                ParamGrads::PerExample(per_ex) => per_ex
+                    .iter()
+                    .map(|ex| ex.iter().map(Tensor::squared_norm).sum())
+                    .collect(),
+                ParamGrads::SqNorms(n) => n.clone(),
+                ParamGrads::PerBatch(_) => {
+                    panic!("per-layer norms requested from per-batch gradients")
+                }
+            })
+            .collect()
+    }
+
+    /// Like [`Self::weighted_reduce`], but with independent weights per
+    /// layer: `weights[layer][example]`. Entries for parameter-free layers
+    /// are ignored (may be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or non-per-example gradients.
+    pub fn weighted_reduce_per_layer(&self, weights: &[Vec<f64>]) -> NetworkGrads {
+        assert_eq!(
+            weights.len(),
+            self.layers.len(),
+            "need one weight vector per layer"
+        );
+        let layers = self
+            .layers
+            .iter()
+            .zip(weights)
+            .map(|(g, w)| match g {
+                ParamGrads::None => ParamGrads::None,
+                ParamGrads::PerExample(per_ex) => {
+                    assert_eq!(per_ex.len(), w.len(), "weight count mismatch");
+                    let n_params = per_ex.first().map_or(0, Vec::len);
+                    let mut reduced: Vec<Tensor> = Vec::with_capacity(n_params);
+                    for pi in 0..n_params {
+                        let mut acc = Tensor::zeros(per_ex[0][pi].shape().dims());
+                        for (ex, &wi) in per_ex.iter().zip(w) {
+                            diva_tensor::add_scaled(&mut acc, &ex[pi], wi as f32);
+                        }
+                        reduced.push(acc);
+                    }
+                    ParamGrads::PerBatch(reduced)
+                }
+                other =>
+
+                    panic!("weighted_reduce_per_layer requires per-example gradients, got {other:?}"),
+            })
+            .collect();
+        NetworkGrads { layers }
+    }
+
+    /// Elementwise sum of two gradient sets (used by microbatch
+    /// accumulation). Both must be per-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structural mismatch.
+    pub fn accumulate(&mut self, other: &NetworkGrads) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            match (a, b) {
+                (ParamGrads::None, ParamGrads::None) => {}
+                (ParamGrads::PerBatch(xs), ParamGrads::PerBatch(ys)) => {
+                    assert_eq!(xs.len(), ys.len());
+                    for (x, y) in xs.iter_mut().zip(ys) {
+                        x.add_assign(y);
+                    }
+                }
+                (a, b) => panic!("cannot accumulate {a:?} with {b:?}"),
+            }
+        }
+    }
+
+    /// Reduces per-example gradients into per-batch gradients, scaling each
+    /// example `i` by `weights[i]` first (weights of all-ones gives the
+    /// plain sum). This is Algorithm 1 lines 23–24 without the noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradients are not per-example or `weights` has the
+    /// wrong length.
+    pub fn weighted_reduce(&self, weights: &[f64]) -> NetworkGrads {
+        let layers = self
+            .layers
+            .iter()
+            .map(|g| match g {
+                ParamGrads::None => ParamGrads::None,
+                ParamGrads::PerExample(per_ex) => {
+                    assert_eq!(per_ex.len(), weights.len(), "weight count mismatch");
+                    let n_params = per_ex.first().map_or(0, Vec::len);
+                    let mut reduced: Vec<Tensor> = Vec::with_capacity(n_params);
+                    for pi in 0..n_params {
+                        let mut acc = Tensor::zeros(per_ex[0][pi].shape().dims());
+                        for (ex, &w) in per_ex.iter().zip(weights) {
+                            diva_tensor::add_scaled(&mut acc, &ex[pi], w as f32);
+                        }
+                        reduced.push(acc);
+                    }
+                    ParamGrads::PerBatch(reduced)
+                }
+                other => panic!("weighted_reduce requires per-example gradients, got {other:?}"),
+            })
+            .collect();
+        NetworkGrads { layers }
+    }
+
+    /// Flattens per-batch gradients into one contiguous vector (layer order,
+    /// parameter order, row-major). Useful for noise addition and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer gradient is not per-batch (or `None`).
+    pub fn flatten_per_batch(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for g in &self.layers {
+            match g {
+                ParamGrads::None => {}
+                ParamGrads::PerBatch(tensors) => {
+                    for t in tensors {
+                        out.extend_from_slice(t.data());
+                    }
+                }
+                other => panic!("flatten_per_batch on non-per-batch gradients: {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_tensor::{softmax_cross_entropy, DivaRng};
+
+    fn mlp(rng: &mut DivaRng) -> Network {
+        Network::new(vec![
+            Layer::dense(6, 8, true, rng),
+            Layer::relu(),
+            Layer::dense(8, 4, true, rng),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = DivaRng::seed_from_u64(12);
+        let net = mlp(&mut rng);
+        let x = Tensor::uniform(&[3, 6], -1.0, 1.0, &mut rng);
+        let (y, caches) = net.forward(&x);
+        assert_eq!(y.shape().dims(), &[3, 4]);
+        let loss = softmax_cross_entropy(&y, &[0, 1, 2]);
+        let grads = net.backward(&caches, &loss.grad_logits, GradMode::PerBatch);
+        assert_eq!(grads.layers.len(), 3);
+    }
+
+    #[test]
+    fn per_example_norms_match_explicit_computation() {
+        let mut rng = DivaRng::seed_from_u64(13);
+        let net = mlp(&mut rng);
+        let x = Tensor::uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        let (y, caches) = net.forward(&x);
+        let loss = softmax_cross_entropy(&y, &[0, 1, 2, 3]);
+        let gex = net.backward(&caches, &loss.grad_logits, GradMode::PerExample);
+        let gno = net.backward(&caches, &loss.grad_logits, GradMode::NormOnly);
+        let a = gex.per_example_sq_norms();
+        let b = gno.per_example_sq_norms();
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6 * x.max(1.0));
+        }
+    }
+
+    #[test]
+    fn weighted_reduce_with_ones_equals_per_batch() {
+        let mut rng = DivaRng::seed_from_u64(14);
+        let net = mlp(&mut rng);
+        let x = Tensor::uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        let (y, caches) = net.forward(&x);
+        let loss = softmax_cross_entropy(&y, &[0, 1, 2, 3]);
+        let batch = net.backward(&caches, &loss.grad_logits, GradMode::PerBatch);
+        let per_ex = net.backward(&caches, &loss.grad_logits, GradMode::PerExample);
+        let reduced = per_ex.weighted_reduce(&[1.0; 4]);
+        let a = batch.flatten_per_batch();
+        let b = reduced.flatten_per_batch();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sgd_update_decreases_loss() {
+        let mut rng = DivaRng::seed_from_u64(15);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::uniform(&[8, 6], -1.0, 1.0, &mut rng);
+        let labels = vec![0usize, 1, 2, 3, 0, 1, 2, 3];
+        let mut last = f64::INFINITY;
+        for _ in 0..30 {
+            let (y, caches) = net.forward(&x);
+            let loss = softmax_cross_entropy(&y, &labels);
+            let mut grad = loss.grad_logits.clone();
+            grad.scale(1.0 / 8.0);
+            let grads = net.backward(&caches, &grad, GradMode::PerBatch);
+            net.apply_update(&grads, 0.5);
+            last = loss.mean_loss;
+        }
+        assert!(last < 1.0, "loss failed to decrease: {last}");
+    }
+
+    #[test]
+    fn cnn_pipeline_runs_end_to_end() {
+        let mut rng = DivaRng::seed_from_u64(16);
+        let net = Network::new(vec![
+            Layer::conv2d(1, 4, 3, 1, 1, 8, 8, &mut rng),
+            Layer::relu(),
+            Layer::max_pool2d(2),
+            Layer::flatten(),
+            Layer::dense(4 * 4 * 4, 3, true, &mut rng),
+        ]);
+        let x = Tensor::uniform(&[2, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let (y, caches) = net.forward(&x);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        let loss = softmax_cross_entropy(&y, &[0, 1]);
+        let grads = net.backward(&caches, &loss.grad_logits, GradMode::PerExample);
+        assert_eq!(grads.per_example_sq_norms().len(), 2);
+    }
+}

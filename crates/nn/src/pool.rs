@@ -1,0 +1,254 @@
+//! Average and max pooling over square, non-overlapping windows.
+
+use diva_tensor::Tensor;
+
+use crate::layer::{BackwardOutput, ParamGrads};
+
+/// Average pooling with a `k × k` window and stride `k`.
+#[derive(Clone, Copy, Debug)]
+pub struct AvgPool2d {
+    k: usize,
+}
+
+/// Max pooling with a `k × k` window and stride `k`.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxPool2d {
+    k: usize,
+}
+
+/// Forward cache for pooling layers: input shape plus, for max pooling, the
+/// flat index of the winning element per output position.
+#[derive(Clone, Debug)]
+pub struct PoolCache {
+    in_dims: Vec<usize>,
+    /// `Some` for max pooling: argmax input index for every output element.
+    argmax: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pooling window must be positive");
+        Self { k }
+    }
+
+    /// The pooling window side.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pools `(B, C, H, W)` down to `(B, C, H/k, W/k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4 or not divisible by `k`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, PoolCache) {
+        let (n, c, h, w, p, q) = pool_dims(x, self.k);
+        let mut y = Tensor::zeros(&[n, c, p, q]);
+        let xv = x.data();
+        let yv = y.data_mut();
+        let inv = 1.0 / (self.k * self.k) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                for pi in 0..p {
+                    for qi in 0..q {
+                        let mut acc = 0.0;
+                        for di in 0..self.k {
+                            for dj in 0..self.k {
+                                let ih = pi * self.k + di;
+                                let iw = qi * self.k + dj;
+                                acc += xv[((ni * c + ci) * h + ih) * w + iw];
+                            }
+                        }
+                        yv[((ni * c + ci) * p + pi) * q + qi] = acc * inv;
+                    }
+                }
+            }
+        }
+        (
+            y,
+            PoolCache {
+                in_dims: x.shape().dims().to_vec(),
+                argmax: None,
+            },
+        )
+    }
+
+    /// Distributes each output gradient uniformly over its window.
+    pub fn backward(&self, cache: &PoolCache, grad_out: &Tensor) -> BackwardOutput {
+        let (n, c, h, w) = (
+            cache.in_dims[0],
+            cache.in_dims[1],
+            cache.in_dims[2],
+            cache.in_dims[3],
+        );
+        let (p, q) = (h / self.k, w / self.k);
+        let mut gx = Tensor::zeros(&cache.in_dims);
+        let gv = grad_out.data();
+        let xv = gx.data_mut();
+        let inv = 1.0 / (self.k * self.k) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                for pi in 0..p {
+                    for qi in 0..q {
+                        let g = gv[((ni * c + ci) * p + pi) * q + qi] * inv;
+                        for di in 0..self.k {
+                            for dj in 0..self.k {
+                                let ih = pi * self.k + di;
+                                let iw = qi * self.k + dj;
+                                xv[((ni * c + ci) * h + ih) * w + iw] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BackwardOutput {
+            grad_input: gx,
+            grads: ParamGrads::None,
+        }
+    }
+}
+
+impl MaxPool2d {
+    /// Creates a max pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pooling window must be positive");
+        Self { k }
+    }
+
+    /// The pooling window side.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pools `(B, C, H, W)` down to `(B, C, H/k, W/k)` taking window maxima.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 4 or not divisible by `k`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, PoolCache) {
+        let (n, c, h, w, p, q) = pool_dims(x, self.k);
+        let mut y = Tensor::zeros(&[n, c, p, q]);
+        let mut argmax = vec![0usize; n * c * p * q];
+        let xv = x.data();
+        let yv = y.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                for pi in 0..p {
+                    for qi in 0..q {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for di in 0..self.k {
+                            for dj in 0..self.k {
+                                let ih = pi * self.k + di;
+                                let iw = qi * self.k + dj;
+                                let idx = ((ni * c + ci) * h + ih) * w + iw;
+                                if xv[idx] > best {
+                                    best = xv[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = ((ni * c + ci) * p + pi) * q + qi;
+                        yv[out_idx] = best;
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        (
+            y,
+            PoolCache {
+                in_dims: x.shape().dims().to_vec(),
+                argmax: Some(argmax),
+            },
+        )
+    }
+
+    /// Routes each output gradient to the argmax input position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was produced by average pooling.
+    pub fn backward(&self, cache: &PoolCache, grad_out: &Tensor) -> BackwardOutput {
+        let argmax = cache
+            .argmax
+            .as_ref()
+            .expect("max-pool backward requires a max-pool cache");
+        let mut gx = Tensor::zeros(&cache.in_dims);
+        let xv = gx.data_mut();
+        for (out_idx, &in_idx) in argmax.iter().enumerate() {
+            xv[in_idx] += grad_out.data()[out_idx];
+        }
+        BackwardOutput {
+            grad_input: gx,
+            grads: ParamGrads::None,
+        }
+    }
+}
+
+fn pool_dims(x: &Tensor, k: usize) -> (usize, usize, usize, usize, usize, usize) {
+    let dims = x.shape().dims();
+    assert_eq!(dims.len(), 4, "pooling expects NCHW, got {}", x.shape());
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert!(
+        h.is_multiple_of(k) && w.is_multiple_of(k),
+        "pooling window {k} does not divide input {h}x{w}"
+    );
+    (n, c, h, w, h / k, w / k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_computes_window_means() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, _) = AvgPool2d::new(2).forward(&x);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn max_pool_computes_window_maxima() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let (y, _) = MaxPool2d::new(2).forward(&x);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_conserves_gradient_mass() {
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let pool = AvgPool2d::new(2);
+        let (y, cache) = pool.forward(&x);
+        let g = Tensor::full(y.shape().dims(), 1.0);
+        let gx = pool.backward(&cache, &g).grad_input;
+        assert!((gx.sum() - g.sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 3.0], &[1, 1, 2, 2]);
+        let pool = MaxPool2d::new(2);
+        let (_, cache) = pool.forward(&x);
+        let g = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]);
+        let gx = pool.backward(&cache, &g).grad_input;
+        assert_eq!(gx.data(), &[0.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn indivisible_input_panics() {
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let _ = AvgPool2d::new(2).forward(&x);
+    }
+}

@@ -1,0 +1,50 @@
+//! Cycle-accurate *functional* PE-array simulators for the three dataflows
+//! the paper studies (Figure 3 and Figure 9), plus the pipelined adder-tree
+//! post-processing unit (Figures 11–12).
+//!
+//! These models execute the dataflows register-by-register: activations,
+//! weights and partial sums physically move between PE latches each clock,
+//! and the numerical output is checked against a reference GEMM. They serve
+//! two purposes:
+//!
+//! 1. **Validation.** The fast analytic timing models in `diva-sim` are
+//!    required (by tests) to agree *exactly* with the cycle counts measured
+//!    here — our stand-in for the paper's validation of its simulator
+//!    against real TPUv3 hardware.
+//! 2. **Small-scale studies.** The microbenchmarks and examples use them to
+//!    visualize utilization on small arrays.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_pearray::{OuterProductArray, WsArray};
+//! use diva_tensor::{matmul, DivaRng, Tensor};
+//!
+//! let mut rng = DivaRng::seed_from_u64(1);
+//! let a = Tensor::uniform(&[6, 2], -1.0, 1.0, &mut rng); // skinny K = 2
+//! let b = Tensor::uniform(&[2, 8], -1.0, 1.0, &mut rng);
+//!
+//! let ws = WsArray::new(8, 8, 8).gemm(&a, &b);
+//! let op = OuterProductArray::new(8, 8, 8).gemm(&a, &b);
+//! assert!(ws.output.max_abs_diff(&matmul(&a, &b)) < 1e-4);
+//! assert!(op.output.max_abs_diff(&matmul(&a, &b)) < 1e-4);
+//! // The outer-product dataflow wins on small-K GEMMs:
+//! assert!(op.utilization > ws.utilization);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod os;
+mod outer;
+mod ppu;
+mod run;
+mod tree;
+mod ws;
+
+pub use os::OsArray;
+pub use outer::OuterProductArray;
+pub use ppu::{Ppu, PpuRun};
+pub use run::GemmRun;
+pub use tree::AdderTree;
+pub use ws::WsArray;

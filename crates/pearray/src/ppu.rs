@@ -1,0 +1,178 @@
+//! DiVa's post-processing unit (PPU): `R` pipelined adder trees that
+//! consume output rows straight from the GEMM engine's drain path and
+//! derive gradient L2 norms on the fly (paper Figures 11–12).
+//!
+//! Under the default configuration, the GEMM engine drains `R = 8` rows of
+//! `PE_W = 128` FP32 values per clock; each row is squared element-wise and
+//! fed to its own 7-level adder tree, so the PPU keeps pace with the drain
+//! (`128/R = 16` cycles per 128×128 tile) and per-example gradients never
+//! touch off-chip DRAM.
+
+// Indexed loops below mirror hardware/tensor coordinates; iterator
+// rewrites would obscure the (row, column, timestep) structure.
+#![allow(clippy::needless_range_loop)]
+
+use diva_tensor::Tensor;
+
+use crate::tree::AdderTree;
+
+/// Result of post-processing one drained output tile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PpuRun {
+    /// The reduction result (Σx² for norm mode, Σx for sum mode).
+    pub value: f64,
+    /// Cycles consumed, including adder-tree pipeline latency.
+    pub cycles: u64,
+}
+
+/// A functional PPU with `r` parallel adder trees of `width` lanes each.
+#[derive(Clone, Debug)]
+pub struct Ppu {
+    width: usize,
+    r: usize,
+}
+
+impl Ppu {
+    /// Creates a PPU matching a `width`-column GEMM engine draining `r`
+    /// rows per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two ≥ 2 or `r` is zero.
+    pub fn new(width: usize, r: usize) -> Self {
+        assert!(r > 0, "drain rate must be positive");
+        // Validate width eagerly by constructing a tree.
+        let _ = AdderTree::new(width);
+        Self { width, r }
+    }
+
+    /// Lane width of each adder tree.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of parallel adder trees (= drain rows per cycle).
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Adder-tree pipeline latency in cycles.
+    pub fn latency(&self) -> u64 {
+        AdderTree::new(self.width).latency() as u64
+    }
+
+    /// Reduces a drained output tile to its **sum of squares** (the L2-norm
+    /// contribution of a per-example weight-gradient tile, Equation 1).
+    ///
+    /// Rows wider than the tree are processed in `ceil(N_t / width)` passes;
+    /// rows are consumed `r` at a time, mirroring the drain interface.
+    pub fn sum_of_squares(&self, tile: &Tensor) -> PpuRun {
+        self.reduce(tile, true)
+    }
+
+    /// Reduces a drained output tile to its plain sum (used by gradient
+    /// reduction when the PPU assists vanilla DP-SGD).
+    pub fn sum(&self, tile: &Tensor) -> PpuRun {
+        self.reduce(tile, false)
+    }
+
+    fn reduce(&self, tile: &Tensor, square: bool) -> PpuRun {
+        let (mt, nt) = tile.dims2();
+        let col_passes = nt.div_ceil(self.width).max(1);
+        // Build the row stream: each drained row, squared if requested and
+        // zero-padded to the tree width.
+        let mut trees: Vec<AdderTree> = (0..self.r).map(|_| AdderTree::new(self.width)).collect();
+        let mut total = 0.0f64;
+        let mut cycles: u64 = 0;
+        for pass in 0..col_passes {
+            let c0 = pass * self.width;
+            let cw = (nt - c0).min(self.width);
+            // Rows are drained r at a time.
+            for row0 in (0..mt).step_by(self.r) {
+                let group = (mt - row0).min(self.r);
+                for (lane, tree) in trees.iter_mut().enumerate().take(group) {
+                    let r_idx = row0 + lane;
+                    let mut lanes = vec![0.0f32; self.width];
+                    for c in 0..cw {
+                        let v = tile.data()[r_idx * nt + c0 + c];
+                        lanes[c] = if square { v * v } else { v };
+                    }
+                    if let Some(s) = tree.clock(Some(&lanes)) {
+                        total += s;
+                    }
+                }
+                cycles += 1;
+            }
+        }
+        // Flush the pipelines.
+        for _ in 0..self.latency() {
+            for tree in &mut trees {
+                if let Some(s) = tree.clock(None) {
+                    total += s;
+                }
+            }
+            cycles += 1;
+        }
+        PpuRun {
+            value: total,
+            cycles,
+        }
+    }
+
+    /// Steady-state cycles to drain an `m_t`-row tile (excluding pipeline
+    /// flush): `ceil(m_t / R) × ceil(n_t / width)`.
+    pub fn drain_cycles(&self, m_t: usize, n_t: usize) -> u64 {
+        (m_t.div_ceil(self.r) * n_t.div_ceil(self.width).max(1)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_tensor::DivaRng;
+
+    #[test]
+    fn sum_of_squares_matches_reference() {
+        let mut rng = DivaRng::seed_from_u64(12);
+        let tile = Tensor::uniform(&[16, 8], -2.0, 2.0, &mut rng);
+        let ppu = Ppu::new(8, 4);
+        let run = ppu.sum_of_squares(&tile);
+        assert!((run.value - tile.squared_norm()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plain_sum_matches_reference() {
+        let mut rng = DivaRng::seed_from_u64(13);
+        let tile = Tensor::uniform(&[10, 8], -1.0, 1.0, &mut rng);
+        let ppu = Ppu::new(8, 2);
+        let run = ppu.sum(&tile);
+        assert!((run.value - tile.sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wide_tiles_take_multiple_passes() {
+        let mut rng = DivaRng::seed_from_u64(14);
+        let tile = Tensor::uniform(&[4, 20], -1.0, 1.0, &mut rng);
+        let ppu = Ppu::new(8, 4);
+        let run = ppu.sum_of_squares(&tile);
+        assert!((run.value - tile.squared_norm()).abs() < 1e-6);
+        // 3 column passes × 1 row group + flush.
+        assert_eq!(run.cycles, 3 + ppu.latency());
+    }
+
+    #[test]
+    fn drain_keeps_pace_with_gemm_engine() {
+        // Paper: 128/R cycles to drain a full 128×128 tile.
+        let ppu = Ppu::new(128, 8);
+        assert_eq!(ppu.drain_cycles(128, 128), 16);
+    }
+
+    #[test]
+    fn throughput_cycles_scale_with_rows_over_r() {
+        let mut rng = DivaRng::seed_from_u64(15);
+        let tile = Tensor::uniform(&[32, 8], -1.0, 1.0, &mut rng);
+        let ppu = Ppu::new(8, 4);
+        let run = ppu.sum_of_squares(&tile);
+        assert_eq!(run.cycles, 32 / 4 + ppu.latency());
+    }
+}

@@ -1,0 +1,33 @@
+//! Result type shared by the functional GEMM engines.
+
+use diva_tensor::Tensor;
+
+/// The result of running a GEMM through a functional PE-array simulator.
+#[derive(Clone, Debug)]
+pub struct GemmRun {
+    /// The numerical product `A × B`.
+    pub output: Tensor,
+    /// Total cycles consumed, including operand fill and output drain.
+    pub cycles: u64,
+    /// Useful multiply-accumulates performed (`M·K·N`).
+    pub macs: u64,
+    /// Compute utilization: `macs / (cycles × PE_count)` ∈ (0, 1].
+    pub utilization: f64,
+}
+
+impl GemmRun {
+    /// Builds a run summary, computing utilization from the raw counts.
+    pub(crate) fn new(output: Tensor, cycles: u64, macs: u64, pe_count: u64) -> Self {
+        let utilization = if cycles == 0 {
+            0.0
+        } else {
+            macs as f64 / (cycles as f64 * pe_count as f64)
+        };
+        Self {
+            output,
+            cycles,
+            macs,
+            utilization,
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Pipelined multi-level adder tree — the reduction primitive of DiVa's
+//! post-processing unit (paper Figure 11).
+//!
+//! A tree of width `W` (a power of two) has `log₂W` pipeline stages. One
+//! `W`-wide vector is accepted every clock; its scalar sum emerges
+//! `log₂W` cycles later. Input loading is O(1) per vector and output
+//! generation is O(log₂ E) — the property the paper contrasts against
+//! vector-unit reductions that need repeated permutations.
+
+/// A pipelined binary adder tree of fixed width.
+#[derive(Clone, Debug)]
+pub struct AdderTree {
+    width: usize,
+    levels: usize,
+    /// One pipeline register file per level; `pipeline[l]` holds the
+    /// partial sums that have completed `l+1` reduction stages.
+    pipeline: Vec<Option<Vec<f64>>>,
+}
+
+impl AdderTree {
+    /// Creates a tree reducing vectors of `width` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two or is less than 2.
+    pub fn new(width: usize) -> Self {
+        assert!(
+            width >= 2 && width.is_power_of_two(),
+            "adder tree width must be a power of two ≥ 2, got {width}"
+        );
+        let levels = width.trailing_zeros() as usize;
+        Self {
+            width,
+            levels,
+            pipeline: vec![None; levels],
+        }
+    }
+
+    /// The number of input lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Pipeline depth in cycles (`log₂ width` — 7 for the 128-wide trees of
+    /// DiVa's default PPU).
+    pub fn latency(&self) -> usize {
+        self.levels
+    }
+
+    /// Advances the pipeline by one clock, optionally injecting a new input
+    /// vector, and returns the completed sum (if one drained this cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is provided with the wrong number of lanes.
+    pub fn clock(&mut self, input: Option<&[f32]>) -> Option<f64> {
+        // Drain the last stage first, then shift every stage forward.
+        let output = self.pipeline[self.levels - 1]
+            .take()
+            .map(|v| v.into_iter().sum());
+        for l in (1..self.levels).rev() {
+            if let Some(prev) = self.pipeline[l - 1].take() {
+                self.pipeline[l] = Some(reduce_once(&prev));
+            }
+        }
+        self.pipeline[0] = input.map(|v| {
+            assert_eq!(v.len(), self.width, "input width mismatch");
+            let doubles: Vec<f64> = v.iter().map(|&x| f64::from(x)).collect();
+            reduce_once(&doubles)
+        });
+        // A 2-wide tree reduces in its single stage; output above already
+        // handled wider trees. For levels == 1 the stage we just filled
+        // will drain on the next clock, which is consistent.
+        output
+    }
+
+    /// Convenience: reduces a stream of vectors, returning their sums in
+    /// order and the total cycle count (`n_vectors + latency`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector has the wrong width.
+    pub fn reduce_stream(&mut self, vectors: &[Vec<f32>]) -> (Vec<f64>, u64) {
+        let mut sums = Vec::with_capacity(vectors.len());
+        let mut cycles: u64 = 0;
+        for v in vectors {
+            if let Some(s) = self.clock(Some(v)) {
+                sums.push(s);
+            }
+            cycles += 1;
+        }
+        while sums.len() < vectors.len() {
+            if let Some(s) = self.clock(None) {
+                sums.push(s);
+            }
+            cycles += 1;
+        }
+        (sums, cycles)
+    }
+}
+
+/// One tree level: pairwise adds, halving the vector length.
+fn reduce_once(v: &[f64]) -> Vec<f64> {
+    v.chunks(2).map(|c| c.iter().sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_sequential_reduction() {
+        let mut tree = AdderTree::new(8);
+        let vectors: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..8).map(|j| (i * 8 + j) as f32).collect())
+            .collect();
+        let (sums, _) = tree.reduce_stream(&vectors);
+        for (i, s) in sums.iter().enumerate() {
+            let expected: f64 = vectors[i].iter().map(|&x| f64::from(x)).sum();
+            assert!((s - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn throughput_is_one_vector_per_cycle() {
+        let mut tree = AdderTree::new(16);
+        let vectors: Vec<Vec<f32>> = (0..100).map(|_| vec![1.0; 16]).collect();
+        let (sums, cycles) = tree.reduce_stream(&vectors);
+        assert_eq!(sums.len(), 100);
+        // n + latency cycles: fully pipelined.
+        assert_eq!(cycles, 100 + tree.latency() as u64);
+    }
+
+    #[test]
+    fn latency_is_log2_width() {
+        assert_eq!(AdderTree::new(128).latency(), 7); // the paper's 7-level tree
+        assert_eq!(AdderTree::new(2).latency(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_width_panics() {
+        let _ = AdderTree::new(6);
+    }
+}

@@ -1,0 +1,253 @@
+//! Weight-stationary systolic array, simulated register-by-register
+//! (paper Figure 3(c) — the Google TPU baseline dataflow).
+//!
+//! Operation per weight tile:
+//!
+//! 1. **Fill**: up to `PE_H` rows of the RHS matrix are latched into the
+//!    PEs at `fill_rows_per_cycle` rows per clock (8 for TPUv3, Table I).
+//! 2. **Stream**: LHS rows enter from the left edge, skewed one cycle per
+//!    array row. Partial sums flow down the columns; each output element
+//!    exits the bottom edge after traversing all `PE_H` rows.
+//!
+//! The pathology the paper exploits: a GEMM with `K < PE_H` latches only
+//! `K` of the `PE_H` PE rows, so at most `K × N` of the `PE_H × PE_W` MACs
+//! do useful work each cycle.
+
+// Indexed loops below mirror hardware/tensor coordinates; iterator
+// rewrites would obscure the (row, column, timestep) structure.
+#![allow(clippy::needless_range_loop)]
+
+use diva_tensor::Tensor;
+
+use crate::run::GemmRun;
+
+/// A functional weight-stationary systolic array of `rows × cols` PEs.
+#[derive(Clone, Debug)]
+pub struct WsArray {
+    rows: usize,
+    cols: usize,
+    fill_rows_per_cycle: usize,
+}
+
+impl WsArray {
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(rows: usize, cols: usize, fill_rows_per_cycle: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "PE array must be non-empty");
+        assert!(fill_rows_per_cycle > 0, "fill rate must be positive");
+        Self {
+            rows,
+            cols,
+            fill_rows_per_cycle,
+        }
+    }
+
+    /// Array height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cycles to latch a `k`-row weight tile.
+    pub fn fill_cycles(&self, k: usize) -> u64 {
+        k.div_ceil(self.fill_rows_per_cycle) as u64
+    }
+
+    /// Cycles to stream `m` LHS rows through the full physical array
+    /// (pipeline drains through all `PE_H` rows and `PE_W` columns).
+    pub fn stream_cycles(&self, m: usize) -> u64 {
+        (m + self.rows + self.cols - 2) as u64
+    }
+
+    /// Runs one weight tile: `a` is `(M, K_t)` with `K_t ≤ rows`, `b` is
+    /// `(K_t, N_t)` with `N_t ≤ cols`. Returns the product and the exact
+    /// cycle count measured by the register-level simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the array.
+    pub fn run_tile(&self, a: &Tensor, b: &Tensor) -> (Tensor, u64) {
+        let (m, kt) = a.dims2();
+        let (kb, nt) = b.dims2();
+        assert_eq!(kt, kb, "inner dimension mismatch");
+        assert!(kt <= self.rows, "K tile {kt} exceeds {} PE rows", self.rows);
+        assert!(nt <= self.cols, "N tile {nt} exceeds {} PE cols", self.cols);
+
+        let (rows, cols) = (self.rows, self.cols);
+        // Latched weights, zero outside the Kt×Nt active region.
+        let mut w = vec![vec![0.0f32; cols]; rows];
+        for r in 0..kt {
+            for c in 0..nt {
+                w[r][c] = b.data()[r * nt + c];
+            }
+        }
+
+        // Per-PE pipeline registers.
+        let mut a_reg = vec![vec![0.0f32; cols]; rows];
+        let mut p_reg = vec![vec![0.0f32; cols]; rows];
+        let mut out = Tensor::zeros(&[m, nt]);
+        let mut collected = 0usize;
+        let total_outputs = m * nt;
+
+        let mut cycle: u64 = 0;
+        // The array stays occupied until the pipeline fully drains through
+        // the *physical* array (the paper's (M + PE_H + PE_W − 2) stream
+        // window), even when the active tile is narrower.
+        let stream_window = self.stream_cycles(m);
+        while cycle < stream_window {
+            let t = cycle as isize;
+            let mut a_next = vec![vec![0.0f32; cols]; rows];
+            let mut p_next = vec![vec![0.0f32; cols]; rows];
+            for r in 0..rows {
+                for c in 0..cols {
+                    // Activation arrives from the west (array edge for c=0,
+                    // skewed so row r sees LHS column r of output-row m at
+                    // cycle m + r).
+                    let a_in = if c == 0 {
+                        let mi = t - r as isize;
+                        if r < kt && mi >= 0 && (mi as usize) < m {
+                            a.data()[mi as usize * kt + r]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        a_reg[r][c - 1]
+                    };
+                    // Partial sum arrives from the north.
+                    let p_in = if r == 0 { 0.0 } else { p_reg[r - 1][c] };
+                    a_next[r][c] = a_in;
+                    p_next[r][c] = p_in + w[r][c] * a_in;
+                }
+            }
+            // Outputs exit the south edge of each column; the value leaving
+            // column c at cycle t belongs to LHS row m = t − (rows−1) − c.
+            for c in 0..nt {
+                let mi = t - (rows as isize - 1) - c as isize;
+                if mi >= 0 && (mi as usize) < m {
+                    out.data_mut()[mi as usize * nt + c] = p_next[rows - 1][c];
+                    collected += 1;
+                }
+            }
+            a_reg = a_next;
+            p_reg = p_next;
+            cycle += 1;
+        }
+        assert_eq!(
+            collected, total_outputs,
+            "WS simulation failed to drain all outputs within the stream window"
+        );
+        (out, self.fill_cycles(kt) + cycle)
+    }
+
+    /// Runs an arbitrary `(M, K) × (K, N)` GEMM by tiling over K and N
+    /// (weight tiles), accumulating partial products, and summing the cycle
+    /// counts of every tile pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn gemm(&self, a: &Tensor, b: &Tensor) -> GemmRun {
+        let (m, k) = a.dims2();
+        let (kb, n) = b.dims2();
+        assert_eq!(k, kb, "inner dimension mismatch");
+        let mut out = Tensor::zeros(&[m, n]);
+        let mut cycles: u64 = 0;
+        for k0 in (0..k).step_by(self.rows) {
+            let kt = (k - k0).min(self.rows);
+            // Slice A columns [k0, k0+kt).
+            let mut a_tile = Tensor::zeros(&[m, kt]);
+            for r in 0..m {
+                for kk in 0..kt {
+                    a_tile.data_mut()[r * kt + kk] = a.data()[r * k + k0 + kk];
+                }
+            }
+            for n0 in (0..n).step_by(self.cols) {
+                let nt = (n - n0).min(self.cols);
+                let mut b_tile = Tensor::zeros(&[kt, nt]);
+                for kk in 0..kt {
+                    for c in 0..nt {
+                        b_tile.data_mut()[kk * nt + c] = b.data()[(k0 + kk) * n + n0 + c];
+                    }
+                }
+                let (tile_out, tile_cycles) = self.run_tile(&a_tile, &b_tile);
+                cycles += tile_cycles;
+                for r in 0..m {
+                    for c in 0..nt {
+                        out.data_mut()[r * n + n0 + c] += tile_out.data()[r * nt + c];
+                    }
+                }
+            }
+        }
+        let macs = (m * k * n) as u64;
+        GemmRun::new(out, cycles, macs, (self.rows * self.cols) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_tensor::{matmul, DivaRng};
+
+    #[test]
+    fn single_tile_matches_reference() {
+        let mut rng = DivaRng::seed_from_u64(1);
+        let arr = WsArray::new(4, 4, 4);
+        let a = Tensor::uniform(&[5, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let (out, _) = arr.run_tile(&a, &b);
+        assert!(out.max_abs_diff(&matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn tile_cycles_follow_fill_plus_stream_formula() {
+        let mut rng = DivaRng::seed_from_u64(2);
+        for (rows, cols, m, k, n, fill) in [
+            (4usize, 4usize, 7usize, 3usize, 4usize, 2usize),
+            (8, 8, 1, 8, 8, 8),
+            (8, 4, 16, 2, 3, 8),
+        ] {
+            let arr = WsArray::new(rows, cols, fill);
+            let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let (_, cycles) = arr.run_tile(&a, &b);
+            let expected = arr.fill_cycles(k) + arr.stream_cycles(m);
+            assert_eq!(
+                cycles, expected,
+                "cycle mismatch for array {rows}x{cols}, gemm ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_gemm_matches_reference() {
+        let mut rng = DivaRng::seed_from_u64(3);
+        let arr = WsArray::new(4, 4, 4);
+        let a = Tensor::uniform(&[6, 10], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[10, 9], -1.0, 1.0, &mut rng);
+        let run = arr.gemm(&a, &b);
+        assert!(run.output.max_abs_diff(&matmul(&a, &b)) < 1e-4);
+        assert!(run.utilization > 0.0 && run.utilization <= 1.0);
+    }
+
+    #[test]
+    fn small_k_wastes_the_array() {
+        // K = 1 latches a single PE row: utilization ≤ 1/rows.
+        let mut rng = DivaRng::seed_from_u64(4);
+        let arr = WsArray::new(8, 8, 8);
+        let a = Tensor::uniform(&[64, 1], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[1, 8], -1.0, 1.0, &mut rng);
+        let run = arr.gemm(&a, &b);
+        assert!(
+            run.utilization <= 1.0 / 8.0 + 1e-9,
+            "utilization {} should be capped by K/rows",
+            run.utilization
+        );
+    }
+}

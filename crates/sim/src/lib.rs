@@ -1,0 +1,52 @@
+//! Analytic cycle-level performance models for the three GEMM-engine
+//! dataflows, the memory system, and DP-SGD's gradient post-processing —
+//! the fast counterpart of the register-level simulators in `diva-pearray`.
+//!
+//! The compute-cycle formulas here are required (by cross-crate tests) to
+//! agree *exactly* with the functional simulations: this is the
+//! reproduction's stand-in for the paper's validation of its simulator
+//! against Google Cloud TPUv3 (Pearson 0.95, Section V).
+//!
+//! The model follows the paper's structure:
+//!
+//! * **GEMM engines** (Section II-D, IV-B): tile-by-tile cycle counts for
+//!   WS/OS/outer-product dataflows, including weight-fill, pipeline skew
+//!   through the physical array, and output drain.
+//! * **Memory system** (Table II): DRAM traffic derived from a tiled reuse
+//!   model over the 16 MB SRAM; transfer time overlaps compute
+//!   (double-buffering), so each op costs `max(compute, memory) + latency`.
+//! * **Post-processing** (Section III-C, IV-C): gradient norm / clip /
+//!   reduce / noise as bandwidth-bound vector ops, or fused into the
+//!   output drain when an output-stationary engine has a PPU.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_arch::{AcceleratorConfig, Dataflow, GemmShape};
+//! use diva_sim::Simulator;
+//!
+//! let ws = Simulator::new(AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary)).unwrap();
+//! let diva = Simulator::new(AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct)).unwrap();
+//! // A skinny per-example-gradient GEMM: K = 1.
+//! let shape = GemmShape::new(1024, 1, 1024);
+//! let ws_t = ws.gemm_timing(shape, 1, true);
+//! let diva_t = diva.gemm_timing(shape, 1, true);
+//! assert!(diva_t.utilization > ws_t.utilization);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gemm_timing;
+mod roofline;
+mod simulator;
+mod step;
+mod tiles;
+mod vector_timing;
+
+pub use gemm_timing::GemmTiming;
+pub use roofline::{ridge_intensity, roofline, Bound, RooflinePoint};
+pub use simulator::Simulator;
+pub use step::{OpTiming, PhaseBreakdown, StepTiming};
+pub use tiles::tile_sizes;
+pub use vector_timing::VectorTiming;

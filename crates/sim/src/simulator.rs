@@ -1,0 +1,192 @@
+//! The top-level analytic simulator: times individual ops and whole lowered
+//! training steps on a configured accelerator.
+
+use diva_arch::{AcceleratorConfig, ConfigError, GemmShape, TrainingOp, TrainingOpKind};
+
+use crate::gemm_timing::{self, GemmTiming};
+use crate::step::{OpTiming, StepTiming};
+use crate::vector_timing::{self, VectorTiming};
+
+/// Analytic cycle-level simulator for one accelerator configuration.
+///
+/// # Example
+///
+/// ```
+/// use diva_arch::{AcceleratorConfig, Dataflow, GemmShape};
+/// use diva_sim::Simulator;
+///
+/// let sim = Simulator::new(AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct)).unwrap();
+/// let t = sim.gemm_timing(GemmShape::new(128, 64, 128), 1, true);
+/// assert_eq!(t.compute_cycles, 64 + 16); // K cycles + 128/R drain
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    config: AcceleratorConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ConfigError`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: AcceleratorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The simulated configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Pure compute-pipeline cycles for one GEMM (no memory effects) —
+    /// guaranteed to match the functional `diva-pearray` simulators.
+    pub fn compute_cycles(&self, shape: GemmShape) -> u64 {
+        gemm_timing::compute_cycles(&self.config, shape)
+    }
+
+    /// Full timing for a batched GEMM. `write_output` is false only when an
+    /// output-stationary engine streams results into the PPU.
+    pub fn gemm_timing(&self, shape: GemmShape, count: u64, write_output: bool) -> GemmTiming {
+        gemm_timing::gemm_timing(&self.config, shape, count, write_output)
+    }
+
+    /// Timing for a post-processing vector op.
+    pub fn vector_timing(
+        &self,
+        kind: diva_arch::VectorOpKind,
+        read_bytes: u64,
+        write_bytes: u64,
+        fusable: bool,
+    ) -> VectorTiming {
+        vector_timing::vector_timing(&self.config, kind, read_bytes, write_bytes, fusable)
+    }
+
+    /// Whether this configuration can consume per-example gradients
+    /// on-the-fly (output-stationary dataflow with a PPU attached).
+    pub fn can_fuse_postprocessing(&self) -> bool {
+        self.config.has_ppu && self.config.dataflow.is_output_stationary()
+    }
+
+    /// Times one lowered training op.
+    pub fn time_op(&self, op: &TrainingOp) -> OpTiming {
+        match &op.kind {
+            TrainingOpKind::Gemm {
+                shape,
+                count,
+                output_persists,
+            } => {
+                // An ephemeral output (DP-SGD(R) per-example gradients) can
+                // skip the DRAM write-back only on a PPU-equipped
+                // output-stationary engine; everyone else must spill it
+                // (paper Figure 10).
+                let write_output = *output_persists || !self.can_fuse_postprocessing();
+                let t = self.gemm_timing(*shape, *count, write_output);
+                OpTiming {
+                    phase: op.phase,
+                    label: op.label.clone(),
+                    cycles: t.total_cycles,
+                    macs: t.macs,
+                    dram_read_bytes: t.dram_read_bytes,
+                    dram_write_bytes: t.dram_write_bytes,
+                    sram_bytes: t.sram_read_bytes + t.sram_write_bytes,
+                    utilization: t.utilization,
+                }
+            }
+            TrainingOpKind::Vector {
+                kind,
+                read_bytes,
+                write_bytes,
+                fusable_into_drain,
+            } => {
+                let t = self.vector_timing(*kind, *read_bytes, *write_bytes, *fusable_into_drain);
+                OpTiming {
+                    phase: op.phase,
+                    label: op.label.clone(),
+                    cycles: t.total_cycles,
+                    macs: 0,
+                    dram_read_bytes: t.dram_read_bytes,
+                    dram_write_bytes: t.dram_write_bytes,
+                    sram_bytes: t.sram_bytes,
+                    utilization: 0.0,
+                }
+            }
+        }
+    }
+
+    /// Times a whole lowered training step (ops execute back-to-back).
+    pub fn time_step(&self, ops: &[TrainingOp]) -> StepTiming {
+        StepTiming::from_ops(ops.iter().map(|op| self.time_op(op)).collect())
+    }
+
+    /// Converts cycles to wall-clock seconds at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        self.config.cycles_to_seconds(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_arch::{Dataflow, Phase, VectorOpKind};
+
+    fn sim(df: Dataflow) -> Simulator {
+        Simulator::new(AcceleratorConfig::tpu_v3_like(df)).unwrap()
+    }
+
+    #[test]
+    fn ephemeral_gemm_skips_write_only_with_ppu() {
+        let shape = GemmShape::new(4608, 16, 512);
+        let op = TrainingOp::gemm_batch_ephemeral(shape, 4, Phase::BwdPerExampleGrad, "conv");
+        let diva = sim(Dataflow::OuterProduct).time_op(&op);
+        let ws = sim(Dataflow::WeightStationary).time_op(&op);
+        assert_eq!(diva.dram_write_bytes, 0);
+        assert!(ws.dram_write_bytes > 0);
+    }
+
+    #[test]
+    fn persistent_gemm_always_writes() {
+        let shape = GemmShape::new(4608, 16, 512);
+        let op = TrainingOp::gemm_batch(shape, 4, Phase::BwdPerExampleGrad, "conv");
+        let diva = sim(Dataflow::OuterProduct).time_op(&op);
+        assert!(diva.dram_write_bytes > 0);
+    }
+
+    #[test]
+    fn step_accumulates_all_ops() {
+        let s = sim(Dataflow::WeightStationary);
+        let ops = vec![
+            TrainingOp::gemm(GemmShape::new(256, 128, 256), Phase::Forward, "fc1"),
+            TrainingOp::vector(VectorOpKind::GradNorm, 1 << 20, 64, true, Phase::BwdGradNorm, "norm"),
+        ];
+        let t = s.time_step(&ops);
+        assert_eq!(t.ops.len(), 2);
+        assert!(t.phase_cycles(Phase::Forward) > 0);
+        assert!(t.phase_cycles(Phase::BwdGradNorm) > 0);
+    }
+
+    #[test]
+    fn diva_fuses_the_norm_ws_does_not() {
+        let norm = TrainingOp::vector(
+            VectorOpKind::GradNorm,
+            256 << 20,
+            1024,
+            true,
+            Phase::BwdGradNorm,
+            "norm",
+        );
+        let diva = sim(Dataflow::OuterProduct).time_op(&norm);
+        let ws = sim(Dataflow::WeightStationary).time_op(&norm);
+        assert_eq!(diva.cycles, 0);
+        assert!(ws.cycles > 100_000); // hundreds of MB at ~479 B/cycle
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut bad = AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary);
+        bad.freq_hz = -1.0;
+        assert!(Simulator::new(bad).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-op and per-training-step timing aggregation, grouped by the paper's
+//! phase taxonomy (Figures 5 and 14 stacked bars).
+
+use std::collections::BTreeMap;
+
+use diva_arch::Phase;
+use serde::{Deserialize, Serialize};
+
+/// Timing of one lowered training op.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpTiming {
+    /// Reporting phase.
+    pub phase: Phase,
+    /// Originating label (layer name).
+    pub label: String,
+    /// End-to-end cycles.
+    pub cycles: u64,
+    /// Useful MACs (0 for vector ops).
+    pub macs: u64,
+    /// DRAM bytes read.
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written.
+    pub dram_write_bytes: u64,
+    /// SRAM bytes moved (operand streaming + output drain).
+    pub sram_bytes: u64,
+    /// FLOPS utilization over this op's window (0 for vector ops).
+    pub utilization: f64,
+}
+
+/// Aggregate timing of one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Total cycles in the phase.
+    pub cycles: u64,
+    /// Total MACs.
+    pub macs: u64,
+    /// Total DRAM traffic (read + write).
+    pub dram_bytes: u64,
+    /// Total SRAM traffic.
+    pub sram_bytes: u64,
+}
+
+/// Timing of a full training step (all lowered ops executed in order).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepTiming {
+    /// Per-op detail, in execution order.
+    pub ops: Vec<OpTiming>,
+    /// Aggregates keyed by phase.
+    pub phases: BTreeMap<Phase, PhaseBreakdown>,
+}
+
+impl StepTiming {
+    /// Builds a step timing from per-op results.
+    pub fn from_ops(ops: Vec<OpTiming>) -> Self {
+        let mut phases: BTreeMap<Phase, PhaseBreakdown> = BTreeMap::new();
+        for op in &ops {
+            let entry = phases.entry(op.phase).or_default();
+            entry.cycles += op.cycles;
+            entry.macs += op.macs;
+            entry.dram_bytes += op.dram_read_bytes + op.dram_write_bytes;
+            entry.sram_bytes += op.sram_bytes;
+        }
+        Self { ops, phases }
+    }
+
+    /// Total cycles for the step.
+    pub fn total_cycles(&self) -> u64 {
+        self.ops.iter().map(|o| o.cycles).sum()
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|o| o.dram_read_bytes + o.dram_write_bytes)
+            .sum()
+    }
+
+    /// Total SRAM traffic in bytes.
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.sram_bytes).sum()
+    }
+
+    /// Total useful MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.ops.iter().map(|o| o.macs).sum()
+    }
+
+    /// Cycles attributed to one phase (0 if the phase never occurs).
+    pub fn phase_cycles(&self, phase: Phase) -> u64 {
+        self.phases.get(&phase).map_or(0, |p| p.cycles)
+    }
+
+    /// DRAM bytes attributed to one phase.
+    pub fn phase_dram_bytes(&self, phase: Phase) -> u64 {
+        self.phases.get(&phase).map_or(0, |p| p.dram_bytes)
+    }
+
+    /// Whole-step FLOPS utilization: useful MACs over the MAC capacity of
+    /// the full step window (the paper's Figure 7 metric).
+    pub fn flops_utilization(&self, pe_macs: u64) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.total_macs() as f64 / (cycles as f64 * pe_macs as f64)
+    }
+
+    /// FLOPS utilization restricted to the ops of one phase.
+    pub fn phase_utilization(&self, phase: Phase, pe_macs: u64) -> f64 {
+        let p = match self.phases.get(&phase) {
+            Some(p) => p,
+            None => return 0.0,
+        };
+        if p.cycles == 0 {
+            return 0.0;
+        }
+        p.macs as f64 / (p.cycles as f64 * pe_macs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(phase: Phase, cycles: u64, macs: u64, read: u64, write: u64) -> OpTiming {
+        OpTiming {
+            phase,
+            label: "t".into(),
+            cycles,
+            macs,
+            dram_read_bytes: read,
+            dram_write_bytes: write,
+            sram_bytes: read + write,
+            utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_per_phase() {
+        let s = StepTiming::from_ops(vec![
+            op(Phase::Forward, 10, 100, 5, 5),
+            op(Phase::Forward, 20, 200, 5, 5),
+            op(Phase::BwdGradNorm, 30, 0, 50, 0),
+        ]);
+        assert_eq!(s.total_cycles(), 60);
+        assert_eq!(s.phase_cycles(Phase::Forward), 30);
+        assert_eq!(s.phase_cycles(Phase::BwdGradNorm), 30);
+        assert_eq!(s.phase_dram_bytes(Phase::Forward), 20);
+        assert_eq!(s.total_macs(), 300);
+    }
+
+    #[test]
+    fn missing_phase_reports_zero() {
+        let s = StepTiming::from_ops(vec![op(Phase::Forward, 1, 1, 0, 0)]);
+        assert_eq!(s.phase_cycles(Phase::BwdGradClip), 0);
+    }
+
+    #[test]
+    fn utilization_uses_total_window() {
+        let s = StepTiming::from_ops(vec![
+            op(Phase::Forward, 10, 1000, 0, 0),
+            op(Phase::BwdGradNorm, 10, 0, 0, 0),
+        ]);
+        // 1000 MACs over 20 cycles of a 100-MAC array → 0.5.
+        assert!((s.flops_utilization(100) - 0.5).abs() < 1e-12);
+        assert!((s.phase_utilization(Phase::Forward, 100) - 1.0).abs() < 1e-12);
+    }
+}

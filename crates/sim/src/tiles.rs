@@ -1,0 +1,55 @@
+//! Tiling helpers shared by the analytic models.
+
+/// Splits `total` into tile sizes of at most `tile`, in execution order
+/// (full tiles first, then the remainder).
+///
+/// # Panics
+///
+/// Panics if `tile == 0`.
+///
+/// # Example
+///
+/// ```
+/// use diva_sim::tile_sizes;
+/// assert_eq!(tile_sizes(300, 128), vec![128, 128, 44]);
+/// assert_eq!(tile_sizes(128, 128), vec![128]);
+/// assert_eq!(tile_sizes(0, 128), Vec::<u64>::new());
+/// ```
+pub fn tile_sizes(total: u64, tile: u64) -> Vec<u64> {
+    assert!(tile > 0, "tile size must be positive");
+    let mut out = Vec::with_capacity(total.div_ceil(tile) as usize);
+    let mut remaining = total;
+    while remaining > 0 {
+        let t = remaining.min(tile);
+        out.push(t);
+        remaining -= t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division_has_uniform_tiles() {
+        assert_eq!(tile_sizes(256, 64), vec![64, 64, 64, 64]);
+    }
+
+    #[test]
+    fn remainder_is_last() {
+        assert_eq!(tile_sizes(10, 4), vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn small_total_is_one_tile() {
+        assert_eq!(tile_sizes(3, 128), vec![3]);
+    }
+
+    #[test]
+    fn tiles_sum_to_total() {
+        for total in [0u64, 1, 127, 128, 129, 1000] {
+            assert_eq!(tile_sizes(total, 128).iter().sum::<u64>(), total);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Timing of DP-SGD's gradient post-processing (the memory-bound vector
+//! operations of paper Section III-C) on a TPU-style vector unit, and their
+//! fusion into the GEMM engine's drain path when a PPU is present.
+
+use diva_arch::{AcceleratorConfig, VectorOpKind};
+use serde::{Deserialize, Serialize};
+
+/// Timing of one post-processing (vector) operation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VectorTiming {
+    /// Whether the op was absorbed into the GEMM engine's output drain by
+    /// the PPU (paper Section IV-C): no DRAM traffic, no extra cycles
+    /// beyond the drain already counted in the producing GEMM.
+    pub fused_into_drain: bool,
+    /// DRAM bytes read.
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written.
+    pub dram_write_bytes: u64,
+    /// SRAM bytes staged through the on-chip buffer (read + write).
+    pub sram_bytes: u64,
+    /// ALU cycles on the vector unit.
+    pub alu_cycles: u64,
+    /// End-to-end cycles: `max(alu, memory) + latency` (0 when fused).
+    pub total_cycles: u64,
+}
+
+/// Number of FP32 lanes in the modeled vector unit. TPUv3's VPU processes
+/// 8×128 lanes per core; we keep that figure. Post-processing remains
+/// memory-bound at this width (the paper's observation).
+pub const VECTOR_LANES: u64 = 1024;
+
+/// Times a post-processing vector op.
+///
+/// `fusable` mirrors [`diva_arch::TrainingOpKind::Vector`]'s
+/// `fusable_into_drain`: when the engine is output-stationary *and* has a
+/// PPU, such ops ride the drain for free. Everything else pays DRAM
+/// round-trips at `Table II` bandwidth plus vector-ALU time.
+pub fn vector_timing(
+    config: &AcceleratorConfig,
+    kind: VectorOpKind,
+    read_bytes: u64,
+    write_bytes: u64,
+    fusable: bool,
+) -> VectorTiming {
+    let ppu_capable = config.has_ppu && config.dataflow.is_output_stationary();
+    if fusable && ppu_capable {
+        return VectorTiming {
+            fused_into_drain: true,
+            dram_read_bytes: 0,
+            dram_write_bytes: 0,
+            sram_bytes: 0,
+            alu_cycles: 0,
+            total_cycles: 0,
+        };
+    }
+    // Elements processed ≈ bytes/4 (FP32); norms do one multiply + add per
+    // element, clip/reduce one op per element, noise ~2 (generate + add).
+    let elems = (read_bytes + write_bytes) / 4;
+    let ops_per_elem: u64 = match kind {
+        VectorOpKind::GradNorm => 2,
+        VectorOpKind::NoiseAdd => 2,
+        VectorOpKind::GradClip | VectorOpKind::GradReduce | VectorOpKind::WeightUpdate => 1,
+    };
+    let alu_cycles = (elems * ops_per_elem).div_ceil(VECTOR_LANES);
+    let bpc = config.memory.bytes_per_cycle(config.freq_hz);
+    let memory_cycles = ((read_bytes + write_bytes) as f64 / bpc).ceil() as u64;
+    let total = alu_cycles.max(memory_cycles)
+        + if read_bytes + write_bytes == 0 {
+            0
+        } else {
+            config.memory.access_latency_cycles
+        };
+    VectorTiming {
+        fused_into_drain: false,
+        dram_read_bytes: read_bytes,
+        dram_write_bytes: write_bytes,
+        sram_bytes: read_bytes + write_bytes,
+        alu_cycles,
+        total_cycles: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_arch::Dataflow;
+
+    #[test]
+    fn ppu_fuses_norms_for_free() {
+        let diva = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
+        let t = vector_timing(&diva, VectorOpKind::GradNorm, 1 << 30, 4, true);
+        assert!(t.fused_into_drain);
+        assert_eq!(t.total_cycles, 0);
+        assert_eq!(t.dram_read_bytes + t.dram_write_bytes, 0);
+    }
+
+    #[test]
+    fn ws_cannot_fuse_even_if_marked_fusable() {
+        let ws = AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary);
+        let t = vector_timing(&ws, VectorOpKind::GradNorm, 1 << 30, 4, true);
+        assert!(!t.fused_into_drain);
+        assert!(t.total_cycles > 0);
+    }
+
+    #[test]
+    fn norm_derivation_is_memory_bound() {
+        // A 100 MB gradient tensor: memory time dwarfs ALU time.
+        let ws = AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary);
+        let t = vector_timing(&ws, VectorOpKind::GradNorm, 100 << 20, 4, false);
+        let bpc = ws.memory.bytes_per_cycle(ws.freq_hz);
+        let mem_cycles = ((100u64 << 20) as f64 / bpc).ceil() as u64;
+        assert!(t.total_cycles >= mem_cycles);
+        assert!(t.alu_cycles < mem_cycles);
+    }
+
+    #[test]
+    fn zero_byte_op_is_free() {
+        let ws = AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary);
+        let t = vector_timing(&ws, VectorOpKind::GradReduce, 0, 0, false);
+        assert_eq!(t.total_cycles, 0);
+    }
+
+    #[test]
+    fn diva_without_ppu_pays_like_baseline() {
+        let mut no_ppu = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
+        no_ppu.has_ppu = false;
+        let t = vector_timing(&no_ppu, VectorOpKind::GradNorm, 1 << 20, 4, true);
+        assert!(!t.fused_into_drain);
+        assert!(t.total_cycles > 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Validation of the analytic timing model against the register-level
+//! functional simulators — this reproduction's stand-in for the paper's
+//! validation of its cycle-level simulator against Google Cloud TPUv3
+//! (Section V, Pearson correlation 0.95). Here we demand *exact* equality
+//! of compute-cycle counts.
+
+use diva_arch::{AcceleratorConfig, Dataflow, GemmShape, MemoryConfig, PeArray};
+use diva_pearray::{OsArray, OuterProductArray, WsArray};
+use diva_sim::Simulator;
+use diva_tensor::{matmul, DivaRng, Tensor};
+use proptest::prelude::*;
+
+/// Builds a small test configuration with the given dataflow and array size.
+fn small_config(df: Dataflow, rows: u64, cols: u64, fill: u64, drain: u64) -> AcceleratorConfig {
+    AcceleratorConfig {
+        pe: PeArray::new(rows, cols),
+        freq_hz: 1.0e9,
+        sram_bytes: 1 << 20,
+        memory: MemoryConfig::tpu_v3_like(),
+        dataflow: df,
+        rhs_fill_rows_per_cycle: fill,
+        drain_rows_per_cycle: drain,
+        has_ppu: df.is_output_stationary(),
+        drain_overlap: false,
+    }
+}
+
+fn random_operands(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = DivaRng::seed_from_u64(seed);
+    (
+        Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng),
+        Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng),
+    )
+}
+
+#[test]
+fn ws_analytic_matches_functional_exactly() {
+    let shapes = [
+        (5usize, 3usize, 4usize),
+        (16, 8, 8),
+        (1, 1, 1),
+        (33, 17, 9),
+        (10, 20, 30),
+        (64, 2, 64),
+    ];
+    for &(m, k, n) in &shapes {
+        let functional = WsArray::new(8, 8, 4);
+        let sim = Simulator::new(small_config(Dataflow::WeightStationary, 8, 8, 4, 4)).unwrap();
+        let (a, b) = random_operands(m, k, n, 42);
+        let run = functional.gemm(&a, &b);
+        let analytic = sim.compute_cycles(GemmShape::new(m as u64, k as u64, n as u64));
+        assert_eq!(
+            run.cycles, analytic,
+            "WS cycle mismatch for ({m},{k},{n}): functional {} vs analytic {analytic}",
+            run.cycles
+        );
+        assert!(run.output.max_abs_diff(&matmul(&a, &b)) < 1e-3);
+    }
+}
+
+#[test]
+fn os_analytic_matches_functional_exactly() {
+    let shapes = [
+        (5usize, 3usize, 4usize),
+        (16, 8, 8),
+        (9, 40, 7),
+        (20, 1, 20),
+        (8, 100, 8),
+    ];
+    for &(m, k, n) in &shapes {
+        let functional = OsArray::new(8, 8, 2);
+        let sim = Simulator::new(small_config(Dataflow::OutputStationary, 8, 8, 8, 2)).unwrap();
+        let (a, b) = random_operands(m, k, n, 43);
+        let run = functional.gemm(&a, &b);
+        let analytic = sim.compute_cycles(GemmShape::new(m as u64, k as u64, n as u64));
+        assert_eq!(
+            run.cycles, analytic,
+            "OS cycle mismatch for ({m},{k},{n}): functional {} vs analytic {analytic}",
+            run.cycles
+        );
+        assert!(run.output.max_abs_diff(&matmul(&a, &b)) < 1e-3);
+    }
+}
+
+#[test]
+fn outer_product_analytic_matches_functional_exactly() {
+    let shapes = [
+        (5usize, 3usize, 4usize),
+        (16, 1, 16),
+        (9, 64, 7),
+        (32, 5, 12),
+    ];
+    for &(m, k, n) in &shapes {
+        let functional = OuterProductArray::new(8, 8, 4);
+        let sim = Simulator::new(small_config(Dataflow::OuterProduct, 8, 8, 8, 4)).unwrap();
+        let (a, b) = random_operands(m, k, n, 44);
+        let run = functional.gemm(&a, &b);
+        let analytic = sim.compute_cycles(GemmShape::new(m as u64, k as u64, n as u64));
+        assert_eq!(
+            run.cycles, analytic,
+            "OP cycle mismatch for ({m},{k},{n}): functional {} vs analytic {analytic}",
+            run.cycles
+        );
+        assert!(run.output.max_abs_diff(&matmul(&a, &b)) < 1e-3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: for random shapes, every dataflow's analytic compute-cycle
+    /// model agrees exactly with the functional register-level simulation,
+    /// and all engines compute the same (correct) product.
+    #[test]
+    fn all_dataflows_agree_with_functional(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let (a, b) = random_operands(m, k, n, seed);
+        let reference = matmul(&a, &b);
+        let shape = GemmShape::new(m as u64, k as u64, n as u64);
+
+        let ws = WsArray::new(4, 4, 2).gemm(&a, &b);
+        let ws_sim = Simulator::new(small_config(Dataflow::WeightStationary, 4, 4, 2, 2)).unwrap();
+        prop_assert_eq!(ws.cycles, ws_sim.compute_cycles(shape));
+        prop_assert!(ws.output.max_abs_diff(&reference) < 1e-3);
+
+        let os = OsArray::new(4, 4, 2).gemm(&a, &b);
+        let os_sim = Simulator::new(small_config(Dataflow::OutputStationary, 4, 4, 2, 2)).unwrap();
+        prop_assert_eq!(os.cycles, os_sim.compute_cycles(shape));
+        prop_assert!(os.output.max_abs_diff(&reference) < 1e-3);
+
+        let op = OuterProductArray::new(4, 4, 2).gemm(&a, &b);
+        let op_sim = Simulator::new(small_config(Dataflow::OuterProduct, 4, 4, 2, 2)).unwrap();
+        prop_assert_eq!(op.cycles, op_sim.compute_cycles(shape));
+        prop_assert!(op.output.max_abs_diff(&reference) < 1e-3);
+    }
+
+    /// Property: utilization stays in (0, 1] for non-empty GEMMs.
+    #[test]
+    fn utilization_is_bounded(
+        m in 1u64..600,
+        k in 1u64..600,
+        n in 1u64..600,
+    ) {
+        for df in Dataflow::ALL {
+            let sim = Simulator::new(AcceleratorConfig::tpu_v3_like(df)).unwrap();
+            let t = sim.gemm_timing(GemmShape::new(m, k, n), 1, true);
+            prop_assert!(t.utilization > 0.0);
+            prop_assert!(t.utilization <= 1.0 + 1e-12);
+        }
+    }
+}

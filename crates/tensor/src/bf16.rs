@@ -1,0 +1,127 @@
+//! bfloat16 emulation.
+//!
+//! The modeled accelerators multiply in BF16 and accumulate in FP32 (paper
+//! Table III: "BF16 Mult, FP32 Add", citing the BFLOAT16 training study).
+//! This module emulates that numeric behaviour on top of `f32` so the
+//! functional PE-array simulators can reproduce accelerator-accurate
+//! arithmetic: operands are rounded to bfloat16 (round-to-nearest-even on
+//! the upper 16 bits of the IEEE-754 single) while sums stay in `f32`.
+
+use crate::tensor::Tensor;
+
+/// Rounds an `f32` to the nearest bfloat16 value (ties to even), returned
+/// as an `f32` whose low 16 mantissa bits are zero.
+///
+/// NaN payloads are canonicalized; infinities and zeros pass through.
+///
+/// # Example
+///
+/// ```
+/// use diva_tensor::round_bf16;
+/// // 1.0 is exactly representable.
+/// assert_eq!(round_bf16(1.0), 1.0);
+/// // bf16 stores 7 mantissa bits: a 2^-9 perturbation rounds away.
+/// assert_eq!(round_bf16(1.0 + 1.0 / 512.0), 1.0);
+/// ```
+pub fn round_bf16(x: f32) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    let bits = x.to_bits();
+    // Round to nearest even on the truncated 16 bits.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    let rounded = bits.wrapping_add(rounding_bias) & 0xFFFF_0000;
+    f32::from_bits(rounded)
+}
+
+impl Tensor {
+    /// Returns a copy with every element rounded to bfloat16 precision.
+    pub fn to_bf16(&self) -> Tensor {
+        let data = self.data().iter().map(|&v| round_bf16(v)).collect();
+        Tensor::from_vec(data, self.shape().dims())
+    }
+}
+
+/// The largest relative rounding error bf16 can introduce for normal
+/// values: half a ulp of its 7 stored mantissa bits, `2⁻⁸`.
+pub const BF16_MAX_RELATIVE_ERROR: f32 = 1.0 / 256.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DivaRng;
+
+    #[test]
+    fn representable_values_pass_through() {
+        for v in [0.0f32, -0.0, 1.0, -2.5, 0.15625, f32::INFINITY] {
+            assert_eq!(round_bf16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(round_bf16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut rng = DivaRng::seed_from_u64(50);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-1e6, 1e6);
+            if x == 0.0 {
+                continue;
+            }
+            let r = round_bf16(x);
+            let rel = ((r - x) / x).abs();
+            assert!(
+                rel <= BF16_MAX_RELATIVE_ERROR,
+                "relative error {rel} for {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        let mut rng = DivaRng::seed_from_u64(51);
+        for _ in 0..1000 {
+            let x = rng.uniform(-100.0, 100.0);
+            let once = round_bf16(x);
+            assert_eq!(round_bf16(once), once);
+        }
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // With 7 stored mantissa bits, values near 1.0 step by 2^-7.
+        let lo = 1.0f32 + 1.0 / 128.0; // representable (odd last bit)
+        let hi = 1.0f32 + 2.0 / 128.0; // representable (even last bit)
+        let mid = 1.0f32 + 3.0 / 256.0; // exact midpoint
+        let r = round_bf16(mid);
+        assert!(r == lo || r == hi);
+        // Ties go to the even mantissa.
+        assert_eq!(r, hi);
+    }
+
+    #[test]
+    fn tensor_quantization_applies_elementwise() {
+        let t = Tensor::from_vec(vec![1.0, 1.0 + 1.0 / 1024.0], &[2]);
+        let q = t.to_bf16();
+        assert_eq!(q.data()[0], 1.0);
+        assert_eq!(q.data()[1], 1.0); // sub-ulp perturbation rounds away
+    }
+
+    #[test]
+    fn bf16_gemm_error_is_small_and_bounded() {
+        // Quantized GEMM (BF16 inputs, FP32 accumulate) stays within a few
+        // bf16 ulps of the FP32 result — the accelerator numeric contract.
+        let mut rng = DivaRng::seed_from_u64(52);
+        let a = Tensor::uniform(&[16, 32], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[32, 16], -1.0, 1.0, &mut rng);
+        let exact = crate::matmul(&a, &b);
+        let quant = crate::matmul(&a.to_bf16(), &b.to_bf16());
+        // Error per output ≤ K · 2 · max|a||b| · 2^-8; loose bound.
+        let max_err = exact.max_abs_diff(&quant);
+        assert!(max_err < 32.0 * 2.0 * 2.0 / 256.0, "error {max_err}");
+        assert!(max_err > 0.0, "quantization should perturb something");
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense `f32` tensor substrate for the DiVa reproduction.
+//!
+//! This crate provides the minimal linear-algebra toolkit needed to implement
+//! DP-SGD from scratch (see the `diva-nn` and `diva-dp` crates): row-major
+//! dense tensors, GEMM in all transpose flavours, `im2col`/`col2im` lowering
+//! of convolutions (the transformation the paper relies on to express every
+//! training step as GEMM, Section II-D of the paper), elementwise kernels,
+//! reductions, and a seedable random-number facility including a Gaussian
+//! sampler (Box–Muller; implemented here because `rand_distr` is not part of
+//! the approved dependency set).
+//!
+//! The crate is deliberately free of unsafe code and external BLAS: the goal
+//! is a portable, auditable reference implementation, not peak FLOPS.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_tensor::{Tensor, matmul};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bf16;
+mod conv;
+mod matmul;
+mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use bf16::{round_bf16, BF16_MAX_RELATIVE_ERROR};
+pub use conv::{col2im, conv2d, conv2d_backward_data, conv2d_backward_weight, im2col, Conv2dGeom};
+pub use matmul::{matmul, matmul_nt, matmul_tn, matmul_tt, outer_product_accumulate};
+pub use ops::{
+    add_scaled, argmax_rows, relu, relu_backward, softmax_cross_entropy, SoftmaxCrossEntropy,
+};
+pub use rng::DivaRng;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,235 @@
+//! GEMM kernels in all transpose flavours, plus the outer-product
+//! decomposition used by DiVa's GEMM engine (paper Figure 9).
+
+use crate::tensor::Tensor;
+
+/// Computes `C = A × B` for row-major rank-2 tensors.
+///
+/// `A` is `(M, K)`, `B` is `(K, N)`, and the result is `(M, N)`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use diva_tensor::{matmul, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &b), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = a.dims2();
+    let (kb, n) = b.dims2();
+    assert_eq!(
+        ka, kb,
+        "matmul inner dimension mismatch: ({m},{ka}) x ({kb},{n})"
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.data();
+    let bv = b.data();
+    let ov = out.data_mut();
+    // i-k-j loop order keeps the inner loop contiguous over B and C rows.
+    for i in 0..m {
+        for k in 0..ka {
+            let aik = av[i * ka + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[k * n..(k + 1) * n];
+            let crow = &mut ov[i * n..(i + 1) * n];
+            for (c, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                *c += aik * bkj;
+            }
+        }
+    }
+    out
+}
+
+/// Computes `C = Aᵀ × B` where `A` is `(K, M)` and `B` is `(K, N)`.
+///
+/// This is the shape of the weight-gradient GEMM in backpropagation
+/// (`G(W) = Xᵀ × G(Y)`, paper Figure 6 middle).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m) = a.dims2();
+    let (kb, n) = b.dims2();
+    assert_eq!(
+        ka, kb,
+        "matmul_tn K dimension mismatch: ({ka},{m})^T x ({kb},{n})"
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.data();
+    let bv = b.data();
+    let ov = out.data_mut();
+    // Outer-product style accumulation: for each k, C += a_k ⊗ b_k.
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        let brow = &bv[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut ov[i * n..(i + 1) * n];
+            for (c, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                *c += aki * bkj;
+            }
+        }
+    }
+    out
+}
+
+/// Computes `C = A × Bᵀ` where `A` is `(M, K)` and `B` is `(N, K)`.
+///
+/// This is the shape of the activation-gradient GEMM in backpropagation
+/// (`G(X) = G(Y) × Wᵀ`).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = a.dims2();
+    let (n, kb) = b.dims2();
+    assert_eq!(
+        ka, kb,
+        "matmul_nt K dimension mismatch: ({m},{ka}) x ({n},{kb})^T"
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.data();
+    let bv = b.data();
+    let ov = out.data_mut();
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bv[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            ov[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Computes `C = Aᵀ × Bᵀ` where `A` is `(K, M)` and `B` is `(N, K)`.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch.
+pub fn matmul_tt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m) = a.dims2();
+    let (n, kb) = b.dims2();
+    assert_eq!(
+        ka, kb,
+        "matmul_tt K dimension mismatch: ({ka},{m})^T x ({n},{kb})^T"
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.data();
+    let bv = b.data();
+    let ov = out.data_mut();
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut ov[i * n..(i + 1) * n];
+            for (j, c) in crow.iter_mut().enumerate() {
+                *c += aki * bv[j * kb + k];
+            }
+        }
+    }
+    out
+}
+
+/// Accumulates one outer-product step `C += a ⊗ b` into `c`.
+///
+/// This is the per-cycle operation of DiVa's outer-product GEMM engine
+/// (paper Figure 9): a length-`M` column of the LHS and a length-`N` row of
+/// the RHS are broadcast across the PE array, and every PE performs one MAC.
+///
+/// # Panics
+///
+/// Panics if `c` is not `(a.len(), b.len())`.
+pub fn outer_product_accumulate(c: &mut Tensor, a: &[f32], b: &[f32]) {
+    let (m, n) = c.dims2();
+    assert_eq!(a.len(), m, "outer product LHS length {} != M {m}", a.len());
+    assert_eq!(b.len(), n, "outer product RHS length {} != N {n}", b.len());
+    let cv = c.data_mut();
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0.0 {
+            continue;
+        }
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for (cij, &bj) in crow.iter_mut().zip(b.iter()) {
+            *cij += ai * bj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DivaRng;
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+        a.max_abs_diff(b) < tol
+    }
+
+    #[test]
+    fn transpose_variants_agree() {
+        let mut rng = DivaRng::seed_from_u64(11);
+        let a = Tensor::uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[6, 5], -1.0, 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        assert!(close(&matmul_tn(&a.transpose(), &b), &c, 1e-5));
+        assert!(close(&matmul_nt(&a, &b.transpose()), &c, 1e-5));
+        assert!(close(&matmul_tt(&a.transpose(), &b.transpose()), &c, 1e-5));
+    }
+
+    #[test]
+    fn outer_product_decomposition_matches_matmul() {
+        // The identity DiVa's engine is built on: A×B == Σ_k col_k(A) ⊗ row_k(B).
+        let mut rng = DivaRng::seed_from_u64(13);
+        let a = Tensor::uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[7, 3], -1.0, 1.0, &mut rng);
+        let at = a.transpose(); // rows of at are columns of a
+        let mut c = Tensor::zeros(&[5, 3]);
+        for k in 0..7 {
+            outer_product_accumulate(&mut c, at.row(k), b.row(k));
+        }
+        assert!(close(&c, &matmul(&a, &b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_by_identity_is_identity_map() {
+        let mut rng = DivaRng::seed_from_u64(17);
+        let a = Tensor::uniform(&[3, 3], -1.0, 1.0, &mut rng);
+        assert!(close(&matmul(&a, &Tensor::eye(3)), &a, 1e-6));
+        assert!(close(&matmul(&Tensor::eye(3), &a), &a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn degenerate_dims_produce_empty_or_zero() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert_eq!(matmul(&a, &b).shape().dims(), &[0, 2]);
+        // K = 0 means the sum over k is empty: all zeros.
+        let a = Tensor::full(&[2, 0], 1.0);
+        let b = Tensor::full(&[0, 2], 1.0);
+        assert_eq!(matmul(&a, &b), Tensor::zeros(&[2, 2]));
+    }
+}

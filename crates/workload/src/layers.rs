@@ -1,0 +1,492 @@
+//! Shape-level layer specifications and their GEMM lowering — the paper's
+//! Figure 6 table, implemented.
+//!
+//! | layer kind            | forward `(M,K,N)`          | per-batch `G(W)`            | per-example `G(W)` (×B)   |
+//! |-----------------------|-----------------------------|------------------------------|----------------------------|
+//! | MLP                   | `(B, I, O)`                 | `(I, B, O)`                  | `(I, 1, O)`                |
+//! | Convolution           | `(B·P·Q, C_in·R·S, C_out)`  | `(C_in·R·S, B·P·Q, C_out)`   | `(C_in·R·S, P·Q, C_out)`   |
+//! | MLP, time-series (L)  | `(B·L, I, O)`               | `(I, B·L, O)`                | `(I, L, O)`                |
+//!
+//! Activation-gradient GEMMs transpose the weight operand:
+//! `G(X) = G(Y) × Wᵀ` with `(M, K, N) = (B·…, O, I)`.
+
+use diva_arch::GemmShape;
+use serde::{Deserialize, Serialize};
+
+/// A shape-level description of one network layer.
+///
+/// Only information relevant to performance/memory modeling is kept: no
+/// weights, no data — just dimensions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// 2-D convolution (optionally grouped / depthwise).
+    Conv {
+        /// Layer name for reports.
+        name: String,
+        /// Input channels.
+        cin: usize,
+        /// Output channels.
+        cout: usize,
+        /// Square filter side (R = S = k).
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+        /// Input spatial height.
+        in_h: usize,
+        /// Input spatial width.
+        in_w: usize,
+        /// Channel groups (`cin` for depthwise convolution).
+        groups: usize,
+    },
+    /// Fully-connected layer over per-example feature vectors.
+    Linear {
+        /// Layer name.
+        name: String,
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+    },
+    /// Fully-connected layer applied at every timestep of a length-`seq`
+    /// sequence (BERT projections, LSTM gate GEMMs).
+    SeqLinear {
+        /// Layer name.
+        name: String,
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+        /// Sequence length `L`.
+        seq: usize,
+    },
+    /// Multi-head attention score/context GEMMs (no trainable weights —
+    /// QKV/output projections are separate `SeqLinear` layers).
+    Attention {
+        /// Layer name.
+        name: String,
+        /// Number of heads.
+        heads: usize,
+        /// Per-head dimension.
+        d_head: usize,
+        /// Sequence length.
+        seq: usize,
+    },
+    /// Embedding lookup. No GEMMs (gather/scatter), but its parameters
+    /// dominate per-example gradient *memory* for LSTM models (frameworks
+    /// materialize dense per-example embedding gradients).
+    Embedding {
+        /// Layer name.
+        name: String,
+        /// Vocabulary size.
+        vocab: usize,
+        /// Embedding dimension.
+        dim: usize,
+        /// Sequence length (rows gathered per example).
+        seq: usize,
+    },
+    /// Pooling — no parameters, no GEMMs; tracked for activation memory.
+    Pool {
+        /// Layer name.
+        name: String,
+        /// Output channels (= input channels).
+        channels: usize,
+        /// Output spatial height.
+        out_h: usize,
+        /// Output spatial width.
+        out_w: usize,
+    },
+}
+
+/// GEMM work for one layer in one training phase, possibly replicated
+/// (`count` independent instances).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoweredGemm {
+    /// The GEMM dimensions.
+    pub shape: GemmShape,
+    /// Number of independent instances (e.g. `B` for per-example gradients,
+    /// `B × C` for depthwise per-example gradients).
+    pub count: u64,
+}
+
+impl LayerSpec {
+    /// The layer's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv { name, .. }
+            | LayerSpec::Linear { name, .. }
+            | LayerSpec::SeqLinear { name, .. }
+            | LayerSpec::Attention { name, .. }
+            | LayerSpec::Embedding { name, .. }
+            | LayerSpec::Pool { name, .. } => name,
+        }
+    }
+
+    /// Number of trainable parameters (weights only; biases and
+    /// normalization parameters are negligible at this modeling scale and
+    /// are omitted, as noted in DESIGN.md).
+    pub fn params(&self) -> u64 {
+        match self {
+            LayerSpec::Conv {
+                cin,
+                cout,
+                k,
+                groups,
+                ..
+            } => (cin / groups * cout * k * k) as u64,
+            LayerSpec::Linear { in_f, out_f, .. } => (in_f * out_f) as u64,
+            LayerSpec::SeqLinear { in_f, out_f, .. } => (in_f * out_f) as u64,
+            LayerSpec::Attention { .. } | LayerSpec::Pool { .. } => 0,
+            LayerSpec::Embedding { vocab, dim, .. } => (vocab * dim) as u64,
+        }
+    }
+
+    /// Output activation elements per example (stored for backprop).
+    pub fn out_elems_per_example(&self) -> u64 {
+        match self {
+            LayerSpec::Conv {
+                cout,
+                k,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                ..
+            } => {
+                let (p, q) = conv_out_hw(*in_h, *in_w, *k, *stride, *pad);
+                (cout * p * q) as u64
+            }
+            LayerSpec::Linear { out_f, .. } => *out_f as u64,
+            LayerSpec::SeqLinear { out_f, seq, .. } => (out_f * seq) as u64,
+            LayerSpec::Attention { heads, d_head, seq, .. } => {
+                // Scores (h × L × L) plus context (L × h·d) activations.
+                (heads * seq * seq + seq * heads * d_head) as u64
+            }
+            LayerSpec::Embedding { dim, seq, .. } => (dim * seq) as u64,
+            LayerSpec::Pool {
+                channels,
+                out_h,
+                out_w,
+                ..
+            } => (channels * out_h * out_w) as u64,
+        }
+    }
+
+    /// Forward-propagation GEMMs for mini-batch size `b`.
+    pub fn forward_gemms(&self, b: u64) -> Vec<LoweredGemm> {
+        match self {
+            LayerSpec::Conv {
+                cin,
+                cout,
+                k,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                groups,
+                ..
+            } => {
+                let (p, q) = conv_out_hw(*in_h, *in_w, *k, *stride, *pad);
+                let (cin_g, cout_g) = (cin / groups, cout / groups);
+                vec![LoweredGemm {
+                    shape: GemmShape::new(
+                        b * (p * q) as u64,
+                        (cin_g * k * k) as u64,
+                        cout_g as u64,
+                    ),
+                    count: *groups as u64,
+                }]
+            }
+            LayerSpec::Linear { in_f, out_f, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(b, *in_f as u64, *out_f as u64),
+                count: 1,
+            }],
+            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(b * *seq as u64, *in_f as u64, *out_f as u64),
+                count: 1,
+            }],
+            LayerSpec::Attention { heads, d_head, seq, .. } => vec![
+                // Scores: (L, d) × (d, L) per head per example.
+                LoweredGemm {
+                    shape: GemmShape::new(*seq as u64, *d_head as u64, *seq as u64),
+                    count: b * *heads as u64,
+                },
+                // Context: (L, L) × (L, d).
+                LoweredGemm {
+                    shape: GemmShape::new(*seq as u64, *seq as u64, *d_head as u64),
+                    count: b * *heads as u64,
+                },
+            ],
+            LayerSpec::Embedding { .. } | LayerSpec::Pool { .. } => Vec::new(),
+        }
+    }
+
+    /// Input-activation-gradient GEMMs (`G(X) = G(Y)·Wᵀ`) for batch `b`.
+    pub fn act_grad_gemms(&self, b: u64) -> Vec<LoweredGemm> {
+        match self {
+            LayerSpec::Conv {
+                cin,
+                cout,
+                k,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                groups,
+                ..
+            } => {
+                let (p, q) = conv_out_hw(*in_h, *in_w, *k, *stride, *pad);
+                let (cin_g, cout_g) = (cin / groups, cout / groups);
+                vec![LoweredGemm {
+                    shape: GemmShape::new(
+                        b * (p * q) as u64,
+                        cout_g as u64,
+                        (cin_g * k * k) as u64,
+                    ),
+                    count: *groups as u64,
+                }]
+            }
+            LayerSpec::Linear { in_f, out_f, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(b, *out_f as u64, *in_f as u64),
+                count: 1,
+            }],
+            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(b * *seq as u64, *out_f as u64, *in_f as u64),
+                count: 1,
+            }],
+            LayerSpec::Attention { heads, d_head, seq, .. } => vec![
+                // d(scores) and d(values) from the context GEMM...
+                LoweredGemm {
+                    shape: GemmShape::new(*seq as u64, *d_head as u64, *seq as u64),
+                    count: b * *heads as u64,
+                },
+                LoweredGemm {
+                    shape: GemmShape::new(*seq as u64, *seq as u64, *d_head as u64),
+                    count: b * *heads as u64,
+                },
+                // ...and dQ/dK from the scores GEMM.
+                LoweredGemm {
+                    shape: GemmShape::new(*seq as u64, *seq as u64, *d_head as u64),
+                    count: 2 * b * *heads as u64,
+                },
+            ],
+            LayerSpec::Embedding { .. } | LayerSpec::Pool { .. } => Vec::new(),
+        }
+    }
+
+    /// Per-batch weight-gradient GEMMs (`G(W) = Xᵀ·G(Y)`, K reduces over the
+    /// whole mini-batch).
+    pub fn per_batch_wgrad_gemms(&self, b: u64) -> Vec<LoweredGemm> {
+        match self {
+            LayerSpec::Conv {
+                cin,
+                cout,
+                k,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                groups,
+                ..
+            } => {
+                let (p, q) = conv_out_hw(*in_h, *in_w, *k, *stride, *pad);
+                let (cin_g, cout_g) = (cin / groups, cout / groups);
+                vec![LoweredGemm {
+                    shape: GemmShape::new(
+                        (cin_g * k * k) as u64,
+                        b * (p * q) as u64,
+                        cout_g as u64,
+                    ),
+                    count: *groups as u64,
+                }]
+            }
+            LayerSpec::Linear { in_f, out_f, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(*in_f as u64, b, *out_f as u64),
+                count: 1,
+            }],
+            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(*in_f as u64, b * *seq as u64, *out_f as u64),
+                count: 1,
+            }],
+            LayerSpec::Attention { .. } | LayerSpec::Embedding { .. } | LayerSpec::Pool { .. } => {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Per-example weight-gradient GEMMs: `B` independent GEMMs whose K
+    /// dimension no longer contains the batch — the irregular, small-K
+    /// shapes that motivate DiVa (paper Figure 6 right, Section III-C).
+    pub fn per_example_wgrad_gemms(&self, b: u64) -> Vec<LoweredGemm> {
+        match self {
+            LayerSpec::Conv {
+                cin,
+                cout,
+                k,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                groups,
+                ..
+            } => {
+                let (p, q) = conv_out_hw(*in_h, *in_w, *k, *stride, *pad);
+                let (cin_g, cout_g) = (cin / groups, cout / groups);
+                vec![LoweredGemm {
+                    shape: GemmShape::new((cin_g * k * k) as u64, (p * q) as u64, cout_g as u64),
+                    count: b * *groups as u64,
+                }]
+            }
+            LayerSpec::Linear { in_f, out_f, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(*in_f as u64, 1, *out_f as u64),
+                count: b,
+            }],
+            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+                shape: GemmShape::new(*in_f as u64, *seq as u64, *out_f as u64),
+                count: b,
+            }],
+            LayerSpec::Attention { .. } | LayerSpec::Embedding { .. } | LayerSpec::Pool { .. } => {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Whether the layer owns trainable parameters.
+    pub fn has_params(&self) -> bool {
+        self.params() > 0
+    }
+}
+
+/// Convolution output spatial extent.
+pub(crate) fn conv_out_hw(
+    in_h: usize,
+    in_w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    (
+        (in_h + 2 * pad - k) / stride + 1,
+        (in_w + 2 * pad - k) / stride + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> LayerSpec {
+        LayerSpec::Conv {
+            name: "conv".into(),
+            cin: 64,
+            cout: 128,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 16,
+            in_w: 16,
+            groups: 1,
+        }
+    }
+
+    #[test]
+    fn conv_lowering_matches_figure6() {
+        let l = conv();
+        let b = 32;
+        let fwd = l.forward_gemms(b);
+        assert_eq!(fwd[0].shape, GemmShape::new(32 * 256, 64 * 9, 128));
+        let pb = l.per_batch_wgrad_gemms(b);
+        assert_eq!(pb[0].shape, GemmShape::new(64 * 9, 32 * 256, 128));
+        let pe = l.per_example_wgrad_gemms(b);
+        assert_eq!(pe[0].shape, GemmShape::new(64 * 9, 256, 128));
+        assert_eq!(pe[0].count, 32);
+    }
+
+    #[test]
+    fn mlp_per_example_k_is_one() {
+        let l = LayerSpec::Linear {
+            name: "fc".into(),
+            in_f: 768,
+            out_f: 768,
+        };
+        let pe = l.per_example_wgrad_gemms(16);
+        assert_eq!(pe[0].shape, GemmShape::new(768, 1, 768));
+        assert_eq!(pe[0].count, 16);
+    }
+
+    #[test]
+    fn seq_linear_per_example_k_is_seq_len() {
+        let l = LayerSpec::SeqLinear {
+            name: "qkv".into(),
+            in_f: 768,
+            out_f: 768,
+            seq: 32,
+        };
+        let pe = l.per_example_wgrad_gemms(8);
+        assert_eq!(pe[0].shape, GemmShape::new(768, 32, 768));
+    }
+
+    #[test]
+    fn depthwise_conv_produces_per_channel_micro_gemms() {
+        let l = LayerSpec::Conv {
+            name: "dw".into(),
+            cin: 512,
+            cout: 512,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 4,
+            in_w: 4,
+            groups: 512,
+        };
+        let pe = l.per_example_wgrad_gemms(32);
+        assert_eq!(pe[0].shape, GemmShape::new(9, 16, 1));
+        assert_eq!(pe[0].count, 32 * 512);
+        assert_eq!(l.params(), 512 * 9);
+    }
+
+    #[test]
+    fn per_batch_k_scales_with_batch_but_per_example_does_not() {
+        let l = conv();
+        let pb8 = l.per_batch_wgrad_gemms(8)[0].shape.k;
+        let pb64 = l.per_batch_wgrad_gemms(64)[0].shape.k;
+        assert_eq!(pb64, 8 * pb8);
+        let pe8 = l.per_example_wgrad_gemms(8)[0].shape.k;
+        let pe64 = l.per_example_wgrad_gemms(64)[0].shape.k;
+        assert_eq!(pe8, pe64);
+    }
+
+    #[test]
+    fn attention_has_no_weight_gradients() {
+        let l = LayerSpec::Attention {
+            name: "attn".into(),
+            heads: 12,
+            d_head: 64,
+            seq: 32,
+        };
+        assert!(l.per_batch_wgrad_gemms(8).is_empty());
+        assert!(l.per_example_wgrad_gemms(8).is_empty());
+        assert!(!l.forward_gemms(8).is_empty());
+        assert_eq!(l.params(), 0);
+    }
+
+    #[test]
+    fn total_macs_balance_forward_vs_wgrad() {
+        // Per-batch weight-gradient MACs equal the sum over examples of
+        // per-example MACs (they compute the same mathematical object).
+        let l = conv();
+        let b = 16;
+        let pb: u64 = l
+            .per_batch_wgrad_gemms(b)
+            .iter()
+            .map(|g| g.shape.macs() * g.count)
+            .sum();
+        let pe: u64 = l
+            .per_example_wgrad_gemms(b)
+            .iter()
+            .map(|g| g.shape.macs() * g.count)
+            .sum();
+        assert_eq!(pb, pe);
+    }
+}

@@ -1,0 +1,33 @@
+//! DNN workload definitions for the DiVa reproduction: the paper's nine
+//! benchmark models (Section V), their lowering to GEMM op graphs for the
+//! three training algorithms (Figure 6 / Algorithm 1), and the memory
+//! footprint model behind Figure 4 and the max-batch study (Section III-A).
+//!
+//! Models follow the paper's evaluation setting: CNNs take CIFAR-10-scale
+//! `3×32×32` inputs; BERT and LSTM models use sequence length 32.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_workload::{zoo, Algorithm};
+//!
+//! let model = zoo::resnet50();
+//! let ops = model.lower(Algorithm::DpSgdReweighted, 32);
+//! assert!(!ops.is_empty());
+//! let profile = model.memory_profile(Algorithm::DpSgd, 32);
+//! assert!(profile.per_example_grad_bytes > profile.weight_bytes);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layers;
+mod memory;
+mod model;
+mod step;
+pub mod zoo;
+
+pub use layers::LayerSpec;
+pub use memory::MemoryProfile;
+pub use model::ModelSpec;
+pub use step::Algorithm;

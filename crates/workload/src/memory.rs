@@ -1,0 +1,169 @@
+//! Training memory footprint model — the paper's Figure 4 breakdown and
+//! the Section III-A max-batch study.
+//!
+//! Categories match the paper's legend: weights, activations, per-batch
+//! weight gradients, per-example weight gradients, and "else" (optimizer
+//! state, input staging, workspace).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelSpec;
+use crate::step::Algorithm;
+
+/// Bytes per stored activation element (BF16 on TPU-class hardware).
+const ACT_BYTES: u64 = 2;
+/// Bytes per weight / gradient element (FP32 master copies).
+const PARAM_BYTES: u64 = 4;
+
+/// A training-step memory footprint, broken down by the paper's Figure 4
+/// categories.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryProfile {
+    /// Model weights.
+    pub weight_bytes: u64,
+    /// Stored activations (forward tensors retained for backprop), scaling
+    /// with the mini-batch size.
+    pub activation_bytes: u64,
+    /// Per-batch weight gradients (same size as the weights).
+    pub per_batch_grad_bytes: u64,
+    /// Per-example weight gradients: `B × |W|` for DP-SGD; a transient
+    /// single-layer buffer for DP-SGD(R); zero for SGD.
+    pub per_example_grad_bytes: u64,
+    /// Everything else: optimizer state, staged input batch, workspace.
+    pub other_bytes: u64,
+}
+
+impl MemoryProfile {
+    /// Computes the footprint for one model/algorithm/batch combination.
+    pub fn compute(model: &ModelSpec, algorithm: Algorithm, batch: u64) -> Self {
+        let params = model.params();
+        let weight_bytes = params * PARAM_BYTES;
+        let activation_bytes = model.activation_elems_per_example() * batch * ACT_BYTES;
+        let per_batch_grad_bytes = params * PARAM_BYTES;
+        let per_example_grad_bytes = match algorithm {
+            Algorithm::Sgd => 0,
+            // Algorithm 1 line 19: every layer's per-example gradients are
+            // alive simultaneously (needed for the global norm, then
+            // clip + reduce).
+            Algorithm::DpSgd => batch * params * PARAM_BYTES,
+            // DP-SGD(R): gradients exist one layer at a time during the
+            // norm pass; the peak is the largest layer (Section II-C).
+            Algorithm::DpSgdReweighted => batch * model.max_layer_params() * PARAM_BYTES,
+        };
+        // Optimizer momentum + the staged input mini-batch.
+        let other_bytes =
+            params * PARAM_BYTES + model.input_elems_per_example * batch * ACT_BYTES;
+        Self {
+            weight_bytes,
+            activation_bytes,
+            per_batch_grad_bytes,
+            per_example_grad_bytes,
+            other_bytes,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.weight_bytes
+            + self.activation_bytes
+            + self.per_batch_grad_bytes
+            + self.per_example_grad_bytes
+            + self.other_bytes
+    }
+
+    /// Whether the footprint fits a device capacity.
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        self.total() <= capacity_bytes
+    }
+
+    /// Fraction of the total taken by per-example gradients (the paper
+    /// reports an average of ~78% for DP-SGD).
+    pub fn per_example_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.per_example_grad_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LayerSpec;
+    use crate::model::ModelFamily;
+
+    fn model() -> ModelSpec {
+        ModelSpec {
+            name: "m".into(),
+            family: ModelFamily::Cnn,
+            layers: vec![
+                LayerSpec::Conv {
+                    name: "c".into(),
+                    cin: 16,
+                    cout: 32,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    in_h: 16,
+                    in_w: 16,
+                    groups: 1,
+                },
+                LayerSpec::Linear {
+                    name: "fc".into(),
+                    in_f: 32 * 256,
+                    out_f: 10,
+                },
+            ],
+            input_elems_per_example: 16 * 256,
+        }
+    }
+
+    #[test]
+    fn dpsgd_per_example_grads_scale_with_batch() {
+        let m = model();
+        let p8 = m.memory_profile(Algorithm::DpSgd, 8);
+        let p16 = m.memory_profile(Algorithm::DpSgd, 16);
+        assert_eq!(p16.per_example_grad_bytes, 2 * p8.per_example_grad_bytes);
+        assert_eq!(p8.per_example_grad_bytes, 8 * m.params() * 4);
+    }
+
+    #[test]
+    fn sgd_has_no_per_example_grads() {
+        let p = model().memory_profile(Algorithm::Sgd, 64);
+        assert_eq!(p.per_example_grad_bytes, 0);
+    }
+
+    #[test]
+    fn reweighted_uses_single_layer_buffer() {
+        let m = model();
+        let p = m.memory_profile(Algorithm::DpSgdReweighted, 8);
+        assert_eq!(p.per_example_grad_bytes, 8 * m.max_layer_params() * 4);
+        let full = m.memory_profile(Algorithm::DpSgd, 8);
+        assert!(p.per_example_grad_bytes < full.per_example_grad_bytes);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let p = model().memory_profile(Algorithm::DpSgd, 4);
+        assert_eq!(
+            p.total(),
+            p.weight_bytes
+                + p.activation_bytes
+                + p.per_batch_grad_bytes
+                + p.per_example_grad_bytes
+                + p.other_bytes
+        );
+        assert!(p.fits(p.total()));
+        assert!(!p.fits(p.total() - 1));
+    }
+
+    #[test]
+    fn per_example_fraction_dominates_for_dpsgd_at_scale() {
+        // With a reasonably large batch, per-example gradients dominate the
+        // footprint — the paper's ~78% observation.
+        let p = model().memory_profile(Algorithm::DpSgd, 64);
+        assert!(p.per_example_fraction() > 0.5, "{}", p.per_example_fraction());
+    }
+}

@@ -1,0 +1,195 @@
+//! Whole-model specifications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::LayerSpec;
+use crate::memory::MemoryProfile;
+use crate::step::{lower_step, Algorithm};
+use diva_arch::TrainingOp;
+
+/// The model family, used for grouping in reports (paper figures group
+/// CNNs / Transformers / RNNs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Convolutional networks (CIFAR-10-scale inputs).
+    Cnn,
+    /// Transformer encoders (BERT).
+    Transformer,
+    /// Recurrent networks (LSTM).
+    Rnn,
+}
+
+impl ModelFamily {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelFamily::Cnn => "CNN",
+            ModelFamily::Transformer => "Transformer",
+            ModelFamily::Rnn => "RNN",
+        }
+    }
+}
+
+/// A shape-level model description: an ordered list of [`LayerSpec`]s plus
+/// bookkeeping for the memory model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name as used in the paper's figures (e.g. "ResNet-50").
+    pub name: String,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Layers in forward order.
+    pub layers: Vec<LayerSpec>,
+    /// Input elements per example (3·32·32 for CIFAR-scale CNNs).
+    pub input_elems_per_example: u64,
+}
+
+impl ModelSpec {
+    /// Total trainable parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::params).sum()
+    }
+
+    /// Parameters of the largest single layer (bounds DP-SGD(R)'s transient
+    /// per-example gradient buffer).
+    pub fn max_layer_params(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::params).max().unwrap_or(0)
+    }
+
+    /// Total stored activation elements per example (inputs of every layer
+    /// retained for backpropagation).
+    pub fn activation_elems_per_example(&self) -> u64 {
+        self.input_elems_per_example
+            + self
+                .layers
+                .iter()
+                .map(LayerSpec::out_elems_per_example)
+                .sum::<u64>()
+    }
+
+    /// Lowers one training step to the ordered op list executed by the
+    /// simulator (paper Algorithm 1, expressed as GEMM + vector ops).
+    pub fn lower(&self, algorithm: Algorithm, batch: u64) -> Vec<TrainingOp> {
+        lower_step(self, algorithm, batch)
+    }
+
+    /// The memory footprint of training at the given batch size
+    /// (paper Figure 4 breakdown).
+    pub fn memory_profile(&self, algorithm: Algorithm, batch: u64) -> MemoryProfile {
+        MemoryProfile::compute(self, algorithm, batch)
+    }
+
+    /// Largest batch size whose footprint fits in `capacity_bytes`
+    /// (paper Section III-A; TPUv3 has 16 GB).
+    ///
+    /// Returns 0 if even batch 1 does not fit.
+    pub fn max_batch(&self, algorithm: Algorithm, capacity_bytes: u64) -> u64 {
+        if !self
+            .memory_profile(algorithm, 1)
+            .fits(capacity_bytes)
+        {
+            return 0;
+        }
+        // Exponential probe then binary search.
+        let mut lo = 1u64;
+        let mut hi = 2u64;
+        while self.memory_profile(algorithm, hi).fits(capacity_bytes) {
+            lo = hi;
+            hi *= 2;
+            if hi > 1 << 24 {
+                return lo; // cap the search; batches beyond 16M are absurd
+            }
+        }
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.memory_profile(algorithm, mid).fits(capacity_bytes) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Largest *power-of-two* batch that fits (the convention the paper's
+    /// Section III-A numbers use, e.g. 8192 / 32 for ResNet-152).
+    pub fn max_batch_pow2(&self, algorithm: Algorithm, capacity_bytes: u64) -> u64 {
+        let exact = self.max_batch(algorithm, capacity_bytes);
+        if exact == 0 {
+            0
+        } else {
+            1u64 << exact.ilog2()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> ModelSpec {
+        ModelSpec {
+            name: "tiny".into(),
+            family: ModelFamily::Cnn,
+            layers: vec![
+                LayerSpec::Conv {
+                    name: "c1".into(),
+                    cin: 3,
+                    cout: 8,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    in_h: 8,
+                    in_w: 8,
+                    groups: 1,
+                },
+                LayerSpec::Linear {
+                    name: "fc".into(),
+                    in_f: 8 * 8 * 8,
+                    out_f: 10,
+                },
+            ],
+            input_elems_per_example: 3 * 8 * 8,
+        }
+    }
+
+    #[test]
+    fn param_accounting() {
+        let m = tiny_model();
+        assert_eq!(m.params(), 3 * 8 * 9 + 512 * 10);
+        assert_eq!(m.max_layer_params(), 512 * 10);
+    }
+
+    #[test]
+    fn activation_accounting_includes_input() {
+        let m = tiny_model();
+        assert_eq!(
+            m.activation_elems_per_example(),
+            (3 * 64) + (8 * 64) + 10
+        );
+    }
+
+    #[test]
+    fn max_batch_monotone_in_capacity() {
+        let m = tiny_model();
+        let small = m.max_batch(Algorithm::DpSgd, 10 << 20);
+        let large = m.max_batch(Algorithm::DpSgd, 100 << 20);
+        assert!(large >= small);
+        assert!(small >= 1);
+    }
+
+    #[test]
+    fn max_batch_pow2_rounds_down() {
+        let m = tiny_model();
+        let exact = m.max_batch(Algorithm::Sgd, 50 << 20);
+        let pow2 = m.max_batch_pow2(Algorithm::Sgd, 50 << 20);
+        assert!(pow2 <= exact);
+        assert!(pow2 * 2 > exact);
+        assert!(pow2.is_power_of_two());
+    }
+
+    #[test]
+    fn zero_capacity_means_zero_batch() {
+        assert_eq!(tiny_model().max_batch(Algorithm::DpSgd, 1024), 0);
+    }
+}

@@ -1,0 +1,421 @@
+//! Lowering a training step to the ordered op list the simulator consumes —
+//! the shape-level counterpart of the paper's Algorithm 1.
+
+use diva_arch::{Phase, TrainingOp, VectorOpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::layers::LayerSpec;
+use crate::model::ModelSpec;
+
+/// FP32 bytes per gradient element (gradients and norms are accumulated in
+/// 32-bit, per the paper's Table I footnote).
+const GRAD_BYTES: u64 = 4;
+
+/// The training algorithms characterized by the paper (Section III).
+///
+/// Shape-level mirror of `diva_dp::TrainingAlgorithm` (the functional
+/// implementation); kept separate so the performance-model stack does not
+/// depend on the numeric stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Non-private mini-batch SGD.
+    Sgd,
+    /// Vanilla DP-SGD (per-example gradients materialized).
+    DpSgd,
+    /// Reweighted DP-SGD(R) (two backprop passes, norms fused).
+    DpSgdReweighted,
+}
+
+impl Algorithm {
+    /// All algorithms in the paper's presentation order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Sgd, Algorithm::DpSgd, Algorithm::DpSgdReweighted];
+
+    /// The paper's display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Sgd => "SGD",
+            Algorithm::DpSgd => "DP-SGD",
+            Algorithm::DpSgdReweighted => "DP-SGD(R)",
+        }
+    }
+
+    /// Whether the algorithm offers differential privacy.
+    pub fn is_private(&self) -> bool {
+        !matches!(self, Algorithm::Sgd)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Emits the GEMM ops of one phase for one layer.
+fn push_gemms(
+    ops: &mut Vec<TrainingOp>,
+    gemms: &[crate::layers::LoweredGemm],
+    phase: Phase,
+    label: &str,
+    ephemeral: bool,
+) {
+    for g in gemms {
+        if g.shape.is_empty() || g.count == 0 {
+            continue;
+        }
+        let op = if ephemeral {
+            TrainingOp::gemm_batch_ephemeral(g.shape, g.count, phase, label)
+        } else {
+            TrainingOp::gemm_batch(g.shape, g.count, phase, label)
+        };
+        ops.push(op);
+    }
+}
+
+/// Lowers one training step of `model` with mini-batch `batch` under
+/// `algorithm` into the ordered op list (forward, backward, post-processing,
+/// update) whose phases match the paper's Figure 5 / Figure 14 breakdowns.
+pub fn lower_step(model: &ModelSpec, algorithm: Algorithm, batch: u64) -> Vec<TrainingOp> {
+    assert!(batch > 0, "batch size must be positive");
+    let mut ops = Vec::new();
+
+    // ---- Forward propagation (all algorithms identical) ----
+    for layer in &model.layers {
+        push_gemms(
+            &mut ops,
+            &layer.forward_gemms(batch),
+            Phase::Forward,
+            layer.name(),
+            false,
+        );
+    }
+
+    // Backward pass runs last layer to first. The first layer needs no
+    // input-activation gradient (there is no upstream layer).
+    let bwd_layers: Vec<(usize, &LayerSpec)> = model.layers.iter().enumerate().rev().collect();
+
+    match algorithm {
+        Algorithm::Sgd => {
+            for &(idx, layer) in &bwd_layers {
+                if idx > 0 {
+                    push_gemms(
+                        &mut ops,
+                        &layer.act_grad_gemms(batch),
+                        Phase::BwdActGrad1,
+                        layer.name(),
+                        false,
+                    );
+                }
+                push_gemms(
+                    &mut ops,
+                    &layer.per_batch_wgrad_gemms(batch),
+                    Phase::BwdPerBatchGrad,
+                    layer.name(),
+                    false,
+                );
+            }
+            push_weight_update(&mut ops, model);
+        }
+        Algorithm::DpSgd => {
+            // Algorithm 1, DERIVE_DP_GRADIENTS: per-example gradients are
+            // materialized (outputs persist), then norm → clip → reduce →
+            // noise post-processing sweeps over B × |W| of gradient state.
+            for &(idx, layer) in &bwd_layers {
+                if idx > 0 {
+                    push_gemms(
+                        &mut ops,
+                        &layer.act_grad_gemms(batch),
+                        Phase::BwdActGrad1,
+                        layer.name(),
+                        false,
+                    );
+                }
+                push_gemms(
+                    &mut ops,
+                    &layer.per_example_wgrad_gemms(batch),
+                    Phase::BwdPerExampleGrad,
+                    layer.name(),
+                    false, // outputs persist: needed again for clip+reduce
+                );
+                push_embedding_wgrad(&mut ops, layer, batch, Phase::BwdPerExampleGrad);
+            }
+            // Per-layer norm derivation (fusable into drain when a PPU
+            // exists — norms can be computed while the gradients stream
+            // out, Section IV-C).
+            for layer in model.layers.iter().filter(|l| l.has_params()) {
+                let grad_bytes = batch * layer.params() * GRAD_BYTES;
+                ops.push(TrainingOp::vector(
+                    VectorOpKind::GradNorm,
+                    grad_bytes,
+                    batch * GRAD_BYTES,
+                    true,
+                    Phase::BwdGradNorm,
+                    layer.name(),
+                ));
+            }
+            // Clip: read + rewrite every per-example gradient (cannot fuse:
+            // clip factors need the *global* norm across all layers).
+            for layer in model.layers.iter().filter(|l| l.has_params()) {
+                let grad_bytes = batch * layer.params() * GRAD_BYTES;
+                ops.push(TrainingOp::vector(
+                    VectorOpKind::GradClip,
+                    grad_bytes,
+                    grad_bytes,
+                    false,
+                    Phase::BwdGradClip,
+                    layer.name(),
+                ));
+            }
+            // Reduce B per-example gradients to one, then add noise.
+            for layer in model.layers.iter().filter(|l| l.has_params()) {
+                let grad_bytes = batch * layer.params() * GRAD_BYTES;
+                let reduced = layer.params() * GRAD_BYTES;
+                ops.push(TrainingOp::vector(
+                    VectorOpKind::GradReduce,
+                    grad_bytes,
+                    reduced,
+                    false,
+                    Phase::BwdReduceNoise,
+                    layer.name(),
+                ));
+                ops.push(TrainingOp::vector(
+                    VectorOpKind::NoiseAdd,
+                    reduced,
+                    reduced,
+                    false,
+                    Phase::BwdReduceNoise,
+                    layer.name(),
+                ));
+            }
+            push_weight_update(&mut ops, model);
+        }
+        Algorithm::DpSgdReweighted => {
+            // Algorithm 1, DERIVE_REWEIGHTED_DP_GRADIENTS.
+            // 1st backprop: activation grads + *ephemeral* per-example
+            // gradients that exist only long enough to produce norms.
+            for &(idx, layer) in &bwd_layers {
+                if idx > 0 {
+                    push_gemms(
+                        &mut ops,
+                        &layer.act_grad_gemms(batch),
+                        Phase::BwdActGrad1,
+                        layer.name(),
+                        false,
+                    );
+                }
+                push_gemms(
+                    &mut ops,
+                    &layer.per_example_wgrad_gemms(batch),
+                    Phase::BwdPerExampleGrad,
+                    layer.name(),
+                    true, // ephemeral: only the norm survives
+                );
+                push_embedding_wgrad(&mut ops, layer, batch, Phase::BwdPerExampleGrad);
+            }
+            for layer in model.layers.iter().filter(|l| l.has_params()) {
+                let grad_bytes = batch * layer.params() * GRAD_BYTES;
+                ops.push(TrainingOp::vector(
+                    VectorOpKind::GradNorm,
+                    grad_bytes,
+                    batch * GRAD_BYTES,
+                    true,
+                    Phase::BwdGradNorm,
+                    layer.name(),
+                ));
+            }
+            // 2nd backprop: reweighted loss → activation grads again, then
+            // per-batch weight gradients (clipping fused into the GEMM's K
+            // reduction — no separate clip/reduce ops, the paper's key
+            // optimization).
+            for &(idx, layer) in &bwd_layers {
+                if idx > 0 {
+                    push_gemms(
+                        &mut ops,
+                        &layer.act_grad_gemms(batch),
+                        Phase::BwdActGrad2,
+                        layer.name(),
+                        false,
+                    );
+                }
+                push_gemms(
+                    &mut ops,
+                    &layer.per_batch_wgrad_gemms(batch),
+                    Phase::BwdPerBatchGrad,
+                    layer.name(),
+                    false,
+                );
+                push_embedding_wgrad(&mut ops, layer, batch, Phase::BwdPerBatchGrad);
+            }
+            // Noise on the single reduced gradient.
+            for layer in model.layers.iter().filter(|l| l.has_params()) {
+                let reduced = layer.params() * GRAD_BYTES;
+                ops.push(TrainingOp::vector(
+                    VectorOpKind::NoiseAdd,
+                    reduced,
+                    reduced,
+                    false,
+                    Phase::BwdReduceNoise,
+                    layer.name(),
+                ));
+            }
+            push_weight_update(&mut ops, model);
+        }
+    }
+    ops
+}
+
+/// Embedding layers produce gather/scatter gradient traffic instead of
+/// GEMMs: per-example rows touched are `seq × dim`.
+fn push_embedding_wgrad(
+    ops: &mut Vec<TrainingOp>,
+    layer: &LayerSpec,
+    batch: u64,
+    phase: Phase,
+) {
+    if let LayerSpec::Embedding { name, dim, seq, .. } = layer {
+        // Scatter/accumulate traffic is the same whether the rows land in
+        // per-example buffers or the shared table: B·L·D touched elements.
+        let touched = batch * (*seq as u64) * (*dim as u64) * GRAD_BYTES;
+        ops.push(TrainingOp::vector(
+            VectorOpKind::GradReduce,
+            touched,
+            touched,
+            false,
+            phase,
+            name.clone(),
+        ));
+    }
+}
+
+/// Weight update: read gradient + weight, write weight.
+fn push_weight_update(ops: &mut Vec<TrainingOp>, model: &ModelSpec) {
+    let w_bytes = model.params() * GRAD_BYTES;
+    if w_bytes == 0 {
+        return;
+    }
+    ops.push(TrainingOp::vector(
+        VectorOpKind::WeightUpdate,
+        2 * w_bytes,
+        w_bytes,
+        false,
+        Phase::WeightUpdate,
+        "update",
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelFamily;
+    use diva_arch::TrainingOpKind;
+
+    fn model() -> ModelSpec {
+        ModelSpec {
+            name: "toy".into(),
+            family: ModelFamily::Cnn,
+            layers: vec![
+                LayerSpec::Conv {
+                    name: "c1".into(),
+                    cin: 3,
+                    cout: 16,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    in_h: 32,
+                    in_w: 32,
+                    groups: 1,
+                },
+                LayerSpec::Linear {
+                    name: "fc".into(),
+                    in_f: 16 * 32 * 32,
+                    out_f: 10,
+                },
+            ],
+            input_elems_per_example: 3 * 32 * 32,
+        }
+    }
+
+    fn phase_count(ops: &[TrainingOp], phase: Phase) -> usize {
+        ops.iter().filter(|o| o.phase == phase).count()
+    }
+
+    #[test]
+    fn sgd_has_no_dp_phases() {
+        let ops = lower_step(&model(), Algorithm::Sgd, 8);
+        assert!(phase_count(&ops, Phase::BwdPerExampleGrad) == 0);
+        assert!(phase_count(&ops, Phase::BwdGradNorm) == 0);
+        assert!(phase_count(&ops, Phase::BwdGradClip) == 0);
+        assert!(phase_count(&ops, Phase::Forward) > 0);
+        assert!(phase_count(&ops, Phase::BwdPerBatchGrad) > 0);
+    }
+
+    #[test]
+    fn dpsgd_has_clip_but_no_second_pass() {
+        let ops = lower_step(&model(), Algorithm::DpSgd, 8);
+        assert!(phase_count(&ops, Phase::BwdGradClip) > 0);
+        assert!(phase_count(&ops, Phase::BwdPerExampleGrad) > 0);
+        assert_eq!(phase_count(&ops, Phase::BwdActGrad2), 0);
+        assert_eq!(phase_count(&ops, Phase::BwdPerBatchGrad), 0);
+    }
+
+    #[test]
+    fn reweighted_has_second_pass_but_no_clip() {
+        let ops = lower_step(&model(), Algorithm::DpSgdReweighted, 8);
+        assert_eq!(phase_count(&ops, Phase::BwdGradClip), 0);
+        assert!(phase_count(&ops, Phase::BwdActGrad2) > 0);
+        assert!(phase_count(&ops, Phase::BwdPerBatchGrad) > 0);
+        assert!(phase_count(&ops, Phase::BwdPerExampleGrad) > 0);
+    }
+
+    #[test]
+    fn dpsgd_per_example_outputs_persist_reweighted_do_not() {
+        let persist = |alg: Algorithm| -> Vec<bool> {
+            lower_step(&model(), alg, 4)
+                .iter()
+                .filter(|o| o.phase == Phase::BwdPerExampleGrad)
+                .filter_map(|o| match &o.kind {
+                    TrainingOpKind::Gemm {
+                        output_persists, ..
+                    } => Some(*output_persists),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert!(persist(Algorithm::DpSgd).iter().all(|&p| p));
+        assert!(persist(Algorithm::DpSgdReweighted).iter().all(|&p| !p));
+    }
+
+    #[test]
+    fn first_layer_emits_no_act_grad() {
+        let ops = lower_step(&model(), Algorithm::Sgd, 8);
+        let act_grads: Vec<_> = ops
+            .iter()
+            .filter(|o| o.phase == Phase::BwdActGrad1)
+            .collect();
+        assert!(act_grads.iter().all(|o| o.label != "c1"));
+    }
+
+    #[test]
+    fn forward_identical_across_algorithms() {
+        let fwd = |alg| -> Vec<TrainingOp> {
+            lower_step(&model(), alg, 16)
+                .into_iter()
+                .filter(|o| o.phase == Phase::Forward)
+                .collect()
+        };
+        assert_eq!(fwd(Algorithm::Sgd), fwd(Algorithm::DpSgd));
+        assert_eq!(fwd(Algorithm::Sgd), fwd(Algorithm::DpSgdReweighted));
+    }
+
+    #[test]
+    fn reweighted_macs_exceed_sgd_macs() {
+        // DP-SGD(R) runs backprop twice: strictly more GEMM work.
+        let macs = |alg| -> u64 {
+            lower_step(&model(), alg, 16)
+                .iter()
+                .map(TrainingOp::macs)
+                .sum()
+        };
+        assert!(macs(Algorithm::DpSgdReweighted) > macs(Algorithm::Sgd));
+    }
+}

@@ -1,0 +1,571 @@
+//! The paper's nine benchmark models (Section V), defined at CIFAR-10 /
+//! sequence-length-32 scale.
+//!
+//! CNNs take `3×32×32` inputs ("state-of-the-art DP-SGD algorithms for
+//! computer vision are currently demonstrated with its efficacy over
+//! CIFAR-10 datasets", Section V). ImageNet-style stems are adapted to
+//! 32×32 in the usual way (3×3 stride-1 stem, no initial max-pool).
+//! Batch-normalization parameters are omitted (negligible for both memory
+//! and GEMM accounting; DP training replaces BN with group norm anyway).
+
+use crate::layers::LayerSpec;
+use crate::model::{ModelFamily, ModelSpec};
+
+/// Sequence length used by BERT/LSTM benchmarks (paper Section VI-C's
+/// baseline: 32).
+pub const SEQ_LEN: usize = 32;
+
+/// CIFAR class count.
+const CLASSES: usize = 10;
+
+/// All nine models in the paper's presentation order (Figure 4).
+pub fn all_models() -> Vec<ModelSpec> {
+    vec![
+        vgg16(),
+        resnet50(),
+        resnet152(),
+        squeezenet(),
+        mobilenet(),
+        bert_base(),
+        bert_large(),
+        lstm_small(),
+        lstm_large(),
+    ]
+}
+
+/// Incremental CNN builder tracking spatial extent and channel count.
+struct CnnBuilder {
+    layers: Vec<LayerSpec>,
+    h: usize,
+    w: usize,
+    c: usize,
+    next_id: usize,
+    input_elems: u64,
+}
+
+impl CnnBuilder {
+    fn new(channels: usize, side: usize) -> Self {
+        Self {
+            layers: Vec::new(),
+            h: side,
+            w: side,
+            c: channels,
+            next_id: 1,
+            input_elems: (channels * side * side) as u64,
+        }
+    }
+
+    fn id(&mut self, prefix: &str) -> String {
+        let s = format!("{prefix}{}", self.next_id);
+        self.next_id += 1;
+        s
+    }
+
+    fn conv(&mut self, cout: usize, k: usize, stride: usize, pad: usize) -> &mut Self {
+        let name = self.id("conv");
+        self.layers.push(LayerSpec::Conv {
+            name,
+            cin: self.c,
+            cout,
+            k,
+            stride,
+            pad,
+            in_h: self.h,
+            in_w: self.w,
+            groups: 1,
+        });
+        self.h = (self.h + 2 * pad - k) / stride + 1;
+        self.w = (self.w + 2 * pad - k) / stride + 1;
+        self.c = cout;
+        self
+    }
+
+    fn dwconv(&mut self, k: usize, stride: usize, pad: usize) -> &mut Self {
+        let name = self.id("dwconv");
+        self.layers.push(LayerSpec::Conv {
+            name,
+            cin: self.c,
+            cout: self.c,
+            k,
+            stride,
+            pad,
+            in_h: self.h,
+            in_w: self.w,
+            groups: self.c,
+        });
+        self.h = (self.h + 2 * pad - k) / stride + 1;
+        self.w = (self.w + 2 * pad - k) / stride + 1;
+        self
+    }
+
+    fn pool(&mut self, k: usize) -> &mut Self {
+        self.h /= k;
+        self.w /= k;
+        let name = self.id("pool");
+        self.layers.push(LayerSpec::Pool {
+            name,
+            channels: self.c,
+            out_h: self.h,
+            out_w: self.w,
+        });
+        self
+    }
+
+    fn global_pool(&mut self) -> &mut Self {
+        self.h = 1;
+        self.w = 1;
+        let name = self.id("gap");
+        self.layers.push(LayerSpec::Pool {
+            name,
+            channels: self.c,
+            out_h: 1,
+            out_w: 1,
+        });
+        self
+    }
+
+    fn fc(&mut self, out_f: usize) -> &mut Self {
+        let in_f = self.c * self.h * self.w;
+        let name = self.id("fc");
+        self.layers.push(LayerSpec::Linear { name, in_f, out_f });
+        self.c = out_f;
+        self.h = 1;
+        self.w = 1;
+        self
+    }
+
+    fn finish(self, name: &str) -> ModelSpec {
+        ModelSpec {
+            name: name.to_string(),
+            family: ModelFamily::Cnn,
+            layers: self.layers,
+            input_elems_per_example: self.input_elems,
+        }
+    }
+}
+
+/// VGG-16 (configuration D) with the 4096-wide classifier head attached to
+/// the 1×1×512 CIFAR feature map.
+pub fn vgg16() -> ModelSpec {
+    vgg16_at(32)
+}
+
+/// VGG-16 at an arbitrary (power-of-two ≥ 32) input side — used by the
+/// paper's Section VI-C image-size sensitivity study.
+pub fn vgg16_at(side: usize) -> ModelSpec {
+    let mut b = CnnBuilder::new(3, side);
+    for &(reps, cout) in &[(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)] {
+        for _ in 0..reps {
+            b.conv(cout, 3, 1, 1);
+        }
+        b.pool(2);
+    }
+    b.fc(4096).fc(4096).fc(CLASSES);
+    b.finish("VGG-16")
+}
+
+/// Bottleneck-block ResNet; `blocks` per stage, CIFAR 3×3 stem.
+fn resnet(name: &str, blocks: [usize; 4]) -> ModelSpec {
+    resnet_at(name, blocks, 32)
+}
+
+/// Bottleneck-block ResNet at an arbitrary input side.
+fn resnet_at(name: &str, blocks: [usize; 4], side: usize) -> ModelSpec {
+    let mut b = CnnBuilder::new(3, side);
+    b.conv(64, 3, 1, 1); // CIFAR stem
+    let widths = [64usize, 128, 256, 512];
+    for (stage, (&n_blocks, &w)) in blocks.iter().zip(widths.iter()).enumerate() {
+        for block in 0..n_blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            if block == 0 {
+                // Projection shortcut runs in parallel; modeled as extra work.
+                let cin = b.c;
+                let (h, w_sp) = (b.h, b.w);
+                b.conv(w, 1, 1, 0); // 1x1 reduce
+                b.conv(w, 3, stride, 1); // 3x3
+                b.conv(4 * w, 1, 1, 0); // 1x1 expand
+                // Downsample shortcut from the block input.
+                let name = b.id("conv");
+                b.layers.push(LayerSpec::Conv {
+                    name,
+                    cin,
+                    cout: 4 * w,
+                    k: 1,
+                    stride,
+                    pad: 0,
+                    in_h: h,
+                    in_w: w_sp,
+                    groups: 1,
+                });
+            } else {
+                b.conv(w, 1, 1, 0);
+                b.conv(w, 3, 1, 1);
+                b.conv(4 * w, 1, 1, 0);
+            }
+        }
+    }
+    b.global_pool().fc(CLASSES);
+    b.finish(name)
+}
+
+/// ResNet-50: bottleneck stages [3, 4, 6, 3].
+pub fn resnet50() -> ModelSpec {
+    resnet("ResNet-50", [3, 4, 6, 3])
+}
+
+/// ResNet-50 at an arbitrary input side (Section VI-C sensitivity).
+pub fn resnet50_at(side: usize) -> ModelSpec {
+    resnet_at("ResNet-50", [3, 4, 6, 3], side)
+}
+
+/// ResNet-152: bottleneck stages [3, 8, 36, 3].
+pub fn resnet152() -> ModelSpec {
+    resnet("ResNet-152", [3, 8, 36, 3])
+}
+
+/// ResNet-152 at an arbitrary input side (Section VI-C sensitivity).
+pub fn resnet152_at(side: usize) -> ModelSpec {
+    resnet_at("ResNet-152", [3, 8, 36, 3], side)
+}
+
+/// SqueezeNet v1.1 with fire modules, CIFAR stem.
+pub fn squeezenet() -> ModelSpec {
+    squeezenet_at(32)
+}
+
+/// SqueezeNet at an arbitrary input side (Section VI-C sensitivity).
+pub fn squeezenet_at(side: usize) -> ModelSpec {
+    let mut b = CnnBuilder::new(3, side);
+    b.conv(64, 3, 1, 1).pool(2); // 16×16
+    let fire = |b: &mut CnnBuilder, squeeze: usize, expand: usize| {
+        b.conv(squeeze, 1, 1, 0); // squeeze 1×1
+        // Expand 1×1 and 3×3 branches run on the squeezed tensor in
+        // parallel; model them sequentially (channel concat afterwards).
+        let cin = b.c;
+        let (h, w) = (b.h, b.w);
+        b.conv(expand, 1, 1, 0); // expand 1×1
+        let name = b.id("conv");
+        b.layers.push(LayerSpec::Conv {
+            name,
+            cin,
+            cout: expand,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            in_h: h,
+            in_w: w,
+            groups: 1,
+        });
+        b.c = 2 * expand; // concatenated output
+    };
+    fire(&mut b, 16, 64);
+    fire(&mut b, 16, 64);
+    b.pool(2); // 8×8
+    fire(&mut b, 32, 128);
+    fire(&mut b, 32, 128);
+    b.pool(2); // 4×4
+    fire(&mut b, 48, 192);
+    fire(&mut b, 48, 192);
+    fire(&mut b, 64, 256);
+    fire(&mut b, 64, 256);
+    b.conv(CLASSES, 1, 1, 0).global_pool();
+    b.finish("SqueezeNet")
+}
+
+/// MobileNet v1 (width 1.0) with depthwise-separable blocks, CIFAR stem.
+pub fn mobilenet() -> ModelSpec {
+    mobilenet_at(32)
+}
+
+/// MobileNet at an arbitrary input side (Section VI-C sensitivity).
+pub fn mobilenet_at(side: usize) -> ModelSpec {
+    let mut b = CnnBuilder::new(3, side);
+    b.conv(32, 3, 1, 1);
+    // (stride of the depthwise conv, output channels of the pointwise conv)
+    let blocks = [
+        (1usize, 64usize),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    for &(stride, cout) in &blocks {
+        b.dwconv(3, stride, 1);
+        b.conv(cout, 1, 1, 0);
+    }
+    b.global_pool().fc(CLASSES);
+    b.finish("MobileNet")
+}
+
+/// A BERT encoder stack.
+fn bert(name: &str, layers: usize, hidden: usize, heads: usize) -> ModelSpec {
+    bert_with_seq(name, layers, hidden, heads, SEQ_LEN)
+}
+
+/// A BERT encoder stack with an explicit sequence length (Section VI-C).
+fn bert_with_seq(
+    name: &str,
+    layers: usize,
+    hidden: usize,
+    heads: usize,
+    seq_len: usize,
+) -> ModelSpec {
+    let mut specs = Vec::new();
+    specs.push(LayerSpec::Embedding {
+        name: "embed".into(),
+        vocab: 30_522,
+        dim: hidden,
+        seq: seq_len,
+    });
+    let d_head = hidden / heads;
+    for l in 0..layers {
+        for proj in ["q", "k", "v"] {
+            specs.push(LayerSpec::SeqLinear {
+                name: format!("l{l}.{proj}"),
+                in_f: hidden,
+                out_f: hidden,
+                seq: seq_len,
+            });
+        }
+        specs.push(LayerSpec::Attention {
+            name: format!("l{l}.attn"),
+            heads,
+            d_head,
+            seq: seq_len,
+        });
+        specs.push(LayerSpec::SeqLinear {
+            name: format!("l{l}.out"),
+            in_f: hidden,
+            out_f: hidden,
+            seq: seq_len,
+        });
+        specs.push(LayerSpec::SeqLinear {
+            name: format!("l{l}.ffn1"),
+            in_f: hidden,
+            out_f: 4 * hidden,
+            seq: seq_len,
+        });
+        specs.push(LayerSpec::SeqLinear {
+            name: format!("l{l}.ffn2"),
+            in_f: 4 * hidden,
+            out_f: hidden,
+            seq: seq_len,
+        });
+    }
+    ModelSpec {
+        name: name.to_string(),
+        family: ModelFamily::Transformer,
+        layers: specs,
+        input_elems_per_example: seq_len as u64,
+    }
+}
+
+/// BERT-base: 12 layers, hidden 768, 12 heads.
+pub fn bert_base() -> ModelSpec {
+    bert("BERT-base", 12, 768, 12)
+}
+
+/// BERT-base with an explicit sequence length (Section VI-C sensitivity).
+pub fn bert_base_with_seq(seq_len: usize) -> ModelSpec {
+    bert_with_seq("BERT-base", 12, 768, 12, seq_len)
+}
+
+/// BERT-large: 24 layers, hidden 1024, 16 heads.
+pub fn bert_large() -> ModelSpec {
+    bert("BERT-large", 24, 1024, 16)
+}
+
+/// BERT-large with an explicit sequence length (Section VI-C sensitivity).
+pub fn bert_large_with_seq(seq_len: usize) -> ModelSpec {
+    bert_with_seq("BERT-large", 24, 1024, 16, seq_len)
+}
+
+/// An LSTM language-model stack: embedding → LSTM layers (each lowered to
+/// its input-to-hidden and hidden-to-hidden gate GEMMs) → vocabulary head.
+fn lstm(
+    name: &str,
+    vocab: usize,
+    embed: usize,
+    hidden: usize,
+    lstm_layers: usize,
+) -> ModelSpec {
+    lstm_with_seq(name, vocab, embed, hidden, lstm_layers, SEQ_LEN)
+}
+
+/// An LSTM stack with an explicit sequence length (Section VI-C).
+fn lstm_with_seq(
+    name: &str,
+    vocab: usize,
+    embed: usize,
+    hidden: usize,
+    lstm_layers: usize,
+    seq_len: usize,
+) -> ModelSpec {
+    let mut specs = Vec::new();
+    specs.push(LayerSpec::Embedding {
+        name: "embed".into(),
+        vocab,
+        dim: embed,
+        seq: seq_len,
+    });
+    let mut in_f = embed;
+    for l in 0..lstm_layers {
+        specs.push(LayerSpec::SeqLinear {
+            name: format!("lstm{l}.w_ih"),
+            in_f,
+            out_f: 4 * hidden,
+            seq: seq_len,
+        });
+        specs.push(LayerSpec::SeqLinear {
+            name: format!("lstm{l}.w_hh"),
+            in_f: hidden,
+            out_f: 4 * hidden,
+            seq: seq_len,
+        });
+        in_f = hidden;
+    }
+    specs.push(LayerSpec::Linear {
+        name: "head".into(),
+        in_f: hidden,
+        out_f: vocab,
+    });
+    ModelSpec {
+        name: name.to_string(),
+        family: ModelFamily::Rnn,
+        layers: specs,
+        input_elems_per_example: seq_len as u64,
+    }
+}
+
+/// LSTM-small: character-level scale (vocab 128, 1×256 hidden), after the
+/// Opacus char-LSTM example the paper cites.
+pub fn lstm_small() -> ModelSpec {
+    lstm("LSTM-small", 128, 64, 256, 1)
+}
+
+/// LSTM-small with an explicit sequence length (Section VI-C sensitivity).
+pub fn lstm_small_with_seq(seq_len: usize) -> ModelSpec {
+    lstm_with_seq("LSTM-small", 128, 64, 256, 1, seq_len)
+}
+
+/// LSTM-large: word-level scale (vocab 10k, 2×1024 hidden).
+pub fn lstm_large() -> ModelSpec {
+    lstm("LSTM-large", 10_000, 512, 1024, 2)
+}
+
+/// LSTM-large with an explicit sequence length (Section VI-C sensitivity).
+pub fn lstm_large_with_seq(seq_len: usize) -> ModelSpec {
+    lstm_with_seq("LSTM-large", 10_000, 512, 1024, 2, seq_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::Algorithm;
+
+    #[test]
+    fn zoo_has_nine_models_with_unique_names() {
+        let models = all_models();
+        assert_eq!(models.len(), 9);
+        let mut names: Vec<_> = models.iter().map(|m| m.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn parameter_counts_are_in_published_ballparks() {
+        let check = |m: &ModelSpec, lo: u64, hi: u64| {
+            let p = m.params();
+            assert!(
+                (lo..=hi).contains(&p),
+                "{} has {p} params, expected {lo}..={hi}",
+                m.name
+            );
+        };
+        check(&vgg16(), 30_000_000, 37_000_000); // CIFAR head variant
+        check(&resnet50(), 22_000_000, 26_000_000);
+        check(&resnet152(), 54_000_000, 61_000_000);
+        check(&squeezenet(), 600_000, 1_100_000);
+        check(&mobilenet(), 3_000_000, 3_600_000);
+        check(&bert_base(), 104_000_000, 114_000_000);
+        check(&bert_large(), 325_000_000, 345_000_000);
+        check(&lstm_small(), 300_000, 450_000);
+        check(&lstm_large(), 28_000_000, 33_000_000);
+    }
+
+    #[test]
+    fn resnet152_is_deeper_than_resnet50() {
+        assert!(resnet152().layers.len() > 2 * resnet50().layers.len());
+    }
+
+    #[test]
+    fn cnn_spatial_dims_track_correctly() {
+        // VGG: five pool stages take 32 → 1.
+        let m = vgg16();
+        let last_conv = m
+            .layers
+            .iter()
+            .rev()
+            .find_map(|l| match l {
+                LayerSpec::Conv { in_h, .. } => Some(*in_h),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_conv, 2); // last conv block operates at 2×2
+    }
+
+    #[test]
+    fn mobilenet_has_depthwise_layers() {
+        let m = mobilenet();
+        let depthwise = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv { groups, .. } if *groups > 1))
+            .count();
+        assert_eq!(depthwise, 13);
+    }
+
+    #[test]
+    fn bert_models_lower_to_expected_gemm_counts() {
+        let m = bert_base();
+        let ops = m.lower(Algorithm::Sgd, 8);
+        // 12 layers × (3 QKV + 2 attention + 1 out + 2 FFN) forward GEMM ops.
+        let fwd = ops
+            .iter()
+            .filter(|o| o.phase == diva_arch::Phase::Forward)
+            .count();
+        assert_eq!(fwd, 12 * (3 + 2 + 1 + 2));
+    }
+
+    #[test]
+    fn every_model_lowers_for_every_algorithm() {
+        for m in all_models() {
+            for alg in Algorithm::ALL {
+                let ops = m.lower(alg, 4);
+                assert!(!ops.is_empty(), "{} produced no ops for {alg}", m.name);
+                let macs: u64 = ops.iter().map(|o| o.macs()).sum();
+                assert!(macs > 0, "{} has zero MACs for {alg}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn dp_memory_exceeds_sgd_memory_everywhere() {
+        for m in all_models() {
+            let sgd = m.memory_profile(Algorithm::Sgd, 8).total();
+            let dp = m.memory_profile(Algorithm::DpSgd, 8).total();
+            let dpr = m.memory_profile(Algorithm::DpSgdReweighted, 8).total();
+            assert!(dp > sgd, "{}", m.name);
+            assert!(dpr <= dp, "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the workload lowering and memory model over
+//! random batch sizes and models.
+
+use diva_arch::{Phase, TrainingOpKind};
+use diva_workload::{zoo, Algorithm};
+use proptest::prelude::*;
+
+fn models() -> Vec<diva_workload::ModelSpec> {
+    zoo::all_models()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Forward MACs scale exactly linearly with the batch size.
+    #[test]
+    fn forward_macs_linear_in_batch(model_idx in 0usize..9, b in 1u64..64) {
+        let model = &models()[model_idx];
+        let fwd = |batch: u64| -> u64 {
+            model
+                .lower(Algorithm::Sgd, batch)
+                .iter()
+                .filter(|o| o.phase == Phase::Forward)
+                .map(|o| o.macs())
+                .sum()
+        };
+        prop_assert_eq!(fwd(b) * 2, fwd(2 * b));
+    }
+
+    /// Per-example GEMM *shapes* are batch-invariant; only counts scale.
+    #[test]
+    fn per_example_shapes_batch_invariant(model_idx in 0usize..9, b in 1u64..32) {
+        let model = &models()[model_idx];
+        let shapes = |batch: u64| -> Vec<_> {
+            model
+                .lower(Algorithm::DpSgd, batch)
+                .iter()
+                .filter(|o| o.phase == Phase::BwdPerExampleGrad)
+                .filter_map(|o| match &o.kind {
+                    TrainingOpKind::Gemm { shape, .. } => Some(*shape),
+                    _ => None,
+                })
+                .collect()
+        };
+        prop_assert_eq!(shapes(b), shapes(b + 1));
+    }
+
+    /// Memory is monotone in batch size for every algorithm.
+    #[test]
+    fn memory_monotone_in_batch(model_idx in 0usize..9, b in 1u64..512) {
+        let model = &models()[model_idx];
+        for alg in Algorithm::ALL {
+            let small = model.memory_profile(alg, b).total();
+            let big = model.memory_profile(alg, b + 1).total();
+            prop_assert!(big >= small, "{} {alg}", model.name);
+        }
+    }
+
+    /// Memory ordering: SGD ≤ DP-SGD(R) ≤ DP-SGD at any batch.
+    #[test]
+    fn memory_ordering_invariant(model_idx in 0usize..9, b in 1u64..256) {
+        let model = &models()[model_idx];
+        let sgd = model.memory_profile(Algorithm::Sgd, b).total();
+        let dpr = model.memory_profile(Algorithm::DpSgdReweighted, b).total();
+        let dp = model.memory_profile(Algorithm::DpSgd, b).total();
+        prop_assert!(sgd <= dpr);
+        prop_assert!(dpr <= dp);
+    }
+
+    /// The max-batch solver is exact: the reported batch fits, one more
+    /// does not.
+    #[test]
+    fn max_batch_is_tight(model_idx in 0usize..9, capacity_gb in 1u64..64) {
+        let model = &models()[model_idx];
+        let cap = capacity_gb << 30;
+        for alg in Algorithm::ALL {
+            let b = model.max_batch(alg, cap);
+            if b > 0 {
+                prop_assert!(model.memory_profile(alg, b).fits(cap));
+                prop_assert!(!model.memory_profile(alg, b + 1).fits(cap));
+            } else {
+                prop_assert!(!model.memory_profile(alg, 1).fits(cap));
+            }
+        }
+    }
+}
+
+/// The lowered op stream obeys phase ordering: forward ops precede all
+/// backward ops; the weight update is last.
+#[test]
+fn phase_ordering_is_respected() {
+    for model in models() {
+        for alg in Algorithm::ALL {
+            let ops = model.lower(alg, 8);
+            let first_bwd = ops
+                .iter()
+                .position(|o| o.phase != Phase::Forward)
+                .unwrap_or(ops.len());
+            assert!(
+                ops[..first_bwd].iter().all(|o| o.phase == Phase::Forward),
+                "{} {alg}",
+                model.name
+            );
+            assert!(
+                ops[first_bwd..].iter().all(|o| o.phase != Phase::Forward),
+                "{} {alg}: forward op after backward began",
+                model.name
+            );
+            assert_eq!(
+                ops.last().map(|o| o.phase),
+                Some(Phase::WeightUpdate),
+                "{} {alg}",
+                model.name
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the functional DP-SGD stack on randomly shaped
+//! networks and data: the invariants of Algorithm 1 must hold everywhere.
+
+use diva_dp::{clip_factors, DpSgdConfig, DpTrainer, TrainingAlgorithm};
+use diva_nn::{GradMode, Layer, Network};
+use diva_tensor::{softmax_cross_entropy, DivaRng, Tensor};
+use proptest::prelude::*;
+
+fn random_mlp(input: usize, hidden: usize, classes: usize, seed: u64) -> Network {
+    let mut rng = DivaRng::seed_from_u64(seed);
+    Network::new(vec![
+        Layer::dense(input, hidden, true, &mut rng),
+        Layer::relu(),
+        Layer::dense(hidden, classes, true, &mut rng),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-example gradients always sum to the per-batch gradient.
+    #[test]
+    fn per_example_sums_to_batch(
+        b in 1usize..7,
+        input in 2usize..10,
+        hidden in 2usize..12,
+        seed in 0u64..500,
+    ) {
+        let classes = 3;
+        let net = random_mlp(input, hidden, classes, seed);
+        let mut rng = DivaRng::seed_from_u64(seed ^ 0xabcd);
+        let x = Tensor::uniform(&[b, input], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..b).map(|i| i % classes).collect();
+        let (y, caches) = net.forward(&x);
+        let loss = softmax_cross_entropy(&y, &labels);
+        let batch = net.backward(&caches, &loss.grad_logits, GradMode::PerBatch);
+        let per_ex = net.backward(&caches, &loss.grad_logits, GradMode::PerExample);
+        let reduced = per_ex.weighted_reduce(&vec![1.0; b]);
+        let a = batch.flatten_per_batch();
+        let c = reduced.flatten_per_batch();
+        for (x1, x2) in a.iter().zip(&c) {
+            prop_assert!((x1 - x2).abs() < 1e-3, "{x1} vs {x2}");
+        }
+    }
+
+    /// Clipping always bounds every per-example gradient norm by C.
+    #[test]
+    fn clipping_bounds_norms(
+        b in 1usize..7,
+        clip in 0.01f64..10.0,
+        seed in 0u64..500,
+    ) {
+        let net = random_mlp(5, 8, 3, seed);
+        let mut rng = DivaRng::seed_from_u64(seed ^ 0x1234);
+        let x = Tensor::uniform(&[b, 5], -2.0, 2.0, &mut rng);
+        let labels: Vec<usize> = (0..b).map(|i| i % 3).collect();
+        let (y, caches) = net.forward(&x);
+        let loss = softmax_cross_entropy(&y, &labels);
+        let per_ex = net.backward(&caches, &loss.grad_logits, GradMode::PerExample);
+        let summary = clip_factors(&per_ex.per_example_sq_norms(), clip);
+        for (norm, factor) in summary.norms.iter().zip(&summary.factors) {
+            prop_assert!(norm * factor <= clip * (1.0 + 1e-9));
+            prop_assert!(*factor <= 1.0);
+            prop_assert!(*factor > 0.0 || *norm == 0.0);
+        }
+    }
+
+    /// DP-SGD and DP-SGD(R) produce the same model for any configuration
+    /// when fed the same noise stream.
+    #[test]
+    fn dpsgd_equivalence_everywhere(
+        b in 2usize..6,
+        clip in 0.05f64..5.0,
+        sigma in 0.0f64..2.0,
+        seed in 0u64..300,
+    ) {
+        let net0 = random_mlp(4, 6, 2, seed);
+        let mut rng = DivaRng::seed_from_u64(seed ^ 0x9999);
+        let x = Tensor::uniform(&[b, 4], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..b).map(|i| i % 2).collect();
+        let run = |alg| {
+            let mut net = net0.clone();
+            let trainer = DpTrainer::new(DpSgdConfig {
+                algorithm: alg,
+                clip_norm: clip,
+                noise_multiplier: sigma,
+                learning_rate: 0.1,
+            });
+            let mut noise_rng = DivaRng::seed_from_u64(777);
+            trainer.step(&mut net, &x, &labels, &mut noise_rng);
+            net
+        };
+        let a = run(TrainingAlgorithm::DpSgd);
+        let c = run(TrainingAlgorithm::DpSgdReweighted);
+        for (la, lc) in a.layers().iter().zip(c.layers()) {
+            for (pa, pc) in la.params().iter().zip(lc.params()) {
+                prop_assert!(pa.max_abs_diff(pc) < 1e-4);
+            }
+        }
+    }
+
+    /// The norm-only backward mode agrees with explicitly materialized
+    /// per-example gradients on CNN pipelines too.
+    #[test]
+    fn norm_only_matches_materialized_for_cnn(
+        b in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let mut rng = DivaRng::seed_from_u64(seed);
+        let net = Network::new(vec![
+            Layer::conv2d(1, 3, 3, 1, 1, 6, 6, &mut rng),
+            Layer::relu(),
+            Layer::flatten(),
+            Layer::dense(3 * 36, 2, true, &mut rng),
+        ]);
+        let x = Tensor::uniform(&[b, 1, 6, 6], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..b).map(|i| i % 2).collect();
+        let (y, caches) = net.forward(&x);
+        let loss = softmax_cross_entropy(&y, &labels);
+        let explicit = net
+            .backward(&caches, &loss.grad_logits, GradMode::PerExample)
+            .per_example_sq_norms();
+        let fused = net
+            .backward(&caches, &loss.grad_logits, GradMode::NormOnly)
+            .per_example_sq_norms();
+        for (e, f) in explicit.iter().zip(&fused) {
+            prop_assert!((e - f).abs() <= 1e-5 * e.max(1.0), "{e} vs {f}");
+        }
+    }
+}
+
+/// Zero noise + infinite clip = plain SGD, even through the DP code path.
+#[test]
+fn dp_degenerates_to_sgd() {
+    let net0 = random_mlp(4, 8, 2, 11);
+    let mut rng = DivaRng::seed_from_u64(12);
+    let x = Tensor::uniform(&[5, 4], -1.0, 1.0, &mut rng);
+    let labels = vec![0, 1, 0, 1, 0];
+    let run = |alg| {
+        let mut net = net0.clone();
+        let trainer = DpTrainer::new(DpSgdConfig {
+            algorithm: alg,
+            clip_norm: 1e12,
+            noise_multiplier: 0.0,
+            learning_rate: 0.3,
+        });
+        let mut r = DivaRng::seed_from_u64(1);
+        trainer.step(&mut net, &x, &labels, &mut r);
+        net
+    };
+    let sgd = run(TrainingAlgorithm::Sgd);
+    let dp = run(TrainingAlgorithm::DpSgd);
+    let dpr = run(TrainingAlgorithm::DpSgdReweighted);
+    for ((a, b), c) in sgd.layers().iter().zip(dp.layers()).zip(dpr.layers()) {
+        for ((pa, pb), pc) in a.params().iter().zip(b.params()).zip(c.params()) {
+            assert!(pa.max_abs_diff(pb) < 1e-5);
+            assert!(pa.max_abs_diff(pc) < 1e-5);
+        }
+    }
+}

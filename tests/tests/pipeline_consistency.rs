@@ -1,0 +1,172 @@
+//! Cross-crate consistency: the shape-level workload lowering must agree
+//! with what the functional neural-network stack actually computes, and
+//! simulated quantities must obey conservation-style invariants.
+
+use diva_arch::{GemmShape, Phase, TrainingOpKind};
+use diva_core::{Accelerator, DesignPoint};
+use diva_nn::{GradMode, Layer, Network};
+use diva_tensor::{Conv2dGeom, DivaRng, Tensor};
+use diva_workload::{zoo, Algorithm, LayerSpec};
+
+/// The Figure 6 lowering must match the GEMMs the functional stack runs:
+/// a Dense layer's forward really is a (B, I, O) matmul, its per-example
+/// gradient really is an (I, 1, O) outer product, etc.
+#[test]
+fn dense_lowering_matches_functional_shapes() {
+    let (b, i, o) = (4usize, 6usize, 3usize);
+    let spec = LayerSpec::Linear {
+        name: "fc".into(),
+        in_f: i,
+        out_f: o,
+    };
+    let fwd = spec.forward_gemms(b as u64);
+    assert_eq!(fwd[0].shape, GemmShape::new(b as u64, i as u64, o as u64));
+
+    // Functional check: run the layer, confirm the per-example gradient has
+    // exactly (I × O) elements per example — the M×N of the lowered GEMM.
+    let mut rng = DivaRng::seed_from_u64(1);
+    let net = Network::new(vec![Layer::dense(i, o, false, &mut rng)]);
+    let x = Tensor::uniform(&[b, i], -1.0, 1.0, &mut rng);
+    let (y, caches) = net.forward(&x);
+    assert_eq!(y.shape().dims(), &[b, o]);
+    let grads = net.backward(&caches, &Tensor::full(&[b, o], 1.0), GradMode::PerExample);
+    let pe = spec.per_example_wgrad_gemms(b as u64);
+    assert_eq!(pe[0].count, b as u64);
+    assert_eq!(pe[0].shape.out_elems(), (i * o) as u64);
+    assert_eq!(grads.per_example_sq_norms().len(), b);
+}
+
+/// Conv lowering K/M dimensions must match the actual im2col geometry.
+#[test]
+fn conv_lowering_matches_im2col_geometry() {
+    let geom = Conv2dGeom::new(3, 8, 3, 2, 1, 16, 16);
+    let (p, q) = geom.out_hw();
+    let spec = LayerSpec::Conv {
+        name: "conv".into(),
+        cin: 3,
+        cout: 8,
+        k: 3,
+        stride: 2,
+        pad: 1,
+        in_h: 16,
+        in_w: 16,
+        groups: 1,
+    };
+    let b = 5u64;
+    let fwd = spec.forward_gemms(b)[0].shape;
+    assert_eq!(fwd.m, b * (p * q) as u64);
+    assert_eq!(fwd.k, geom.patch_len() as u64);
+    assert_eq!(fwd.n, 8);
+
+    // The functional im2col produces exactly (B·P·Q, patch_len).
+    let mut rng = DivaRng::seed_from_u64(2);
+    let x = Tensor::uniform(&[b as usize, 3, 16, 16], -1.0, 1.0, &mut rng);
+    let patches = diva_tensor::im2col(&x, &geom);
+    assert_eq!(patches.shape().dims()[0] as u64, fwd.m);
+    assert_eq!(patches.shape().dims()[1] as u64, fwd.k);
+}
+
+/// MAC conservation: per-example weight-gradient MACs equal per-batch
+/// weight-gradient MACs for every model (they compute the same tensor).
+#[test]
+fn wgrad_macs_conserved_across_algorithms() {
+    for m in zoo::all_models() {
+        let b = 16;
+        let macs_of = |alg: Algorithm, phase: Phase| -> u64 {
+            m.lower(alg, b)
+                .iter()
+                .filter(|op| op.phase == phase)
+                .map(|op| op.macs())
+                .sum()
+        };
+        let per_batch = macs_of(Algorithm::Sgd, Phase::BwdPerBatchGrad);
+        let per_example = macs_of(Algorithm::DpSgd, Phase::BwdPerExampleGrad);
+        assert_eq!(per_batch, per_example, "{}", m.name);
+    }
+}
+
+/// DP-SGD(R) GEMM work = SGD work + one extra backprop (act grads +
+/// per-example grads); forward work is identical everywhere.
+#[test]
+fn reweighted_work_decomposition() {
+    for m in zoo::all_models() {
+        let b = 8;
+        let phase_macs = |alg: Algorithm, phase: Phase| -> u64 {
+            m.lower(alg, b)
+                .iter()
+                .filter(|op| op.phase == phase)
+                .map(|op| op.macs())
+                .sum()
+        };
+        for alg in Algorithm::ALL {
+            assert_eq!(
+                phase_macs(alg, Phase::Forward),
+                phase_macs(Algorithm::Sgd, Phase::Forward),
+                "{}: forward must be algorithm-independent",
+                m.name
+            );
+        }
+        // 2nd-pass act grads equal 1st-pass act grads.
+        assert_eq!(
+            phase_macs(Algorithm::DpSgdReweighted, Phase::BwdActGrad1),
+            phase_macs(Algorithm::DpSgdReweighted, Phase::BwdActGrad2),
+            "{}",
+            m.name
+        );
+    }
+}
+
+/// Every op of a lowered step gets simulated: op counts match, no op is
+/// dropped, and total cycles are the sum of per-op cycles.
+#[test]
+fn simulation_covers_every_op() {
+    let m = zoo::squeezenet();
+    let ops = m.lower(Algorithm::DpSgdReweighted, 32);
+    let accel = Accelerator::from_design_point(DesignPoint::Diva);
+    let r = accel.run(&m, Algorithm::DpSgdReweighted, 32);
+    assert_eq!(r.timing.ops.len(), ops.len());
+    let sum: u64 = r.timing.ops.iter().map(|o| o.cycles).sum();
+    assert_eq!(sum, r.timing.total_cycles());
+    // Phase totals also add up to the grand total.
+    let phase_sum: u64 = r.timing.phases.values().map(|p| p.cycles).sum();
+    assert_eq!(phase_sum, r.timing.total_cycles());
+}
+
+/// Batched GEMM counts must be consistent with the batch size for every
+/// model: per-example GEMM instance counts are multiples of B.
+#[test]
+fn per_example_counts_scale_with_batch() {
+    for m in zoo::all_models() {
+        let b = 8u64;
+        for op in m.lower(Algorithm::DpSgd, b) {
+            if op.phase == Phase::BwdPerExampleGrad {
+                if let TrainingOpKind::Gemm { count, .. } = op.kind {
+                    assert!(
+                        count % b == 0,
+                        "{}: per-example GEMM count {count} not a multiple of B={b}",
+                        m.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Design-point dominance: adding the PPU never hurts; removing it never
+/// helps (cycles are monotone).
+#[test]
+fn ppu_is_monotone_improvement() {
+    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let no_ppu = Accelerator::from_design_point(DesignPoint::DivaNoPpu);
+    for m in zoo::all_models() {
+        for alg in [Algorithm::DpSgd, Algorithm::DpSgdReweighted] {
+            let with = diva.run(&m, alg, 8).timing.total_cycles();
+            let without = no_ppu.run(&m, alg, 8).timing.total_cycles();
+            assert!(
+                with <= without,
+                "{} {alg}: PPU made things worse ({with} > {without})",
+                m.name
+            );
+        }
+    }
+}
