@@ -9,13 +9,11 @@
 //! | RHS in  | `PE_W × 8 × 2B`     | `PE_W × 2B`                  |
 //! | Output  | `PE_W × 4B`         | `PE_W × 8 × 4B`              |
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::PeArray;
 use crate::ops::Dataflow;
 
 /// SRAM read/write bandwidth requirements in bytes per clock (paper Table I).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SramBandwidth {
     /// LHS input-matrix read bandwidth.
     pub lhs_read: u64,
@@ -62,7 +60,10 @@ pub fn sram_bandwidth(
 mod tests {
     use super::*;
 
-    const PE: PeArray = PeArray { rows: 128, cols: 128 };
+    const PE: PeArray = PeArray {
+        rows: 128,
+        cols: 128,
+    };
 
     #[test]
     fn ws_matches_table_i() {

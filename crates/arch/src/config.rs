@@ -1,12 +1,11 @@
 //! Accelerator configuration (paper Table II) with a validating builder.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::ops::Dataflow;
 
 /// Processing-element array geometry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PeArray {
     /// Array height `PE_H` (rows).
     pub rows: u64,
@@ -33,7 +32,7 @@ impl fmt::Display for PeArray {
 }
 
 /// Off-chip memory subsystem configuration (paper Table II bottom half).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MemoryConfig {
     /// Number of independent memory channels.
     pub channels: u64,
@@ -64,7 +63,7 @@ impl MemoryConfig {
 }
 
 /// Full accelerator configuration (paper Table II).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AcceleratorConfig {
     /// PE array geometry (`128×128` in the baseline).
     pub pe: PeArray,
@@ -286,7 +285,11 @@ mod tests {
     fn peak_tflops_matches_table_iii() {
         // Table III: 16,384 MACs at 940 MHz → 29.5 peak TFLOPS (BF16/FP32).
         let cfg = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
-        assert!((cfg.peak_tflops() - 30.8).abs() < 1.5, "{}", cfg.peak_tflops());
+        assert!(
+            (cfg.peak_tflops() - 30.8).abs() < 1.5,
+            "{}",
+            cfg.peak_tflops()
+        );
         assert!((cfg.peak_tflops() - 29.5).abs() / 29.5 < 0.05);
     }
 

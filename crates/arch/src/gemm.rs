@@ -1,11 +1,10 @@
 //! GEMM shapes and numeric data types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The `(M, K, N)` dimensions of a GEMM: `(M,K) × (K,N) → (M,N)`
 /// (paper Figure 3(a)).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GemmShape {
     /// Rows of the LHS matrix and of the output.
     pub m: u64,
@@ -83,7 +82,7 @@ impl fmt::Display for GemmShape {
 ///
 /// Per the paper's Table I footnote: LHS/RHS matrices are 16-bit
 /// (BF16), accumulation and outputs are 32-bit (FP32).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// bfloat16 (2 bytes): GEMM input operands.
     Bf16,

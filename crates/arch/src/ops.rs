@@ -1,12 +1,11 @@
 //! Dataflow taxonomy and the training-step operation vocabulary.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::gemm::GemmShape;
 
 /// GEMM-engine dataflows studied by the paper (Figure 3, Section IV-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Dataflow {
     /// Weight-stationary systolic array (Google TPU style): RHS latched into
     /// the PEs, LHS streamed through. The paper's baseline.
@@ -52,7 +51,7 @@ impl fmt::Display for Dataflow {
 
 /// Training-step phases, matching the stacked-bar legend of the paper's
 /// Figures 5 and 14.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Phase {
     /// Forward propagation.
     Forward,
@@ -112,7 +111,7 @@ impl fmt::Display for Phase {
 
 /// Non-GEMM (vector) operations of DP-SGD's gradient post-processing
 /// (paper Section III-C: "memory-bound gradient norm derivation").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum VectorOpKind {
     /// Square-and-reduce for L2 norms (Algorithm 1 line 22).
     GradNorm,
@@ -140,7 +139,7 @@ impl VectorOpKind {
 }
 
 /// One schedulable operation of a lowered training step.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TrainingOpKind {
     /// `count` independent GEMMs of identical shape (per-example weight
     /// gradients lower to `B` GEMMs; everything else has `count == 1`).
@@ -177,7 +176,7 @@ pub enum TrainingOpKind {
 
 /// A [`TrainingOpKind`] tagged with the phase it belongs to (for latency
 /// breakdowns) and a human-readable origin label (layer name).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TrainingOp {
     /// The operation itself.
     pub kind: TrainingOpKind,

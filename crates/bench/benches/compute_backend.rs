@@ -1,0 +1,199 @@
+//! Compute-backend throughput: the blocked/parallel kernels versus the
+//! seed's scalar loops, on the three shapes the acceptance criteria track —
+//! 256³ matmul, a conv forward/weight-gradient pair, and a full DP-SGD(R)
+//! training step at batch 32. Results are written to `BENCH_perf.json` at
+//! the workspace root (override with `DIVA_BENCH_OUT`) so subsequent PRs
+//! have a trajectory to regress against.
+//!
+//! Backend sweep: `serial` and `parallel(auto)` rows are recorded for the
+//! step benchmarks; on a single-core host the two coincide and the blocked
+//! kernel carries the whole speedup.
+
+use std::hint::black_box;
+
+use diva_bench::harness::Harness;
+use diva_bench::perf::{PerfRecord, PerfSink};
+use diva_dp::{DpSgdConfig, DpTrainer, TrainingAlgorithm};
+use diva_nn::{Layer, Network};
+use diva_tensor::{
+    conv2d, conv2d_backward_weight, matmul, matmul_reference, parallel, set_scalar_reference_mode,
+    Backend, Conv2dGeom, DivaRng, Tensor,
+};
+
+/// GFLOP/s for a GEMM of the given shape at the measured seconds/iter.
+fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    2.0 * (m as f64) * (k as f64) * (n as f64) / secs / 1e9
+}
+
+fn bench_matmul(h: &mut Harness, sink: &mut PerfSink) {
+    const D: usize = 256;
+    let mut rng = DivaRng::seed_from_u64(11);
+    let a = Tensor::uniform(&[D, D], -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform(&[D, D], -1.0, 1.0, &mut rng);
+
+    h.bench("matmul_256/scalar", || matmul_reference(black_box(&a), &b));
+    h.bench("matmul_256/blocked_serial", || {
+        Backend::serial().install(|| matmul(black_box(&a), &b))
+    });
+    h.bench("matmul_256/blocked_parallel", || {
+        Backend::auto().install(|| matmul(black_box(&a), &b))
+    });
+
+    let scalar = h.get("matmul_256/scalar").unwrap().secs_per_iter;
+    for (short, backend) in [
+        ("scalar", "scalar"),
+        ("blocked_serial", "serial"),
+        ("blocked_parallel", "parallel"),
+    ] {
+        let secs = h.get(&format!("matmul_256/{short}")).unwrap().secs_per_iter;
+        sink.push(
+            PerfRecord::new("matmul_256x256x256")
+                .tag("backend", backend)
+                .metric("ms", secs * 1e3)
+                .metric("gflops", gflops(D, D, D, secs))
+                .metric("speedup_vs_scalar", scalar / secs),
+        );
+    }
+}
+
+fn bench_conv(h: &mut Harness, sink: &mut PerfSink) {
+    // A mid-network ResNet-ish shape: the forward GEMM is
+    // (B·P·Q, Cin·R·S, Cout) = (2048, 576, 64).
+    let geom = Conv2dGeom::new(64, 64, 3, 1, 1, 16, 16);
+    let mut rng = DivaRng::seed_from_u64(12);
+    let x = Tensor::uniform(&[8, 64, 16, 16], -1.0, 1.0, &mut rng);
+    let w = Tensor::uniform(&[64, 64, 3, 3], -0.5, 0.5, &mut rng);
+    let y = conv2d(&x, &w, &geom);
+    let gy = Tensor::uniform(y.shape().dims(), -1.0, 1.0, &mut rng);
+    let (p, q) = geom.out_hw();
+    let macs = 8 * p * q * geom.patch_len() * geom.cout;
+
+    set_scalar_reference_mode(true);
+    h.bench("conv_64c_b8/scalar", || {
+        let f = conv2d(black_box(&x), &w, &geom);
+        let g = conv2d_backward_weight(&x, black_box(&gy), &geom);
+        (f, g)
+    });
+    set_scalar_reference_mode(false);
+    h.bench("conv_64c_b8/blocked_serial", || {
+        Backend::serial().install(|| {
+            let f = conv2d(black_box(&x), &w, &geom);
+            let g = conv2d_backward_weight(&x, black_box(&gy), &geom);
+            (f, g)
+        })
+    });
+    h.bench("conv_64c_b8/blocked_parallel", || {
+        Backend::auto().install(|| {
+            let f = conv2d(black_box(&x), &w, &geom);
+            let g = conv2d_backward_weight(&x, black_box(&gy), &geom);
+            (f, g)
+        })
+    });
+
+    let scalar = h.get("conv_64c_b8/scalar").unwrap().secs_per_iter;
+    for (short, backend) in [
+        ("scalar", "scalar"),
+        ("blocked_serial", "serial"),
+        ("blocked_parallel", "parallel"),
+    ] {
+        let secs = h
+            .get(&format!("conv_64c_b8/{short}"))
+            .unwrap()
+            .secs_per_iter;
+        sink.push(
+            PerfRecord::new("conv2d_fwd_plus_wgrad_64c_16x16_b8")
+                .tag("backend", backend)
+                .metric("ms", secs * 1e3)
+                // Forward + weight-gradient are two GEMMs of equal MAC count.
+                .metric("gflops", 2.0 * 2.0 * macs as f64 / secs / 1e9)
+                .metric("speedup_vs_scalar", scalar / secs),
+        );
+    }
+}
+
+/// An MLP sized so its GEMMs exercise the blocked path (the per-step cost
+/// the paper's Figure 5 decomposes).
+fn step_net(rng: &mut DivaRng) -> Network {
+    Network::new(vec![
+        Layer::dense(256, 512, true, rng),
+        Layer::relu(),
+        Layer::dense(512, 256, true, rng),
+        Layer::relu(),
+        Layer::dense(256, 10, true, rng),
+    ])
+}
+
+fn bench_dp_step(h: &mut Harness, sink: &mut PerfSink) {
+    const B: usize = 32;
+    for alg in [TrainingAlgorithm::DpSgdReweighted, TrainingAlgorithm::DpSgd] {
+        let label = match alg {
+            TrainingAlgorithm::DpSgd => "dpsgd_step_b32",
+            _ => "dpsgdr_step_b32",
+        };
+        let mut rng = DivaRng::seed_from_u64(13);
+        let mut net = step_net(&mut rng);
+        let x = Tensor::uniform(&[B, 256], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..B).map(|i| i % 10).collect();
+        let config = DpSgdConfig {
+            algorithm: alg,
+            clip_norm: 1.0,
+            noise_multiplier: 1.1,
+            learning_rate: 0.05,
+        };
+
+        set_scalar_reference_mode(true);
+        let scalar_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+        h.bench(&format!("{label}/scalar"), || {
+            scalar_trainer
+                .step(&mut net, black_box(&x), &labels, &mut rng)
+                .mean_loss
+        });
+        set_scalar_reference_mode(false);
+        let serial_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+        h.bench(&format!("{label}/blocked_serial"), || {
+            serial_trainer
+                .step(&mut net, black_box(&x), &labels, &mut rng)
+                .mean_loss
+        });
+        let parallel_trainer = DpTrainer::new(config).with_backend(Backend::auto());
+        h.bench(&format!("{label}/blocked_parallel"), || {
+            parallel_trainer
+                .step(&mut net, black_box(&x), &labels, &mut rng)
+                .mean_loss
+        });
+
+        let scalar = h.get(&format!("{label}/scalar")).unwrap().secs_per_iter;
+        for (short, backend) in [
+            ("scalar", "scalar"),
+            ("blocked_serial", "serial"),
+            ("blocked_parallel", "parallel"),
+        ] {
+            let secs = h.get(&format!("{label}/{short}")).unwrap().secs_per_iter;
+            sink.push(
+                PerfRecord::new(label)
+                    .tag("backend", backend)
+                    .tag("algorithm", alg.label())
+                    .metric("ms", secs * 1e3)
+                    .metric("steps_per_sec", 1.0 / secs)
+                    .metric("speedup_vs_scalar", scalar / secs),
+            );
+        }
+    }
+}
+
+fn main() {
+    let mut h = Harness::new("compute_backend");
+    let mut sink = PerfSink::new();
+    sink.push(
+        PerfRecord::new("host")
+            .tag("backend", "info")
+            .metric("threads", parallel::max_threads() as f64),
+    );
+    bench_matmul(&mut h, &mut sink);
+    bench_conv(&mut h, &mut sink);
+    bench_dp_step(&mut h, &mut sink);
+    match sink.write(None) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_perf.json: {e}"),
+    }
+}

@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the *functional* DP machinery: per-example
-//! gradient computation, the two DP-SGD variants, and the RDP accountant.
+//! Benchmarks of the *functional* DP machinery: per-example gradient
+//! computation, the two DP-SGD variants, and the RDP accountant.
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use diva_bench::harness::Harness;
 use diva_dp::{DpSgdConfig, DpTrainer, RdpAccountant, TrainingAlgorithm};
 use diva_nn::{Layer, Network};
 use diva_tensor::{DivaRng, Tensor};
@@ -16,36 +16,29 @@ fn mlp(rng: &mut DivaRng) -> Network {
     ])
 }
 
-fn bench_training_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("functional_step/mlp_b32");
+fn main() {
+    let mut h = Harness::new("dp_algorithms");
+
     for alg in TrainingAlgorithm::ALL {
-        group.bench_function(alg.label(), |b| {
-            let mut rng = DivaRng::seed_from_u64(7);
-            let mut net = mlp(&mut rng);
-            let x = Tensor::uniform(&[32, 64], -1.0, 1.0, &mut rng);
-            let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
-            let trainer = DpTrainer::new(DpSgdConfig {
-                algorithm: alg,
-                clip_norm: 1.0,
-                noise_multiplier: 1.1,
-                learning_rate: 0.1,
-            });
-            b.iter(|| {
-                trainer
-                    .step(&mut net, black_box(&x), &labels, &mut rng)
-                    .mean_loss
-            })
+        let mut rng = DivaRng::seed_from_u64(7);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::uniform(&[32, 64], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+        let trainer = DpTrainer::new(DpSgdConfig {
+            algorithm: alg,
+            clip_norm: 1.0,
+            noise_multiplier: 1.1,
+            learning_rate: 0.1,
+        });
+        h.bench(&format!("functional_step_mlp_b32/{}", alg.label()), || {
+            trainer
+                .step(&mut net, black_box(&x), &labels, &mut rng)
+                .mean_loss
         });
     }
-    group.finish();
-}
 
-fn bench_accountant(c: &mut Criterion) {
     let acc = RdpAccountant::new(256.0 / 60_000.0, 1.1);
-    c.bench_function("rdp_epsilon/mnist_scale", |b| {
-        b.iter(|| acc.epsilon(black_box(14_000), 1e-5))
+    h.bench("rdp_epsilon/mnist_scale", || {
+        acc.epsilon(black_box(14_000), 1e-5)
     });
 }
-
-criterion_group!(benches, bench_training_step, bench_accountant);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion microbenchmarks of the register-level functional PE-array
-//! simulators (these bound the size of the validation sweeps we can run).
+//! Microbenchmarks of the register-level functional PE-array simulators
+//! (these bound the size of the validation sweeps we can run).
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use diva_bench::harness::Harness;
 use diva_pearray::{AdderTree, OsArray, OuterProductArray, Ppu, WsArray};
 use diva_tensor::{DivaRng, Tensor};
 
@@ -15,40 +15,33 @@ fn operands(m: usize, k: usize, n: usize) -> (Tensor, Tensor) {
     )
 }
 
-fn bench_arrays(c: &mut Criterion) {
-    let (a, b) = operands(32, 16, 32);
-    let mut group = c.benchmark_group("functional_gemm_32x16x32");
-    group.bench_function("ws_16x16", |bch| {
-        let arr = WsArray::new(16, 16, 8);
-        bch.iter(|| arr.gemm(black_box(&a), black_box(&b)).cycles)
-    });
-    group.bench_function("os_16x16", |bch| {
-        let arr = OsArray::new(16, 16, 8);
-        bch.iter(|| arr.gemm(black_box(&a), black_box(&b)).cycles)
-    });
-    group.bench_function("outer_product_16x16", |bch| {
-        let arr = OuterProductArray::new(16, 16, 8);
-        bch.iter(|| arr.gemm(black_box(&a), black_box(&b)).cycles)
-    });
-    group.finish();
-}
+fn main() {
+    let mut h = Harness::new("functional_arrays");
 
-fn bench_ppu(c: &mut Criterion) {
+    let (a, b) = operands(32, 16, 32);
+    let ws = WsArray::new(16, 16, 8);
+    h.bench("gemm_32x16x32/ws_16x16", || {
+        ws.gemm(black_box(&a), black_box(&b)).cycles
+    });
+    let os = OsArray::new(16, 16, 8);
+    h.bench("gemm_32x16x32/os_16x16", || {
+        os.gemm(black_box(&a), black_box(&b)).cycles
+    });
+    let op = OuterProductArray::new(16, 16, 8);
+    h.bench("gemm_32x16x32/outer_product_16x16", || {
+        op.gemm(black_box(&a), black_box(&b)).cycles
+    });
+
     let mut rng = DivaRng::seed_from_u64(2);
     let tile = Tensor::uniform(&[128, 128], -1.0, 1.0, &mut rng);
     let ppu = Ppu::new(128, 8);
-    c.bench_function("ppu_sum_of_squares_128x128", |b| {
-        b.iter(|| ppu.sum_of_squares(black_box(&tile)).value)
+    h.bench("ppu_sum_of_squares_128x128", || {
+        ppu.sum_of_squares(black_box(&tile)).value
     });
 
     let vectors: Vec<Vec<f32>> = (0..128).map(|_| vec![1.0f32; 128]).collect();
-    c.bench_function("adder_tree_stream_128x128", |b| {
-        b.iter(|| {
-            let mut tree = AdderTree::new(128);
-            tree.reduce_stream(black_box(&vectors)).1
-        })
+    h.bench("adder_tree_stream_128x128", || {
+        let mut tree = AdderTree::new(128);
+        tree.reduce_stream(black_box(&vectors)).1
     });
 }
-
-criterion_group!(benches, bench_arrays, bench_ppu);
-criterion_main!(benches);

@@ -1,43 +1,35 @@
-//! Criterion microbenchmarks of the analytic GEMM timing models — the hot
-//! path of every figure harness (each full-model simulation evaluates these
-//! closed forms thousands of times).
+//! Microbenchmarks of the analytic GEMM timing models — the hot path of
+//! every figure harness (each full-model simulation evaluates these closed
+//! forms thousands of times).
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use diva_arch::{AcceleratorConfig, Dataflow, GemmShape};
+use diva_bench::harness::Harness;
 use diva_sim::Simulator;
 
-fn bench_gemm_timing(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("gemm_models");
+
     let shapes = [
         GemmShape::new(8192, 1152, 128),  // conv forward
         GemmShape::new(1152, 256, 128),   // conv per-example grad
         GemmShape::new(768, 1, 768),      // MLP per-example grad
         GemmShape::new(4096, 4096, 4096), // large square
     ];
-    let mut group = c.benchmark_group("gemm_timing");
     for df in Dataflow::ALL {
         let sim = Simulator::new(AcceleratorConfig::tpu_v3_like(df)).unwrap();
-        group.bench_function(df.label(), |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &s in &shapes {
-                    acc += sim.gemm_timing(black_box(s), 32, true).total_cycles;
-                }
-                acc
-            })
+        h.bench(&format!("gemm_timing/{}", df.label()), || {
+            let mut acc = 0u64;
+            for &s in &shapes {
+                acc += sim.gemm_timing(black_box(s), 32, true).total_cycles;
+            }
+            acc
         });
     }
-    group.finish();
-}
 
-fn bench_compute_cycles(c: &mut Criterion) {
-    let sim =
-        Simulator::new(AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct)).unwrap();
-    c.bench_function("compute_cycles/outer_product", |b| {
-        b.iter(|| sim.compute_cycles(black_box(GemmShape::new(4608, 16, 512))))
+    let sim = Simulator::new(AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct)).unwrap();
+    h.bench("compute_cycles/outer_product", || {
+        sim.compute_cycles(black_box(GemmShape::new(4608, 16, 512)))
     });
 }
-
-criterion_group!(benches, bench_gemm_timing, bench_compute_cycles);
-criterion_main!(benches);

@@ -1,42 +1,35 @@
-//! Criterion benchmarks of full-model simulation: lowering a training step
-//! to ops and timing it end-to-end (one Figure 13 bar = one of these).
+//! Benchmarks of full-model simulation: lowering a training step to ops and
+//! timing it end-to-end (one Figure 13 bar = one of these).
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use diva_bench::harness::Harness;
 use diva_core::{Accelerator, DesignPoint};
 use diva_workload::{zoo, Algorithm};
 
-fn bench_lowering(c: &mut Criterion) {
-    let model = zoo::resnet50();
-    c.bench_function("lower/resnet50_dpsgdr_b32", |b| {
-        b.iter(|| model.lower(black_box(Algorithm::DpSgdReweighted), 32).len())
-    });
-}
+fn main() {
+    let mut h = Harness::new("training_step");
 
-fn bench_full_step(c: &mut Criterion) {
     let model = zoo::resnet50();
-    let mut group = c.benchmark_group("simulate_step/resnet50_b32");
+    h.bench("lower/resnet50_dpsgdr_b32", || {
+        model.lower(black_box(Algorithm::DpSgdReweighted), 32).len()
+    });
+
     for dp in [DesignPoint::WsBaseline, DesignPoint::Diva] {
         let accel = Accelerator::from_design_point(dp);
-        group.bench_function(dp.label(), |b| {
-            b.iter(|| {
+        h.bench(
+            &format!("simulate_step/resnet50_b32/{}", dp.label()),
+            || {
                 accel
                     .run(black_box(&model), Algorithm::DpSgdReweighted, 32)
                     .timing
                     .total_cycles()
-            })
-        });
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_memory_model(c: &mut Criterion) {
-    let model = zoo::bert_large();
-    c.bench_function("max_batch/bert_large_dpsgd", |b| {
-        b.iter(|| model.max_batch_pow2(Algorithm::DpSgd, black_box(16 * (1 << 30))))
+    let bert = zoo::bert_large();
+    h.bench("max_batch/bert_large_dpsgd", || {
+        bert.max_batch_pow2(Algorithm::DpSgd, black_box(16 * (1 << 30)))
     });
 }
-
-criterion_group!(benches, bench_lowering, bench_full_step, bench_memory_model);
-criterion_main!(benches);

@@ -11,19 +11,13 @@ fn main() {
     let baseline = Accelerator::from_design_point(DesignPoint::Diva);
     let mut overlap_cfg = DesignPoint::Diva.config();
     overlap_cfg.drain_overlap = true;
-    let overlapped =
-        Accelerator::from_config("DiVa+overlap", overlap_cfg).expect("valid config");
+    let overlapped = Accelerator::from_config("DiVa+overlap", overlap_cfg).expect("valid config");
 
     let results = run_parallel(zoo::all_models(), |model: &ModelSpec| {
         let batch = paper_batch(model);
         let serial = baseline.run(model, Algorithm::DpSgdReweighted, batch);
         let ovl = overlapped.run(model, Algorithm::DpSgdReweighted, batch);
-        (
-            model.name.clone(),
-            batch,
-            serial.seconds,
-            ovl.seconds,
-        )
+        (model.name.clone(), batch, serial.seconds, ovl.seconds)
     });
 
     let mut rows = Vec::new();

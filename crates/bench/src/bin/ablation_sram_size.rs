@@ -16,11 +16,9 @@ fn main() {
         for &sram in &sizes {
             let mut cfg = dp.config();
             cfg.sram_bytes = sram;
-            let accel = Accelerator::from_config(
-                format!("{} {}", dp.label(), fmt_bytes(sram)),
-                cfg,
-            )
-            .expect("valid config");
+            let accel =
+                Accelerator::from_config(format!("{} {}", dp.label(), fmt_bytes(sram)), cfg)
+                    .expect("valid config");
             let r = accel.run(&model, Algorithm::DpSgdReweighted, batch);
             rows.push(vec![
                 dp.label().to_string(),

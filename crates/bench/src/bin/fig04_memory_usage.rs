@@ -53,7 +53,5 @@ fn main() {
         "\nDP-SGD per-example gradient share of total memory: avg {:.0}% (paper: ~78%)",
         100.0 * avg_frac
     );
-    println!(
-        "DP-SGD(R) memory reduction vs DP-SGD: avg {avg_red:.1}x (paper: ~3.8x)"
-    );
+    println!("DP-SGD(R) memory reduction vs DP-SGD: avg {avg_red:.1}x (paper: ~3.8x)");
 }

@@ -8,10 +8,7 @@ use diva_workload::{zoo, Algorithm, ModelSpec};
 
 const CLASSES: [(&str, &[Phase]); 4] = [
     ("Fwdprop", &[Phase::Forward]),
-    (
-        "Bwd(act grad)",
-        &[Phase::BwdActGrad1, Phase::BwdActGrad2],
-    ),
+    ("Bwd(act grad)", &[Phase::BwdActGrad1, Phase::BwdActGrad2]),
     ("Bwd(per-batch)", &[Phase::BwdPerBatchGrad]),
     ("Bwd(per-example)", &[Phase::BwdPerExampleGrad]),
 ];
@@ -68,7 +65,11 @@ fn main() {
         for (di, design) in designs.iter().enumerate() {
             let mut row = vec![name.clone(), design.label().to_string()];
             for (ci, _) in CLASSES.iter().enumerate() {
-                let v = if ws[ci] > 0.0 { utils[di][ci] / ws[ci] } else { 0.0 };
+                let v = if ws[ci] > 0.0 {
+                    utils[di][ci] / ws[ci]
+                } else {
+                    0.0
+                };
                 row.push(fmt_x(v));
             }
             rows.push(row);

@@ -19,10 +19,14 @@ fn post_bytes(report: &diva_core::StepTiming) -> u64 {
         .filter(|o| o.phase == Phase::BwdPerExampleGrad)
         .map(|o| o.dram_write_bytes)
         .sum();
-    let sweeps: u64 = [Phase::BwdGradNorm, Phase::BwdGradClip, Phase::BwdReduceNoise]
-        .iter()
-        .map(|&p| report.phase_dram_bytes(p))
-        .sum();
+    let sweeps: u64 = [
+        Phase::BwdGradNorm,
+        Phase::BwdGradClip,
+        Phase::BwdReduceNoise,
+    ]
+    .iter()
+    .map(|&p| report.phase_dram_bytes(p))
+    .sum();
     spill + sweeps
 }
 

@@ -12,10 +12,7 @@ fn main() {
             format!("{:.0} MHz", cfg.freq_hz / 1e6),
         ],
         vec!["On-chip SRAM size".into(), fmt_bytes(cfg.sram_bytes)],
-        vec![
-            "Memory channels".into(),
-            cfg.memory.channels.to_string(),
-        ],
+        vec!["Memory channels".into(), cfg.memory.channels.to_string()],
         vec![
             "Memory bandwidth".into(),
             format!("{:.0} GB/sec", cfg.memory.bandwidth_bytes_per_sec / 1e9),
@@ -34,5 +31,9 @@ fn main() {
         ],
         vec!["Post-processing unit".into(), cfg.has_ppu.to_string()],
     ];
-    print_table("Table II: DiVa architecture configuration", &["parameter", "value"], &rows);
+    print_table(
+        "Table II: DiVa architecture configuration",
+        &["parameter", "value"],
+        &rows,
+    );
 }

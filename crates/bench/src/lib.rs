@@ -1,15 +1,21 @@
-//! Shared harness utilities for the figure/table regeneration binaries.
+//! Shared harness utilities for the figure/table regeneration binaries and
+//! the performance benchmarks.
 //!
 //! Every table and figure of the paper's evaluation has a dedicated binary
 //! in `src/bin/` (see DESIGN.md's experiment index). This library hosts the
-//! pieces they share: the batch-size policy, aligned table printing, and a
-//! small parallel runner (per-model simulations are independent).
+//! pieces they share: the batch-size policy, aligned table printing, a
+//! parallel runner backed by the workspace-wide thread pool, a small
+//! measurement harness (`harness`) for the `cargo bench` targets, and the
+//! `BENCH_perf.json` emitter (`perf`) that records compute-backend
+//! throughput so later PRs have a trajectory to regress against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod perf;
+
 use diva_workload::{Algorithm, ModelSpec};
-use parking_lot::Mutex;
 
 /// TPUv3 HBM capacity (paper Table II / Section III-A): 16 GB.
 pub const HBM_CAPACITY: u64 = 16 * (1 << 30);
@@ -69,32 +75,21 @@ pub fn fmt_bytes(bytes: u64) -> String {
     format!("{v:.1} {}", UNITS[unit])
 }
 
-/// Runs `f` over every item on scoped worker threads (one per item, the
-/// item counts here are single digits) and returns results in input order.
+/// Runs `f` over every item and returns results in input order.
+///
+/// Work is fanned out over the workspace-wide shared pool
+/// (`diva_tensor::parallel`), *not* ad-hoc threads: the figure binaries run
+/// alongside the parallel compute backend, and a second thread source would
+/// oversubscribe the cores the GEMM workers already occupy. Nested calls
+/// (an item function that itself uses the pool) degrade gracefully to
+/// serial execution instead of spawning threads² workers.
 pub fn run_parallel<T, I, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     T: Send,
-    I: Send + Sync,
+    I: Sync,
     F: Fn(&I) -> T + Sync,
 {
-    let n = items.len();
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for (idx, item) in items.iter().enumerate() {
-            let results = &results;
-            let f = &f;
-            scope.spawn(move |_| {
-                let out = f(item);
-                results.lock()[idx] = Some(out);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("worker did not produce a result"))
-        .collect()
+    diva_tensor::parallel::par_map(items.len(), |i| f(&items[i]))
 }
 
 #[cfg(test)]

@@ -1,0 +1,166 @@
+//! The `BENCH_perf.json` emitter: a machine-readable record of
+//! compute-backend throughput, written by the `compute_backend` bench
+//! target so successive PRs can compare against a stored trajectory.
+//!
+//! The format is deliberately flat — a list of records, each a name plus
+//! numeric metrics — and the writer is a ~60-line hand-rolled JSON emitter
+//! because serde is not in the approved dependency set.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One benchmark record: a name, a set of string tags, and numeric metrics.
+#[derive(Clone, Debug, Default)]
+pub struct PerfRecord {
+    /// Record id, e.g. `"matmul_256x256x256"`.
+    pub name: String,
+    /// String tags, e.g. `("backend", "parallel(8)")`.
+    pub tags: Vec<(String, String)>,
+    /// Numeric metrics, e.g. `("gflops", 41.2)`.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl PerfRecord {
+    /// Creates an empty record.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a string tag.
+    pub fn tag(mut self, key: &str, value: &str) -> Self {
+        self.tags.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a numeric metric (non-finite values are stored as `null`).
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+}
+
+/// Collects [`PerfRecord`]s and serializes them to `BENCH_perf.json`.
+#[derive(Clone, Debug, Default)]
+pub struct PerfSink {
+    records: Vec<PerfRecord>,
+}
+
+impl PerfSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: PerfRecord) {
+        self.records.push(record);
+    }
+
+    /// The default output path: `BENCH_perf.json` at the workspace root
+    /// (override with `DIVA_BENCH_OUT`).
+    pub fn default_path() -> PathBuf {
+        if let Ok(p) = std::env::var("DIVA_BENCH_OUT") {
+            return PathBuf::from(p);
+        }
+        // CARGO_MANIFEST_DIR is crates/bench; the workspace root is two up.
+        let manifest = env!("CARGO_MANIFEST_DIR");
+        Path::new(manifest).join("../..").join("BENCH_perf.json")
+    }
+
+    /// Serializes the sink to a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let threads = diva_tensor::parallel::max_threads();
+        let _ = writeln!(out, "  \"schema\": \"diva-bench-perf/v1\",");
+        let _ = writeln!(out, "  \"host_threads\": {threads},");
+        out.push_str("  \"records\": [\n");
+        for (ri, r) in self.records.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(out, "\"name\": {}", json_string(&r.name));
+            for (k, v) in &r.tags {
+                let _ = write!(out, ", {}: {}", json_string(k), json_string(v));
+            }
+            for (k, v) in &r.metrics {
+                if v.is_finite() {
+                    let _ = write!(out, ", {}: {v}", json_string(k));
+                } else {
+                    let _ = write!(out, ", {}: null", json_string(k));
+                }
+            }
+            out.push('}');
+            if ri + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the sink to `path` (the default path if `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write(&self, path: Option<&Path>) -> std::io::Result<PathBuf> {
+        let path = path
+            .map(Path::to_path_buf)
+            .unwrap_or_else(Self::default_path);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Escapes a string as a JSON string literal (control characters, quotes
+/// and backslashes; everything we emit is ASCII identifiers).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut sink = PerfSink::new();
+        sink.push(
+            PerfRecord::new("matmul_256")
+                .tag("backend", "serial")
+                .metric("gflops", 16.5)
+                .metric("bad", f64::NAN),
+        );
+        let json = sink.to_json();
+        assert!(json.contains("\"name\": \"matmul_256\""));
+        assert!(json.contains("\"backend\": \"serial\""));
+        assert!(json.contains("\"gflops\": 16.5"));
+        assert!(json.contains("\"bad\": null"));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -75,7 +75,10 @@ impl Accelerator {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if the configuration is inconsistent.
-    pub fn from_config(name: impl Into<String>, config: AcceleratorConfig) -> Result<Self, ConfigError> {
+    pub fn from_config(
+        name: impl Into<String>,
+        config: AcceleratorConfig,
+    ) -> Result<Self, ConfigError> {
         Ok(Self {
             name: name.into(),
             simulator: Simulator::new(config)?,

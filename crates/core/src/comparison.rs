@@ -1,9 +1,7 @@
 //! Comparison helpers used by the figure-regeneration harness.
 
-use serde::{Deserialize, Serialize};
-
 /// A labelled normalized value (one bar of a paper figure).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SpeedupRow {
     /// Model name.
     pub model: String,

@@ -1,12 +1,11 @@
 //! The accelerator design points evaluated in the paper's Figures 13–16.
 
 use diva_arch::{AcceleratorConfig, Dataflow};
-use serde::{Deserialize, Serialize};
 
 /// The four hardware design points the paper compares (Figure 13):
 /// the WS systolic baseline, an OS systolic array with the PPU attached,
 /// and DiVa with/without its PPU.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DesignPoint {
     /// Weight-stationary systolic array (Google TPUv3-like baseline).
     /// Cannot host a PPU (Section IV-C).
@@ -41,12 +40,8 @@ impl DesignPoint {
     /// The Table II-scale accelerator configuration of this design point.
     pub fn config(&self) -> AcceleratorConfig {
         match self {
-            DesignPoint::WsBaseline => {
-                AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary)
-            }
-            DesignPoint::OsWithPpu => {
-                AcceleratorConfig::tpu_v3_like(Dataflow::OutputStationary)
-            }
+            DesignPoint::WsBaseline => AcceleratorConfig::tpu_v3_like(Dataflow::WeightStationary),
+            DesignPoint::OsWithPpu => AcceleratorConfig::tpu_v3_like(Dataflow::OutputStationary),
             DesignPoint::DivaNoPpu => {
                 let mut cfg = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
                 cfg.has_ppu = false;

@@ -9,7 +9,6 @@
 use diva_arch::{Phase, TrainingOpKind};
 use diva_gpu::{GpuModel, Precision};
 use diva_workload::{Algorithm, ModelSpec};
-use serde::{Deserialize, Serialize};
 
 use crate::accelerator::Accelerator;
 
@@ -19,7 +18,7 @@ pub fn bottleneck_phases() -> [Phase; 2] {
 }
 
 /// One Figure 17 data point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BottleneckComparison {
     /// Model name.
     pub model: String,
@@ -80,12 +79,8 @@ mod tests {
         let batch = 32;
         let diva = Accelerator::from_design_point(DesignPoint::Diva);
         let t_diva = bottleneck_accel_seconds(&diva, &model, batch);
-        let t_v100 = bottleneck_gpu_seconds(
-            &model,
-            batch,
-            &GpuModel::v100(),
-            Precision::Fp16TensorCore,
-        );
+        let t_v100 =
+            bottleneck_gpu_seconds(&model, batch, &GpuModel::v100(), Precision::Fp16TensorCore);
         let ratio = t_v100 / t_diva;
         assert!(
             ratio > 0.3 && ratio < 30.0,
@@ -96,10 +91,8 @@ mod tests {
     #[test]
     fn fp32_is_slower_than_tensor_cores_for_bottleneck_gemms() {
         let model = zoo::bert_base();
-        let fp32 =
-            bottleneck_gpu_seconds(&model, 8, &GpuModel::v100(), Precision::Fp32);
-        let fp16 =
-            bottleneck_gpu_seconds(&model, 8, &GpuModel::v100(), Precision::Fp16TensorCore);
+        let fp32 = bottleneck_gpu_seconds(&model, 8, &GpuModel::v100(), Precision::Fp32);
+        let fp16 = bottleneck_gpu_seconds(&model, 8, &GpuModel::v100(), Precision::Fp16TensorCore);
         assert!(fp16 < fp32);
     }
 

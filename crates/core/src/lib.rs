@@ -40,10 +40,10 @@ mod training_run;
 pub use accelerator::{Accelerator, RunReport};
 pub use comparison::{geomean, normalize_to, SpeedupRow};
 pub use design_point::DesignPoint;
-pub use training_run::{TrainingRunEstimate, TrainingRunPlan};
 pub use gpu_compare::{
     bottleneck_accel_seconds, bottleneck_gpu_seconds, bottleneck_phases, BottleneckComparison,
 };
+pub use training_run::{TrainingRunEstimate, TrainingRunPlan};
 
 // Re-export the substrate types users need to drive the API.
 pub use diva_arch::{AcceleratorConfig, Dataflow, GemmShape, Phase};

@@ -9,12 +9,11 @@
 
 use diva_dp::RdpAccountant;
 use diva_workload::{Algorithm, ModelSpec};
-use serde::{Deserialize, Serialize};
 
 use crate::accelerator::Accelerator;
 
 /// A training-run specification.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrainingRunPlan {
     /// Number of examples in the training set (e.g. 50,000 for CIFAR-10).
     pub dataset_size: u64,
@@ -41,7 +40,7 @@ impl TrainingRunPlan {
 }
 
 /// The estimated cost of a training run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrainingRunEstimate {
     /// Optimizer steps executed.
     pub steps: u64,
@@ -138,10 +137,16 @@ mod tests {
         // algorithm), time and energy much lower on DiVa.
         let model = zoo::squeezenet();
         let plan = cifar_plan();
-        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline)
-            .estimate_training_run(&model, Algorithm::DpSgdReweighted, &plan);
-        let diva = Accelerator::from_design_point(DesignPoint::Diva)
-            .estimate_training_run(&model, Algorithm::DpSgdReweighted, &plan);
+        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).estimate_training_run(
+            &model,
+            Algorithm::DpSgdReweighted,
+            &plan,
+        );
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).estimate_training_run(
+            &model,
+            Algorithm::DpSgdReweighted,
+            &plan,
+        );
         assert_eq!(ws.epsilon, diva.epsilon);
         assert_eq!(ws.steps, diva.steps);
         assert!(diva.seconds < ws.seconds);

@@ -128,8 +128,11 @@ mod tests {
         let mut g = vec![0.0f32; 100_000];
         mech.add_noise(&mut g, &mut rng);
         let mean: f64 = g.iter().map(|&v| f64::from(v)).sum::<f64>() / g.len() as f64;
-        let var: f64 =
-            g.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / g.len() as f64;
+        let var: f64 = g
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / g.len() as f64;
         assert!((var.sqrt() - 3.0).abs() < 0.05, "std was {}", var.sqrt());
     }
 

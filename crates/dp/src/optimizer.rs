@@ -5,7 +5,7 @@
 //! the workaround the paper's Section III-A motivates).
 
 use diva_nn::{GradMode, Network, NetworkGrads};
-use diva_tensor::{softmax_cross_entropy, DivaRng, Tensor};
+use diva_tensor::{softmax_cross_entropy, Backend, DivaRng, Tensor};
 
 use crate::clip::{clip_factors, ClipSummary};
 use crate::mechanism::GaussianMechanism;
@@ -112,6 +112,7 @@ pub struct DpTrainer {
     config: DpSgdConfig,
     clip_mode: ClipMode,
     mechanism: GaussianMechanism,
+    backend: Backend,
 }
 
 impl DpTrainer {
@@ -148,7 +149,16 @@ impl DpTrainer {
             config,
             clip_mode,
             mechanism,
+            backend: Backend::auto(),
         }
+    }
+
+    /// Selects the compute backend (thread count) every step of this
+    /// trainer runs under; `Backend::auto()` is the default. Benches use
+    /// this to sweep serial vs. parallel execution of the same step.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The trainer's configuration.
@@ -159,6 +169,11 @@ impl DpTrainer {
     /// The clipping mode.
     pub fn clip_mode(&self) -> ClipMode {
         self.clip_mode
+    }
+
+    /// The compute backend steps execute under.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Runs one training step on a classification mini-batch, updating the
@@ -178,7 +193,7 @@ impl DpTrainer {
         rng: &mut DivaRng,
     ) -> StepReport {
         let b = x.shape().dim(0);
-        let (mut grads, loss, clip) = self.clipped_sum(net, x, labels);
+        let (mut grads, loss, clip) = self.backend.install(|| self.clipped_sum(net, x, labels));
         if self.config.is_private() {
             self.mechanism.add_noise_to_grads(&mut grads, rng);
         }
@@ -221,7 +236,7 @@ impl DpTrainer {
         for (x, labels) in microbatches {
             let b = x.shape().dim(0);
             total_examples += b;
-            let (grads, loss, clip) = self.clipped_sum(net, x, labels);
+            let (grads, loss, clip) = self.backend.install(|| self.clipped_sum(net, x, labels));
             loss_weighted += loss * b as f64;
             match &mut acc {
                 None => acc = Some(grads),
@@ -287,11 +302,7 @@ impl DpTrainer {
                         let mut summary =
                             clip_factors(&per_ex.per_example_sq_norms(), self.config.clip_norm);
                         summary.clipped_count = (0..b)
-                            .filter(|&i| {
-                                weights
-                                    .iter()
-                                    .any(|w| !w.is_empty() && w[i] < 1.0)
-                            })
+                            .filter(|&i| weights.iter().any(|w| !w.is_empty() && w[i] < 1.0))
                             .count();
                         (reduced, loss.mean_loss, Some(summary))
                     }
@@ -306,26 +317,11 @@ impl DpTrainer {
                 // second per-batch pass yields the clipped, reduced gradient
                 // in one shot (clipping fused into backprop — the key to
                 // DP-SGD(R)'s memory savings and fewer post-processing ops).
-                let reweighted = scale_rows(&loss.grad_logits, &summary.factors);
-                let g = net.backward(&caches, &reweighted, GradMode::PerBatch);
+                let g = net.backward_reweighted(&caches, &loss.grad_logits, &summary.factors);
                 (g, loss.mean_loss, Some(summary))
             }
         }
     }
-}
-
-/// Scales each row `i` of a `(B, F)` tensor by `factors[i]`.
-fn scale_rows(t: &Tensor, factors: &[f64]) -> Tensor {
-    let (b, f) = t.dims2();
-    assert_eq!(b, factors.len(), "factor count mismatch");
-    let mut out = t.clone();
-    let ov = out.data_mut();
-    for (i, &w) in factors.iter().enumerate() {
-        for v in &mut ov[i * f..(i + 1) * f] {
-            *v *= w as f32;
-        }
-    }
-    out
 }
 
 fn scale_grads(grads: &mut NetworkGrads, s: f32) {
@@ -494,7 +490,11 @@ mod tests {
             let x = Tensor::from_vec(data, &[b, 4]);
             losses.push(trainer.step(&mut net, &x, &labels, &mut rng).mean_loss);
         }
-        assert!(losses.last().unwrap() < &0.1, "final loss {:?}", losses.last());
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {:?}",
+            losses.last()
+        );
     }
 
     #[test]
@@ -524,7 +524,10 @@ mod tests {
             let x = Tensor::from_vec(data, &[b, 4]);
             final_loss = trainer.step(&mut net, &x, &labels, &mut rng).mean_loss;
         }
-        assert!(final_loss < 0.4, "DP training failed to converge: {final_loss}");
+        assert!(
+            final_loss < 0.4,
+            "DP training failed to converge: {final_loss}"
+        );
     }
 
     /// Microbatch accumulation must equal one big step on the concatenated

@@ -20,8 +20,15 @@ use crate::synthetic::Dataset;
 /// # Panics
 ///
 /// Panics if `q` is outside `(0, 1]`.
-pub fn poisson_sample(dataset: &Dataset, q: f64, rng: &mut DivaRng) -> Option<(Tensor, Vec<usize>)> {
-    assert!(q > 0.0 && q <= 1.0, "sampling rate must be in (0,1], got {q}");
+pub fn poisson_sample(
+    dataset: &Dataset,
+    q: f64,
+    rng: &mut DivaRng,
+) -> Option<(Tensor, Vec<usize>)> {
+    assert!(
+        q > 0.0 && q <= 1.0,
+        "sampling rate must be in (0,1], got {q}"
+    );
     let selected: Vec<usize> = (0..dataset.len())
         .filter(|_| f64::from(rng.uniform(0.0, 1.0)) < q)
         .collect();
@@ -81,7 +88,10 @@ mod tests {
         let nones = (0..200)
             .filter(|_| poisson_sample(&ds, 1e-3, &mut rng).is_none())
             .count();
-        assert!(nones > 150, "expected mostly empty draws, got {nones} empties");
+        assert!(
+            nones > 150,
+            "expected mostly empty draws, got {nones} empties"
+        );
     }
 
     #[test]

@@ -7,12 +7,11 @@
 
 use diva_arch::AcceleratorConfig;
 use diva_sim::StepTiming;
-use serde::{Deserialize, Serialize};
 
 use crate::synthesis::SynthesisModel;
 
 /// Energy breakdown of one training step, in joules.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyReport {
     /// GEMM-engine energy (dynamic + idle).
     pub engine_j: f64,
@@ -34,7 +33,7 @@ impl EnergyReport {
 }
 
 /// The assembled energy model.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyModel {
     /// Component area/power model.
     pub synthesis: SynthesisModel,
@@ -72,9 +71,7 @@ impl EnergyModel {
     /// for the full step duration.
     pub fn step_energy(&self, config: &AcceleratorConfig, step: &StepTiming) -> EnergyReport {
         let seconds = step.total_cycles() as f64 / config.freq_hz;
-        let engine = self
-            .synthesis
-            .engine(config.dataflow, false);
+        let engine = self.synthesis.engine(config.dataflow, false);
 
         let peak_macs_per_sec = config.peak_macs_per_sec();
         let dynamic_power = engine.power_w * (1.0 - self.engine_idle_fraction);

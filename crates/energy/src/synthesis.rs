@@ -1,10 +1,9 @@
 //! Synthesis-proxy area/power model, calibrated to the paper's Table III.
 
 use diva_arch::Dataflow;
-use serde::{Deserialize, Serialize};
 
 /// Area and power of one hardware component.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ComponentCost {
     /// Silicon area in mm² (65 nm standard cells).
     pub area_mm2: f64,
@@ -28,7 +27,7 @@ impl ComponentCost {
 ///
 /// The decomposition (MAC array + per-dataflow overhead) is what a
 /// synthesis report would show; only the constants are fitted.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SynthesisModel {
     /// Number of MAC units (16,384 for the 128×128 array).
     pub mac_count: u64,

@@ -2,12 +2,11 @@
 //! throughput normalized to power and area, per GEMM engine.
 
 use diva_arch::{AcceleratorConfig, Dataflow};
-use serde::{Deserialize, Serialize};
 
 use crate::synthesis::SynthesisModel;
 
 /// One row of Table III.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TableIiiRow {
     /// Engine dataflow.
     pub dataflow: Dataflow,

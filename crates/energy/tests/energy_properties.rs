@@ -1,78 +1,88 @@
 //! Property tests of the energy model: physical sanity across random
 //! workloads (monotonicity, non-negativity, conservation of breakdown).
+//! Cases are drawn from a seeded generator (no proptest in the approved
+//! dependency set), so every run checks the same deterministic sample.
 
 use diva_arch::{AcceleratorConfig, Dataflow, GemmShape, Phase, TrainingOp};
 use diva_energy::EnergyModel;
 use diva_sim::Simulator;
-use proptest::prelude::*;
+use diva_tensor::DivaRng;
 
-fn simulate(df: Dataflow, shape: GemmShape, count: u64) -> (AcceleratorConfig, diva_sim::StepTiming) {
+fn simulate(
+    df: Dataflow,
+    shape: GemmShape,
+    count: u64,
+) -> (AcceleratorConfig, diva_sim::StepTiming) {
     let cfg = AcceleratorConfig::tpu_v3_like(df);
     let sim = Simulator::new(cfg.clone()).unwrap();
     let op = TrainingOp::gemm_batch(shape, count, Phase::Forward, "op");
     (cfg, sim.time_step(&[op]))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every component of the breakdown is non-negative and they sum to the
-    /// total exactly.
-    #[test]
-    fn breakdown_is_consistent(
-        m in 1u64..2048,
-        k in 1u64..2048,
-        n in 1u64..2048,
-        count in 1u64..8,
-    ) {
-        let model = EnergyModel::calibrated();
+/// Every component of the breakdown is non-negative and they sum to the
+/// total exactly.
+#[test]
+fn breakdown_is_consistent() {
+    let model = EnergyModel::calibrated();
+    let mut gen = DivaRng::seed_from_u64(0xe1);
+    for _ in 0..48 {
+        let (m, k, n) = (
+            1 + gen.index(2047) as u64,
+            1 + gen.index(2047) as u64,
+            1 + gen.index(2047) as u64,
+        );
+        let count = 1 + gen.index(7) as u64;
         for df in Dataflow::ALL {
             let (cfg, t) = simulate(df, GemmShape::new(m, k, n), count);
             let e = model.step_energy(&cfg, &t);
-            prop_assert!(e.engine_j >= 0.0);
-            prop_assert!(e.ppu_j >= 0.0);
-            prop_assert!(e.sram_j >= 0.0);
-            prop_assert!(e.dram_j >= 0.0);
-            prop_assert!(e.uncore_j >= 0.0);
+            assert!(e.engine_j >= 0.0);
+            assert!(e.ppu_j >= 0.0);
+            assert!(e.sram_j >= 0.0);
+            assert!(e.dram_j >= 0.0);
+            assert!(e.uncore_j >= 0.0);
             let sum = e.engine_j + e.ppu_j + e.sram_j + e.dram_j + e.uncore_j;
-            prop_assert!((e.total() - sum).abs() <= 1e-12 * e.total().max(1.0));
+            assert!((e.total() - sum).abs() <= 1e-12 * e.total().max(1.0));
         }
     }
+}
 
-    /// More work (a second identical GEMM) never costs less energy.
-    #[test]
-    fn energy_monotone_in_work(
-        m in 1u64..1024,
-        k in 1u64..1024,
-        n in 1u64..1024,
-    ) {
-        let model = EnergyModel::calibrated();
-        let shape = GemmShape::new(m, k, n);
+/// More work (a second identical GEMM) never costs less energy.
+#[test]
+fn energy_monotone_in_work() {
+    let model = EnergyModel::calibrated();
+    let mut gen = DivaRng::seed_from_u64(0xe2);
+    for _ in 0..48 {
+        let shape = GemmShape::new(
+            1 + gen.index(1023) as u64,
+            1 + gen.index(1023) as u64,
+            1 + gen.index(1023) as u64,
+        );
         for df in Dataflow::ALL {
             let (cfg, t1) = simulate(df, shape, 1);
             let (_, t2) = simulate(df, shape, 2);
             let e1 = model.step_energy(&cfg, &t1).total();
             let e2 = model.step_energy(&cfg, &t2).total();
-            prop_assert!(e2 >= e1, "{df}: {e2} < {e1}");
+            assert!(e2 >= e1, "{df}: {e2} < {e1}");
         }
     }
+}
 
-    /// Energy per MAC is bounded below by the pure dynamic MAC energy and
-    /// above by a sane envelope (idle + uncore can only add so much for
-    /// compute-dense work).
-    #[test]
-    fn energy_per_mac_is_physical(
-        exp in 7u32..11, // square GEMMs from 128 to 1024
-    ) {
+/// Energy per MAC is bounded below by the pure dynamic MAC energy and
+/// above by a sane envelope (idle + uncore can only add so much for
+/// compute-dense work).
+#[test]
+fn energy_per_mac_is_physical() {
+    let model = EnergyModel::calibrated();
+    for exp in 7u32..11 {
+        // square GEMMs from 128 to 1024
         let side = 1u64 << exp;
-        let model = EnergyModel::calibrated();
         let (cfg, t) = simulate(Dataflow::OuterProduct, GemmShape::new(side, side, side), 1);
         let e = model.step_energy(&cfg, &t);
         let per_mac_pj = e.total() / t.total_macs() as f64 * 1e12;
         // 65 nm MACs land in the ~1–100 pJ/op envelope once memory and
         // uncore are amortized over a dense GEMM.
-        prop_assert!(per_mac_pj > 0.5, "{per_mac_pj} pJ/MAC too cheap");
-        prop_assert!(per_mac_pj < 500.0, "{per_mac_pj} pJ/MAC too expensive");
+        assert!(per_mac_pj > 0.5, "{per_mac_pj} pJ/MAC too cheap");
+        assert!(per_mac_pj < 500.0, "{per_mac_pj} pJ/MAC too expensive");
     }
 }
 

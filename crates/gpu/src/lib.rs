@@ -29,10 +29,9 @@
 #![warn(missing_docs)]
 
 use diva_arch::GemmShape;
-use serde::{Deserialize, Serialize};
 
 /// GEMM execution precision on the GPU.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// FP32 on CUDA cores (tensor cores disabled) — the paper's "GPU(FP32)".
     Fp32,
@@ -51,7 +50,7 @@ impl Precision {
 }
 
 /// An analytical GPU device model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuModel {
     /// Device name.
     pub name: String,
@@ -113,8 +112,7 @@ impl GpuModel {
         };
         let rounded = |v: u64, g: u64| v.div_ceil(g) * g;
         let useful = shape.macs() as f64;
-        let padded =
-            (rounded(shape.m, gm) * rounded(shape.k, gk) * rounded(shape.n, gn)) as f64;
+        let padded = (rounded(shape.m, gm) * rounded(shape.k, gk) * rounded(shape.n, gn)) as f64;
         if padded == 0.0 {
             0.0
         } else {
@@ -134,12 +132,7 @@ impl GpuModel {
     ///
     /// Roofline: `max(flops / effective_peak, bytes / bandwidth)` plus one
     /// kernel overhead.
-    pub fn batched_gemm_seconds(
-        &self,
-        shape: GemmShape,
-        count: u64,
-        precision: Precision,
-    ) -> f64 {
+    pub fn batched_gemm_seconds(&self, shape: GemmShape, count: u64, precision: Precision) -> f64 {
         if shape.is_empty() || count == 0 {
             return 0.0;
         }
@@ -152,9 +145,8 @@ impl GpuModel {
             Precision::Fp32 => 4,
             Precision::Fp16TensorCore => 2,
         };
-        let bytes =
-            count * (shape.lhs_elems() * in_bytes + shape.rhs_elems() * in_bytes
-                + shape.out_elems() * 4);
+        let bytes = count
+            * (shape.lhs_elems() * in_bytes + shape.rhs_elems() * in_bytes + shape.out_elems() * 4);
         let mem_s = bytes as f64 / self.mem_bw_bytes_per_sec;
         compute_s.max(mem_s) + self.kernel_overhead_s
     }

@@ -7,7 +7,7 @@
 //! underutilizes systolic arrays.
 
 use diva_tensor::{
-    conv2d, conv2d_backward_data, conv2d_backward_weight, Conv2dGeom, DivaRng, Tensor,
+    conv2d, conv2d_backward_data, conv2d_backward_weight, parallel, Conv2dGeom, DivaRng, Tensor,
 };
 
 use crate::layer::{BackwardOutput, GradMode, ParamGrads};
@@ -99,25 +99,18 @@ impl Conv2dLayer {
                 }
                 ParamGrads::PerBatch(out)
             }
-            GradMode::PerExample => {
-                let mut per_example = Vec::with_capacity(b);
-                for i in 0..b {
-                    per_example.push(self.example_grads(cache, grad_out, i));
-                }
-                ParamGrads::PerExample(per_example)
-            }
-            GradMode::NormOnly => {
-                let mut norms = Vec::with_capacity(b);
-                for i in 0..b {
-                    let sq: f64 = self
-                        .example_grads(cache, grad_out, i)
-                        .iter()
-                        .map(Tensor::squared_norm)
-                        .sum();
-                    norms.push(sq);
-                }
-                ParamGrads::SqNorms(norms)
-            }
+            // Per-example derivation is independent across the batch
+            // (Algorithm 1 lines 16–25): fan the `(C_in·R·S, P·Q, C_out)`
+            // per-example GEMMs out over the shared pool.
+            GradMode::PerExample => ParamGrads::PerExample(parallel::par_map(b, |i| {
+                self.example_grads(cache, grad_out, i)
+            })),
+            GradMode::NormOnly => ParamGrads::SqNorms(parallel::par_map(b, |i| {
+                self.example_grads(cache, grad_out, i)
+                    .iter()
+                    .map(Tensor::squared_norm)
+                    .sum()
+            })),
         };
         BackwardOutput { grad_input, grads }
     }

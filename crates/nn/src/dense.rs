@@ -6,7 +6,7 @@
 //! Figure 6 "MLP layer" row. That K=1 shape is the pathological case for
 //! weight-stationary systolic arrays that motivates DiVa.
 
-use diva_tensor::{matmul, matmul_nt, matmul_tn, DivaRng, Tensor};
+use diva_tensor::{matmul, matmul_nt, matmul_tn, parallel, DivaRng, Tensor};
 
 use crate::layer::{BackwardOutput, GradMode, ParamGrads};
 
@@ -75,7 +75,12 @@ impl Dense {
     }
 
     /// Backward pass. See [`GradMode`] for the three gradient flavours.
-    pub fn backward(&self, cache: &DenseCache, grad_out: &Tensor, mode: GradMode) -> BackwardOutput {
+    pub fn backward(
+        &self,
+        cache: &DenseCache,
+        grad_out: &Tensor,
+        mode: GradMode,
+    ) -> BackwardOutput {
         let (b, o) = grad_out.dims2();
         assert_eq!(o, self.output, "gradient feature mismatch");
         // G(X) = G(Y) × Wᵀ — the activation-gradient GEMM.
@@ -91,23 +96,30 @@ impl Dense {
                 }
                 ParamGrads::PerBatch(out)
             }
-            GradMode::PerExample => {
-                let mut per_example = Vec::with_capacity(b);
-                for i in 0..b {
-                    per_example.push(self.example_grads(cache, grad_out, i));
-                }
-                ParamGrads::PerExample(per_example)
-            }
+            GradMode::PerExample => ParamGrads::PerExample(parallel::par_map(b, |i| {
+                self.example_grads(cache, grad_out, i)
+            })),
             GradMode::NormOnly => {
-                let mut norms = Vec::with_capacity(b);
-                for i in 0..b {
-                    let sq: f64 = self
-                        .example_grads(cache, grad_out, i)
+                // Goodfellow's identity: the per-example dense weight
+                // gradient is the rank-1 outer product `x_i ⊗ g_i`, so
+                // `‖x_i ⊗ g_i‖² = ‖x_i‖²·‖g_i‖²` — no gradient needs to be
+                // materialized at all, which is the whole point of the
+                // DP-SGD(R) first pass (paper Algorithm 1 lines 28–42).
+                let has_bias = self.bias.is_some();
+                let norms = parallel::par_map(b, |i| {
+                    let sx: f64 = cache
+                        .x
+                        .row(i)
                         .iter()
-                        .map(Tensor::squared_norm)
+                        .map(|&v| f64::from(v) * f64::from(v))
                         .sum();
-                    norms.push(sq);
-                }
+                    let sg: f64 = grad_out
+                        .row(i)
+                        .iter()
+                        .map(|&v| f64::from(v) * f64::from(v))
+                        .sum();
+                    sx * sg + if has_bias { sg } else { 0.0 }
+                });
                 ParamGrads::SqNorms(norms)
             }
         };

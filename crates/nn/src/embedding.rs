@@ -126,11 +126,13 @@ impl Embedding {
                 ParamGrads::PerBatch(vec![g])
             }
             GradMode::PerExample => {
-                ParamGrads::PerExample((0..b).map(|ex| vec![example_grad(ex)]).collect())
+                ParamGrads::PerExample(diva_tensor::parallel::par_map(b, |ex| {
+                    vec![example_grad(ex)]
+                }))
             }
-            GradMode::NormOnly => ParamGrads::SqNorms(
-                (0..b).map(|ex| example_grad(ex).squared_norm()).collect(),
-            ),
+            GradMode::NormOnly => ParamGrads::SqNorms(diva_tensor::parallel::par_map(b, |ex| {
+                example_grad(ex).squared_norm()
+            })),
         };
         BackwardOutput { grad_input, grads }
     }

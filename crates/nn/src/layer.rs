@@ -8,7 +8,9 @@ use crate::embedding::{Embedding, EmbeddingCache};
 use crate::lstm::{Lstm, LstmCache};
 use crate::norm::{GroupNorm, GroupNormCache};
 use crate::pool::{AvgPool2d, MaxPool2d, PoolCache};
-use crate::simple::{Flatten, FlattenCache, Relu, ReluCache, Sigmoid, SigmoidCache, Tanh, TanhCache};
+use crate::simple::{
+    Flatten, FlattenCache, Relu, ReluCache, Sigmoid, SigmoidCache, Tanh, TanhCache,
+};
 use diva_tensor::DivaRng;
 
 /// How weight gradients are derived during backpropagation.
@@ -252,7 +254,12 @@ impl Layer {
     /// # Panics
     ///
     /// Panics if `cache` does not belong to this layer type.
-    pub fn backward(&self, cache: &LayerCache, grad_out: &Tensor, mode: GradMode) -> BackwardOutput {
+    pub fn backward(
+        &self,
+        cache: &LayerCache,
+        grad_out: &Tensor,
+        mode: GradMode,
+    ) -> BackwardOutput {
         match (self, cache) {
             (Layer::Dense(l), LayerCache::Dense(c)) => l.backward(c, grad_out, mode),
             (Layer::Conv2d(l), LayerCache::Conv2d(c)) => l.backward(c, grad_out, mode),

@@ -139,8 +139,7 @@ impl Lstm {
             for r in 0..b {
                 let dst = (r * t_len + t) * h_dim;
                 let src = r * h_dim;
-                output.data_mut()[dst..dst + h_dim]
-                    .copy_from_slice(&h_t.data()[src..src + h_dim]);
+                output.data_mut()[dst..dst + h_dim].copy_from_slice(&h_t.data()[src..src + h_dim]);
             }
             gates.push([gi, gf, gg, go]);
             tanh_c.push(th);
@@ -212,8 +211,7 @@ impl Lstm {
             for r in 0..b {
                 let dst = (r * t_len + t) * i_dim;
                 let src = r * i_dim;
-                grad_x.data_mut()[dst..dst + i_dim]
-                    .copy_from_slice(&dx_t.data()[src..src + i_dim]);
+                grad_x.data_mut()[dst..dst + i_dim].copy_from_slice(&dx_t.data()[src..src + i_dim]);
             }
             dz_per_t.push(dz);
         }
@@ -229,11 +227,7 @@ impl Lstm {
                     gw_ih.add_assign(&matmul_tn(&x_t, &dz_per_t[t]));
                     gw_hh.add_assign(&matmul_tn(&cache.h[t], &dz_per_t[t]));
                     for r in 0..b {
-                        for (acc, &v) in gb
-                            .data_mut()
-                            .iter_mut()
-                            .zip(dz_per_t[t].row(r))
-                        {
+                        for (acc, &v) in gb.data_mut().iter_mut().zip(dz_per_t[t].row(r)) {
                             *acc += v;
                         }
                     }
@@ -241,24 +235,16 @@ impl Lstm {
                 ParamGrads::PerBatch(vec![gw_ih, gw_hh, gb])
             }
             GradMode::PerExample => {
-                let mut per_example = Vec::with_capacity(b);
-                for r in 0..b {
-                    per_example.push(self.example_grads(cache, &dz_per_t, r));
-                }
-                ParamGrads::PerExample(per_example)
+                ParamGrads::PerExample(diva_tensor::parallel::par_map(b, |r| {
+                    self.example_grads(cache, &dz_per_t, r)
+                }))
             }
-            GradMode::NormOnly => {
-                let mut norms = Vec::with_capacity(b);
-                for r in 0..b {
-                    let sq: f64 = self
-                        .example_grads(cache, &dz_per_t, r)
-                        .iter()
-                        .map(Tensor::squared_norm)
-                        .sum();
-                    norms.push(sq);
-                }
-                ParamGrads::SqNorms(norms)
-            }
+            GradMode::NormOnly => ParamGrads::SqNorms(diva_tensor::parallel::par_map(b, |r| {
+                self.example_grads(cache, &dz_per_t, r)
+                    .iter()
+                    .map(Tensor::squared_norm)
+                    .sum()
+            })),
         };
 
         BackwardOutput {
@@ -372,7 +358,11 @@ mod tests {
             .expect_per_batch();
         let eps = 1e-3;
         // Check a few entries of each parameter.
-        for (pi, idxs) in [(0usize, vec![0usize, 9, 17]), (1, vec![0, 11, 23]), (2, vec![0, 5, 11])] {
+        for (pi, idxs) in [
+            (0usize, vec![0usize, 9, 17]),
+            (1, vec![0, 11, 23]),
+            (2, vec![0, 5, 11]),
+        ] {
             for idx in idxs {
                 let orig = match pi {
                     0 => lstm.w_ih.data()[idx],

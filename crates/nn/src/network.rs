@@ -1,6 +1,6 @@
 //! Sequential networks and whole-network gradient plumbing.
 
-use diva_tensor::Tensor;
+use diva_tensor::{parallel, Tensor};
 
 use crate::layer::{GradMode, Layer, LayerCache, ParamGrads};
 
@@ -88,6 +88,37 @@ impl Network {
         NetworkGrads { layers: grads }
     }
 
+    /// The fused clip-and-reduce backward of DP-SGD(R) (paper Algorithm 1
+    /// lines 36–41): scales the loss gradient of example `i` by
+    /// `factors[i]` in a single pass and immediately runs the *per-batch*
+    /// backward, so clipping rides the K=B reduction inside each layer's
+    /// weight-gradient GEMM. No per-example gradient (or scaled copy of the
+    /// per-example loss gradients beyond one `(B, F)` buffer) is ever
+    /// materialized — the memory saving that motivates DP-SGD(R).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_loss` is not `(B, F)` with `B == factors.len()`, or
+    /// if `caches` does not match this network.
+    pub fn backward_reweighted(
+        &self,
+        caches: &[LayerCache],
+        grad_loss: &Tensor,
+        factors: &[f64],
+    ) -> NetworkGrads {
+        let (b, f) = grad_loss.dims2();
+        assert_eq!(b, factors.len(), "one clip factor per example required");
+        let mut reweighted = grad_loss.clone();
+        let rv = reweighted.data_mut();
+        for (row, &w) in rv.chunks_mut(f).zip(factors) {
+            let w = w as f32;
+            for v in row {
+                *v *= w;
+            }
+        }
+        self.backward(caches, &reweighted, GradMode::PerBatch)
+    }
+
     /// Applies `param -= lr * grad` for per-batch gradients.
     ///
     /// # Panics
@@ -129,12 +160,9 @@ impl NetworkGrads {
         for g in &self.layers {
             let layer_norms: Option<Vec<f64>> = match g {
                 ParamGrads::None => None,
-                ParamGrads::PerExample(per_ex) => Some(
-                    per_ex
-                        .iter()
-                        .map(|ex| ex.iter().map(Tensor::squared_norm).sum())
-                        .collect(),
-                ),
+                ParamGrads::PerExample(per_ex) => Some(parallel::par_map(per_ex.len(), |i| {
+                    per_ex[i].iter().map(Tensor::squared_norm).sum()
+                })),
                 ParamGrads::SqNorms(n) => Some(n.clone()),
                 ParamGrads::PerBatch(_) => {
                     panic!("per-example norms requested from per-batch gradients")
@@ -193,28 +221,64 @@ impl NetworkGrads {
             self.layers.len(),
             "need one weight vector per layer"
         );
+        let per_layer: Vec<&[f64]> = weights.iter().map(Vec::as_slice).collect();
+        self.reduce_with(&per_layer)
+    }
+
+    /// Shared clip-reduce core: one job per parameter tensor, each a single
+    /// deterministic pass over the batch (`acc += wᵢ · gᵢ` in example
+    /// order), fanned out over the shared pool. Because every job keeps the
+    /// serial accumulation order, the result is bit-identical whatever the
+    /// thread count.
+    fn reduce_with(&self, weights: &[&[f64]]) -> NetworkGrads {
+        let jobs: Vec<(usize, usize)> = self
+            .layers
+            .iter()
+            .enumerate()
+            .flat_map(|(li, g)| {
+                let n_params = match g {
+                    ParamGrads::None => 0,
+                    ParamGrads::PerExample(per_ex) => {
+                        assert_eq!(
+                            per_ex.len(),
+                            weights[li].len(),
+                            "weight count mismatch in layer {li}"
+                        );
+                        per_ex.first().map_or(0, Vec::len)
+                    }
+                    other => {
+                        panic!("weighted reduce requires per-example gradients, got {other:?}")
+                    }
+                };
+                (0..n_params).map(move |pi| (li, pi))
+            })
+            .collect();
+        let mut reduced = parallel::par_map(jobs.len(), |j| {
+            let (li, pi) = jobs[j];
+            let ParamGrads::PerExample(per_ex) = &self.layers[li] else {
+                unreachable!("job list only references per-example layers")
+            };
+            let mut acc = Tensor::zeros(per_ex[0][pi].shape().dims());
+            for (ex, &w) in per_ex.iter().zip(weights[li]) {
+                diva_tensor::add_scaled(&mut acc, &ex[pi], w as f32);
+            }
+            acc
+        })
+        .into_iter();
         let layers = self
             .layers
             .iter()
-            .zip(weights)
-            .map(|(g, w)| match g {
+            .map(|g| match g {
                 ParamGrads::None => ParamGrads::None,
                 ParamGrads::PerExample(per_ex) => {
-                    assert_eq!(per_ex.len(), w.len(), "weight count mismatch");
                     let n_params = per_ex.first().map_or(0, Vec::len);
-                    let mut reduced: Vec<Tensor> = Vec::with_capacity(n_params);
-                    for pi in 0..n_params {
-                        let mut acc = Tensor::zeros(per_ex[0][pi].shape().dims());
-                        for (ex, &wi) in per_ex.iter().zip(w) {
-                            diva_tensor::add_scaled(&mut acc, &ex[pi], wi as f32);
-                        }
-                        reduced.push(acc);
-                    }
-                    ParamGrads::PerBatch(reduced)
+                    ParamGrads::PerBatch(
+                        (0..n_params)
+                            .map(|_| reduced.next().expect("job list covers every param"))
+                            .collect(),
+                    )
                 }
-                other =>
-
-                    panic!("weighted_reduce_per_layer requires per-example gradients, got {other:?}"),
+                _ => unreachable!("validated while building the job list"),
             })
             .collect();
         NetworkGrads { layers }
@@ -244,35 +308,17 @@ impl NetworkGrads {
 
     /// Reduces per-example gradients into per-batch gradients, scaling each
     /// example `i` by `weights[i]` first (weights of all-ones gives the
-    /// plain sum). This is Algorithm 1 lines 23–24 without the noise.
+    /// plain sum). This is Algorithm 1 lines 23–24 without the noise: a
+    /// single fused pass per parameter — no clipped per-example copies are
+    /// materialized — parallelized across parameter tensors.
     ///
     /// # Panics
     ///
     /// Panics if the gradients are not per-example or `weights` has the
     /// wrong length.
     pub fn weighted_reduce(&self, weights: &[f64]) -> NetworkGrads {
-        let layers = self
-            .layers
-            .iter()
-            .map(|g| match g {
-                ParamGrads::None => ParamGrads::None,
-                ParamGrads::PerExample(per_ex) => {
-                    assert_eq!(per_ex.len(), weights.len(), "weight count mismatch");
-                    let n_params = per_ex.first().map_or(0, Vec::len);
-                    let mut reduced: Vec<Tensor> = Vec::with_capacity(n_params);
-                    for pi in 0..n_params {
-                        let mut acc = Tensor::zeros(per_ex[0][pi].shape().dims());
-                        for (ex, &w) in per_ex.iter().zip(weights) {
-                            diva_tensor::add_scaled(&mut acc, &ex[pi], w as f32);
-                        }
-                        reduced.push(acc);
-                    }
-                    ParamGrads::PerBatch(reduced)
-                }
-                other => panic!("weighted_reduce requires per-example gradients, got {other:?}"),
-            })
-            .collect();
-        NetworkGrads { layers }
+        let per_layer: Vec<&[f64]> = self.layers.iter().map(|_| weights).collect();
+        self.reduce_with(&per_layer)
     }
 
     /// Flattens per-batch gradients into one contiguous vector (layer order,

@@ -102,8 +102,7 @@ impl GroupNorm {
                     let ch = g * cg + idx / (h * w);
                     let xh = (slice[idx] - mean as f32) * istd;
                     x_hat.data_mut()[start + idx] = xh;
-                    out.data_mut()[start + idx] =
-                        self.gamma.data()[ch] * xh + self.beta.data()[ch];
+                    out.data_mut()[start + idx] = self.gamma.data()[ch] * xh + self.beta.data()[ch];
                 }
             }
         }
@@ -124,12 +123,7 @@ impl GroupNorm {
         grad_out: &Tensor,
         mode: GradMode,
     ) -> BackwardOutput {
-        let (n, c, h, w) = (
-            cache.dims[0],
-            cache.dims[1],
-            cache.dims[2],
-            cache.dims[3],
-        );
+        let (n, c, h, w) = (cache.dims[0], cache.dims[1], cache.dims[2], cache.dims[3]);
         let cg = c / self.groups;
         let group_len = cg * h * w;
         let gv = grad_out.data();
@@ -165,8 +159,8 @@ impl GroupNorm {
                     let ch = g * cg + idx / (h * w);
                     let dxhat = gv[start + idx] * self.gamma.data()[ch];
                     let xhi = xh[start + idx];
-                    grad_input.data_mut()[start + idx] = istd
-                        * (dxhat - mean_dxhat as f32 - xhi * mean_dxhat_xhat as f32);
+                    grad_input.data_mut()[start + idx] =
+                        istd * (dxhat - mean_dxhat as f32 - xhi * mean_dxhat_xhat as f32);
                 }
             }
         }

@@ -1,0 +1,117 @@
+//! Parity contract for the fused/parallel clip-reduce pipeline: the
+//! parallel `weighted_reduce`, the per-layer variant, and the fused
+//! `backward_reweighted` of DP-SGD(R) must agree with straightforward
+//! serial accumulation across the batch sizes DP-SGD cares about
+//! (1, 2, 33) and across worker counts.
+
+use diva_nn::{GradMode, Layer, Network, NetworkGrads, ParamGrads};
+use diva_tensor::{softmax_cross_entropy, Backend, DivaRng, Tensor};
+
+fn cnn(rng: &mut DivaRng) -> Network {
+    Network::new(vec![
+        Layer::conv2d(1, 4, 3, 1, 1, 6, 6, rng),
+        Layer::relu(),
+        Layer::flatten(),
+        Layer::dense(4 * 36, 8, true, rng),
+        Layer::relu(),
+        Layer::dense(8, 3, true, rng),
+    ])
+}
+
+fn forward_loss(net: &Network, b: usize, rng: &mut DivaRng) -> (Vec<diva_nn::LayerCache>, Tensor) {
+    let x = Tensor::uniform(&[b, 1, 6, 6], -1.0, 1.0, rng);
+    let labels: Vec<usize> = (0..b).map(|i| i % 3).collect();
+    let (y, caches) = net.forward(&x);
+    let loss = softmax_cross_entropy(&y, &labels);
+    (caches, loss.grad_logits)
+}
+
+/// Straightforward serial weighted reduction used as the oracle.
+fn reduce_serial(grads: &NetworkGrads, weights: &[f64]) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    for g in &grads.layers {
+        if let ParamGrads::PerExample(per_ex) = g {
+            for pi in 0..per_ex[0].len() {
+                let mut acc = Tensor::zeros(per_ex[0][pi].shape().dims());
+                for (ex, &w) in per_ex.iter().zip(weights) {
+                    diva_tensor::add_scaled(&mut acc, &ex[pi], w as f32);
+                }
+                out.push(acc);
+            }
+        }
+    }
+    out
+}
+
+/// The parallel weighted reduce is bit-identical to serial accumulation
+/// for every worker count (each job keeps the serial example order).
+#[test]
+fn weighted_reduce_is_bitwise_stable_across_thread_counts() {
+    let mut rng = DivaRng::seed_from_u64(21);
+    let net = cnn(&mut rng);
+    for &b in &[1usize, 2, 33] {
+        let (caches, grad_loss) = forward_loss(&net, b, &mut rng);
+        let per_ex = net.backward(&caches, &grad_loss, GradMode::PerExample);
+        let weights: Vec<f64> = (0..b).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let oracle = reduce_serial(&per_ex, &weights);
+        for backend in [
+            Backend::serial(),
+            Backend::with_threads(2),
+            Backend::with_threads(5),
+        ] {
+            let reduced = backend.install(|| per_ex.weighted_reduce(&weights));
+            let flat = reduced.flatten_per_batch();
+            let oracle_flat: Vec<f32> = oracle.iter().flat_map(|t| t.data().to_vec()).collect();
+            assert_eq!(flat.len(), oracle_flat.len(), "b={b} {}", backend.label());
+            for (i, (x, y)) in flat.iter().zip(&oracle_flat).enumerate() {
+                assert_eq!(x, y, "b={b} {} diverged at {i}", backend.label());
+            }
+        }
+    }
+}
+
+/// Per-layer weighting agrees with the flat path when every layer uses the
+/// same weights.
+#[test]
+fn per_layer_reduce_matches_flat_reduce_for_uniform_weights() {
+    let mut rng = DivaRng::seed_from_u64(22);
+    let net = cnn(&mut rng);
+    for &b in &[1usize, 2, 33] {
+        let (caches, grad_loss) = forward_loss(&net, b, &mut rng);
+        let per_ex = net.backward(&caches, &grad_loss, GradMode::PerExample);
+        let weights: Vec<f64> = (0..b).map(|i| 0.25 + (i as f64) * 0.01).collect();
+        let per_layer: Vec<Vec<f64>> = per_ex.layers.iter().map(|_| weights.clone()).collect();
+        let flat = per_ex.weighted_reduce(&weights).flatten_per_batch();
+        let layered = per_ex
+            .weighted_reduce_per_layer(&per_layer)
+            .flatten_per_batch();
+        assert_eq!(flat, layered, "b={b}");
+    }
+}
+
+/// The fused DP-SGD(R) path (reweight the loss gradient, reduce inside the
+/// per-batch backward) matches materialize-then-clip-reduce within the
+/// reassociation tolerance — the paper's central algorithmic identity,
+/// checked at batch sizes 1, 2 and 33.
+#[test]
+fn fused_reweighted_backward_matches_materialized_clip_reduce() {
+    let mut rng = DivaRng::seed_from_u64(23);
+    let net = cnn(&mut rng);
+    for &b in &[1usize, 2, 33] {
+        let (caches, grad_loss) = forward_loss(&net, b, &mut rng);
+        let factors: Vec<f64> = (0..b).map(|i| 1.0 / (1.0 + (i % 5) as f64)).collect();
+        let fused = net.backward_reweighted(&caches, &grad_loss, &factors);
+        let materialized = net
+            .backward(&caches, &grad_loss, GradMode::PerExample)
+            .weighted_reduce(&factors);
+        let a = fused.flatten_per_batch();
+        let c = materialized.flatten_per_batch();
+        assert_eq!(a.len(), c.len());
+        for (i, (x, y)) in a.iter().zip(&c).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-4,
+                "b={b}: fused vs materialized diverged at {i}: {x} vs {y}"
+            );
+        }
+    }
+}

@@ -3,10 +3,12 @@
 //! Table III) must all compute the *same* quantized product, stay within
 //! the analytic bf16 error bound of the FP32 reference, and keep their
 //! cycle counts unchanged (numerics never affect timing).
+//!
+//! Cases are drawn from a seeded generator (no proptest in the approved
+//! dependency set), so every run checks the same deterministic sample.
 
 use diva_pearray::{OsArray, OuterProductArray, Ppu, WsArray};
 use diva_tensor::{matmul, DivaRng, Tensor, BF16_MAX_RELATIVE_ERROR};
-use proptest::prelude::*;
 
 fn operands(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
     let mut rng = DivaRng::seed_from_u64(seed);
@@ -16,19 +18,14 @@ fn operands(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// All three engines agree bit-for-bit on quantized operands, and the
-    /// quantized result is within the composed bf16 bound of FP32.
-    #[test]
-    fn engines_agree_on_bf16_operands(
-        m in 1usize..20,
-        k in 1usize..20,
-        n in 1usize..20,
-        seed in 0u64..1000,
-    ) {
-        let (a, b) = operands(m, k, n, seed);
+/// All three engines agree bit-for-bit on quantized operands, and the
+/// quantized result is within the composed bf16 bound of FP32.
+#[test]
+fn engines_agree_on_bf16_operands() {
+    let mut gen = DivaRng::seed_from_u64(0xbf16);
+    for case in 0..32 {
+        let (m, k, n) = (1 + gen.index(19), 1 + gen.index(19), 1 + gen.index(19));
+        let (a, b) = operands(m, k, n, 1000 + case);
         let (qa, qb) = (a.to_bf16(), b.to_bf16());
 
         let ws = WsArray::new(8, 8, 4).gemm(&qa, &qb);
@@ -36,8 +33,8 @@ proptest! {
         let op = OuterProductArray::new(8, 8, 4).gemm(&qa, &qb);
         // Same dataflow-independent result (FP32 accumulation is exact for
         // these magnitudes up to reassociation; tolerance covers that).
-        prop_assert!(ws.output.max_abs_diff(&os.output) < 1e-5);
-        prop_assert!(os.output.max_abs_diff(&op.output) < 1e-5);
+        assert!(ws.output.max_abs_diff(&os.output) < 1e-5);
+        assert!(os.output.max_abs_diff(&op.output) < 1e-5);
 
         // Composed error bound vs the unquantized product: each operand
         // carries ≤ 2⁻⁸ relative error; |a|,|b| ≤ 1, so each of the K
@@ -46,40 +43,40 @@ proptest! {
         let bound = k as f32
             * (2.0 * BF16_MAX_RELATIVE_ERROR + BF16_MAX_RELATIVE_ERROR * BF16_MAX_RELATIVE_ERROR)
             + 1e-5;
-        prop_assert!(
+        assert!(
             ws.output.max_abs_diff(&exact) <= bound,
-            "bf16 error {} exceeds bound {bound}",
+            "bf16 error {} exceeds bound {bound} at ({m},{k},{n})",
             ws.output.max_abs_diff(&exact)
         );
     }
+}
 
-    /// Quantization never changes cycle counts: timing is data-independent.
-    #[test]
-    fn timing_is_data_independent(
-        m in 1usize..16,
-        k in 1usize..16,
-        n in 1usize..16,
-        seed in 0u64..1000,
-    ) {
-        let (a, b) = operands(m, k, n, seed);
+/// Quantization never changes cycle counts: timing is data-independent.
+#[test]
+fn timing_is_data_independent() {
+    let mut gen = DivaRng::seed_from_u64(0x71e);
+    for case in 0..32 {
+        let (m, k, n) = (1 + gen.index(15), 1 + gen.index(15), 1 + gen.index(15));
+        let (a, b) = operands(m, k, n, 2000 + case);
         let (qa, qb) = (a.to_bf16(), b.to_bf16());
         let arr = OuterProductArray::new(8, 8, 2);
-        prop_assert_eq!(arr.gemm(&a, &b).cycles, arr.gemm(&qa, &qb).cycles);
+        assert_eq!(arr.gemm(&a, &b).cycles, arr.gemm(&qa, &qb).cycles);
         let ws = WsArray::new(8, 8, 4);
-        prop_assert_eq!(ws.gemm(&a, &b).cycles, ws.gemm(&qa, &qb).cycles);
+        assert_eq!(ws.gemm(&a, &b).cycles, ws.gemm(&qa, &qb).cycles);
     }
+}
 
-    /// The PPU's norm over a quantized tile equals the exact sum of squares
-    /// of that quantized tile (the squaring/accumulation is FP32-exact in
-    /// the PPU; quantization only perturbs the inputs).
-    #[test]
-    fn ppu_norms_are_exact_over_quantized_tiles(
-        rows in 1usize..24,
-        seed in 0u64..1000,
-    ) {
-        let mut rng = DivaRng::seed_from_u64(seed);
+/// The PPU's norm over a quantized tile equals the exact sum of squares
+/// of that quantized tile (the squaring/accumulation is FP32-exact in
+/// the PPU; quantization only perturbs the inputs).
+#[test]
+fn ppu_norms_are_exact_over_quantized_tiles() {
+    let mut gen = DivaRng::seed_from_u64(0x99);
+    for case in 0..32 {
+        let rows = 1 + gen.index(23);
+        let mut rng = DivaRng::seed_from_u64(3000 + case);
         let tile = Tensor::uniform(&[rows, 8], -2.0, 2.0, &mut rng).to_bf16();
         let run = Ppu::new(8, 4).sum_of_squares(&tile);
-        prop_assert!((run.value - tile.squared_norm()).abs() < 1e-6);
+        assert!((run.value - tile.squared_norm()).abs() < 1e-6);
     }
 }

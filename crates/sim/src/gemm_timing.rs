@@ -3,7 +3,6 @@
 //! SRAM-reuse model, and the compute/memory overlap.
 
 use diva_arch::{AcceleratorConfig, Dataflow, GemmShape};
-use serde::{Deserialize, Serialize};
 
 use crate::tiles::tile_sizes;
 
@@ -12,7 +11,7 @@ const IN_BYTES: u64 = 2;
 const OUT_BYTES: u64 = 4;
 
 /// Timing of one (possibly batched) GEMM on a modeled engine.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GemmTiming {
     /// Pure compute-pipeline cycles (fill + stream + drain), all batch
     /// instances summed. Matches the functional simulators exactly.

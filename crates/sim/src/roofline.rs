@@ -7,12 +7,11 @@
 //! fusion moves them off the memory roof entirely.
 
 use diva_arch::{AcceleratorConfig, GemmShape};
-use serde::{Deserialize, Serialize};
 
 use crate::gemm_timing;
 
 /// Which resource bounds an op.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Bound {
     /// Limited by MAC throughput (compute pipeline).
     Compute,
@@ -21,7 +20,7 @@ pub enum Bound {
 }
 
 /// One point on the roofline plot.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RooflinePoint {
     /// Arithmetic intensity: useful MACs per DRAM byte moved. `f64::INFINITY`
     /// when the op produces no DRAM traffic (fully fused).

@@ -159,7 +159,14 @@ mod tests {
         let s = sim(Dataflow::WeightStationary);
         let ops = vec![
             TrainingOp::gemm(GemmShape::new(256, 128, 256), Phase::Forward, "fc1"),
-            TrainingOp::vector(VectorOpKind::GradNorm, 1 << 20, 64, true, Phase::BwdGradNorm, "norm"),
+            TrainingOp::vector(
+                VectorOpKind::GradNorm,
+                1 << 20,
+                64,
+                true,
+                Phase::BwdGradNorm,
+                "norm",
+            ),
         ];
         let t = s.time_step(&ops);
         assert_eq!(t.ops.len(), 2);

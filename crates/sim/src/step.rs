@@ -4,10 +4,9 @@
 use std::collections::BTreeMap;
 
 use diva_arch::Phase;
-use serde::{Deserialize, Serialize};
 
 /// Timing of one lowered training op.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OpTiming {
     /// Reporting phase.
     pub phase: Phase,
@@ -28,7 +27,7 @@ pub struct OpTiming {
 }
 
 /// Aggregate timing of one phase.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseBreakdown {
     /// Total cycles in the phase.
     pub cycles: u64,
@@ -41,7 +40,7 @@ pub struct PhaseBreakdown {
 }
 
 /// Timing of a full training step (all lowered ops executed in order).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StepTiming {
     /// Per-op detail, in execution order.
     pub ops: Vec<OpTiming>,

@@ -3,10 +3,9 @@
 //! fusion into the GEMM engine's drain path when a PPU is present.
 
 use diva_arch::{AcceleratorConfig, VectorOpKind};
-use serde::{Deserialize, Serialize};
 
 /// Timing of one post-processing (vector) operation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct VectorTiming {
     /// Whether the op was absorbed into the GEMM engine's output drain by
     /// the PPU (paper Section IV-C): no DRAM traffic, no extra cycles

@@ -3,12 +3,15 @@
 //! validation of its cycle-level simulator against Google Cloud TPUv3
 //! (Section V, Pearson correlation 0.95). Here we demand *exact* equality
 //! of compute-cycle counts.
+//!
+//! Random-shape cases are drawn from a seeded generator (no proptest in the
+//! approved dependency set), so every run checks the same deterministic
+//! sample of the space.
 
 use diva_arch::{AcceleratorConfig, Dataflow, GemmShape, MemoryConfig, PeArray};
 use diva_pearray::{OsArray, OuterProductArray, WsArray};
 use diva_sim::Simulator;
 use diva_tensor::{matmul, DivaRng, Tensor};
-use proptest::prelude::*;
 
 /// Builds a small test configuration with the given dataflow and array size.
 fn small_config(df: Dataflow, rows: u64, cols: u64, fill: u64, drain: u64) -> AcceleratorConfig {
@@ -105,51 +108,50 @@ fn outer_product_analytic_matches_functional_exactly() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Property: for random shapes, every dataflow's analytic compute-cycle
-    /// model agrees exactly with the functional register-level simulation,
-    /// and all engines compute the same (correct) product.
-    #[test]
-    fn all_dataflows_agree_with_functional(
-        m in 1usize..24,
-        k in 1usize..24,
-        n in 1usize..24,
-        seed in 0u64..1000,
-    ) {
-        let (a, b) = random_operands(m, k, n, seed);
+/// Property: for random shapes, every dataflow's analytic compute-cycle
+/// model agrees exactly with the functional register-level simulation, and
+/// all engines compute the same (correct) product.
+#[test]
+fn all_dataflows_agree_with_functional() {
+    let mut gen = DivaRng::seed_from_u64(0x5157);
+    for case in 0..48 {
+        let (m, k, n) = (1 + gen.index(23), 1 + gen.index(23), 1 + gen.index(23));
+        let (a, b) = random_operands(m, k, n, 4000 + case);
         let reference = matmul(&a, &b);
         let shape = GemmShape::new(m as u64, k as u64, n as u64);
 
         let ws = WsArray::new(4, 4, 2).gemm(&a, &b);
         let ws_sim = Simulator::new(small_config(Dataflow::WeightStationary, 4, 4, 2, 2)).unwrap();
-        prop_assert_eq!(ws.cycles, ws_sim.compute_cycles(shape));
-        prop_assert!(ws.output.max_abs_diff(&reference) < 1e-3);
+        assert_eq!(ws.cycles, ws_sim.compute_cycles(shape));
+        assert!(ws.output.max_abs_diff(&reference) < 1e-3);
 
         let os = OsArray::new(4, 4, 2).gemm(&a, &b);
         let os_sim = Simulator::new(small_config(Dataflow::OutputStationary, 4, 4, 2, 2)).unwrap();
-        prop_assert_eq!(os.cycles, os_sim.compute_cycles(shape));
-        prop_assert!(os.output.max_abs_diff(&reference) < 1e-3);
+        assert_eq!(os.cycles, os_sim.compute_cycles(shape));
+        assert!(os.output.max_abs_diff(&reference) < 1e-3);
 
         let op = OuterProductArray::new(4, 4, 2).gemm(&a, &b);
         let op_sim = Simulator::new(small_config(Dataflow::OuterProduct, 4, 4, 2, 2)).unwrap();
-        prop_assert_eq!(op.cycles, op_sim.compute_cycles(shape));
-        prop_assert!(op.output.max_abs_diff(&reference) < 1e-3);
+        assert_eq!(op.cycles, op_sim.compute_cycles(shape));
+        assert!(op.output.max_abs_diff(&reference) < 1e-3);
     }
+}
 
-    /// Property: utilization stays in (0, 1] for non-empty GEMMs.
-    #[test]
-    fn utilization_is_bounded(
-        m in 1u64..600,
-        k in 1u64..600,
-        n in 1u64..600,
-    ) {
+/// Property: utilization stays in (0, 1] for non-empty GEMMs.
+#[test]
+fn utilization_is_bounded() {
+    let mut gen = DivaRng::seed_from_u64(0x0711);
+    for _ in 0..48 {
+        let (m, k, n) = (
+            1 + gen.index(599) as u64,
+            1 + gen.index(599) as u64,
+            1 + gen.index(599) as u64,
+        );
         for df in Dataflow::ALL {
             let sim = Simulator::new(AcceleratorConfig::tpu_v3_like(df)).unwrap();
             let t = sim.gemm_timing(GemmShape::new(m, k, n), 1, true);
-            prop_assert!(t.utilization > 0.0);
-            prop_assert!(t.utilization <= 1.0 + 1e-12);
+            assert!(t.utilization > 0.0);
+            assert!(t.utilization <= 1.0 + 1e-12, "({m},{k},{n}) {df}");
         }
     }
 }

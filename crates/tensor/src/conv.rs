@@ -105,9 +105,21 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Tensor {
     let dims = input.shape().dims();
     assert_eq!(dims.len(), 4, "im2col expects NCHW, got {}", input.shape());
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-    assert_eq!(c, geom.cin, "channel mismatch: input {c}, geom {}", geom.cin);
-    assert_eq!(h, geom.in_h, "height mismatch: input {h}, geom {}", geom.in_h);
-    assert_eq!(w, geom.in_w, "width mismatch: input {w}, geom {}", geom.in_w);
+    assert_eq!(
+        c, geom.cin,
+        "channel mismatch: input {c}, geom {}",
+        geom.cin
+    );
+    assert_eq!(
+        h, geom.in_h,
+        "height mismatch: input {h}, geom {}",
+        geom.in_h
+    );
+    assert_eq!(
+        w, geom.in_w,
+        "width mismatch: input {w}, geom {}",
+        geom.in_w
+    );
 
     let (p, q) = geom.out_hw();
     let patch = geom.patch_len();
@@ -215,7 +227,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, geom: &Conv2dGeom) -> Tensor {
     let patches = im2col(input, geom); // (N*P*Q, Cin*R*S)
     let w2d = weight.clone().reshape(&[geom.cout, geom.patch_len()]);
     let y = matmul_nt(&patches, &w2d); // (N*P*Q, Cout)
-    // Reorder (N*P*Q, Cout) -> (N, Cout, P, Q).
+                                       // Reorder (N*P*Q, Cout) -> (N, Cout, P, Q).
     let mut out = Tensor::zeros(&[n, geom.cout, p, q]);
     let yv = y.data();
     let ov = out.data_mut();
@@ -259,7 +271,7 @@ pub fn conv2d_backward_data(grad_out: &Tensor, weight: &Tensor, geom: &Conv2dGeo
 pub fn conv2d_backward_weight(input: &Tensor, grad_out: &Tensor, geom: &Conv2dGeom) -> Tensor {
     let patches = im2col(input, geom); // (N*P*Q, Cin*R*S)
     let gy2d = nchw_to_rows(grad_out, geom); // (N*P*Q, Cout)
-    // G(W)^T with shape (Cin*R*S, Cout) = patches^T x gy2d, then transpose.
+                                             // G(W)^T with shape (Cin*R*S, Cout) = patches^T x gy2d, then transpose.
     let gw_t = matmul_tn(&patches, &gy2d);
     gw_t.transpose()
         .reshape(&[geom.cout, geom.cin, geom.k, geom.k])
@@ -305,10 +317,8 @@ mod tests {
                         for ci in 0..geom.cin {
                             for ki in 0..geom.k {
                                 for kj in 0..geom.k {
-                                    let ih =
-                                        (pi * geom.stride + ki) as isize - geom.pad as isize;
-                                    let iw =
-                                        (qi * geom.stride + kj) as isize - geom.pad as isize;
+                                    let ih = (pi * geom.stride + ki) as isize - geom.pad as isize;
+                                    let iw = (qi * geom.stride + kj) as isize - geom.pad as isize;
                                     if ih < 0
                                         || iw < 0
                                         || ih >= geom.in_h as isize
@@ -365,7 +375,10 @@ mod tests {
             .zip(folded.data())
             .map(|(&a, &b)| f64::from(a) * f64::from(b))
             .sum();
-        assert!((lhs - rhs).abs() < 1e-3, "adjointness violated: {lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "adjointness violated: {lhs} vs {rhs}"
+        );
     }
 
     #[test]

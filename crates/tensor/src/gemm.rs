@@ -1,0 +1,360 @@
+//! Cache-blocked, register-tiled GEMM — the compute backend behind every
+//! transpose flavour of [`crate::matmul`] and, through `im2col` lowering,
+//! every convolution in the repo.
+//!
+//! Structure (classic BLIS-style three-level blocking, all safe Rust):
+//!
+//! * The K dimension is split into panels of `KC`. For each panel the whole
+//!   B slab is packed once into `NR`-wide column strips (k-major within a
+//!   strip), shared read-only by all workers.
+//! * The M dimension is split across workers of the shared pool
+//!   ([`crate::parallel`]); each worker owns a contiguous row-block of C, so
+//!   no synchronization is needed on the output.
+//! * Within a worker, M is blocked by `MC`; each `MC × KC` block of A is
+//!   packed into `MR`-tall row strips, then an `MR × NR` register-tile
+//!   micro-kernel walks the packed panels. The micro-kernel's inner loops
+//!   have constant trip counts over contiguous slices, which the
+//!   autovectorizer turns into wide FMA code under `-C target-cpu=native`.
+//!
+//! Packing absorbs transposition: both A and B are described by arbitrary
+//! (row, column) strides, so NT/TN/TT flavours cost the same as NN and the
+//! micro-kernel only ever sees contiguous data.
+//!
+//! Numerics: within one K panel the per-element accumulation order is the
+//! same k-ascending order as the scalar reference; splitting K into panels
+//! (K > `KC`) and the use of fused multiply-add reassociate/round
+//! differently at the 1e-7-relative level. Kernel-parity tests in
+//! `tests/kernel_parity.rs` pin this contract.
+
+use crate::parallel;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, every GEMM routes through the scalar reference kernel — the
+/// seed implementation's exact loop nest. Benchmarks flip this to measure
+/// whole-pipeline speedups against the scalar baseline; it is not intended
+/// for production use.
+static SCALAR_REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) scalar-reference execution for all subsequent GEMM
+/// calls process-wide. Benchmark/testing hook.
+pub fn set_scalar_reference_mode(enabled: bool) {
+    SCALAR_REFERENCE_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether GEMMs currently route through the scalar reference kernel.
+pub fn scalar_reference_mode() -> bool {
+    SCALAR_REFERENCE_MODE.load(Ordering::Relaxed)
+}
+
+/// Micro-tile height (rows of C held in registers). With `NR = 16` the
+/// accumulator occupies 12 256-bit registers — enough independent FMA
+/// chains to hide the FMA latency without spilling.
+const MR: usize = 6;
+/// Micro-tile width (columns of C held in registers): two 256-bit `f32`
+/// vectors per row. Empirically faster than 512-bit tiles on the
+/// virtualized Xeons this repo targets (wide vectors downclock).
+const NR: usize = 16;
+/// K-dimension panel length. Large panels amortize the accumulator
+/// write-back; the packed `MR × KC` A strip (18 KiB) stays L1-resident
+/// while the B strip streams from L2. Tuned empirically at 256³–512³.
+const KC: usize = 768;
+/// M-dimension block height per packing round: an `MC × KC` packed A block
+/// is ~216 KiB, comfortably L2-resident.
+const MC: usize = 72;
+
+/// Below this many multiply-adds the packing overhead outweighs the win and
+/// the scalar reference kernel is faster.
+const BLOCKED_THRESHOLD: usize = 48 * 48 * 48;
+
+/// Minimum C rows per worker before the M dimension is split across
+/// threads; keeps per-thread work well above spawn cost.
+const ROWS_PER_WORKER_MIN: usize = 48;
+
+/// A matrix operand view: base slice plus arbitrary row/column strides.
+///
+/// `elem(i, j) = data[i * rs + j * cs]` for the logical (non-transposed)
+/// GEMM operand shape. A transposed input is expressed by swapping strides.
+#[derive(Clone, Copy)]
+pub(crate) struct MatRef<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// A row-major `(rows, cols)` view.
+    pub(crate) fn row_major(data: &'a [f32], cols: usize) -> Self {
+        Self {
+            data,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// The transpose of a row-major `(rows, cols)` view: logical element
+    /// `(i, j)` reads `data[j * cols + i]`.
+    pub(crate) fn transposed(data: &'a [f32], cols: usize) -> Self {
+        Self {
+            data,
+            rs: 1,
+            cs: cols,
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Scalar reference kernel, stride-general: `out += A × B` in i-k-j order.
+///
+/// This is the seed implementation's loop nest, kept as the bit-level
+/// baseline for parity tests and benchmark comparisons.
+pub(crate) fn gemm_reference(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a.at(i, kk);
+            if aik == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            if b.cs == 1 {
+                let brow = &b.data[kk * b.rs..kk * b.rs + n];
+                for (c, &bkj) in crow.iter_mut().zip(brow.iter()) {
+                    *c += aik * bkj;
+                }
+            } else {
+                for (j, c) in crow.iter_mut().enumerate() {
+                    *c += aik * b.at(kk, j);
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kb × n` slab of B starting at row `kc` into `NR`-wide strips:
+/// `packed[strip][kk][jr]` with the tail strip zero-padded to `NR`.
+fn pack_b(b: MatRef, kc: usize, kb: usize, n: usize, packed: &mut [f32]) {
+    debug_assert_eq!(packed.len(), n.div_ceil(NR) * kb * NR);
+    for (strip, panel) in packed.chunks_mut(kb * NR).enumerate() {
+        let j0 = strip * NR;
+        let jw = NR.min(n - j0);
+        for (kk, row) in panel.chunks_mut(NR).enumerate() {
+            for (jr, slot) in row.iter_mut().enumerate() {
+                *slot = if jr < jw { b.at(kc + kk, j0 + jr) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs the `mb × kb` block of A at `(i0, kc)` into `MR`-tall strips:
+/// `packed[strip][kk][ir]` with the tail strip zero-padded to `MR`.
+fn pack_a(a: MatRef, i0: usize, mb: usize, kc: usize, kb: usize, packed: &mut [f32]) {
+    debug_assert!(packed.len() >= mb.div_ceil(MR) * kb * MR);
+    for (strip, panel) in packed.chunks_mut(kb * MR).take(mb.div_ceil(MR)).enumerate() {
+        let r0 = strip * MR;
+        let rh = MR.min(mb - r0);
+        for (kk, col) in panel.chunks_mut(MR).enumerate() {
+            for (ir, slot) in col.iter_mut().enumerate() {
+                *slot = if ir < rh {
+                    a.at(i0 + r0 + ir, kc + kk)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The register-tile kernel: `acc[MR][NR] += Apanel × Bpanel` over `kb`
+/// rank-1 updates on packed panels. Constant-size inner loops over
+/// contiguous slices vectorize to FMA.
+#[inline(always)]
+fn microkernel(kb: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for kk in 0..kb {
+        let av: &[f32] = &a_panel[kk * MR..kk * MR + MR];
+        let bv: &[f32] = &b_panel[kk * NR..kk * NR + NR];
+        for ir in 0..MR {
+            let aik = av[ir];
+            let row = &mut acc[ir];
+            for jr in 0..NR {
+                row[jr] = aik.mul_add(bv[jr], row[jr]);
+            }
+        }
+    }
+}
+
+/// Computes one worker's row-range of C against the shared packed B panel.
+#[allow(clippy::too_many_arguments)] // a flat hot-path signature, called twice
+fn gemm_rows(
+    a: MatRef,
+    row0: usize,
+    rows: usize,
+    kc: usize,
+    kb: usize,
+    n: usize,
+    packed_b: &[f32],
+    out_rows: &mut [f32],
+) {
+    debug_assert_eq!(out_rows.len(), rows * n);
+    let n_strips = n.div_ceil(NR);
+    let mut packed_a = vec![0.0f32; MC.div_ceil(MR) * MR * kb];
+    let mut i0 = 0;
+    while i0 < rows {
+        let mb = MC.min(rows - i0);
+        pack_a(a, row0 + i0, mb, kc, kb, &mut packed_a);
+        for strip_b in 0..n_strips {
+            let j0 = strip_b * NR;
+            let jw = NR.min(n - j0);
+            let b_panel = &packed_b[strip_b * kb * NR..(strip_b + 1) * kb * NR];
+            for strip_a in 0..mb.div_ceil(MR) {
+                let r0 = i0 + strip_a * MR;
+                let rh = MR.min(i0 + mb - r0);
+                let a_panel = &packed_a[strip_a * kb * MR..(strip_a + 1) * kb * MR];
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(kb, a_panel, b_panel, &mut acc);
+                for ir in 0..rh {
+                    let crow = &mut out_rows[(r0 + ir) * n + j0..(r0 + ir) * n + j0 + jw];
+                    for (c, &v) in crow.iter_mut().zip(acc[ir].iter()) {
+                        *c += v;
+                    }
+                }
+            }
+        }
+        i0 += mb;
+    }
+}
+
+/// Blocked, packed, M-parallel GEMM: `out += A × B` where `A` is logically
+/// `(m, k)` and `B` is `(k, n)` under their respective stride views, and
+/// `out` is row-major `(m, n)`.
+///
+/// Falls back to the scalar reference below [`BLOCKED_THRESHOLD`]
+/// multiply-adds.
+pub(crate) fn gemm(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut [f32]) {
+    assert_eq!(out.len(), m * n, "output buffer shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Tiny-K GEMMs (DP-SGD's per-example rank-1 weight gradients, K = 1)
+    // are pure outer-product accumulations: the packing passes cost more
+    // than they save, and the reference kernel's inner loop is already
+    // contiguous over B and C rows.
+    if scalar_reference_mode() || k < 16 || m * k * n < BLOCKED_THRESHOLD {
+        gemm_reference(m, k, n, a, b, out);
+        return;
+    }
+    let threads = parallel::effective_threads().min(m.div_ceil(ROWS_PER_WORKER_MIN));
+    let rows_per_worker = m.div_ceil(threads.max(1));
+    let mut packed_b = vec![0.0f32; n.div_ceil(NR) * KC * NR];
+    let mut kc = 0;
+    while kc < k {
+        let kb = KC.min(k - kc);
+        let packed_len = n.div_ceil(NR) * kb * NR;
+        pack_b(b, kc, kb, n, &mut packed_b[..packed_len]);
+        let packed = &packed_b[..packed_len];
+        if threads <= 1 {
+            gemm_rows(a, 0, m, kc, kb, n, packed, out);
+        } else {
+            parallel::par_chunks_mut(out, rows_per_worker * n, |widx, out_rows| {
+                let row0 = widx * rows_per_worker;
+                gemm_rows(a, row0, out_rows.len() / n, kc, kb, n, packed, out_rows);
+            });
+        }
+        kc += kb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DivaRng;
+
+    fn dense(rows: usize, cols: usize, rng: &mut DivaRng) -> Vec<f32> {
+        (0..rows * cols).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_shapes() {
+        let mut rng = DivaRng::seed_from_u64(42);
+        // Shapes straddling the strip/panel boundaries: exact multiples,
+        // off-by-one, tiny, and larger-than-one-panel K.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (MR, KC, NR),
+            (MR + 1, KC + 3, NR + 1),
+            (65, 300, 47),
+            (130, 70, 33),
+        ] {
+            let a = dense(m, k, &mut rng);
+            let b = dense(k, n, &mut rng);
+            let mut fast = vec![0.0f32; m * n];
+            let mut slow = vec![0.0f32; m * n];
+            // Call the blocked path directly (below threshold the public
+            // entry would route to the reference anyway).
+            let av = MatRef::row_major(&a, k);
+            let bv = MatRef::row_major(&b, n);
+            gemm_reference(m, k, n, av, bv, &mut slow);
+            let threads = parallel::effective_threads().min(m.div_ceil(ROWS_PER_WORKER_MIN));
+            let rows_per_worker = m.div_ceil(threads.max(1));
+            let mut packed_b = vec![0.0f32; n.div_ceil(NR) * KC * NR];
+            let mut kc = 0;
+            while kc < k {
+                let kb = KC.min(k - kc);
+                let plen = n.div_ceil(NR) * kb * NR;
+                pack_b(bv, kc, kb, n, &mut packed_b[..plen]);
+                parallel::par_chunks_mut(&mut fast, rows_per_worker * n, |widx, rows| {
+                    gemm_rows(
+                        av,
+                        widx * rows_per_worker,
+                        rows.len() / n,
+                        kc,
+                        kb,
+                        n,
+                        &packed_b[..plen],
+                        rows,
+                    );
+                });
+                kc += kb;
+            }
+            assert!(
+                max_diff(&fast, &slow) < 1e-4,
+                "mismatch at ({m},{k},{n}): {}",
+                max_diff(&fast, &slow)
+            );
+        }
+    }
+
+    #[test]
+    fn packing_zero_pads_tails() {
+        let mut rng = DivaRng::seed_from_u64(7);
+        let n = NR + 3; // one full strip + a padded tail strip
+        let k = 5;
+        let b = dense(k, n, &mut rng);
+        let bv = MatRef::row_major(&b, n);
+        let mut packed = vec![f32::NAN; n.div_ceil(NR) * k * NR];
+        pack_b(bv, 0, k, n, &mut packed);
+        // Tail strip: entries beyond column n must be exactly zero.
+        let tail = &packed[k * NR..];
+        for kk in 0..k {
+            for jr in 0..NR {
+                let v = tail[kk * NR + jr];
+                if jr < 3 {
+                    assert_eq!(v, b[kk * n + NR + jr]);
+                } else {
+                    assert_eq!(v, 0.0, "padding not zeroed at k={kk} jr={jr}");
+                }
+            }
+        }
+    }
+}

@@ -9,8 +9,11 @@
 //! sampler (Box–Muller; implemented here because `rand_distr` is not part of
 //! the approved dependency set).
 //!
-//! The crate is deliberately free of unsafe code and external BLAS: the goal
-//! is a portable, auditable reference implementation, not peak FLOPS.
+//! The crate is deliberately free of unsafe code and external BLAS. GEMM is
+//! nevertheless a cache-blocked, register-tiled, multi-threaded kernel (see
+//! the `gemm` module and [`parallel`]): written so the autovectorizer emits
+//! wide FMA code, with the seed's scalar loop retained as
+//! [`matmul_reference`] for parity testing and benchmarking.
 //!
 //! # Example
 //!
@@ -28,18 +31,24 @@
 
 mod bf16;
 mod conv;
+mod gemm;
 mod matmul;
 mod ops;
+pub mod parallel;
 mod rng;
 mod shape;
 mod tensor;
 
 pub use bf16::{round_bf16, BF16_MAX_RELATIVE_ERROR};
 pub use conv::{col2im, conv2d, conv2d_backward_data, conv2d_backward_weight, im2col, Conv2dGeom};
-pub use matmul::{matmul, matmul_nt, matmul_tn, matmul_tt, outer_product_accumulate};
+pub use gemm::{scalar_reference_mode, set_scalar_reference_mode};
+pub use matmul::{
+    matmul, matmul_nt, matmul_reference, matmul_tn, matmul_tt, outer_product_accumulate,
+};
 pub use ops::{
     add_scaled, argmax_rows, relu, relu_backward, softmax_cross_entropy, SoftmaxCrossEntropy,
 };
+pub use parallel::Backend;
 pub use rng::DivaRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

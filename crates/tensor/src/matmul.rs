@@ -1,6 +1,13 @@
-//! GEMM kernels in all transpose flavours, plus the outer-product
+//! GEMM entry points in all transpose flavours, plus the outer-product
 //! decomposition used by DiVa's GEMM engine (paper Figure 9).
+//!
+//! All four flavours route through the cache-blocked, register-tiled,
+//! M-parallel backend in [`crate::gemm`]; transposition is absorbed by the
+//! packing stage, so `tn`/`nt`/`tt` cost the same as `nn`. The seed's
+//! scalar i-k-j kernel is retained as [`matmul_reference`] — it is the
+//! baseline every parity test and throughput benchmark compares against.
 
+use crate::gemm::{gemm, gemm_reference, MatRef};
 use crate::tensor::Tensor;
 
 /// Computes `C = A × B` for row-major rank-2 tensors.
@@ -27,23 +34,14 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         "matmul inner dimension mismatch: ({m},{ka}) x ({kb},{n})"
     );
     let mut out = Tensor::zeros(&[m, n]);
-    let av = a.data();
-    let bv = b.data();
-    let ov = out.data_mut();
-    // i-k-j loop order keeps the inner loop contiguous over B and C rows.
-    for i in 0..m {
-        for k in 0..ka {
-            let aik = av[i * ka + k];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[k * n..(k + 1) * n];
-            let crow = &mut ov[i * n..(i + 1) * n];
-            for (c, &bkj) in crow.iter_mut().zip(brow.iter()) {
-                *c += aik * bkj;
-            }
-        }
-    }
+    gemm(
+        m,
+        ka,
+        n,
+        MatRef::row_major(a.data(), ka),
+        MatRef::row_major(b.data(), n),
+        out.data_mut(),
+    );
     out
 }
 
@@ -63,23 +61,14 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         "matmul_tn K dimension mismatch: ({ka},{m})^T x ({kb},{n})"
     );
     let mut out = Tensor::zeros(&[m, n]);
-    let av = a.data();
-    let bv = b.data();
-    let ov = out.data_mut();
-    // Outer-product style accumulation: for each k, C += a_k ⊗ b_k.
-    for k in 0..ka {
-        let arow = &av[k * m..(k + 1) * m];
-        let brow = &bv[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let crow = &mut ov[i * n..(i + 1) * n];
-            for (c, &bkj) in crow.iter_mut().zip(brow.iter()) {
-                *c += aki * bkj;
-            }
-        }
-    }
+    gemm(
+        m,
+        ka,
+        n,
+        MatRef::transposed(a.data(), m),
+        MatRef::row_major(b.data(), n),
+        out.data_mut(),
+    );
     out
 }
 
@@ -99,20 +88,14 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
         "matmul_nt K dimension mismatch: ({m},{ka}) x ({n},{kb})^T"
     );
     let mut out = Tensor::zeros(&[m, n]);
-    let av = a.data();
-    let bv = b.data();
-    let ov = out.data_mut();
-    for i in 0..m {
-        let arow = &av[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bv[j * kb..(j + 1) * kb];
-            let mut acc = 0.0f32;
-            for (&x, &y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
-            }
-            ov[i * n + j] = acc;
-        }
-    }
+    gemm(
+        m,
+        ka,
+        n,
+        MatRef::row_major(a.data(), ka),
+        MatRef::transposed(b.data(), kb),
+        out.data_mut(),
+    );
     out
 }
 
@@ -129,21 +112,39 @@ pub fn matmul_tt(a: &Tensor, b: &Tensor) -> Tensor {
         "matmul_tt K dimension mismatch: ({ka},{m})^T x ({n},{kb})^T"
     );
     let mut out = Tensor::zeros(&[m, n]);
-    let av = a.data();
-    let bv = b.data();
-    let ov = out.data_mut();
-    for k in 0..ka {
-        let arow = &av[k * m..(k + 1) * m];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let crow = &mut ov[i * n..(i + 1) * n];
-            for (j, c) in crow.iter_mut().enumerate() {
-                *c += aki * bv[j * kb + k];
-            }
-        }
-    }
+    gemm(
+        m,
+        ka,
+        n,
+        MatRef::transposed(a.data(), m),
+        MatRef::transposed(b.data(), kb),
+        out.data_mut(),
+    );
+    out
+}
+
+/// The seed's scalar i-k-j GEMM, kept verbatim as the parity/benchmark
+/// baseline for the blocked backend.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatch, like [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = a.dims2();
+    let (kb, n) = b.dims2();
+    assert_eq!(
+        ka, kb,
+        "matmul inner dimension mismatch: ({m},{ka}) x ({kb},{n})"
+    );
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_reference(
+        m,
+        ka,
+        n,
+        MatRef::row_major(a.data(), ka),
+        MatRef::row_major(b.data(), n),
+        out.data_mut(),
+    );
     out
 }
 
@@ -190,6 +191,22 @@ mod tests {
         assert!(close(&matmul_tn(&a.transpose(), &b), &c, 1e-5));
         assert!(close(&matmul_nt(&a, &b.transpose()), &c, 1e-5));
         assert!(close(&matmul_tt(&a.transpose(), &b.transpose()), &c, 1e-5));
+    }
+
+    #[test]
+    fn blocked_agrees_with_reference_above_threshold() {
+        // 96³ is above the blocked-path threshold, so this exercises the
+        // packed kernel end-to-end through the public API.
+        let mut rng = DivaRng::seed_from_u64(12);
+        let a = Tensor::uniform(&[96, 96], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[96, 96], -1.0, 1.0, &mut rng);
+        let fast = matmul(&a, &b);
+        let slow = matmul_reference(&a, &b);
+        assert!(
+            close(&fast, &slow, 1e-4),
+            "blocked GEMM diverged: {}",
+            fast.max_abs_diff(&slow)
+        );
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Shared data-parallel runtime for the compute backend.
+//!
+//! DP-SGD's hot path is embarrassingly parallel along two axes: the M
+//! dimension of every GEMM and the batch dimension of per-example gradient
+//! derivation (paper Algorithm 1 lines 16–25 — each example's gradient,
+//! norm and clip factor is independent). This module provides the one
+//! process-wide thread configuration every parallel kernel in the workspace
+//! consults, so nested parallel regions and the figure binaries cannot
+//! oversubscribe the machine.
+//!
+//! Design notes:
+//!
+//! * Workers are scoped threads (`std::thread::scope`), so borrowed data can
+//!   cross into workers without `unsafe` (this crate forbids unsafe code).
+//! * A thread-local "inside a parallel region" flag makes nested parallel
+//!   calls run serially: the GEMM called from a batch-parallel per-example
+//!   backward does not spawn threads of its own.
+//! * [`Backend`] is the user-facing knob. Installing one scopes a thread
+//!   count to a closure, which is how `DpTrainer` and the benches sweep
+//!   serial vs. parallel execution without touching global state.
+//!
+//! The process-wide default is `DIVA_NUM_THREADS` if set, else the number of
+//! available cores.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::LocalKey;
+
+/// Process-wide default thread count; 0 means "not yet initialized".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while executing inside a worker of a parallel region; forces any
+    /// nested parallel call on this thread to run serially.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread override installed by [`Backend::install`]; 0 = none.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::env::var("DIVA_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The process-wide maximum number of worker threads.
+pub fn max_threads() -> usize {
+    let cur = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let n = default_threads();
+    // Racing initializers compute the same value; either store wins.
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Overrides the process-wide maximum worker-thread count.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn set_max_threads(n: usize) {
+    assert!(n > 0, "thread count must be positive");
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The thread count parallel kernels should use *right now* on this thread:
+/// 1 inside an existing parallel region, otherwise the installed
+/// [`Backend`] override or the global default.
+pub fn effective_threads() -> usize {
+    if IN_PARALLEL.with(Cell::get) {
+        return 1;
+    }
+    let o = THREAD_OVERRIDE.with(Cell::get);
+    if o > 0 {
+        o
+    } else {
+        max_threads()
+    }
+}
+
+/// Execution configuration for the compute backend, threaded through
+/// `DpTrainer` and the bench drivers.
+///
+/// # Example
+///
+/// ```
+/// use diva_tensor::Backend;
+/// let serial = Backend::serial();
+/// assert_eq!(serial.threads(), 1);
+/// let auto = Backend::auto();
+/// assert!(auto.threads() >= 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Single-threaded reference execution.
+    Serial,
+    /// Parallel execution on the shared pool; `threads == 0` means "use the
+    /// process-wide default" (see [`max_threads`]).
+    Parallel {
+        /// Worker-thread cap for this backend; 0 = process default.
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// A single-threaded backend.
+    pub fn serial() -> Self {
+        Backend::Serial
+    }
+
+    /// A parallel backend using the process-wide default thread count.
+    pub fn auto() -> Self {
+        Backend::Parallel { threads: 0 }
+    }
+
+    /// A parallel backend capped at `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` (use [`Backend::auto`] for "default").
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "use Backend::auto() for the default count");
+        Backend::Parallel { threads }
+    }
+
+    /// The concrete thread count this backend resolves to.
+    pub fn threads(&self) -> usize {
+        match self {
+            Backend::Serial => 1,
+            Backend::Parallel { threads: 0 } => max_threads(),
+            Backend::Parallel { threads } => *threads,
+        }
+    }
+
+    /// A short label for tables and benchmark records.
+    pub fn label(&self) -> String {
+        match self {
+            Backend::Serial => "serial".to_string(),
+            b => format!("parallel({})", b.threads()),
+        }
+    }
+
+    /// Runs `f` with this backend's thread count installed on the current
+    /// thread. The previous value is restored on every exit path — normal
+    /// return or unwinding panic — so a caller that catches a panic never
+    /// observes a stale override.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _restore = SetCell::new(&THREAD_OVERRIDE, self.threads());
+        f()
+    }
+}
+
+/// Sets a thread-local `Cell` and restores the previous value on drop, so
+/// panics unwinding through a parallel region cannot leave the thread's
+/// scheduling state (`IN_PARALLEL`, `THREAD_OVERRIDE`) permanently stuck.
+struct SetCell<T: Copy + 'static> {
+    key: &'static LocalKey<Cell<T>>,
+    prev: T,
+}
+
+impl<T: Copy + 'static> SetCell<T> {
+    fn new(key: &'static LocalKey<Cell<T>>, value: T) -> Self {
+        let prev = key.with(Cell::get);
+        key.with(|c| c.set(value));
+        Self { key, prev }
+    }
+}
+
+impl<T: Copy + 'static> Drop for SetCell<T> {
+    fn drop(&mut self) {
+        self.key.with(|c| c.set(self.prev));
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::auto()
+    }
+}
+
+/// Splits `n` items into at most `parts` contiguous ranges of near-equal
+/// length (first `n % parts` ranges get one extra item). Empty when `n == 0`.
+fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for w in 0..parts {
+        let len = base + usize::from(w < rem);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Maps `f` over `0..n` on the shared pool, returning results in index
+/// order. Runs serially when the effective thread count is 1, `n < 2`, or
+/// the call is nested inside another parallel region.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = split_ranges(n, threads);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<T>] = &mut slots;
+        let mut iter = ranges.into_iter().peekable();
+        while let Some(range) = iter.next() {
+            let (head, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let f = &f;
+            let mut work = move || {
+                let _nested = SetCell::new(&IN_PARALLEL, true);
+                for (slot, i) in head.iter_mut().zip(range.clone()) {
+                    *slot = Some(f(i));
+                }
+            };
+            if iter.peek().is_some() {
+                scope.spawn(work);
+            } else {
+                // Run the last range on the calling thread.
+                work();
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("parallel worker left a slot empty"))
+        .collect()
+}
+
+/// Runs `f` over disjoint chunks of `data` (each `chunk_len` items, last one
+/// shorter) on the shared pool. `f` receives the chunk index and the chunk.
+///
+/// This is the mutable-output primitive the blocked GEMM parallelizes over:
+/// each worker owns a contiguous row-block of the output matrix.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = effective_threads().min(n_chunks);
+    if threads <= 1 {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    // Distribute whole chunks across workers: worker w handles a contiguous
+    // run of chunks, so each worker still touches a contiguous byte range.
+    let ranges = split_ranges(n_chunks, threads);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [T] = data;
+        let mut consumed = 0usize;
+        let mut iter = ranges.into_iter().peekable();
+        while let Some(range) = iter.next() {
+            let end_item = (range.end * chunk_len).min(consumed + rest.len());
+            let (head, tail) = rest.split_at_mut(end_item - consumed);
+            rest = tail;
+            consumed = end_item;
+            let f = &f;
+            let mut work = move || {
+                let _nested = SetCell::new(&IN_PARALLEL, true);
+                for (off, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                    f(range.start + off, chunk);
+                }
+            };
+            if iter.peek().is_some() {
+                scope.spawn(work);
+            } else {
+                work();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u32; 103];
+        par_chunks_mut(&mut data, 10, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + idx as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 10) as u32, "wrong value at {i}");
+        }
+    }
+
+    #[test]
+    fn nested_parallel_regions_run_serially() {
+        // Inside a worker, effective_threads() must collapse to 1.
+        let inner_counts = par_map(4, |_| {
+            // We're potentially on a worker thread now.
+            let nested = par_map(4, |_| effective_threads());
+            nested.into_iter().max().unwrap()
+        });
+        // On a single-core host the outer loop is serial, so the nested
+        // calls may still see the full count; the invariant we can assert
+        // everywhere is "at most the global maximum".
+        for c in inner_counts {
+            assert!(c <= max_threads());
+        }
+    }
+
+    #[test]
+    fn backend_install_scopes_thread_count() {
+        let serial = Backend::serial();
+        let observed = serial.install(effective_threads);
+        assert_eq!(observed, 1);
+        let two = Backend::with_threads(2);
+        assert_eq!(two.install(effective_threads), 2);
+        // Restored afterwards.
+        assert_eq!(
+            THREAD_OVERRIDE.with(Cell::get),
+            0,
+            "override must be restored"
+        );
+    }
+
+    #[test]
+    fn install_restores_state_on_panic() {
+        let result =
+            std::panic::catch_unwind(|| Backend::with_threads(3).install(|| panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(
+            THREAD_OVERRIDE.with(Cell::get),
+            0,
+            "override must be restored after an unwinding panic"
+        );
+        let result = std::panic::catch_unwind(|| {
+            par_map(2, |i| if i == 1 { panic!("worker boom") } else { i })
+        });
+        assert!(result.is_err());
+        assert!(
+            !IN_PARALLEL.with(Cell::get),
+            "IN_PARALLEL must not stick after a worker panic"
+        );
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for n in [0usize, 1, 7, 64, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+            }
+        }
+    }
+}

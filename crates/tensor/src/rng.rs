@@ -1,14 +1,13 @@
 //! Seedable randomness for experiments: uniform and Gaussian sampling.
-
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+//!
+//! Implemented from scratch on xoshiro256++ (seeded through SplitMix64)
+//! because no external `rand`/`rand_distr` crates are part of the approved
+//! dependency set for this reproduction.
 
 /// A seedable random-number generator with a Gaussian sampler.
 ///
-/// Wraps [`rand::rngs::SmallRng`] (cloneable, so experiments can snapshot
-/// generator state) and adds Box–Muller normal sampling, which we implement
-/// locally because `rand_distr` is not part of the approved dependency set
-/// for this reproduction.
+/// Wraps a local xoshiro256++ core (cloneable, so experiments can snapshot
+/// generator state) and adds Box–Muller normal sampling.
 ///
 /// All stochastic components of the repo (synthetic datasets, weight
 /// initialization, the DP Gaussian mechanism) take a `&mut DivaRng` so that
@@ -24,18 +23,56 @@ use rand::{RngExt, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct DivaRng {
-    inner: SmallRng,
+    state: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare: Option<f64>,
+}
+
+/// SplitMix64 step: expands one 64-bit seed into a well-mixed stream, the
+/// standard way of seeding xoshiro state (Blackman & Vigna).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DivaRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self {
-            inner: SmallRng::seed_from_u64(seed),
-            spare: None,
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state, spare: None }
+    }
+
+    /// The xoshiro256++ next-u64 step.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` using the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[0, 1)` using the top 24 bits.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Draws a uniform sample from `[lo, hi)`.
@@ -48,7 +85,7 @@ impl DivaRng {
         if lo == hi {
             return lo;
         }
-        self.inner.random_range(lo..hi)
+        lo + (hi - lo) * self.next_f32()
     }
 
     /// Draws a uniform integer from `[0, n)`.
@@ -58,7 +95,9 @@ impl DivaRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample an index from an empty range");
-        self.inner.random_range(0..n)
+        // Lemire-style widening multiply maps a u64 to [0, n) with
+        // negligible bias for the n used here (dataset/batch indices).
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Draws a sample from the normal distribution `N(mean, std²)` using the
@@ -81,12 +120,12 @@ impl DivaRng {
         // Box–Muller: two uniforms -> two independent standard normals.
         // u1 is kept away from 0 so that ln(u1) is finite.
         let u1: f64 = loop {
-            let u: f64 = self.inner.random();
+            let u: f64 = self.next_f64();
             if u > f64::MIN_POSITIVE {
                 break u;
             }
         };
-        let u2: f64 = self.inner.random();
+        let u2: f64 = self.next_f64();
         let r = (-2.0f64 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());
@@ -96,7 +135,7 @@ impl DivaRng {
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }
@@ -104,7 +143,7 @@ impl DivaRng {
     /// Derives an independent child generator (for splitting a seed across
     /// parallel components without correlating their streams).
     pub fn fork(&mut self) -> Self {
-        Self::seed_from_u64(self.inner.random())
+        Self::seed_from_u64(self.next_u64())
     }
 }
 
@@ -139,6 +178,18 @@ mod tests {
             let x = rng.uniform(-2.0, 5.0);
             assert!((-2.0..5.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn index_respects_bounds_and_covers_range() {
+        let mut rng = DivaRng::seed_from_u64(10);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let i = rng.index(8);
+            assert!(i < 8);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "index never hit some bucket");
     }
 
     #[test]

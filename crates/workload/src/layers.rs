@@ -11,13 +11,12 @@
 //! `G(X) = G(Y) × Wᵀ` with `(M, K, N) = (B·…, O, I)`.
 
 use diva_arch::GemmShape;
-use serde::{Deserialize, Serialize};
 
 /// A shape-level description of one network layer.
 ///
 /// Only information relevant to performance/memory modeling is kept: no
 /// weights, no data — just dimensions.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum LayerSpec {
     /// 2-D convolution (optionally grouped / depthwise).
     Conv {
@@ -101,7 +100,7 @@ pub enum LayerSpec {
 
 /// GEMM work for one layer in one training phase, possibly replicated
 /// (`count` independent instances).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LoweredGemm {
     /// The GEMM dimensions.
     pub shape: GemmShape,
@@ -159,7 +158,9 @@ impl LayerSpec {
             }
             LayerSpec::Linear { out_f, .. } => *out_f as u64,
             LayerSpec::SeqLinear { out_f, seq, .. } => (out_f * seq) as u64,
-            LayerSpec::Attention { heads, d_head, seq, .. } => {
+            LayerSpec::Attention {
+                heads, d_head, seq, ..
+            } => {
                 // Scores (h × L × L) plus context (L × h·d) activations.
                 (heads * seq * seq + seq * heads * d_head) as u64
             }
@@ -202,11 +203,15 @@ impl LayerSpec {
                 shape: GemmShape::new(b, *in_f as u64, *out_f as u64),
                 count: 1,
             }],
-            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+            LayerSpec::SeqLinear {
+                in_f, out_f, seq, ..
+            } => vec![LoweredGemm {
                 shape: GemmShape::new(b * *seq as u64, *in_f as u64, *out_f as u64),
                 count: 1,
             }],
-            LayerSpec::Attention { heads, d_head, seq, .. } => vec![
+            LayerSpec::Attention {
+                heads, d_head, seq, ..
+            } => vec![
                 // Scores: (L, d) × (d, L) per head per example.
                 LoweredGemm {
                     shape: GemmShape::new(*seq as u64, *d_head as u64, *seq as u64),
@@ -251,11 +256,15 @@ impl LayerSpec {
                 shape: GemmShape::new(b, *out_f as u64, *in_f as u64),
                 count: 1,
             }],
-            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+            LayerSpec::SeqLinear {
+                in_f, out_f, seq, ..
+            } => vec![LoweredGemm {
                 shape: GemmShape::new(b * *seq as u64, *out_f as u64, *in_f as u64),
                 count: 1,
             }],
-            LayerSpec::Attention { heads, d_head, seq, .. } => vec![
+            LayerSpec::Attention {
+                heads, d_head, seq, ..
+            } => vec![
                 // d(scores) and d(values) from the context GEMM...
                 LoweredGemm {
                     shape: GemmShape::new(*seq as u64, *d_head as u64, *seq as u64),
@@ -305,7 +314,9 @@ impl LayerSpec {
                 shape: GemmShape::new(*in_f as u64, b, *out_f as u64),
                 count: 1,
             }],
-            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+            LayerSpec::SeqLinear {
+                in_f, out_f, seq, ..
+            } => vec![LoweredGemm {
                 shape: GemmShape::new(*in_f as u64, b * *seq as u64, *out_f as u64),
                 count: 1,
             }],
@@ -342,7 +353,9 @@ impl LayerSpec {
                 shape: GemmShape::new(*in_f as u64, 1, *out_f as u64),
                 count: b,
             }],
-            LayerSpec::SeqLinear { in_f, out_f, seq, .. } => vec![LoweredGemm {
+            LayerSpec::SeqLinear {
+                in_f, out_f, seq, ..
+            } => vec![LoweredGemm {
                 shape: GemmShape::new(*in_f as u64, *seq as u64, *out_f as u64),
                 count: b,
             }],

@@ -5,8 +5,6 @@
 //! weight gradients, per-example weight gradients, and "else" (optimizer
 //! state, input staging, workspace).
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::ModelSpec;
 use crate::step::Algorithm;
 
@@ -17,7 +15,7 @@ const PARAM_BYTES: u64 = 4;
 
 /// A training-step memory footprint, broken down by the paper's Figure 4
 /// categories.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemoryProfile {
     /// Model weights.
     pub weight_bytes: u64,
@@ -51,8 +49,7 @@ impl MemoryProfile {
             Algorithm::DpSgdReweighted => batch * model.max_layer_params() * PARAM_BYTES,
         };
         // Optimizer momentum + the staged input mini-batch.
-        let other_bytes =
-            params * PARAM_BYTES + model.input_elems_per_example * batch * ACT_BYTES;
+        let other_bytes = params * PARAM_BYTES + model.input_elems_per_example * batch * ACT_BYTES;
         Self {
             weight_bytes,
             activation_bytes,
@@ -164,6 +161,10 @@ mod tests {
         // With a reasonably large batch, per-example gradients dominate the
         // footprint — the paper's ~78% observation.
         let p = model().memory_profile(Algorithm::DpSgd, 64);
-        assert!(p.per_example_fraction() > 0.5, "{}", p.per_example_fraction());
+        assert!(
+            p.per_example_fraction() > 0.5,
+            "{}",
+            p.per_example_fraction()
+        );
     }
 }

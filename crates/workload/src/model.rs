@@ -1,7 +1,5 @@
 //! Whole-model specifications.
 
-use serde::{Deserialize, Serialize};
-
 use crate::layers::LayerSpec;
 use crate::memory::MemoryProfile;
 use crate::step::{lower_step, Algorithm};
@@ -9,7 +7,7 @@ use diva_arch::TrainingOp;
 
 /// The model family, used for grouping in reports (paper figures group
 /// CNNs / Transformers / RNNs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ModelFamily {
     /// Convolutional networks (CIFAR-10-scale inputs).
     Cnn,
@@ -32,7 +30,7 @@ impl ModelFamily {
 
 /// A shape-level model description: an ordered list of [`LayerSpec`]s plus
 /// bookkeeping for the memory model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelSpec {
     /// Model name as used in the paper's figures (e.g. "ResNet-50").
     pub name: String,
@@ -84,10 +82,7 @@ impl ModelSpec {
     ///
     /// Returns 0 if even batch 1 does not fit.
     pub fn max_batch(&self, algorithm: Algorithm, capacity_bytes: u64) -> u64 {
-        if !self
-            .memory_profile(algorithm, 1)
-            .fits(capacity_bytes)
-        {
+        if !self.memory_profile(algorithm, 1).fits(capacity_bytes) {
             return 0;
         }
         // Exponential probe then binary search.
@@ -163,10 +158,7 @@ mod tests {
     #[test]
     fn activation_accounting_includes_input() {
         let m = tiny_model();
-        assert_eq!(
-            m.activation_elems_per_example(),
-            (3 * 64) + (8 * 64) + 10
-        );
+        assert_eq!(m.activation_elems_per_example(), (3 * 64) + (8 * 64) + 10);
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! the shape-level counterpart of the paper's Algorithm 1.
 
 use diva_arch::{Phase, TrainingOp, VectorOpKind};
-use serde::{Deserialize, Serialize};
 
 use crate::layers::LayerSpec;
 use crate::model::ModelSpec;
@@ -16,7 +15,7 @@ const GRAD_BYTES: u64 = 4;
 /// Shape-level mirror of `diva_dp::TrainingAlgorithm` (the functional
 /// implementation); kept separate so the performance-model stack does not
 /// depend on the numeric stack.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Non-private mini-batch SGD.
     Sgd,
@@ -266,12 +265,7 @@ pub fn lower_step(model: &ModelSpec, algorithm: Algorithm, batch: u64) -> Vec<Tr
 
 /// Embedding layers produce gather/scatter gradient traffic instead of
 /// GEMMs: per-example rows touched are `seq × dim`.
-fn push_embedding_wgrad(
-    ops: &mut Vec<TrainingOp>,
-    layer: &LayerSpec,
-    batch: u64,
-    phase: Phase,
-) {
+fn push_embedding_wgrad(ops: &mut Vec<TrainingOp>, layer: &LayerSpec, batch: u64, phase: Phase) {
     if let LayerSpec::Embedding { name, dim, seq, .. } = layer {
         // Scatter/accumulate traffic is the same whether the rows land in
         // per-example buffers or the shared table: B·L·D touched elements.

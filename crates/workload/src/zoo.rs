@@ -184,7 +184,7 @@ fn resnet_at(name: &str, blocks: [usize; 4], side: usize) -> ModelSpec {
                 b.conv(w, 1, 1, 0); // 1x1 reduce
                 b.conv(w, 3, stride, 1); // 3x3
                 b.conv(4 * w, 1, 1, 0); // 1x1 expand
-                // Downsample shortcut from the block input.
+                                        // Downsample shortcut from the block input.
                 let name = b.id("conv");
                 b.layers.push(LayerSpec::Conv {
                     name,
@@ -239,8 +239,8 @@ pub fn squeezenet_at(side: usize) -> ModelSpec {
     b.conv(64, 3, 1, 1).pool(2); // 16×16
     let fire = |b: &mut CnnBuilder, squeeze: usize, expand: usize| {
         b.conv(squeeze, 1, 1, 0); // squeeze 1×1
-        // Expand 1×1 and 3×3 branches run on the squeezed tensor in
-        // parallel; model them sequentially (channel concat afterwards).
+                                  // Expand 1×1 and 3×3 branches run on the squeezed tensor in
+                                  // parallel; model them sequentially (channel concat afterwards).
         let cin = b.c;
         let (h, w) = (b.h, b.w);
         b.conv(expand, 1, 1, 0); // expand 1×1
@@ -390,13 +390,7 @@ pub fn bert_large_with_seq(seq_len: usize) -> ModelSpec {
 
 /// An LSTM language-model stack: embedding → LSTM layers (each lowered to
 /// its input-to-hidden and hidden-to-hidden gate GEMMs) → vocabulary head.
-fn lstm(
-    name: &str,
-    vocab: usize,
-    embed: usize,
-    hidden: usize,
-    lstm_layers: usize,
-) -> ModelSpec {
+fn lstm(name: &str, vocab: usize, embed: usize, hidden: usize, lstm_layers: usize) -> ModelSpec {
     lstm_with_seq(name, vocab, embed, hidden, lstm_layers, SEQ_LEN)
 }
 

@@ -1,21 +1,26 @@
-//! Property-based tests of the workload lowering and memory model over
-//! random batch sizes and models.
+//! Property-style tests of the workload lowering and memory model over
+//! random batch sizes and models. Cases are drawn from a seeded generator
+//! (the approved dependency set has no proptest), so every run checks the
+//! same deterministic sample of the space.
 
 use diva_arch::{Phase, TrainingOpKind};
+use diva_tensor::DivaRng;
 use diva_workload::{zoo, Algorithm};
-use proptest::prelude::*;
+
+const CASES: usize = 16;
 
 fn models() -> Vec<diva_workload::ModelSpec> {
     zoo::all_models()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Forward MACs scale exactly linearly with the batch size.
-    #[test]
-    fn forward_macs_linear_in_batch(model_idx in 0usize..9, b in 1u64..64) {
-        let model = &models()[model_idx];
+/// Forward MACs scale exactly linearly with the batch size.
+#[test]
+fn forward_macs_linear_in_batch() {
+    let models = models();
+    let mut rng = DivaRng::seed_from_u64(0x10e1);
+    for _ in 0..CASES {
+        let model = &models[rng.index(9)];
+        let b = 1 + rng.index(63) as u64;
         let fwd = |batch: u64| -> u64 {
             model
                 .lower(Algorithm::Sgd, batch)
@@ -24,13 +29,18 @@ proptest! {
                 .map(|o| o.macs())
                 .sum()
         };
-        prop_assert_eq!(fwd(b) * 2, fwd(2 * b));
+        assert_eq!(fwd(b) * 2, fwd(2 * b), "{} b={b}", model.name);
     }
+}
 
-    /// Per-example GEMM *shapes* are batch-invariant; only counts scale.
-    #[test]
-    fn per_example_shapes_batch_invariant(model_idx in 0usize..9, b in 1u64..32) {
-        let model = &models()[model_idx];
+/// Per-example GEMM *shapes* are batch-invariant; only counts scale.
+#[test]
+fn per_example_shapes_batch_invariant() {
+    let models = models();
+    let mut rng = DivaRng::seed_from_u64(0x10e2);
+    for _ in 0..CASES {
+        let model = &models[rng.index(9)];
+        let b = 1 + rng.index(31) as u64;
         let shapes = |batch: u64| -> Vec<_> {
             model
                 .lower(Algorithm::DpSgd, batch)
@@ -42,44 +52,59 @@ proptest! {
                 })
                 .collect()
         };
-        prop_assert_eq!(shapes(b), shapes(b + 1));
+        assert_eq!(shapes(b), shapes(b + 1), "{} b={b}", model.name);
     }
+}
 
-    /// Memory is monotone in batch size for every algorithm.
-    #[test]
-    fn memory_monotone_in_batch(model_idx in 0usize..9, b in 1u64..512) {
-        let model = &models()[model_idx];
+/// Memory is monotone in batch size for every algorithm.
+#[test]
+fn memory_monotone_in_batch() {
+    let models = models();
+    let mut rng = DivaRng::seed_from_u64(0x10e3);
+    for _ in 0..CASES {
+        let model = &models[rng.index(9)];
+        let b = 1 + rng.index(511) as u64;
         for alg in Algorithm::ALL {
             let small = model.memory_profile(alg, b).total();
             let big = model.memory_profile(alg, b + 1).total();
-            prop_assert!(big >= small, "{} {alg}", model.name);
+            assert!(big >= small, "{} {alg} b={b}", model.name);
         }
     }
+}
 
-    /// Memory ordering: SGD ≤ DP-SGD(R) ≤ DP-SGD at any batch.
-    #[test]
-    fn memory_ordering_invariant(model_idx in 0usize..9, b in 1u64..256) {
-        let model = &models()[model_idx];
+/// Memory ordering: SGD ≤ DP-SGD(R) ≤ DP-SGD at any batch.
+#[test]
+fn memory_ordering_invariant() {
+    let models = models();
+    let mut rng = DivaRng::seed_from_u64(0x10e4);
+    for _ in 0..CASES {
+        let model = &models[rng.index(9)];
+        let b = 1 + rng.index(255) as u64;
         let sgd = model.memory_profile(Algorithm::Sgd, b).total();
         let dpr = model.memory_profile(Algorithm::DpSgdReweighted, b).total();
         let dp = model.memory_profile(Algorithm::DpSgd, b).total();
-        prop_assert!(sgd <= dpr);
-        prop_assert!(dpr <= dp);
+        assert!(sgd <= dpr, "{} b={b}", model.name);
+        assert!(dpr <= dp, "{} b={b}", model.name);
     }
+}
 
-    /// The max-batch solver is exact: the reported batch fits, one more
-    /// does not.
-    #[test]
-    fn max_batch_is_tight(model_idx in 0usize..9, capacity_gb in 1u64..64) {
-        let model = &models()[model_idx];
+/// The max-batch solver is exact: the reported batch fits, one more does
+/// not.
+#[test]
+fn max_batch_is_tight() {
+    let models = models();
+    let mut rng = DivaRng::seed_from_u64(0x10e5);
+    for _ in 0..CASES {
+        let model = &models[rng.index(9)];
+        let capacity_gb = 1 + rng.index(63) as u64;
         let cap = capacity_gb << 30;
         for alg in Algorithm::ALL {
             let b = model.max_batch(alg, cap);
             if b > 0 {
-                prop_assert!(model.memory_profile(alg, b).fits(cap));
-                prop_assert!(!model.memory_profile(alg, b + 1).fits(cap));
+                assert!(model.memory_profile(alg, b).fits(cap));
+                assert!(!model.memory_profile(alg, b + 1).fits(cap));
             } else {
-                prop_assert!(!model.memory_profile(alg, 1).fits(cap));
+                assert!(!model.memory_profile(alg, 1).fits(cap));
             }
         }
     }

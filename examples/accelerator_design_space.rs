@@ -39,8 +39,7 @@ fn main() {
         cfg.pe.rows = rows;
         cfg.pe.cols = cols;
         cfg.drain_rows_per_cycle = 8.min(rows);
-        let accel =
-            Accelerator::from_config(format!("DiVa {rows}x{cols}"), cfg).expect("valid");
+        let accel = Accelerator::from_config(format!("DiVa {rows}x{cols}"), cfg).expect("valid");
         let t = accel.run(&model, Algorithm::DpSgdReweighted, batch).seconds;
         println!(
             "  {:<10} {:>10.2} {:>9.2}x",

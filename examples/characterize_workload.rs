@@ -41,7 +41,11 @@ fn main() {
     // --- Memory (Section III-A) ---
     println!("max power-of-two batch under 16 GB:");
     for alg in Algorithm::ALL {
-        println!("  {:<10} {:>6}", alg.label(), model.max_batch_pow2(alg, HBM));
+        println!(
+            "  {:<10} {:>6}",
+            alg.label(),
+            model.max_batch_pow2(alg, HBM)
+        );
     }
     let batch = model.max_batch_pow2(Algorithm::DpSgd, HBM).max(1);
     println!("\nmemory at batch {batch} (GiB):");

@@ -29,8 +29,7 @@ fn main() {
         learning_rate: 0.5,
     };
     let trainer = DpTrainer::new(config);
-    let accountant =
-        RdpAccountant::new(batch as f64 / train.len() as f64, config.noise_multiplier);
+    let accountant = RdpAccountant::new(batch as f64 / train.len() as f64, config.noise_multiplier);
 
     println!(
         "Training a {}-parameter MLP with {} (C = {}, sigma = {})\n",

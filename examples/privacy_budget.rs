@@ -26,7 +26,10 @@ fn main() {
         );
     }
 
-    println!("\ncalibrating sigma for a 60-epoch run ({} steps):", 60 * 234);
+    println!(
+        "\ncalibrating sigma for a 60-epoch run ({} steps):",
+        60 * 234
+    );
     println!("  {:<12} {:>8}", "target eps", "sigma");
     for target in [1.0, 2.0, 4.0, 8.0] {
         let sigma = calibrate_sigma(target, delta, q, 60 * 234);

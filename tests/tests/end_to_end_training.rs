@@ -13,12 +13,7 @@ use diva_tensor::{argmax_rows, DivaRng, Tensor};
 fn accuracy(net: &Network, x: &Tensor, labels: &[usize]) -> f64 {
     let (logits, _) = net.forward(x);
     let preds = argmax_rows(&logits);
-    preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count() as f64
-        / labels.len() as f64
+    preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
 }
 
 #[test]
@@ -130,7 +125,10 @@ fn poisson_sampled_training_with_accountant() {
     }
     let eps = accountant.epsilon(steps, 1e-5);
     assert!(eps > 0.0 && eps < 20.0, "epsilon {eps} out of range");
-    assert!(last_loss < 0.5, "training did not progress: loss {last_loss}");
+    assert!(
+        last_loss < 0.5,
+        "training did not progress: loss {last_loss}"
+    );
 
     let (x, labels) = train.batch(0, 256);
     let acc = accuracy(&net, &x, &labels);
@@ -163,5 +161,8 @@ fn microbatch_accumulation_trains_with_small_memory() {
             .step_accumulated(&mut net, &micro, &mut rng)
             .mean_loss;
     }
-    assert!(last_loss < 0.45, "accumulated training stalled: {last_loss}");
+    assert!(
+        last_loss < 0.45,
+        "accumulated training stalled: {last_loss}"
+    );
 }

@@ -232,11 +232,17 @@ fn sensitivity_trend_holds() {
     };
     let s32 = speedup(&zoo::resnet50_at(32));
     let s128 = speedup(&zoo::resnet50_at(128));
-    assert!(s128 < s32, "speedup should narrow with larger images: {s32} -> {s128}");
+    assert!(
+        s128 < s32,
+        "speedup should narrow with larger images: {s32} -> {s128}"
+    );
     assert!(s128 > 1.0, "but DiVa should still win: {s128}");
 
     let l32 = speedup(&zoo::bert_base_with_seq(32));
     let l256 = speedup(&zoo::bert_base_with_seq(256));
-    assert!(l256 < l32, "speedup should narrow with longer sequences: {l32} -> {l256}");
+    assert!(
+        l256 < l32,
+        "speedup should narrow with longer sequences: {l32} -> {l256}"
+    );
     assert!(l256 > 1.0, "but DiVa should still win: {l256}");
 }
