@@ -1,9 +1,11 @@
 //! Compute-backend throughput: the blocked/parallel kernels versus the
-//! seed's scalar loops, on the three shapes the acceptance criteria track —
-//! 256³ matmul, a conv forward/weight-gradient pair, and a full DP-SGD(R)
-//! training step at batch 32. Results are written to `BENCH_perf.json` at
-//! the workspace root (override with `DIVA_BENCH_OUT`) so subsequent PRs
-//! have a trajectory to regress against.
+//! seed's scalar loops, on the shapes the acceptance criteria track —
+//! 256³ matmul, a conv forward/weight-gradient pair, a full DP-SGD(R)
+//! training step at batch 32 (MLP and CNN), and the fused patch-reuse conv
+//! first backward versus the naive per-example `im2col` path it replaced.
+//! Results are written to `BENCH_perf.json` at the workspace root
+//! (override with `DIVA_BENCH_OUT`) so subsequent PRs have a trajectory to
+//! regress against (`bench_regress` gates the conv/DP-step rows in CI).
 //!
 //! Backend sweep: `serial` and `parallel(auto)` rows are recorded for the
 //! step benchmarks; on a single-core host the two coincide and the blocked
@@ -14,10 +16,10 @@ use std::hint::black_box;
 use diva_bench::harness::Harness;
 use diva_bench::perf::{PerfRecord, PerfSink};
 use diva_dp::{DpSgdConfig, DpTrainer, TrainingAlgorithm};
-use diva_nn::{Layer, Network};
+use diva_nn::{slice_example, Conv2dLayer, GradMode, Layer, Network, ParamGrads};
 use diva_tensor::{
-    conv2d, conv2d_backward_weight, matmul, matmul_reference, parallel, set_scalar_reference_mode,
-    Backend, Conv2dGeom, DivaRng, Tensor,
+    conv2d, conv2d_backward_data, conv2d_backward_weight, matmul, matmul_reference, parallel,
+    set_scalar_reference_mode, Backend, Conv2dGeom, DivaRng, Tensor,
 };
 
 /// GFLOP/s for a GEMM of the given shape at the measured seconds/iter.
@@ -181,6 +183,150 @@ fn bench_dp_step(h: &mut Harness, sink: &mut PerfSink) {
     }
 }
 
+/// A small CNN whose first-layer per-example weight-gradient GEMM
+/// (`(C_out, P·Q, C_in·R·S) = (16, 196, 72)`) routes through the
+/// blocked/packed kernel, so the patch-reuse and pack-cache machinery sits
+/// on the measured path.
+fn conv_step_net(rng: &mut DivaRng) -> Network {
+    Network::new(vec![
+        Layer::conv2d(8, 16, 3, 1, 1, 14, 14, rng),
+        Layer::relu(),
+        Layer::max_pool2d(2),
+        Layer::flatten(),
+        Layer::dense(16 * 7 * 7, 10, true, rng),
+    ])
+}
+
+/// Full DP-SGD(R) training steps on the CNN at batch 32 — the `conv
+/// dp-step` rows of `BENCH_perf.json`.
+fn bench_conv_dp_step(h: &mut Harness, sink: &mut PerfSink) {
+    const B: usize = 32;
+    let label = "conv_dpsgdr_step_b32";
+    let mut rng = DivaRng::seed_from_u64(14);
+    let mut net = conv_step_net(&mut rng);
+    let x = Tensor::uniform(&[B, 8, 14, 14], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..B).map(|i| i % 10).collect();
+    let config = DpSgdConfig {
+        algorithm: TrainingAlgorithm::DpSgdReweighted,
+        clip_norm: 1.0,
+        noise_multiplier: 1.1,
+        learning_rate: 0.05,
+    };
+
+    set_scalar_reference_mode(true);
+    let scalar_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+    h.bench(&format!("{label}/scalar"), || {
+        scalar_trainer
+            .step(&mut net, black_box(&x), &labels, &mut rng)
+            .mean_loss
+    });
+    set_scalar_reference_mode(false);
+    let serial_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+    h.bench(&format!("{label}/blocked_serial"), || {
+        serial_trainer
+            .step(&mut net, black_box(&x), &labels, &mut rng)
+            .mean_loss
+    });
+    let parallel_trainer = DpTrainer::new(config).with_backend(Backend::auto());
+    h.bench(&format!("{label}/blocked_parallel"), || {
+        parallel_trainer
+            .step(&mut net, black_box(&x), &labels, &mut rng)
+            .mean_loss
+    });
+
+    let scalar = h.get(&format!("{label}/scalar")).unwrap().secs_per_iter;
+    for (short, backend) in [
+        ("scalar", "scalar"),
+        ("blocked_serial", "serial"),
+        ("blocked_parallel", "parallel"),
+    ] {
+        let secs = h.get(&format!("{label}/{short}")).unwrap().secs_per_iter;
+        sink.push(
+            PerfRecord::new(label)
+                .tag("backend", backend)
+                .tag("algorithm", "DP-SGD(R)")
+                .metric("ms", secs * 1e3)
+                .metric("steps_per_sec", 1.0 / secs)
+                .metric("speedup_vs_scalar", scalar / secs),
+        );
+    }
+}
+
+/// DP-SGD(R)'s *first* backward (the `NormOnly` pass) on a first-layer
+/// convolution at batch 32: the fused patch-reuse path versus the naive
+/// per-example `im2col` path this PR replaced.
+///
+/// The naive side reproduces the pre-fusion semantics exactly: derive the
+/// (dead) input gradient — the pre-fusion network always did — then, per
+/// example, slice the batch, re-lower the example with `im2col` inside
+/// `conv2d_backward_weight`, and take norms. The fused side is the current
+/// layer path: strided GEMM windows over the patch buffer lowered in the
+/// forward, dead input gradient skipped.
+/// One example's pre-fusion `NormOnly` contribution: slice, re-lower with
+/// `im2col` (inside `conv2d_backward_weight`), take weight + bias norms.
+/// Shared by the timed naive closure and the divergence sanity check so
+/// the published speedup and the checked semantics cannot drift apart.
+fn naive_example_norm(x: &Tensor, gy: &Tensor, geom: &Conv2dGeom, i: usize) -> f64 {
+    let xi = slice_example(x, i);
+    let gi = slice_example(gy, i);
+    let gw = conv2d_backward_weight(&xi, &gi, geom);
+    let dims = gi.shape().dims().to_vec();
+    let (c, p, q) = (dims[1], dims[2], dims[3]);
+    let mut bias_sq = 0.0f64;
+    for ci in 0..c {
+        let base = ci * p * q;
+        let s: f32 = gi.data()[base..base + p * q].iter().sum();
+        bias_sq += f64::from(s) * f64::from(s);
+    }
+    gw.squared_norm() + bias_sq
+}
+
+fn bench_conv_first_backward(h: &mut Harness, sink: &mut PerfSink) {
+    const B: usize = 32;
+    let label = "conv_dpsgdr_first_backward_b32";
+    let geom = Conv2dGeom::new(8, 16, 3, 1, 1, 14, 14);
+    let mut rng = DivaRng::seed_from_u64(15);
+    let layer = Conv2dLayer::new(8, 16, 3, 1, 1, 14, 14, &mut rng);
+    let x = Tensor::uniform(&[B, 8, 14, 14], -1.0, 1.0, &mut rng);
+    let (y, cache) = layer.forward(&x);
+    let gy = Tensor::uniform(y.shape().dims(), -1.0, 1.0, &mut rng);
+    let weight = layer.params()[0].clone();
+
+    h.bench(&format!("{label}/naive"), || {
+        let gx = conv2d_backward_data(black_box(&gy), &weight, &geom);
+        let norms = parallel::par_map(B, |i| naive_example_norm(&x, &gy, &geom, i));
+        (gx, norms)
+    });
+    h.bench(&format!("{label}/fused"), || {
+        layer.backward_opt(&cache, black_box(&gy), GradMode::NormOnly, false)
+    });
+
+    // Sanity: both paths agree on the norms (bit parity is pinned by the
+    // dedicated test suite; here we just refuse to publish numbers for
+    // diverging computations).
+    let fused = layer.backward_opt(&cache, &gy, GradMode::NormOnly, false);
+    let ParamGrads::SqNorms(fused_norms) = fused.grads else {
+        panic!("NormOnly must yield norms");
+    };
+    let naive_norms = parallel::par_map(B, |i| naive_example_norm(&x, &gy, &geom, i));
+    assert_eq!(
+        fused_norms, naive_norms,
+        "fused/naive first-backward diverged"
+    );
+
+    let naive = h.get(&format!("{label}/naive")).unwrap().secs_per_iter;
+    for short in ["naive", "fused"] {
+        let secs = h.get(&format!("{label}/{short}")).unwrap().secs_per_iter;
+        sink.push(
+            PerfRecord::new(label)
+                .tag("backend", short)
+                .tag("algorithm", "DP-SGD(R)")
+                .metric("ms", secs * 1e3)
+                .metric("speedup_vs_naive", naive / secs),
+        );
+    }
+}
+
 fn main() {
     let mut h = Harness::new("compute_backend");
     let mut sink = PerfSink::new();
@@ -192,6 +338,8 @@ fn main() {
     bench_matmul(&mut h, &mut sink);
     bench_conv(&mut h, &mut sink);
     bench_dp_step(&mut h, &mut sink);
+    bench_conv_dp_step(&mut h, &mut sink);
+    bench_conv_first_backward(&mut h, &mut sink);
     match sink.write(None) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("failed to write BENCH_perf.json: {e}"),

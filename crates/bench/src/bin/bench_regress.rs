@@ -1,0 +1,129 @@
+//! Bench-smoke regression gate: diffs the conv / DP-step rows of a fresh
+//! `BENCH_perf.json` against the committed record and fails (exit 1) on a
+//! >25% throughput regression on the same backend.
+//!
+//! Usage: `bench_regress <baseline.json> <current.json> [threshold]`
+//! (threshold is the allowed fractional regression, default `0.25`; also
+//! settable via `DIVA_BENCH_REGRESS_THRESHOLD`).
+//!
+//! Comparison metric: the *relative* speedup columns
+//! (`speedup_vs_scalar` / `speedup_vs_naive`), not wall-clock. Both sides
+//! of each speedup are measured in the same process on the same host, so
+//! the ratio survives the heterogeneous CI runners that absolute
+//! milliseconds do not. Gated rows are the convolution and DP-step records
+//! (names containing `conv` or `step`); matmul rows are informational.
+
+use diva_bench::perf::{parse_perf_json, PerfRecord};
+
+/// Metrics eligible as the throughput proxy, in preference order.
+const SPEEDUP_METRICS: [&str; 2] = ["speedup_vs_scalar", "speedup_vs_naive"];
+
+fn gated(record: &PerfRecord) -> bool {
+    (record.name.contains("conv") || record.name.contains("step"))
+        && SPEEDUP_METRICS
+            .iter()
+            .any(|m| record.metric_value(m).is_some())
+}
+
+fn speedup(record: &PerfRecord) -> Option<(&'static str, f64)> {
+    SPEEDUP_METRICS
+        .iter()
+        .find_map(|&m| record.metric_value(m).map(|v| (m, v)))
+}
+
+fn load(path: &str) -> Vec<PerfRecord> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse_perf_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match args.as_slice() {
+        [b, c] | [b, c, _] => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_regress <baseline.json> <current.json> [threshold]");
+            std::process::exit(2);
+        }
+    };
+    let threshold: f64 = args
+        .get(2)
+        .cloned()
+        .or_else(|| std::env::var("DIVA_BENCH_REGRESS_THRESHOLD").ok())
+        .map(|s| s.parse().expect("threshold must be a number"))
+        .unwrap_or(0.25);
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    println!(
+        "{:<36} {:<10} {:>10} {:>10} {:>8}",
+        "record", "backend", "baseline", "current", "ratio"
+    );
+    for base in baseline.iter().filter(|r| gated(r)) {
+        let backend = base.tag_value("backend").unwrap_or("");
+        // The scalar baseline row's speedup is 1.0 by construction —
+        // nothing to gate.
+        if backend == "scalar" || backend == "naive" {
+            continue;
+        }
+        let Some((metric, base_speedup)) = speedup(base) else {
+            continue;
+        };
+        let Some(cur) = current
+            .iter()
+            .find(|r| r.name == base.name && r.tag_value("backend") == Some(backend))
+        else {
+            failures.push(format!(
+                "{} [{}]: row missing from current run",
+                base.name, backend
+            ));
+            continue;
+        };
+        let Some(cur_speedup) = cur.metric_value(metric) else {
+            failures.push(format!(
+                "{} [{}]: current run lost metric {metric}",
+                cur.name, backend
+            ));
+            continue;
+        };
+        checked += 1;
+        let ratio = cur_speedup / base_speedup;
+        println!(
+            "{:<36} {:<10} {:>9.2}x {:>9.2}x {:>8.3}",
+            base.name, backend, base_speedup, cur_speedup, ratio
+        );
+        if ratio < 1.0 - threshold {
+            failures.push(format!(
+                "{} [{}]: {metric} regressed {:.2}x -> {:.2}x ({:.0}% below baseline, \
+                 allowed {:.0}%)",
+                base.name,
+                backend,
+                base_speedup,
+                cur_speedup,
+                (1.0 - ratio) * 100.0,
+                threshold * 100.0
+            ));
+        }
+    }
+
+    // Report collected failures before any "nothing was checked" verdict,
+    // so an all-rows-missing current run surfaces the real diagnosis
+    // instead of a misleading complaint about the baseline.
+    if !failures.is_empty() {
+        eprintln!("\nbench_regress: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    if checked == 0 {
+        eprintln!("bench_regress: no gated conv/DP-step rows found in {baseline_path}");
+        std::process::exit(2);
+    }
+    println!(
+        "\nbench_regress: {checked} rows within {:.0}% of the committed record",
+        threshold * 100.0
+    );
+}

@@ -114,6 +114,120 @@ impl PerfSink {
     }
 }
 
+/// Parses a `BENCH_perf.json` document produced by [`PerfSink::to_json`]
+/// back into records. This is a minimal scanner for the flat schema this
+/// crate itself emits (string and numeric values only, no nesting inside a
+/// record), not a general JSON parser; the CI regression gate
+/// (`bench_regress`) uses it to diff a fresh run against the committed
+/// record.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct encountered.
+pub fn parse_perf_json(text: &str) -> Result<Vec<PerfRecord>, String> {
+    let start = text
+        .find("\"records\"")
+        .ok_or_else(|| "missing \"records\" key".to_string())?;
+    let open = text[start..]
+        .find('[')
+        .ok_or_else(|| "missing records array".to_string())?
+        + start;
+    let close = text
+        .rfind(']')
+        .filter(|&c| c > open)
+        .ok_or_else(|| "unterminated records array".to_string())?;
+    let mut records = Vec::new();
+    let mut rest = &text[open + 1..close];
+    while let Some(obj_open) = rest.find('{') {
+        let obj_close = rest[obj_open..]
+            .find('}')
+            .ok_or_else(|| "unterminated record object".to_string())?
+            + obj_open;
+        let body = &rest[obj_open + 1..obj_close];
+        records.push(parse_record(body)?);
+        rest = &rest[obj_close + 1..];
+    }
+    Ok(records)
+}
+
+/// Parses one `"key": value` comma-separated record body.
+fn parse_record(body: &str) -> Result<PerfRecord, String> {
+    let mut record = PerfRecord::default();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let (key, after_key) = parse_json_string(rest)?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key:?}"))?
+            .trim_start();
+        let after_value = if after_colon.starts_with('"') {
+            let (value, tail) = parse_json_string(after_colon)?;
+            if key == "name" {
+                record.name = value;
+            } else {
+                record.tags.push((key, value));
+            }
+            tail
+        } else {
+            let end = after_colon.find(',').unwrap_or(after_colon.len());
+            let raw = after_colon[..end].trim();
+            if raw != "null" {
+                let v: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("bad number {raw:?} for key {key:?}: {e}"))?;
+                record.metrics.push((key, v));
+            }
+            &after_colon[end..]
+        };
+        rest = after_value.trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    if record.name.is_empty() {
+        return Err("record without a name".to_string());
+    }
+    Ok(record)
+}
+
+/// Parses a leading JSON string literal, returning it unescaped plus the
+/// remaining input.
+fn parse_json_string(s: &str) -> Result<(String, &str), String> {
+    let inner = s
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected string at {:?}", &s[..s.len().min(20)]))?;
+    let mut out = String::new();
+    let mut chars = inner.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &inner[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, other)) => out.push(other),
+                None => return Err("dangling escape".to_string()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+impl PerfRecord {
+    /// The value of string tag `key`, if present.
+    pub fn tag_value(&self, key: &str) -> Option<&str> {
+        self.tags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of numeric metric `key`, if present (and finite).
+    pub fn metric_value(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
 /// Escapes a string as a JSON string literal (control characters, quotes
 /// and backslashes; everything we emit is ASCII identifiers).
 fn json_string(s: &str) -> String {
@@ -162,5 +276,40 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_json() {
+        let mut sink = PerfSink::new();
+        sink.push(
+            PerfRecord::new("conv_dpsgdr_step_b32")
+                .tag("backend", "serial")
+                .tag("algorithm", "DP-SGD(R)")
+                .metric("ms", 12.5)
+                .metric("speedup_vs_scalar", 3.25)
+                .metric("nan_metric", f64::NAN),
+        );
+        sink.push(
+            PerfRecord::new("host")
+                .tag("backend", "info")
+                .metric("threads", 4.0),
+        );
+        let parsed = parse_perf_json(&sink.to_json()).expect("round trip");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "conv_dpsgdr_step_b32");
+        assert_eq!(parsed[0].tag_value("backend"), Some("serial"));
+        assert_eq!(parsed[0].tag_value("algorithm"), Some("DP-SGD(R)"));
+        assert_eq!(parsed[0].metric_value("ms"), Some(12.5));
+        assert_eq!(parsed[0].metric_value("speedup_vs_scalar"), Some(3.25));
+        // NaN was serialized as null and therefore dropped on parse.
+        assert_eq!(parsed[0].metric_value("nan_metric"), None);
+        assert_eq!(parsed[1].metric_value("threads"), Some(4.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_perf_json("{}").is_err());
+        assert!(parse_perf_json("{\"records\": [{\"ms\": 1.0}]}").is_err());
+        assert!(parse_perf_json("{\"records\": [{\"name\": \"x\", \"ms\": bogus}]}").is_err());
     }
 }

@@ -317,6 +317,12 @@ impl DpTrainer {
                 // second per-batch pass yields the clipped, reduced gradient
                 // in one shot (clipping fused into backprop — the key to
                 // DP-SGD(R)'s memory savings and fewer post-processing ops).
+                // Both passes run against the same `caches`, which is what
+                // makes the conv patch-reuse pay twice: the shared im2col
+                // buffer and the GEMM operands packed during the norm pass
+                // (diva_tensor::PatchBuffer / PackCache) are reused verbatim
+                // by the reweighted pass, and neither pass derives the
+                // first layer's dead input gradient.
                 let g = net.backward_reweighted(&caches, &loss.grad_logits, &summary.factors);
                 (g, loss.mean_loss, Some(summary))
             }

@@ -5,13 +5,23 @@
 //! GEMM is `(C_in·R·S, B·P·Q, C_out)`, and the per-example weight gradient
 //! is a `(C_in·R·S, P·Q, C_out)` GEMM per example — the small-K shape that
 //! underutilizes systolic arrays.
+//!
+//! This layer runs the **fused patch-reuse** backward: the forward pass
+//! lowers the batch with `im2col` exactly once into a shared
+//! [`PatchBuffer`], and every weight-gradient GEMM — per-batch,
+//! per-example, and norm-only — executes as a strided row-window over that
+//! buffer. DP-SGD(R)'s two backward passes share the same forward cache,
+//! so the patch buffer (and its packed GEMM panels, plus the packed filter
+//! matrix of the data-gradient GEMM) is lowered/packed once and reused by
+//! both passes. The per-example results are bit-identical to the naive
+//! per-example `im2col` path (`tests/conv_fused_parity.rs`).
 
 use diva_tensor::{
-    conv2d, conv2d_backward_data, conv2d_backward_weight, parallel, Conv2dGeom, DivaRng, Tensor,
+    conv2d_backward_data_from_rows, nchw_to_rows, parallel, Conv2dGeom, DivaRng, PackCache,
+    PatchBuffer, Tensor,
 };
 
 use crate::layer::{BackwardOutput, GradMode, ParamGrads};
-use crate::slice_example;
 
 /// A 2-D convolution layer with square filters and optional bias.
 #[derive(Clone, Debug)]
@@ -21,10 +31,14 @@ pub struct Conv2dLayer {
     geom: Conv2dGeom,
 }
 
-/// Forward cache for [`Conv2dLayer`]: the layer input.
+/// Forward cache for [`Conv2dLayer`]: the batch lowered to the shared patch
+/// buffer (computed once in the forward, reused by every backward pass that
+/// shares this cache), plus the pack-cache handle for the data-gradient
+/// GEMM's filter operand.
 #[derive(Clone, Debug)]
 pub struct Conv2dCache {
-    x: Tensor,
+    patches: PatchBuffer,
+    dgrad_pack: PackCache,
 }
 
 impl Conv2dLayer {
@@ -62,7 +76,8 @@ impl Conv2dLayer {
     ///
     /// Panics if the input does not match the layer geometry.
     pub fn forward(&self, x: &Tensor) -> (Tensor, Conv2dCache) {
-        let mut y = conv2d(x, &self.weight, &self.geom);
+        let patches = PatchBuffer::lower(x, &self.geom);
+        let mut y = patches.forward(&self.weight);
         if let Some(b) = &self.bias {
             let dims = y.shape().dims().to_vec();
             let (n, c, p, q) = (dims[0], dims[1], dims[2], dims[3]);
@@ -77,22 +92,51 @@ impl Conv2dLayer {
                 }
             }
         }
-        (y, Conv2dCache { x: x.clone() })
+        (
+            y,
+            Conv2dCache {
+                patches,
+                dgrad_pack: PackCache::new(),
+            },
+        )
     }
 
-    /// Backward pass; see [`GradMode`].
+    /// Backward pass with the input gradient always derived; see
+    /// [`GradMode`] and [`Conv2dLayer::backward_opt`].
     pub fn backward(
         &self,
         cache: &Conv2dCache,
         grad_out: &Tensor,
         mode: GradMode,
     ) -> BackwardOutput {
+        self.backward_opt(cache, grad_out, mode, true)
+    }
+
+    /// Backward pass; derives the input gradient only when
+    /// `need_input_grad` is set (a first-layer convolution's input gradient
+    /// is dead work — a full `(B·P·Q, C_out, C_in·R·S)` GEMM plus `col2im`).
+    ///
+    /// The output gradient is flattened to GEMM rows once per call and
+    /// sliced per example; the weight-gradient GEMMs read the shared patch
+    /// buffer lowered in the forward.
+    pub fn backward_opt(
+        &self,
+        cache: &Conv2dCache,
+        grad_out: &Tensor,
+        mode: GradMode,
+        need_input_grad: bool,
+    ) -> BackwardOutput {
         let b = grad_out.shape().dim(0);
-        let grad_input = conv2d_backward_data(grad_out, &self.weight, &self.geom);
+        assert_eq!(
+            b,
+            cache.patches.batch(),
+            "gradient batch does not match the cached forward batch"
+        );
+        let gy_rows = nchw_to_rows(grad_out, &self.geom);
 
         let grads = match mode {
             GradMode::PerBatch => {
-                let gw = conv2d_backward_weight(&cache.x, grad_out, &self.geom);
+                let gw = cache.patches.backward_weight_batch(&gy_rows);
                 let mut out = vec![gw];
                 if self.bias.is_some() {
                     out.push(bias_grad(grad_out));
@@ -101,27 +145,30 @@ impl Conv2dLayer {
             }
             // Per-example derivation is independent across the batch
             // (Algorithm 1 lines 16–25): fan the `(C_in·R·S, P·Q, C_out)`
-            // per-example GEMMs out over the shared pool.
+            // per-example GEMMs out over the shared pool, each a strided
+            // row-window of the shared patch buffer.
             GradMode::PerExample => ParamGrads::PerExample(parallel::par_map(b, |i| {
-                self.example_grads(cache, grad_out, i)
+                self.example_grads(cache, &gy_rows, i)
             })),
             GradMode::NormOnly => ParamGrads::SqNorms(parallel::par_map(b, |i| {
-                self.example_grads(cache, grad_out, i)
+                self.example_grads(cache, &gy_rows, i)
                     .iter()
                     .map(Tensor::squared_norm)
                     .sum()
             })),
         };
+        let grad_input = need_input_grad.then(|| {
+            conv2d_backward_data_from_rows(&gy_rows, &self.weight, &self.geom, b, &cache.dgrad_pack)
+        });
         BackwardOutput { grad_input, grads }
     }
 
-    fn example_grads(&self, cache: &Conv2dCache, grad_out: &Tensor, i: usize) -> Vec<Tensor> {
-        let xi = slice_example(&cache.x, i);
-        let gi = slice_example(grad_out, i);
-        let gw = conv2d_backward_weight(&xi, &gi, &self.geom);
+    fn example_grads(&self, cache: &Conv2dCache, gy_rows: &Tensor, i: usize) -> Vec<Tensor> {
+        let gw = cache.patches.backward_weight_example(gy_rows, i);
         let mut out = vec![gw];
         if self.bias.is_some() {
-            out.push(bias_grad(&gi));
+            let (p, q) = self.geom.out_hw();
+            out.push(bias_grad_example(gy_rows, i, p * q));
         }
         out
     }
@@ -156,6 +203,22 @@ fn bias_grad(grad_out: &Tensor) -> Tensor {
             let base = (ni * c + ci) * p * q;
             let s: f32 = gv[base..base + p * q].iter().sum();
             out.data_mut()[ci] += s;
+        }
+    }
+    out
+}
+
+/// Per-example bias gradient from the `(N·P·Q, C_out)` row layout: sums
+/// example `i`'s rows per channel. Each channel accumulates in ascending
+/// spatial order, the same order as [`bias_grad`] on the sliced example, so
+/// the result is bit-identical to the naive path.
+fn bias_grad_example(gy_rows: &Tensor, i: usize, pq: usize) -> Tensor {
+    let (_, c) = gy_rows.dims2();
+    let mut out = Tensor::zeros(&[c]);
+    let ov = out.data_mut();
+    for r in i * pq..(i + 1) * pq {
+        for (acc, &v) in ov.iter_mut().zip(gy_rows.row(r)) {
+            *acc += v;
         }
     }
     out
@@ -223,5 +286,22 @@ mod tests {
             let sq: f64 = ex.iter().map(Tensor::squared_norm).sum();
             assert!((sq - norms[i]).abs() / sq.max(1.0) < 1e-5);
         }
+    }
+
+    #[test]
+    fn skipped_input_grad_is_none_and_grads_match() {
+        let mut rng = DivaRng::seed_from_u64(8);
+        let layer = Conv2dLayer::new(2, 3, 3, 1, 1, 5, 5, &mut rng);
+        let x = Tensor::uniform(&[2, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let (y, cache) = layer.forward(&x);
+        let g = Tensor::uniform(y.shape().dims(), -1.0, 1.0, &mut rng);
+        let full = layer.backward_opt(&cache, &g, GradMode::NormOnly, true);
+        let skipped = layer.backward_opt(&cache, &g, GradMode::NormOnly, false);
+        assert!(full.grad_input.is_some());
+        assert!(skipped.grad_input.is_none());
+        let (ParamGrads::SqNorms(a), ParamGrads::SqNorms(b)) = (&full.grads, &skipped.grads) else {
+            panic!("expected norms");
+        };
+        assert_eq!(a, b, "skipping the input gradient changed the norms");
     }
 }

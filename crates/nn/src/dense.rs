@@ -74,17 +74,30 @@ impl Dense {
         (y, DenseCache { x: x.clone() })
     }
 
-    /// Backward pass. See [`GradMode`] for the three gradient flavours.
+    /// Backward pass with the input gradient always derived. See
+    /// [`GradMode`] for the three gradient flavours.
     pub fn backward(
         &self,
         cache: &DenseCache,
         grad_out: &Tensor,
         mode: GradMode,
     ) -> BackwardOutput {
+        self.backward_opt(cache, grad_out, mode, true)
+    }
+
+    /// Backward pass; skips the `(B, O, I)` activation-gradient GEMM when
+    /// `need_input_grad` is `false` (dead work for a network's first layer).
+    pub fn backward_opt(
+        &self,
+        cache: &DenseCache,
+        grad_out: &Tensor,
+        mode: GradMode,
+        need_input_grad: bool,
+    ) -> BackwardOutput {
         let (b, o) = grad_out.dims2();
         assert_eq!(o, self.output, "gradient feature mismatch");
         // G(X) = G(Y) × Wᵀ — the activation-gradient GEMM.
-        let grad_input = matmul_nt(grad_out, &self.weight);
+        let grad_input = need_input_grad.then(|| matmul_nt(grad_out, &self.weight));
 
         let grads = match mode {
             GradMode::PerBatch => {
@@ -259,7 +272,10 @@ mod tests {
         let mut x = Tensor::uniform(&[2, 4], -1.0, 1.0, &mut rng);
         let (y0, cache) = layer.forward(&x);
         let g = Tensor::full(y0.shape().dims(), 1.0);
-        let gx = layer.backward(&cache, &g, GradMode::PerBatch).grad_input;
+        let gx = layer
+            .backward(&cache, &g, GradMode::PerBatch)
+            .grad_input
+            .expect("input gradient requested");
         let eps = 1e-3;
         for idx in [0usize, 5] {
             let orig = x.data()[idx];

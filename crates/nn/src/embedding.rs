@@ -102,7 +102,7 @@ impl Embedding {
             &[b, t, self.dim],
             "embedding gradient shape mismatch"
         );
-        let grad_input = Tensor::zeros(&[b, t]);
+        let grad_input = Some(Tensor::zeros(&[b, t]));
 
         let example_grad = |ex: usize| -> Tensor {
             let mut g = Tensor::zeros(&[self.vocab, self.dim]);

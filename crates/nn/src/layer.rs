@@ -68,8 +68,12 @@ impl ParamGrads {
 /// layer and this layer's weight gradients (per the requested [`GradMode`]).
 #[derive(Clone, Debug)]
 pub struct BackwardOutput {
-    /// Gradient of the loss with respect to the layer input.
-    pub grad_input: Tensor,
+    /// Gradient of the loss with respect to the layer input; `None` when the
+    /// caller declared it dead (`need_input_grad = false` — the first layer
+    /// of a network has no predecessor to feed, so deriving its input
+    /// gradient is pure waste; for a first conv layer it is a whole
+    /// `(B·P·Q, C_out, C_in·R·S)` GEMM plus a `col2im`).
+    pub grad_input: Option<Tensor>,
     /// The layer's weight gradients.
     pub grads: ParamGrads,
 }
@@ -249,7 +253,8 @@ impl Layer {
     }
 
     /// Runs the layer backward given the gradient of the loss with respect
-    /// to the layer output.
+    /// to the layer output. Always derives the input gradient; see
+    /// [`Layer::backward_opt`] to skip it when it is dead.
     ///
     /// # Panics
     ///
@@ -260,9 +265,33 @@ impl Layer {
         grad_out: &Tensor,
         mode: GradMode,
     ) -> BackwardOutput {
+        self.backward_opt(cache, grad_out, mode, true)
+    }
+
+    /// Runs the layer backward, deriving the input gradient only when
+    /// `need_input_grad` is set. [`crate::Network::backward`] clears it for
+    /// the first layer, whose input gradient nobody consumes. The heavy
+    /// layers (dense, convolution) honor the flag; the cheap ones ignore it
+    /// and return `Some` regardless, which callers must treat as equally
+    /// valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` does not belong to this layer type.
+    pub fn backward_opt(
+        &self,
+        cache: &LayerCache,
+        grad_out: &Tensor,
+        mode: GradMode,
+        need_input_grad: bool,
+    ) -> BackwardOutput {
         match (self, cache) {
-            (Layer::Dense(l), LayerCache::Dense(c)) => l.backward(c, grad_out, mode),
-            (Layer::Conv2d(l), LayerCache::Conv2d(c)) => l.backward(c, grad_out, mode),
+            (Layer::Dense(l), LayerCache::Dense(c)) => {
+                l.backward_opt(c, grad_out, mode, need_input_grad)
+            }
+            (Layer::Conv2d(l), LayerCache::Conv2d(c)) => {
+                l.backward_opt(c, grad_out, mode, need_input_grad)
+            }
             (Layer::Relu(l), LayerCache::Relu(c)) => l.backward(c, grad_out),
             (Layer::Flatten(l), LayerCache::Flatten(c)) => l.backward(c, grad_out),
             (Layer::AvgPool2d(l), LayerCache::Pool(c)) => l.backward(c, grad_out),

@@ -60,10 +60,14 @@ pub use simple::{Flatten, Relu, Sigmoid, Tanh};
 /// Extracts example `i` from a batched tensor (first dimension = batch),
 /// returning a tensor with leading dimension 1.
 ///
+/// The fused convolution backward no longer slices per example (it windows
+/// the shared patch buffer instead); this survives as a public utility for
+/// the naive reference path in parity tests and benchmarks.
+///
 /// # Panics
 ///
 /// Panics if the tensor is rank 0 or `i` is out of bounds.
-pub(crate) fn slice_example(t: &diva_tensor::Tensor, i: usize) -> diva_tensor::Tensor {
+pub fn slice_example(t: &diva_tensor::Tensor, i: usize) -> diva_tensor::Tensor {
     let dims = t.shape().dims();
     assert!(!dims.is_empty(), "cannot slice a scalar tensor");
     let b = dims[0];

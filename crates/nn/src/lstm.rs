@@ -248,7 +248,7 @@ impl Lstm {
         };
 
         BackwardOutput {
-            grad_input: grad_x,
+            grad_input: Some(grad_x),
             grads,
         }
     }
@@ -327,7 +327,10 @@ mod tests {
         let mut x = Tensor::uniform(&[2, 3, 3], -1.0, 1.0, &mut rng);
         let (y0, cache) = lstm.forward(&x);
         let g = Tensor::full(y0.shape().dims(), 1.0);
-        let gx = lstm.backward(&cache, &g, GradMode::PerBatch).grad_input;
+        let gx = lstm
+            .backward(&cache, &g, GradMode::PerBatch)
+            .grad_input
+            .unwrap();
         let eps = 1e-3;
         for idx in [0usize, 7, 11, 17] {
             let orig = x.data()[idx];

@@ -62,6 +62,11 @@ impl Network {
     /// per example and *no* batch averaging applied (DP-SGD needs raw
     /// per-example gradients; plain SGD can divide the result by `B`).
     ///
+    /// The first layer's input gradient is never consumed by anyone, so it
+    /// is not derived at all (`need_input_grad = false` — for a first conv
+    /// layer this skips a whole `(B·P·Q, C_out, C_in·R·S)` GEMM plus a
+    /// `col2im` per pass, which DP-SGD(R) would otherwise pay twice).
+    ///
     /// # Panics
     ///
     /// Panics if `caches` was not produced by a matching `forward` call.
@@ -81,9 +86,13 @@ impl Network {
         let mut grads = vec![ParamGrads::None; self.layers.len()];
         let mut grad = grad_loss.clone();
         for (idx, (layer, cache)) in self.layers.iter().zip(caches).enumerate().rev() {
-            let out = layer.backward(cache, &grad, mode);
+            let out = layer.backward_opt(cache, &grad, mode, idx > 0);
             grads[idx] = out.grads;
-            grad = out.grad_input;
+            if idx > 0 {
+                grad = out
+                    .grad_input
+                    .expect("non-first layers must derive an input gradient");
+            }
         }
         NetworkGrads { layers: grads }
     }
@@ -95,6 +104,12 @@ impl Network {
     /// weight-gradient GEMM. No per-example gradient (or scaled copy of the
     /// per-example loss gradients beyond one `(B, F)` buffer) is ever
     /// materialized — the memory saving that motivates DP-SGD(R).
+    ///
+    /// Because this pass runs against the *same* `caches` as the preceding
+    /// `NormOnly` pass, every convolution layer reuses the patch buffer
+    /// lowered in the forward and the GEMM operands packed during the first
+    /// pass (see `diva_tensor::PatchBuffer` / `PackCache`): no `im2col` and
+    /// no re-packing happens here.
     ///
     /// # Panics
     ///

@@ -190,7 +190,10 @@ impl GroupNorm {
                     .collect(),
             ),
         };
-        BackwardOutput { grad_input, grads }
+        BackwardOutput {
+            grad_input: Some(grad_input),
+            grads,
+        }
     }
 
     /// Immutable parameter views: `[gamma, beta]`.
@@ -253,7 +256,10 @@ mod tests {
                 .sum()
         };
         let (_, cache) = gn.forward(&x);
-        let gx = gn.backward(&cache, &wts, GradMode::PerBatch).grad_input;
+        let gx = gn
+            .backward(&cache, &wts, GradMode::PerBatch)
+            .grad_input
+            .unwrap();
         let eps = 1e-3;
         for idx in 0..8 {
             let orig = x.data()[idx];

@@ -108,7 +108,7 @@ impl AvgPool2d {
             }
         }
         BackwardOutput {
-            grad_input: gx,
+            grad_input: Some(gx),
             grads: ParamGrads::None,
         }
     }
@@ -190,7 +190,7 @@ impl MaxPool2d {
             xv[in_idx] += grad_out.data()[out_idx];
         }
         BackwardOutput {
-            grad_input: gx,
+            grad_input: Some(gx),
             grads: ParamGrads::None,
         }
     }
@@ -231,7 +231,7 @@ mod tests {
         let pool = AvgPool2d::new(2);
         let (y, cache) = pool.forward(&x);
         let g = Tensor::full(y.shape().dims(), 1.0);
-        let gx = pool.backward(&cache, &g).grad_input;
+        let gx = pool.backward(&cache, &g).grad_input.unwrap();
         assert!((gx.sum() - g.sum()).abs() < 1e-6);
     }
 
@@ -241,7 +241,7 @@ mod tests {
         let pool = MaxPool2d::new(2);
         let (_, cache) = pool.forward(&x);
         let g = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]);
-        let gx = pool.backward(&cache, &g).grad_input;
+        let gx = pool.backward(&cache, &g).grad_input.unwrap();
         assert_eq!(gx.data(), &[0.0, 4.0, 0.0, 0.0]);
     }
 

@@ -28,7 +28,7 @@ impl Relu {
     /// Masks the upstream gradient where the input was non-positive.
     pub fn backward(&self, cache: &ReluCache, grad_out: &Tensor) -> BackwardOutput {
         BackwardOutput {
-            grad_input: relu_backward(grad_out, &cache.x),
+            grad_input: Some(relu_backward(grad_out, &cache.x)),
             grads: ParamGrads::None,
         }
     }
@@ -67,7 +67,7 @@ impl Flatten {
     /// Restores the original shape on the gradient.
     pub fn backward(&self, cache: &FlattenCache, grad_out: &Tensor) -> BackwardOutput {
         BackwardOutput {
-            grad_input: grad_out.clone().reshape(&cache.dims),
+            grad_input: Some(grad_out.clone().reshape(&cache.dims)),
             grads: ParamGrads::None,
         }
     }
@@ -106,7 +106,7 @@ impl Sigmoid {
             *g *= y * (1.0 - y);
         }
         BackwardOutput {
-            grad_input: gx,
+            grad_input: Some(gx),
             grads: ParamGrads::None,
         }
     }
@@ -144,7 +144,7 @@ impl Tanh {
             *g *= 1.0 - y * y;
         }
         BackwardOutput {
-            grad_input: gx,
+            grad_input: Some(gx),
             grads: ParamGrads::None,
         }
     }
@@ -160,7 +160,7 @@ mod tests {
         let f = Flatten::new();
         let (y, cache) = f.forward(&x);
         assert_eq!(y.shape().dims(), &[2, 12]);
-        let back = f.backward(&cache, &y).grad_input;
+        let back = f.backward(&cache, &y).grad_input.unwrap();
         assert_eq!(back, x);
     }
 
@@ -170,7 +170,10 @@ mod tests {
         let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]);
         let (_, cache) = r.forward(&x);
         let g = Tensor::from_vec(vec![5.0, 5.0], &[1, 2]);
-        assert_eq!(r.backward(&cache, &g).grad_input.data(), &[0.0, 5.0]);
+        assert_eq!(
+            r.backward(&cache, &g).grad_input.unwrap().data(),
+            &[0.0, 5.0]
+        );
     }
 
     #[test]
@@ -189,7 +192,7 @@ mod tests {
         let mut x = Tensor::from_vec(vec![0.3, -1.2], &[2]);
         let (_, cache) = s.forward(&x);
         let g = Tensor::full(&[2], 1.0);
-        let gx = s.backward(&cache, &g).grad_input;
+        let gx = s.backward(&cache, &g).grad_input.unwrap();
         let eps = 1e-3;
         for idx in 0..2 {
             let orig = x.data()[idx];
@@ -209,7 +212,7 @@ mod tests {
         let mut x = Tensor::from_vec(vec![0.5, -0.7, 2.0], &[3]);
         let (_, cache) = t.forward(&x);
         let g = Tensor::full(&[3], 1.0);
-        let gx = t.backward(&cache, &g).grad_input;
+        let gx = t.backward(&cache, &g).grad_input.unwrap();
         let eps = 1e-3;
         for idx in 0..3 {
             let orig = x.data()[idx];

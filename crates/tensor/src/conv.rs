@@ -6,7 +6,23 @@
 //! Layouts: activations are NCHW, weights are `(C_out, C_in, R, S)` where
 //! `R`/`S` are the filter height/width, matching the paper's Figure 6
 //! nomenclature.
+//!
+//! Two tiers of API live here:
+//!
+//! * The free functions ([`conv2d`], [`conv2d_backward_weight`],
+//!   [`conv2d_backward_data`]) lower their input with `im2col` on every
+//!   call. They are the naive reference path — simple, stateless, and the
+//!   baseline the fused path is parity-tested against.
+//! * [`PatchBuffer`] is the reuse-aware path DiVa's dataflow motivates:
+//!   `im2col` runs **once per batch**, and every subsequent GEMM — the
+//!   forward, the per-batch weight gradient, and all `B` per-example
+//!   weight gradients of DP-SGD — executes as a strided panel over that one
+//!   buffer, with the packed-B panels cached across DP-SGD(R)'s two
+//!   backward passes (see [`crate::PackCache`]).
 
+use crate::gemm::{
+    blocked_path_eligible, gemm_packed_window, gemm_reference, MatRef, PackCache, PackedB,
+};
 use crate::matmul::{matmul, matmul_nt, matmul_tn};
 use crate::tensor::Tensor;
 
@@ -215,33 +231,7 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeom, n: usize) -> Tensor {
 ///
 /// Panics on any layout mismatch with `geom`.
 pub fn conv2d(input: &Tensor, weight: &Tensor, geom: &Conv2dGeom) -> Tensor {
-    assert_eq!(
-        weight.len(),
-        geom.weight_len(),
-        "weight has {} elements, geometry implies {}",
-        weight.len(),
-        geom.weight_len()
-    );
-    let n = input.shape().dim(0);
-    let (p, q) = geom.out_hw();
-    let patches = im2col(input, geom); // (N*P*Q, Cin*R*S)
-    let w2d = weight.clone().reshape(&[geom.cout, geom.patch_len()]);
-    let y = matmul_nt(&patches, &w2d); // (N*P*Q, Cout)
-                                       // Reorder (N*P*Q, Cout) -> (N, Cout, P, Q).
-    let mut out = Tensor::zeros(&[n, geom.cout, p, q]);
-    let yv = y.data();
-    let ov = out.data_mut();
-    for ni in 0..n {
-        for pi in 0..p {
-            for qi in 0..q {
-                let row = (ni * p + pi) * q + qi;
-                for co in 0..geom.cout {
-                    ov[((ni * geom.cout + co) * p + pi) * q + qi] = yv[row * geom.cout + co];
-                }
-            }
-        }
-    }
-    out
+    PatchBuffer::lower(input, geom).forward(weight)
 }
 
 /// Backpropagates a convolution to its input: given `G(Y)` of shape
@@ -255,6 +245,64 @@ pub fn conv2d_backward_data(grad_out: &Tensor, weight: &Tensor, geom: &Conv2dGeo
     let gy2d = nchw_to_rows(grad_out, geom); // (N*P*Q, Cout)
     let w2d = weight.clone().reshape(&[geom.cout, geom.patch_len()]);
     let dpatches = matmul(&gy2d, &w2d); // (N*P*Q, Cin*R*S)
+    col2im(&dpatches, geom, n)
+}
+
+/// [`conv2d_backward_data`] with the packed filter matrix cached in `pack`.
+///
+/// The data-gradient GEMM's B operand is the `(C_out, C_in·R·S)` filter
+/// matrix, which is identical in both of DP-SGD(R)'s backward passes (the
+/// weights only change at the optimizer update). Passing the same
+/// [`PackCache`] to both passes packs it once; the cache revalidates a
+/// content token of the weights on every use, so reuse across an optimizer
+/// update fails loudly instead of silently computing against stale
+/// weights. Bit-identical to [`conv2d_backward_data`] on an equivalent
+/// `gy_rows` (`nchw_to_rows` of the NCHW gradient): the routing decision
+/// and the panel decomposition are the same, only the (exact-copy) packing
+/// is skipped on reuse.
+///
+/// The gradient comes in pre-flattened with [`nchw_to_rows`] because the
+/// caller (the conv layer's backward) already flattens once per pass for
+/// the weight-gradient GEMMs — no second NCHW-to-rows transpose.
+///
+/// # Panics
+///
+/// Panics on layout mismatch, or if `pack` was previously used with a
+/// differently-shaped operand.
+pub fn conv2d_backward_data_from_rows(
+    gy_rows: &Tensor,
+    weight: &Tensor,
+    geom: &Conv2dGeom,
+    n: usize,
+    pack: &PackCache,
+) -> Tensor {
+    assert_eq!(
+        weight.len(),
+        geom.weight_len(),
+        "weight has {} elements, geometry implies {}",
+        weight.len(),
+        geom.weight_len()
+    );
+    let (rows, cout) = gy_rows.dims2();
+    let (p, q) = geom.out_hw();
+    assert_eq!(rows, n * p * q, "gradient row-count mismatch");
+    assert_eq!(cout, geom.cout, "gradient channel mismatch");
+    let patch = geom.patch_len();
+    let mut dpatches = Tensor::zeros(&[rows, patch]);
+    let a = MatRef::row_major(gy_rows.data(), cout);
+    if blocked_path_eligible(rows, cout, patch) {
+        // The weights can change between a forward and a later backward
+        // (optimizer updates); the content token makes such stale-cache
+        // reuse fail loudly instead of silently using pre-update weights.
+        let token = crate::gemm::content_token(weight.data());
+        let pb = pack.get_or_pack(cout, patch, token, || {
+            PackedB::pack_segmented(MatRef::row_major(weight.data(), patch), cout, patch, cout)
+        });
+        gemm_packed_window(rows, patch, a, pb, 0, cout, dpatches.data_mut());
+    } else {
+        let b = MatRef::row_major(weight.data(), patch);
+        gemm_reference(rows, cout, patch, a, b, dpatches.data_mut());
+    }
     col2im(&dpatches, geom, n)
 }
 
@@ -277,8 +325,184 @@ pub fn conv2d_backward_weight(input: &Tensor, grad_out: &Tensor, geom: &Conv2dGe
         .reshape(&[geom.cout, geom.cin, geom.k, geom.k])
 }
 
-/// Flattens `(N, C_out, P, Q)` into GEMM row-major order `(N*P*Q, C_out)`.
-fn nchw_to_rows(t: &Tensor, geom: &Conv2dGeom) -> Tensor {
+/// The reuse-aware convolution lowering: `im2col` computed **once** per
+/// batch, shared by the forward GEMM and every backward weight-gradient
+/// GEMM, with the packed-B panels of the weight-gradient GEMMs cached for
+/// reuse across DP-SGD(R)'s two backward passes.
+///
+/// Rows `i·P·Q .. (i+1)·P·Q` of the buffer are example `i`'s receptive
+/// fields, so a per-example weight gradient is a GEMM over a contiguous
+/// row-window of the shared buffer — no per-example `im2col`, no
+/// per-example copy. The weight-gradient GEMM is formulated as
+/// `G(W) = G(Y)ᵀ × patches` (B = the patch buffer), which makes the packed
+/// operand the *invariant* one: packed once, it serves all `B` per-example
+/// GEMMs of the `NormOnly`/`PerExample` pass *and* the per-batch GEMM of
+/// the reweighted second pass.
+///
+/// Numerics: for every **per-example** window the GEMM routing, the
+/// K-panel boundaries and the per-element accumulation order match the
+/// naive per-example [`conv2d_backward_weight`] path (multiplication is
+/// commutative under IEEE-754 even through FMA), so per-example gradients
+/// and norms are bit-identical to the per-example `im2col` path — the
+/// contract `tests/conv_fused_parity.rs` pins in the `diva-nn` crate. The
+/// **per-batch** window is the exception: its packed panels split at every
+/// example boundary while the naive batch GEMM splits only at multiples of
+/// the K panel length, so [`PatchBuffer::backward_weight_batch`] matches
+/// the naive batch path to reassociation tolerance (~1e-7 relative), not
+/// bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct PatchBuffer {
+    patches: Tensor,
+    geom: Conv2dGeom,
+    n: usize,
+    pack: PackCache,
+}
+
+impl PatchBuffer {
+    /// Lowers an NCHW batch with [`im2col`] once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match `geom` (see [`im2col`]).
+    pub fn lower(input: &Tensor, geom: &Conv2dGeom) -> Self {
+        let n = input.shape().dim(0);
+        Self {
+            patches: im2col(input, geom),
+            geom: *geom,
+            n,
+            pack: PackCache::new(),
+        }
+    }
+
+    /// The underlying `(N·P·Q, C_in·R·S)` patch matrix.
+    pub fn patches(&self) -> &Tensor {
+        &self.patches
+    }
+
+    /// The batch size this buffer was lowered from.
+    pub fn batch(&self) -> usize {
+        self.n
+    }
+
+    /// The geometry this buffer was lowered under.
+    pub fn geom(&self) -> &Conv2dGeom {
+        &self.geom
+    }
+
+    /// Patch rows per example, `P·Q`.
+    fn rows_per_example(&self) -> usize {
+        let (p, q) = self.geom.out_hw();
+        p * q
+    }
+
+    /// Forward convolution from the lowered patches: identical arithmetic
+    /// to [`conv2d`], minus the re-lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` does not match the geometry.
+    pub fn forward(&self, weight: &Tensor) -> Tensor {
+        assert_eq!(
+            weight.len(),
+            self.geom.weight_len(),
+            "weight has {} elements, geometry implies {}",
+            weight.len(),
+            self.geom.weight_len()
+        );
+        let (p, q) = self.geom.out_hw();
+        let cout = self.geom.cout;
+        let w2d = weight.clone().reshape(&[cout, self.geom.patch_len()]);
+        let y = matmul_nt(&self.patches, &w2d); // (N*P*Q, Cout)
+                                                // Reorder (N*P*Q, Cout) -> (N, Cout, P, Q).
+        let mut out = Tensor::zeros(&[self.n, cout, p, q]);
+        let yv = y.data();
+        let ov = out.data_mut();
+        for ni in 0..self.n {
+            for pi in 0..p {
+                for qi in 0..q {
+                    let row = (ni * p + pi) * q + qi;
+                    for co in 0..cout {
+                        ov[((ni * cout + co) * p + pi) * q + qi] = yv[row * cout + co];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The per-batch weight gradient `(C_out, C_in, R, S)` from the shared
+    /// buffer: the `(C_out, B·P·Q, C_in·R·S)` GEMM of the reweighted second
+    /// pass, reusing the packed patch panels if a per-example pass already
+    /// paid for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gy_rows` is not the `(N·P·Q, C_out)` row layout of
+    /// [`nchw_to_rows`].
+    pub fn backward_weight_batch(&self, gy_rows: &Tensor) -> Tensor {
+        self.weight_grad_window(gy_rows, 0, self.n * self.rows_per_example())
+    }
+
+    /// The weight gradient of example `i` as a strided GEMM panel over the
+    /// shared buffer — Algorithm 1's per-example `(C_in·R·S, P·Q, C_out)`
+    /// derivation without the per-example `im2col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch` or `gy_rows` has the wrong layout.
+    pub fn backward_weight_example(&self, gy_rows: &Tensor, i: usize) -> Tensor {
+        assert!(i < self.n, "example {i} out of bounds for batch {}", self.n);
+        let pq = self.rows_per_example();
+        self.weight_grad_window(gy_rows, i * pq, (i + 1) * pq)
+    }
+
+    /// Shared weight-gradient core over patch-buffer rows `lo..hi`:
+    /// `G(W)[co][d] = Σ_r gy[r][co] · patches[r][d]` with the patch buffer
+    /// as the (packed, cached) B operand.
+    fn weight_grad_window(&self, gy_rows: &Tensor, lo: usize, hi: usize) -> Tensor {
+        let (rows, cout) = gy_rows.dims2();
+        assert_eq!(cout, self.geom.cout, "gradient channel mismatch");
+        assert_eq!(
+            rows,
+            self.n * self.rows_per_example(),
+            "gradient row-count mismatch"
+        );
+        let patch = self.geom.patch_len();
+        let (m, k) = (cout, hi - lo);
+        let mut gw = Tensor::zeros(&[cout, self.geom.cin, self.geom.k, self.geom.k]);
+        let a = MatRef::transposed(&gy_rows.data()[lo * cout..hi * cout], cout);
+        if blocked_path_eligible(m, k, patch) {
+            let total = rows;
+            let pq = self.rows_per_example();
+            // Token 0: the patch buffer is owned by `self` and immutable
+            // after lowering, so it cannot go stale.
+            let pb = self.pack.get_or_pack(total, patch, 0, || {
+                PackedB::pack_segmented(
+                    MatRef::row_major(self.patches.data(), patch),
+                    total,
+                    patch,
+                    pq,
+                )
+            });
+            gemm_packed_window(m, patch, a, pb, lo, hi, gw.data_mut());
+        } else {
+            let b = MatRef::row_major(&self.patches.data()[lo * patch..hi * patch], patch);
+            gemm_reference(m, k, patch, a, b, gw.data_mut());
+        }
+        gw
+    }
+}
+
+/// Flattens `(N, C_out, P, Q)` into GEMM row-major order `(N*P*Q, C_out)` —
+/// the row layout [`PatchBuffer`]'s weight-gradient GEMMs consume. Row
+/// `n·P·Q + p·Q + q` holds the `C_out` output-gradient channels of position
+/// `(p, q)` in example `n`, matching [`im2col`]'s row indexing so that a
+/// contiguous row-window selects one example in both operands.
+///
+/// # Panics
+///
+/// Panics if `t` is not `(N, C_out, P, Q)` for `geom`.
+pub fn nchw_to_rows(t: &Tensor, geom: &Conv2dGeom) -> Tensor {
     let dims = t.shape().dims();
     assert_eq!(dims.len(), 4, "expected NCHW, got {}", t.shape());
     let (n, c, p, q) = (dims[0], dims[1], dims[2], dims[3]);
@@ -430,6 +654,41 @@ mod tests {
             assert!(
                 (fd - an).abs() < 1e-2,
                 "data grad mismatch at {idx}: fd={fd} analytic={an}"
+            );
+        }
+    }
+
+    /// The packed/cached data-gradient path must match the plain
+    /// `conv2d_backward_data` (which routes through `matmul`) on both the
+    /// blocked-eligible and the reference-kernel shapes — an independent
+    /// oracle for the call-site wiring of `gemm_packed_window`, including
+    /// across a pack-cache reuse.
+    #[test]
+    fn data_gradient_from_rows_matches_reference_path() {
+        let mut rng = DivaRng::seed_from_u64(37);
+        for (geom, n) in [
+            // rows=1152, k=cout=16, n=patch=36: blocked/packed route.
+            (Conv2dGeom::new(4, 16, 3, 1, 1, 12, 12), 8usize),
+            // Tiny: reference-kernel route.
+            (Conv2dGeom::new(2, 3, 3, 2, 1, 6, 6), 2),
+        ] {
+            let (p, q) = geom.out_hw();
+            let gy = Tensor::uniform(&[n, geom.cout, p, q], -1.0, 1.0, &mut rng);
+            let w = Tensor::uniform(&[geom.cout, geom.cin, geom.k, geom.k], -0.5, 0.5, &mut rng);
+            let reference = conv2d_backward_data(&gy, &w, &geom);
+            let rows = nchw_to_rows(&gy, &geom);
+            let pack = PackCache::new();
+            let first = conv2d_backward_data_from_rows(&rows, &w, &geom, n, &pack);
+            assert_eq!(
+                first.data(),
+                reference.data(),
+                "cold pack diverged: {geom:?}"
+            );
+            let second = conv2d_backward_data_from_rows(&rows, &w, &geom, n, &pack);
+            assert_eq!(
+                second.data(),
+                reference.data(),
+                "warm pack diverged: {geom:?}"
             );
         }
     }

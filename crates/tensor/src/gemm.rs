@@ -28,6 +28,7 @@
 
 use crate::parallel;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 /// When set, every GEMM routes through the scalar reference kernel — the
 /// seed implementation's exact loop nest. Benchmarks flip this to measure
@@ -227,6 +228,22 @@ fn gemm_rows(
     }
 }
 
+/// Returns `true` when a GEMM of this shape routes to the blocked/packed
+/// kernel rather than the scalar reference — the exact decision [`gemm`]
+/// makes internally.
+///
+/// Tiny-K GEMMs (DP-SGD's per-example rank-1 weight gradients, K = 1)
+/// are pure outer-product accumulations: the packing passes cost more
+/// than they save, and the reference kernel's inner loop is already
+/// contiguous over B and C rows.
+///
+/// Exposed so callers that pre-pack B through a [`PackCache`] replicate the
+/// same routing and therefore stay bit-identical with the unpacked entry
+/// points for every shape.
+pub(crate) fn blocked_path_eligible(m: usize, k: usize, n: usize) -> bool {
+    !scalar_reference_mode() && k >= 16 && m * k * n >= BLOCKED_THRESHOLD
+}
+
 /// Blocked, packed, M-parallel GEMM: `out += A × B` where `A` is logically
 /// `(m, k)` and `B` is `(k, n)` under their respective stride views, and
 /// `out` is row-major `(m, n)`.
@@ -238,11 +255,7 @@ pub(crate) fn gemm(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    // Tiny-K GEMMs (DP-SGD's per-example rank-1 weight gradients, K = 1)
-    // are pure outer-product accumulations: the packing passes cost more
-    // than they save, and the reference kernel's inner loop is already
-    // contiguous over B and C rows.
-    if scalar_reference_mode() || k < 16 || m * k * n < BLOCKED_THRESHOLD {
+    if !blocked_path_eligible(m, k, n) {
         gemm_reference(m, k, n, a, b, out);
         return;
     }
@@ -265,6 +278,193 @@ pub(crate) fn gemm(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut
         }
         kc += kb;
     }
+}
+
+/// A B operand packed once into `NR`-wide strips for a caller-chosen panel
+/// decomposition of K, so repeated GEMMs against the same B (or against
+/// K-windows of it) skip the packing pass entirely.
+///
+/// The panel boundaries are part of the packed layout *and* of the numeric
+/// contract: the blocked kernel accumulates `out += A × B` one panel at a
+/// time, so two GEMMs agree bit-for-bit only when their panel decompositions
+/// agree. [`PackedB::pack_segmented`] splits each `segment`-row slab of B at
+/// multiples of `KC`, which reproduces [`gemm`]'s own split for any window
+/// that is a whole number of segments — the property the fused convolution
+/// backward relies on (per-example windows of the shared patch buffer).
+#[derive(Clone, Debug)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    /// Per panel: (global K offset, panel length, offset into `data`).
+    panels: Vec<(usize, usize, usize)>,
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    /// Packs all of B (`k × n` under the stride view) into strips, splitting
+    /// K first at multiples of `segment` and then at multiples of `KC`
+    /// within each segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is zero or does not divide `k`.
+    pub(crate) fn pack_segmented(b: MatRef, k: usize, n: usize, segment: usize) -> Self {
+        assert!(
+            segment > 0 && k.is_multiple_of(segment),
+            "segment {segment} must divide K {k}"
+        );
+        let n_strips = n.div_ceil(NR);
+        let mut panels = Vec::new();
+        let mut data = Vec::new();
+        let mut seg0 = 0;
+        while seg0 < k {
+            let mut kc = 0;
+            while kc < segment {
+                let kb = KC.min(segment - kc);
+                let offset = data.len();
+                data.resize(offset + n_strips * kb * NR, 0.0);
+                pack_b(b, seg0 + kc, kb, n, &mut data[offset..]);
+                panels.push((seg0 + kc, kb, offset));
+                kc += kb;
+            }
+            seg0 += segment;
+        }
+        Self { k, n, panels, data }
+    }
+}
+
+/// A lazily-initialized, shareable cache of a packed B operand.
+///
+/// DP-SGD(R) runs two backward passes over the same forward state. Every
+/// GEMM whose B operand is unchanged between (and within) those passes —
+/// the shared `im2col` patch buffer of the weight-gradient GEMMs, the
+/// filter matrix of the data-gradient GEMM — packs B exactly once through
+/// this handle and reuses the panels thereafter. The handle lives inside
+/// the layer's forward cache, which is immutable for the lifetime of both
+/// passes, so the cached pack can never go stale within a training step.
+///
+/// Thread-safe: concurrent first users (the per-example fan-out of the
+/// `NormOnly` pass) race on a `OnceLock`; one packs, the rest block briefly
+/// and share the result.
+///
+/// Besides the operand shape, every reuse revalidates a caller-supplied
+/// content `token` (see [`content_token`]), so a cache keyed to data that
+/// *can* change out from under it — the filter matrix of the data-gradient
+/// GEMM, after an optimizer update mutates the weights — fails loudly
+/// instead of silently computing against the stale pack.
+#[derive(Clone, Debug, Default)]
+pub struct PackCache {
+    slot: OnceLock<(PackedB, u64)>,
+}
+
+impl PackCache {
+    /// An empty cache; the first GEMM through it pays the packing pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the packed operand, packing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was initialized with a different shape or a
+    /// different content `token` — the operand changed between uses.
+    pub(crate) fn get_or_pack(
+        &self,
+        k: usize,
+        n: usize,
+        token: u64,
+        pack: impl FnOnce() -> PackedB,
+    ) -> &PackedB {
+        let (pb, stored) = self.slot.get_or_init(|| (pack(), token));
+        assert_eq!(
+            (pb.k, pb.n),
+            (k, n),
+            "PackCache reused across operands of different shapes"
+        );
+        assert_eq!(
+            *stored, token,
+            "PackCache reused after its operand changed (stale pack)"
+        );
+        pb
+    }
+}
+
+/// An order-sensitive FNV-1a hash of a slice's bit patterns, used as the
+/// [`PackCache`] staleness token. One read-only pass — negligible next to
+/// the GEMM the pack feeds, and exact: any in-place mutation of the operand
+/// changes the token (up to 64-bit hash collisions).
+pub fn content_token(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in data {
+        h ^= u64::from(v.to_bits());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Blocked, M-parallel GEMM against pre-packed B panels covering the global
+/// B-row window `lo..hi`: `out += A × B[lo..hi, :]`, where `A` is `(m,
+/// hi-lo)` under its stride view and A's K axis is window-local.
+///
+/// The window must start and end on packed panel boundaries (any whole
+/// number of segments of [`PackedB::pack_segmented`] qualifies). Routing is
+/// the caller's job: check [`blocked_path_eligible`] first and fall back to
+/// [`gemm_reference`] on the raw operands, exactly as [`gemm`] would.
+pub(crate) fn gemm_packed_window(
+    m: usize,
+    n: usize,
+    a: MatRef,
+    pb: &PackedB,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), m * n, "output buffer shape mismatch");
+    assert_eq!(
+        pb.n, n,
+        "packed operand has {} columns, GEMM wants {n}",
+        pb.n
+    );
+    assert!(
+        lo <= hi && hi <= pb.k,
+        "window {lo}..{hi} outside K {}",
+        pb.k
+    );
+    let threads = parallel::effective_threads().min(m.div_ceil(ROWS_PER_WORKER_MIN));
+    let rows_per_worker = m.div_ceil(threads.max(1));
+    let n_strips = n.div_ceil(NR);
+    let mut covered = lo;
+    for &(k0, kb, offset) in &pb.panels {
+        if k0 + kb <= lo || k0 >= hi {
+            continue;
+        }
+        assert!(
+            k0 == covered && k0 + kb <= hi,
+            "window {lo}..{hi} does not align with packed panel boundaries"
+        );
+        covered = k0 + kb;
+        let panel = &pb.data[offset..offset + n_strips * kb * NR];
+        let kc_local = k0 - lo;
+        if threads <= 1 {
+            gemm_rows(a, 0, m, kc_local, kb, n, panel, out);
+        } else {
+            parallel::par_chunks_mut(out, rows_per_worker * n, |widx, out_rows| {
+                let row0 = widx * rows_per_worker;
+                gemm_rows(
+                    a,
+                    row0,
+                    out_rows.len() / n,
+                    kc_local,
+                    kb,
+                    n,
+                    panel,
+                    out_rows,
+                );
+            });
+        }
+    }
+    assert_eq!(covered, hi, "packed panels do not cover window {lo}..{hi}");
 }
 
 #[cfg(test)]
@@ -333,6 +533,86 @@ mod tests {
                 max_diff(&fast, &slow)
             );
         }
+    }
+
+    /// A packed-window GEMM over a whole-K window must equal the unpacked
+    /// blocked path bit-for-bit (same panel boundaries, same kernels), and
+    /// per-segment windows must equal GEMMs on the corresponding B slabs.
+    #[test]
+    fn packed_windows_match_unpacked_gemm() {
+        let mut rng = DivaRng::seed_from_u64(99);
+        let (seg, n_seg, n) = (130usize, 3usize, 47usize);
+        let k = seg * n_seg;
+        let m = 65;
+        let a = dense(m, k, &mut rng);
+        let b = dense(k, n, &mut rng);
+        let av = MatRef::row_major(&a, k);
+        let bv = MatRef::row_major(&b, n);
+        let pb = PackedB::pack_segmented(bv, k, n, seg);
+
+        // Whole window: segment boundaries force extra panel splits, which
+        // reassociates relative to the single-panel reference, so this is a
+        // tolerance comparison.
+        let mut packed_out = vec![0.0f32; m * n];
+        gemm_packed_window(m, n, av, &pb, 0, k, &mut packed_out);
+        let mut slow = vec![0.0f32; m * n];
+        gemm_reference(m, k, n, av, bv, &mut slow);
+        assert!(max_diff(&packed_out, &slow) < 1e-4);
+
+        // Per-segment windows: must match a GEMM on the sliced operands
+        // exactly, because the panel boundaries agree (seg < KC → one
+        // panel either way).
+        for s in 0..n_seg {
+            let (lo, hi) = (s * seg, (s + 1) * seg);
+            let a_win = dense(m, seg, &mut rng);
+            let awv = MatRef::row_major(&a_win, seg);
+            let mut win_out = vec![0.0f32; m * n];
+            gemm_packed_window(m, n, awv, &pb, lo, hi, &mut win_out);
+            let b_slab = &b[lo * n..hi * n];
+            let mut direct = vec![0.0f32; m * n];
+            // Unpacked blocked path on the same slab.
+            let bsv = MatRef::row_major(b_slab, n);
+            let mut packed_b = vec![0.0f32; n.div_ceil(NR) * seg * NR];
+            pack_b(bsv, 0, seg, n, &mut packed_b);
+            gemm_rows(awv, 0, m, 0, seg, n, &packed_b, &mut direct);
+            assert_eq!(win_out, direct, "segment {s} diverged from slab GEMM");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reused across operands of different shapes")]
+    fn pack_cache_rejects_shape_change() {
+        let b = vec![0.0f32; 6];
+        let bv = MatRef::row_major(&b, 3);
+        let cache = PackCache::new();
+        let _ = cache.get_or_pack(2, 3, 0, || PackedB::pack_segmented(bv, 2, 3, 2));
+        let _ = cache.get_or_pack(3, 2, 0, || PackedB::pack_segmented(bv, 3, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale pack")]
+    fn pack_cache_rejects_changed_operand() {
+        let mut b = vec![1.0f32; 6];
+        let cache = PackCache::new();
+        {
+            let bv = MatRef::row_major(&b, 3);
+            let t0 = content_token(&b);
+            let _ = cache.get_or_pack(2, 3, t0, || PackedB::pack_segmented(bv, 2, 3, 2));
+        }
+        b[4] = 2.0; // the operand mutates between uses
+        let bv = MatRef::row_major(&b, 3);
+        let t1 = content_token(&b);
+        let _ = cache.get_or_pack(2, 3, t1, || PackedB::pack_segmented(bv, 2, 3, 2));
+    }
+
+    #[test]
+    fn content_token_is_order_and_value_sensitive() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [2.0f32, 1.0, 3.0];
+        let c = [1.0f32, 2.0, 3.0];
+        assert_eq!(content_token(&a), content_token(&c));
+        assert_ne!(content_token(&a), content_token(&b));
+        assert_ne!(content_token(&a), content_token(&a[..2]));
     }
 
     #[test]

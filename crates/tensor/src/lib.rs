@@ -40,8 +40,11 @@ mod shape;
 mod tensor;
 
 pub use bf16::{round_bf16, BF16_MAX_RELATIVE_ERROR};
-pub use conv::{col2im, conv2d, conv2d_backward_data, conv2d_backward_weight, im2col, Conv2dGeom};
-pub use gemm::{scalar_reference_mode, set_scalar_reference_mode};
+pub use conv::{
+    col2im, conv2d, conv2d_backward_data, conv2d_backward_data_from_rows, conv2d_backward_weight,
+    im2col, nchw_to_rows, Conv2dGeom, PatchBuffer,
+};
+pub use gemm::{scalar_reference_mode, set_scalar_reference_mode, PackCache};
 pub use matmul::{
     matmul, matmul_nt, matmul_reference, matmul_tn, matmul_tt, outer_product_accumulate,
 };
