@@ -10,6 +10,16 @@
 //! Backend sweep: `serial` and `parallel(auto)` rows are recorded for the
 //! step benchmarks; on a single-core host the two coincide and the blocked
 //! kernel carries the whole speedup.
+//!
+//! SIMD policy: the standard rows are always measured with the explicit
+//! AVX2+FMA kernel **disabled** (`set_simd_enabled(false)` — a no-op
+//! without the `simd` feature), so their speedups are comparable whether or
+//! not the bench was compiled with the feature; that is what lets the CI
+//! regression gate, which builds without features, diff them against a
+//! record generated with `--features simd`. When the feature is compiled in
+//! and the host supports it, additional `serial_simd` / `parallel_simd`
+//! matmul rows record the explicit kernel's throughput (results are
+//! bit-identical, see `diva_tensor::simd`; only the ms column moves).
 
 use std::hint::black_box;
 
@@ -19,7 +29,8 @@ use diva_dp::{DpSgdConfig, DpTrainer, TrainingAlgorithm};
 use diva_nn::{slice_example, Conv2dLayer, GradMode, Layer, Network, ParamGrads};
 use diva_tensor::{
     conv2d, conv2d_backward_data, conv2d_backward_weight, matmul, matmul_reference, parallel,
-    set_scalar_reference_mode, Backend, Conv2dGeom, DivaRng, Tensor,
+    set_scalar_reference_mode, set_simd_enabled, simd_available, Backend, Conv2dGeom, DivaRng,
+    Tensor,
 };
 
 /// GFLOP/s for a GEMM of the given shape at the measured seconds/iter.
@@ -41,12 +52,32 @@ fn bench_matmul(h: &mut Harness, sink: &mut PerfSink) {
         Backend::auto().install(|| matmul(black_box(&a), &b))
     });
 
+    // Explicit-SIMD rows: same shapes, the AVX2+FMA kernel instead of the
+    // autovectorized safe kernel. Informational (not gated by
+    // `bench_regress` — only built with `--features simd` on a capable
+    // host, so a feature-less CI run would report them missing).
+    if simd_available() {
+        set_simd_enabled(true);
+        h.bench("matmul_256/simd_serial", || {
+            Backend::serial().install(|| matmul(black_box(&a), &b))
+        });
+        h.bench("matmul_256/simd_parallel", || {
+            Backend::auto().install(|| matmul(black_box(&a), &b))
+        });
+        set_simd_enabled(false);
+    }
+
     let scalar = h.get("matmul_256/scalar").unwrap().secs_per_iter;
-    for (short, backend) in [
+    let mut rows = vec![
         ("scalar", "scalar"),
         ("blocked_serial", "serial"),
         ("blocked_parallel", "parallel"),
-    ] {
+    ];
+    if simd_available() {
+        rows.push(("simd_serial", "serial_simd"));
+        rows.push(("simd_parallel", "parallel_simd"));
+    }
+    for (short, backend) in rows {
         let secs = h.get(&format!("matmul_256/{short}")).unwrap().secs_per_iter;
         sink.push(
             PerfRecord::new("matmul_256x256x256")
@@ -328,6 +359,10 @@ fn bench_conv_first_backward(h: &mut Harness, sink: &mut PerfSink) {
 }
 
 fn main() {
+    // Standard rows are measured with the portable safe kernel regardless
+    // of how the bench was compiled (see the module docs); the matmul
+    // section re-enables simd for its dedicated `*_simd` rows.
+    set_simd_enabled(false);
     let mut h = Harness::new("compute_backend");
     let mut sink = PerfSink::new();
     sink.push(

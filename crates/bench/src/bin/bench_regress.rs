@@ -116,6 +116,20 @@ fn main() {
         for f in &failures {
             eprintln!("  {f}");
         }
+        eprintln!(
+            "\nhow to read this: each gated row's speedup is the ratio of the scalar/naive\n\
+             baseline's time to the optimized path's time, with BOTH sides measured in the\n\
+             same process on the same host — so a drop means the optimized path lost ground\n\
+             relative to its own baseline, not that the machine is slow. Likely causes, in\n\
+             order: (1) a change to the blocked GEMM, packing, patch-reuse or pool code\n\
+             made the optimized path genuinely slower (fix it, or re-record\n\
+             BENCH_perf.json with justification in the PR); (2) the scalar reference was\n\
+             accidentally optimized, shrinking the ratio (check gemm_reference /\n\
+             set_scalar_reference_mode call sites); (3) a missing row means the bench\n\
+             stopped emitting it — usually a renamed benchmark or a feature-gated row\n\
+             leaking into the committed record. See ARCHITECTURE.md ('Benchmarks and the\n\
+             regression gate') for the full contract."
+        );
         std::process::exit(1);
     }
     if checked == 0 {

@@ -77,18 +77,24 @@ pub fn fmt_bytes(bytes: u64) -> String {
 
 /// Runs `f` over every item and returns results in input order.
 ///
-/// Work is fanned out over the workspace-wide shared pool
+/// Work is fanned out over the workspace-wide **keep-alive** pool
 /// (`diva_tensor::parallel`), *not* ad-hoc threads: the figure binaries run
 /// alongside the parallel compute backend, and a second thread source would
-/// oversubscribe the cores the GEMM workers already occupy. Nested calls
-/// (an item function that itself uses the pool) degrade gracefully to
-/// serial execution instead of spawning threads² workers.
+/// oversubscribe the cores the GEMM workers already occupy. The pool is
+/// prewarmed to the width this call will actually resolve to (the
+/// installed `Backend` override or the process default, capped by the item
+/// count — never more), so a figure binary's first sweep doesn't pay
+/// thread-spawn latency; the same parked workers then serve every later
+/// region (per-model simulations here, GEMM M-splits inside them — nested
+/// calls degrade gracefully to serial execution instead of spawning
+/// threads² workers).
 pub fn run_parallel<T, I, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     T: Send,
     I: Sync,
     F: Fn(&I) -> T + Sync,
 {
+    diva_tensor::parallel::prewarm(diva_tensor::parallel::effective_threads().min(items.len()));
     diva_tensor::parallel::par_map(items.len(), |i| f(&items[i]))
 }
 

@@ -13,6 +13,13 @@
 //! accountant for the subsampled Gaussian mechanism with σ calibration, and
 //! synthetic dataset generators used by tests and examples.
 //!
+//! Execution: a [`DpTrainer`] owns a `diva_tensor::Backend` (thread-count
+//! configuration) and installs it around every step, so all GEMMs and
+//! per-example fan-outs of a step run on the workspace-wide keep-alive
+//! pool at the trainer's width; selecting a backend with
+//! [`DpTrainer::with_backend`] prewarms that pool to the chosen width.
+//! See `ARCHITECTURE.md` at the workspace root.
+//!
 //! # Example
 //!
 //! ```
@@ -29,6 +36,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Compiles and runs the workspace README's Rust code blocks (the
+/// quick-start) as doc-tests, so the README cannot drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctests;
 
 mod accountant;
 mod clip;

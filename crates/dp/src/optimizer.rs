@@ -107,6 +107,36 @@ pub struct StepReport {
 
 /// A stateless training-step driver: owns the hyper-parameters, borrows the
 /// network and RNG per step.
+///
+/// # Example
+///
+/// One private training step end to end (the README quick-start — the
+/// README's own copy is also compiled as a doc-test via
+/// `ReadmeDoctests` in `lib.rs`, so the two cannot drift):
+///
+/// ```
+/// use diva_dp::{DpSgdConfig, DpTrainer, TrainingAlgorithm};
+/// use diva_nn::{Layer, Network};
+/// use diva_tensor::{DivaRng, Tensor};
+///
+/// let mut rng = DivaRng::seed_from_u64(0);
+/// let mut net = Network::new(vec![
+///     Layer::dense(4, 16, true, &mut rng),
+///     Layer::relu(),
+///     Layer::dense(16, 2, true, &mut rng),
+/// ]);
+/// let trainer = DpTrainer::new(DpSgdConfig {
+///     algorithm: TrainingAlgorithm::DpSgdReweighted,
+///     clip_norm: 1.0,
+///     noise_multiplier: 1.1,
+///     learning_rate: 0.1,
+/// });
+/// let x = Tensor::uniform(&[8, 4], -1.0, 1.0, &mut rng);
+/// let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+/// let report = trainer.step(&mut net, &x, &labels, &mut rng);
+/// assert!(report.mean_loss.is_finite());
+/// assert_eq!(report.clip.unwrap().factors.len(), 8);
+/// ```
 #[derive(Clone, Debug)]
 pub struct DpTrainer {
     config: DpSgdConfig,
@@ -145,6 +175,12 @@ impl DpTrainer {
             // Unused for SGD; any valid mechanism will do.
             GaussianMechanism::new(0.0, 1.0)
         };
+        // No prewarm here: the default backend is full-width auto, and a
+        // caller may immediately narrow it (`.with_backend(Backend::serial())`
+        // — the bench sweep's serial arm), which must not leave a core-count
+        // of permanently parked workers behind. `with_backend` prewarms the
+        // width actually chosen; a trainer left on auto spawns workers
+        // lazily at its first parallel region.
         Self {
             config,
             clip_mode,
@@ -156,7 +192,12 @@ impl DpTrainer {
     /// Selects the compute backend (thread count) every step of this
     /// trainer runs under; `Backend::auto()` is the default. Benches use
     /// this to sweep serial vs. parallel execution of the same step.
+    ///
+    /// Prewarms the shared keep-alive pool to the new backend's width
+    /// (`diva_tensor::parallel`), so trainer, benches and figure binaries
+    /// all draw from the same parked worker set.
     pub fn with_backend(mut self, backend: Backend) -> Self {
+        backend.prewarm();
         self.backend = backend;
         self
     }

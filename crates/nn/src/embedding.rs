@@ -87,9 +87,13 @@ impl Embedding {
 
     /// Backward pass: scatter-adds the upstream gradient into table rows.
     ///
-    /// The gradient with respect to the (discrete) input is zero; we return
-    /// a zero tensor of shape `(B, T)` so embedding can sit first in a
-    /// network like any other layer.
+    /// The gradient with respect to the (discrete) input is zero, so
+    /// `grad_input` is `Some(zeros(B, T))` — a constant. Embedding usually
+    /// sits first in a network, where `Network::backward` requests no input
+    /// gradient at all (`need_input_grad = false`); like the other cheap
+    /// layers this one ignores the flag and returns the zero tensor
+    /// regardless, which callers are expected to drop (see
+    /// `BackwardOutput::grad_input` for the contract).
     pub fn backward(
         &self,
         cache: &EmbeddingCache,

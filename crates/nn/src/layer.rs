@@ -64,15 +64,23 @@ impl ParamGrads {
     }
 }
 
-/// The result of a layer backward pass: the gradient flowing to the previous
-/// layer and this layer's weight gradients (per the requested [`GradMode`]).
+/// The result of a layer backward pass: the gradient flowing to the
+/// previous layer (when derived — see `grad_input`) and this layer's weight
+/// gradients (per the requested [`GradMode`]).
 #[derive(Clone, Debug)]
 pub struct BackwardOutput {
-    /// Gradient of the loss with respect to the layer input; `None` when the
-    /// caller declared it dead (`need_input_grad = false` — the first layer
-    /// of a network has no predecessor to feed, so deriving its input
-    /// gradient is pure waste; for a first conv layer it is a whole
-    /// `(B·P·Q, C_out, C_in·R·S)` GEMM plus a `col2im`).
+    /// Gradient of the loss with respect to the layer input.
+    ///
+    /// **When is this `None`?** Exactly when the caller passed
+    /// `need_input_grad = false` to [`Layer::backward_opt`] *and* the layer
+    /// puts real work behind the flag (dense and convolution — for a first
+    /// conv layer the input gradient is a whole `(B·P·Q, C_out, C_in·R·S)`
+    /// GEMM plus a `col2im` of pure waste, since a first layer has no
+    /// predecessor to feed). Cheap layers ignore the flag and return `Some`
+    /// regardless; callers must treat `Some` under `need_input_grad =
+    /// false` as equally valid and simply drop it, never rely on `None` as
+    /// a signal. With `need_input_grad = true` (the [`Layer::backward`]
+    /// default) this is always `Some`.
     pub grad_input: Option<Tensor>,
     /// The layer's weight gradients.
     pub grads: ParamGrads,
@@ -270,10 +278,11 @@ impl Layer {
 
     /// Runs the layer backward, deriving the input gradient only when
     /// `need_input_grad` is set. [`crate::Network::backward`] clears it for
-    /// the first layer, whose input gradient nobody consumes. The heavy
-    /// layers (dense, convolution) honor the flag; the cheap ones ignore it
-    /// and return `Some` regardless, which callers must treat as equally
-    /// valid.
+    /// the first layer, whose input gradient nobody consumes. Dense and
+    /// convolution honor the flag (their input gradient is a whole GEMM);
+    /// every other layer ignores it and returns `Some` regardless, which
+    /// callers must treat as equally valid — see
+    /// [`BackwardOutput::grad_input`] for the exact `None` contract.
     ///
     /// # Panics
     ///

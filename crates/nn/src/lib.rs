@@ -16,6 +16,16 @@
 //! squared norms, and immediately discards them — which is exactly the
 //! memory saving DP-SGD(R) exploits (paper Section II-C).
 //!
+//! Compute: every GEMM a layer issues runs on `diva_tensor`'s blocked
+//! kernel, and the per-example fan-outs (`PerExample` / `NormOnly`) are
+//! batch-parallel over the workspace-wide keep-alive pool
+//! (`diva_tensor::parallel`) — nested GEMMs inside a fan-out degrade to
+//! serial automatically. Convolution layers lower their batch with
+//! `im2col` exactly once per forward (`diva_tensor::PatchBuffer`) and
+//! reuse both the patch buffer and its packed GEMM panels across DP-SGD(R)'s
+//! two backward passes. See `ARCHITECTURE.md` at the workspace root for
+//! the full layer map.
+//!
 //! # Example
 //!
 //! ```

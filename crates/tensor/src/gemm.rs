@@ -12,9 +12,15 @@
 //!   no synchronization is needed on the output.
 //! * Within a worker, M is blocked by `MC`; each `MC × KC` block of A is
 //!   packed into `MR`-tall row strips, then an `MR × NR` register-tile
-//!   micro-kernel walks the packed panels. The micro-kernel's inner loops
-//!   have constant trip counts over contiguous slices, which the
-//!   autovectorizer turns into wide FMA code under `-C target-cpu=native`.
+//!   micro-kernel walks the packed panels. The safe micro-kernel's inner
+//!   loops have constant trip counts over contiguous slices (k loop
+//!   unrolled ×4), which the autovectorizer turns into wide FMA code under
+//!   `-C target-cpu=native`; with the `simd` cargo feature on an AVX2+FMA
+//!   x86-64 host, an explicit-intrinsics 6×16 kernel ([`crate::simd`]) runs
+//!   instead — **bit-identical** by construction (same per-element FMA
+//!   sequence), selected at runtime via `is_x86_feature_detected!` with the
+//!   safe kernel as the universal fallback. [`simd_available`] /
+//!   [`set_simd_enabled`] expose the dispatch for benches and parity tests.
 //!
 //! Packing absorbs transposition: both A and B are described by arbitrary
 //! (row, column) strides, so NT/TN/TT flavours cost the same as NN and the
@@ -27,8 +33,10 @@
 //! `tests/kernel_parity.rs` pin this contract.
 
 use crate::parallel;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
+use std::thread::LocalKey;
 
 /// When set, every GEMM routes through the scalar reference kernel — the
 /// seed implementation's exact loop nest. Benchmarks flip this to measure
@@ -47,14 +55,46 @@ pub fn scalar_reference_mode() -> bool {
     SCALAR_REFERENCE_MODE.load(Ordering::Relaxed)
 }
 
+/// When set, the explicit-SIMD micro-kernel is skipped even where
+/// available, forcing the safe kernel. Parity tests sweep this; stored
+/// inverted so the default (`false`) means "simd on when available".
+static SIMD_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the explicit AVX2+FMA micro-kernel is compiled in (`simd`
+/// feature, `x86_64` target) *and* supported by the running CPU.
+pub fn simd_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        crate::simd::detected()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Enables or disables the explicit-SIMD micro-kernel process-wide.
+///
+/// A testing/benchmarking hook: results are bit-identical either way (the
+/// contract `tests/kernel_parity.rs` pins), only throughput changes. A
+/// no-op when [`simd_available`] is `false`.
+pub fn set_simd_enabled(enabled: bool) {
+    SIMD_DISABLED.store(!enabled, Ordering::Relaxed);
+}
+
+/// Whether GEMMs will currently use the explicit-SIMD micro-kernel.
+pub fn simd_enabled() -> bool {
+    simd_available() && !SIMD_DISABLED.load(Ordering::Relaxed)
+}
+
 /// Micro-tile height (rows of C held in registers). With `NR = 16` the
 /// accumulator occupies 12 256-bit registers — enough independent FMA
 /// chains to hide the FMA latency without spilling.
-const MR: usize = 6;
+pub(crate) const MR: usize = 6;
 /// Micro-tile width (columns of C held in registers): two 256-bit `f32`
 /// vectors per row. Empirically faster than 512-bit tiles on the
 /// virtualized Xeons this repo targets (wide vectors downclock).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// K-dimension panel length. Large panels amortize the accumulator
 /// write-back; the packed `MR × KC` A strip (18 KiB) stays L1-resident
 /// while the B strip streams from L2. Tuned empirically at 256³–512³.
@@ -66,6 +106,40 @@ const MC: usize = 72;
 /// Below this many multiply-adds the packing overhead outweighs the win and
 /// the scalar reference kernel is faster.
 const BLOCKED_THRESHOLD: usize = 48 * 48 * 48;
+
+thread_local! {
+    /// Per-thread packed-A scratch, reused across GEMM calls. The packed-A
+    /// block is ~216 KiB — past the allocator's mmap threshold — so a fresh
+    /// `vec!` per call costs a page-fault storm that the keep-alive worker
+    /// pool would otherwise pay on every region.
+    static PACK_A_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed-B scratch; same rationale as [`PACK_A_SCRATCH`].
+    static PACK_B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on a thread-local scratch slice of exactly `len` elements.
+///
+/// Contents are **unspecified on entry** — `pack_a`/`pack_b` overwrite
+/// every slot the kernels later read (tail strips are zero-padded
+/// explicitly), so stale data from a previous GEMM can never leak into a
+/// result. If the slot is already borrowed (a re-entrant GEMM on this
+/// thread, which current call graphs never produce), falls back to a fresh
+/// allocation rather than panicking.
+fn with_pack_scratch<R>(
+    key: &'static LocalKey<RefCell<Vec<f32>>>,
+    len: usize,
+    f: impl FnOnce(&mut [f32]) -> R,
+) -> R {
+    key.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            f(&mut buf[..len])
+        }
+        Err(_) => f(&mut vec![0.0f32; len]),
+    })
+}
 
 /// Minimum C rows per worker before the M dimension is split across
 /// threads; keeps per-thread work well above spawn cost.
@@ -137,14 +211,27 @@ pub(crate) fn gemm_reference(m: usize, k: usize, n: usize, a: MatRef, b: MatRef,
 
 /// Packs the `kb × n` slab of B starting at row `kc` into `NR`-wide strips:
 /// `packed[strip][kk][jr]` with the tail strip zero-padded to `NR`.
+///
+/// Row-major B (`cs == 1`, every GEMM flavour except `nt`/`tt`) takes a
+/// `copy_from_slice` fast path: each strip row is one contiguous 64-byte
+/// copy instead of `NR` strided element reads. Same elements, same slots —
+/// packing layout is not part of the numeric contract.
 fn pack_b(b: MatRef, kc: usize, kb: usize, n: usize, packed: &mut [f32]) {
     debug_assert_eq!(packed.len(), n.div_ceil(NR) * kb * NR);
     for (strip, panel) in packed.chunks_mut(kb * NR).enumerate() {
         let j0 = strip * NR;
         let jw = NR.min(n - j0);
-        for (kk, row) in panel.chunks_mut(NR).enumerate() {
-            for (jr, slot) in row.iter_mut().enumerate() {
-                *slot = if jr < jw { b.at(kc + kk, j0 + jr) } else { 0.0 };
+        if b.cs == 1 {
+            for (kk, row) in panel.chunks_mut(NR).enumerate() {
+                let src = &b.data[(kc + kk) * b.rs + j0..(kc + kk) * b.rs + j0 + jw];
+                row[..jw].copy_from_slice(src);
+                row[jw..].fill(0.0);
+            }
+        } else {
+            for (kk, row) in panel.chunks_mut(NR).enumerate() {
+                for (jr, slot) in row.iter_mut().enumerate() {
+                    *slot = if jr < jw { b.at(kc + kk, j0 + jr) } else { 0.0 };
+                }
             }
         }
     }
@@ -152,31 +239,80 @@ fn pack_b(b: MatRef, kc: usize, kb: usize, n: usize, packed: &mut [f32]) {
 
 /// Packs the `mb × kb` block of A at `(i0, kc)` into `MR`-tall strips:
 /// `packed[strip][kk][ir]` with the tail strip zero-padded to `MR`.
+///
+/// Two fast paths mirror [`pack_b`]'s: row-major A (`cs == 1`, the
+/// forward/`nt` flavours) walks each source row contiguously and scatters
+/// into the L1-resident strip; column-major A (`rs == 1`, the `tn`
+/// weight-gradient flavour) copies each strip column with one contiguous
+/// `copy_from_slice`. Same elements, same slots either way.
 fn pack_a(a: MatRef, i0: usize, mb: usize, kc: usize, kb: usize, packed: &mut [f32]) {
     debug_assert!(packed.len() >= mb.div_ceil(MR) * kb * MR);
     for (strip, panel) in packed.chunks_mut(kb * MR).take(mb.div_ceil(MR)).enumerate() {
         let r0 = strip * MR;
         let rh = MR.min(mb - r0);
-        for (kk, col) in panel.chunks_mut(MR).enumerate() {
-            for (ir, slot) in col.iter_mut().enumerate() {
-                *slot = if ir < rh {
-                    a.at(i0 + r0 + ir, kc + kk)
-                } else {
-                    0.0
-                };
+        if a.cs == 1 {
+            if rh < MR {
+                panel.fill(0.0);
+            }
+            for ir in 0..rh {
+                let src = &a.data[(i0 + r0 + ir) * a.rs + kc..(i0 + r0 + ir) * a.rs + kc + kb];
+                for (kk, &v) in src.iter().enumerate() {
+                    panel[kk * MR + ir] = v;
+                }
+            }
+        } else if a.rs == 1 {
+            for (kk, col) in panel.chunks_mut(MR).enumerate() {
+                let base = (kc + kk) * a.cs + i0 + r0;
+                col[..rh].copy_from_slice(&a.data[base..base + rh]);
+                col[rh..].fill(0.0);
+            }
+        } else {
+            for (kk, col) in panel.chunks_mut(MR).enumerate() {
+                for (ir, slot) in col.iter_mut().enumerate() {
+                    *slot = if ir < rh {
+                        a.at(i0 + r0 + ir, kc + kk)
+                    } else {
+                        0.0
+                    };
+                }
             }
         }
     }
 }
 
-/// The register-tile kernel: `acc[MR][NR] += Apanel × Bpanel` over `kb`
-/// rank-1 updates on packed panels. Constant-size inner loops over
-/// contiguous slices vectorize to FMA.
+/// How many rank-1 updates the safe kernel's k loop processes per
+/// iteration. `chunks_exact` hands the body compile-time-known sub-slices,
+/// so the ×4 unroll costs no extra bounds checks and cannot reassociate:
+/// each output element still receives its updates one at a time, k
+/// ascending.
+const KK_UNROLL: usize = 4;
+
+/// The safe register-tile kernel: `acc[MR][NR] += Apanel × Bpanel` over
+/// `kb` rank-1 updates on packed panels. Constant-size inner loops over
+/// contiguous slices vectorize to FMA under `-C target-cpu=native`; the k
+/// loop is unrolled ×[`KK_UNROLL`] to amortize loop control. Exactly one
+/// `mul_add` per output element per k — the bit-parity contract shared
+/// with the explicit-SIMD kernel ([`crate::simd`]).
 #[inline(always)]
-fn microkernel(kb: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for kk in 0..kb {
-        let av: &[f32] = &a_panel[kk * MR..kk * MR + MR];
-        let bv: &[f32] = &b_panel[kk * NR..kk * NR + NR];
+pub(crate) fn microkernel(kb: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let a_main = a_panel[..kb * MR].chunks_exact(MR * KK_UNROLL);
+    let b_main = b_panel[..kb * NR].chunks_exact(NR * KK_UNROLL);
+    let a_tail = a_main.remainder();
+    let b_tail = b_main.remainder();
+    for (a4, b4) in a_main.zip(b_main) {
+        for u in 0..KK_UNROLL {
+            let av = &a4[u * MR..(u + 1) * MR];
+            let bv = &b4[u * NR..(u + 1) * NR];
+            for ir in 0..MR {
+                let aik = av[ir];
+                let row = &mut acc[ir];
+                for jr in 0..NR {
+                    row[jr] = aik.mul_add(bv[jr], row[jr]);
+                }
+            }
+        }
+    }
+    for (av, bv) in a_tail.chunks_exact(MR).zip(b_tail.chunks_exact(NR)) {
         for ir in 0..MR {
             let aik = av[ir];
             let row = &mut acc[ir];
@@ -185,6 +321,27 @@ fn microkernel(kb: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]
             }
         }
     }
+}
+
+/// Runs one register tile on the best available kernel: the explicit
+/// AVX2+FMA kernel when compiled in, CPU-supported and not disabled, else
+/// the safe kernel. Both produce bit-identical tiles (see [`crate::simd`]),
+/// so dispatch is a pure throughput decision.
+#[inline(always)]
+fn run_microkernel(
+    use_simd: bool,
+    kb: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if use_simd {
+        crate::simd::microkernel_6x16(kb, a_panel, b_panel, acc);
+        return;
+    }
+    let _ = use_simd;
+    microkernel(kb, a_panel, b_panel, acc);
 }
 
 /// Computes one worker's row-range of C against the shared packed B panel.
@@ -201,31 +358,35 @@ fn gemm_rows(
 ) {
     debug_assert_eq!(out_rows.len(), rows * n);
     let n_strips = n.div_ceil(NR);
-    let mut packed_a = vec![0.0f32; MC.div_ceil(MR) * MR * kb];
-    let mut i0 = 0;
-    while i0 < rows {
-        let mb = MC.min(rows - i0);
-        pack_a(a, row0 + i0, mb, kc, kb, &mut packed_a);
-        for strip_b in 0..n_strips {
-            let j0 = strip_b * NR;
-            let jw = NR.min(n - j0);
-            let b_panel = &packed_b[strip_b * kb * NR..(strip_b + 1) * kb * NR];
-            for strip_a in 0..mb.div_ceil(MR) {
-                let r0 = i0 + strip_a * MR;
-                let rh = MR.min(i0 + mb - r0);
-                let a_panel = &packed_a[strip_a * kb * MR..(strip_a + 1) * kb * MR];
-                let mut acc = [[0.0f32; NR]; MR];
-                microkernel(kb, a_panel, b_panel, &mut acc);
-                for ir in 0..rh {
-                    let crow = &mut out_rows[(r0 + ir) * n + j0..(r0 + ir) * n + j0 + jw];
-                    for (c, &v) in crow.iter_mut().zip(acc[ir].iter()) {
-                        *c += v;
+    // Kernel choice is hoisted out of the tile loops; it cannot change
+    // results (the kernels are bit-identical), only throughput.
+    let use_simd = simd_enabled();
+    with_pack_scratch(&PACK_A_SCRATCH, MC.div_ceil(MR) * MR * kb, |packed_a| {
+        let mut i0 = 0;
+        while i0 < rows {
+            let mb = MC.min(rows - i0);
+            pack_a(a, row0 + i0, mb, kc, kb, packed_a);
+            for strip_b in 0..n_strips {
+                let j0 = strip_b * NR;
+                let jw = NR.min(n - j0);
+                let b_panel = &packed_b[strip_b * kb * NR..(strip_b + 1) * kb * NR];
+                for strip_a in 0..mb.div_ceil(MR) {
+                    let r0 = i0 + strip_a * MR;
+                    let rh = MR.min(i0 + mb - r0);
+                    let a_panel = &packed_a[strip_a * kb * MR..(strip_a + 1) * kb * MR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    run_microkernel(use_simd, kb, a_panel, b_panel, &mut acc);
+                    for ir in 0..rh {
+                        let crow = &mut out_rows[(r0 + ir) * n + j0..(r0 + ir) * n + j0 + jw];
+                        for (c, &v) in crow.iter_mut().zip(acc[ir].iter()) {
+                            *c += v;
+                        }
                     }
                 }
             }
+            i0 += mb;
         }
-        i0 += mb;
-    }
+    });
 }
 
 /// Returns `true` when a GEMM of this shape routes to the blocked/packed
@@ -261,23 +422,28 @@ pub(crate) fn gemm(m: usize, k: usize, n: usize, a: MatRef, b: MatRef, out: &mut
     }
     let threads = parallel::effective_threads().min(m.div_ceil(ROWS_PER_WORKER_MIN));
     let rows_per_worker = m.div_ceil(threads.max(1));
-    let mut packed_b = vec![0.0f32; n.div_ceil(NR) * KC * NR];
-    let mut kc = 0;
-    while kc < k {
-        let kb = KC.min(k - kc);
-        let packed_len = n.div_ceil(NR) * kb * NR;
-        pack_b(b, kc, kb, n, &mut packed_b[..packed_len]);
-        let packed = &packed_b[..packed_len];
-        if threads <= 1 {
-            gemm_rows(a, 0, m, kc, kb, n, packed, out);
-        } else {
-            parallel::par_chunks_mut(out, rows_per_worker * n, |widx, out_rows| {
-                let row0 = widx * rows_per_worker;
-                gemm_rows(a, row0, out_rows.len() / n, kc, kb, n, packed, out_rows);
-            });
-        }
-        kc += kb;
-    }
+    with_pack_scratch(
+        &PACK_B_SCRATCH,
+        n.div_ceil(NR) * KC.min(k) * NR,
+        |packed_b| {
+            let mut kc = 0;
+            while kc < k {
+                let kb = KC.min(k - kc);
+                let packed_len = n.div_ceil(NR) * kb * NR;
+                pack_b(b, kc, kb, n, &mut packed_b[..packed_len]);
+                let packed = &packed_b[..packed_len];
+                if threads <= 1 {
+                    gemm_rows(a, 0, m, kc, kb, n, packed, out);
+                } else {
+                    parallel::par_chunks_mut(out, rows_per_worker * n, |widx, out_rows| {
+                        let row0 = widx * rows_per_worker;
+                        gemm_rows(a, row0, out_rows.len() / n, kc, kb, n, packed, out_rows);
+                    });
+                }
+                kc += kb;
+            }
+        },
+    );
 }
 
 /// A B operand packed once into `NR`-wide strips for a caller-chosen panel
@@ -348,7 +514,7 @@ impl PackedB {
 /// and share the result.
 ///
 /// Besides the operand shape, every reuse revalidates a caller-supplied
-/// content `token` (see [`content_token`]), so a cache keyed to data that
+/// content `token` (see `content_token`), so a cache keyed to data that
 /// *can* change out from under it — the filter matrix of the data-gradient
 /// GEMM, after an optimizer update mutates the weights — fails loudly
 /// instead of silently computing against the stale pack.

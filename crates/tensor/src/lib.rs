@@ -9,11 +9,22 @@
 //! sampler (Box–Muller; implemented here because `rand_distr` is not part of
 //! the approved dependency set).
 //!
-//! The crate is deliberately free of unsafe code and external BLAS. GEMM is
-//! nevertheless a cache-blocked, register-tiled, multi-threaded kernel (see
-//! the `gemm` module and [`parallel`]): written so the autovectorizer emits
-//! wide FMA code, with the seed's scalar loop retained as
-//! [`matmul_reference`] for parity testing and benchmarking.
+//! The crate uses no external BLAS, and unsafe code is denied crate-wide
+//! except at two narrow, audited sites: the lifetime erasure inside the
+//! persistent worker pool (`pool` module — sound because a region never
+//! returns before all its tasks finish) and the AVX2+FMA intrinsics kernel
+//! (`simd` module, compiled only under the `simd` cargo feature). GEMM is a
+//! cache-blocked, register-tiled, multi-threaded kernel (see the `gemm`
+//! module and [`parallel`]): the safe micro-kernel is written so the
+//! autovectorizer emits wide FMA code, the optional explicit-SIMD kernel is
+//! bit-identical to it and runtime-detected, and the seed's scalar loop is
+//! retained as [`matmul_reference`] for parity testing and benchmarking.
+//!
+//! # Feature flags
+//!
+//! * `simd` — compiles the explicit AVX2+FMA 6×16 micro-kernel
+//!   ([`simd_available`], [`set_simd_enabled`]). Off by default; results
+//!   are bit-identical with the feature on or off, on any CPU.
 //!
 //! # Example
 //!
@@ -26,7 +37,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bf16;
@@ -35,8 +46,11 @@ mod gemm;
 mod matmul;
 mod ops;
 pub mod parallel;
+mod pool;
 mod rng;
 mod shape;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd;
 mod tensor;
 
 pub use bf16::{round_bf16, BF16_MAX_RELATIVE_ERROR};
@@ -44,7 +58,10 @@ pub use conv::{
     col2im, conv2d, conv2d_backward_data, conv2d_backward_data_from_rows, conv2d_backward_weight,
     im2col, nchw_to_rows, Conv2dGeom, PatchBuffer,
 };
-pub use gemm::{scalar_reference_mode, set_scalar_reference_mode, PackCache};
+pub use gemm::{
+    scalar_reference_mode, set_scalar_reference_mode, set_simd_enabled, simd_available,
+    simd_enabled, PackCache,
+};
 pub use matmul::{
     matmul, matmul_nt, matmul_reference, matmul_tn, matmul_tt, outer_product_accumulate,
 };

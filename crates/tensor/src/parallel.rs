@@ -10,11 +10,19 @@
 //!
 //! Design notes:
 //!
-//! * Workers are scoped threads (`std::thread::scope`), so borrowed data can
-//!   cross into workers without `unsafe` (this crate forbids unsafe code).
+//! * Workers live in a **persistent keep-alive pool** (the crate-private
+//!   `pool` module):
+//!   lazily spawned on first use, parked on a condvar between regions, and
+//!   never torn down. A region hands each worker a contiguous task before
+//!   execution starts, so scheduling can never influence results (see the
+//!   pool docs for the bit-stability argument); two back-to-back regions
+//!   reuse the same OS threads instead of paying spawn/join per region as
+//!   the original `std::thread::scope` design did. [`prewarm`] (or
+//!   [`Backend::prewarm`]) spawns the workers ahead of the first hot
+//!   region; [`pool_stats`] exposes occupancy for tests and diagnostics.
 //! * A thread-local "inside a parallel region" flag makes nested parallel
 //!   calls run serially: the GEMM called from a batch-parallel per-example
-//!   backward does not spawn threads of its own.
+//!   backward does not fan out again.
 //! * [`Backend`] is the user-facing knob. Installing one scopes a thread
 //!   count to a closure, which is how `DpTrainer` and the benches sweep
 //!   serial vs. parallel execution without touching global state.
@@ -22,6 +30,8 @@
 //! The process-wide default is `DIVA_NUM_THREADS` if set, else the number of
 //! available cores.
 
+use crate::pool;
+pub use crate::pool::PoolStats;
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,6 +95,21 @@ pub fn effective_threads() -> usize {
     } else {
         max_threads()
     }
+}
+
+/// Spawns (and parks) the workers an `n`-way region needs — `n - 1`, since
+/// the calling thread always executes the region's last task — so the first
+/// hot region does not pay thread-spawn latency. Idempotent: the pool never
+/// shrinks and existing workers count. A no-op for `n <= 1`.
+pub fn prewarm(n: usize) {
+    if n > 1 {
+        pool::Pool::global().ensure_workers(n - 1);
+    }
+}
+
+/// Occupancy of the persistent worker pool (see [`PoolStats`]).
+pub fn pool_stats() -> PoolStats {
+    pool::Pool::global().stats()
 }
 
 /// Execution configuration for the compute backend, threaded through
@@ -157,6 +182,14 @@ impl Backend {
         let _restore = SetCell::new(&THREAD_OVERRIDE, self.threads());
         f()
     }
+
+    /// Ensures the shared keep-alive pool has the workers this backend's
+    /// parallel regions will use (see [`prewarm`]). `DpTrainer` and the
+    /// bench drivers call this at configuration time so the first training
+    /// step or measured iteration runs at steady-state pool occupancy.
+    pub fn prewarm(&self) {
+        prewarm(self.threads());
+    }
 }
 
 /// Sets a thread-local `Cell` and restores the previous value on drop, so
@@ -206,9 +239,14 @@ fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
-/// Maps `f` over `0..n` on the shared pool, returning results in index
-/// order. Runs serially when the effective thread count is 1, `n < 2`, or
-/// the call is nested inside another parallel region.
+/// Maps `f` over `0..n` on the shared keep-alive pool, returning results in
+/// index order. Runs serially when the effective thread count is 1, `n < 2`,
+/// or the call is nested inside another parallel region.
+///
+/// Determinism: range `w` of the deterministic `split_ranges` partition
+/// always writes slots
+/// `range.start..range.end`, whichever pool worker executes it, so the
+/// output is identical for every thread count and scheduling order.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -220,27 +258,24 @@ where
     }
     let ranges = split_ranges(n, threads);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
+    {
+        let f = &f;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
         let mut rest: &mut [Option<T>] = &mut slots;
-        let mut iter = ranges.into_iter().peekable();
-        while let Some(range) = iter.next() {
+        for range in ranges {
             let (head, tail) = rest.split_at_mut(range.len());
             rest = tail;
-            let f = &f;
-            let mut work = move || {
+            tasks.push(Box::new(move || {
                 let _nested = SetCell::new(&IN_PARALLEL, true);
-                for (slot, i) in head.iter_mut().zip(range.clone()) {
+                for (slot, i) in head.iter_mut().zip(range) {
                     *slot = Some(f(i));
                 }
-            };
-            if iter.peek().is_some() {
-                scope.spawn(work);
-            } else {
-                // Run the last range on the calling thread.
-                work();
-            }
+            }));
         }
-    });
+        // The last task runs inline on the calling thread; the rest go to
+        // parked pool workers.
+        pool::run_region(tasks);
+    }
     slots
         .into_iter()
         .map(|o| o.expect("parallel worker left a slot empty"))
@@ -248,10 +283,13 @@ where
 }
 
 /// Runs `f` over disjoint chunks of `data` (each `chunk_len` items, last one
-/// shorter) on the shared pool. `f` receives the chunk index and the chunk.
+/// shorter) on the shared keep-alive pool. `f` receives the chunk index and
+/// the chunk.
 ///
 /// This is the mutable-output primitive the blocked GEMM parallelizes over:
-/// each worker owns a contiguous row-block of the output matrix.
+/// each region task owns a contiguous run of chunks (a contiguous row-block
+/// of the output matrix), fixed before execution starts, so results are
+/// identical for every thread count and scheduling order.
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
@@ -266,32 +304,26 @@ where
         }
         return;
     }
-    // Distribute whole chunks across workers: worker w handles a contiguous
+    // Distribute whole chunks across tasks: task w handles a contiguous
     // run of chunks, so each worker still touches a contiguous byte range.
     let ranges = split_ranges(n_chunks, threads);
-    std::thread::scope(|scope| {
-        let mut rest: &mut [T] = data;
-        let mut consumed = 0usize;
-        let mut iter = ranges.into_iter().peekable();
-        while let Some(range) = iter.next() {
-            let end_item = (range.end * chunk_len).min(consumed + rest.len());
-            let (head, tail) = rest.split_at_mut(end_item - consumed);
-            rest = tail;
-            consumed = end_item;
-            let f = &f;
-            let mut work = move || {
-                let _nested = SetCell::new(&IN_PARALLEL, true);
-                for (off, chunk) in head.chunks_mut(chunk_len).enumerate() {
-                    f(range.start + off, chunk);
-                }
-            };
-            if iter.peek().is_some() {
-                scope.spawn(work);
-            } else {
-                work();
+    let f = &f;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
+    let mut rest: &mut [T] = data;
+    let mut consumed = 0usize;
+    for range in ranges {
+        let end_item = (range.end * chunk_len).min(consumed + rest.len());
+        let (head, tail) = rest.split_at_mut(end_item - consumed);
+        rest = tail;
+        consumed = end_item;
+        tasks.push(Box::new(move || {
+            let _nested = SetCell::new(&IN_PARALLEL, true);
+            for (off, chunk) in head.chunks_mut(chunk_len).enumerate() {
+                f(range.start + off, chunk);
             }
-        }
-    });
+        }));
+    }
+    pool::run_region(tasks);
 }
 
 #[cfg(test)]

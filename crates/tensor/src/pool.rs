@@ -1,0 +1,241 @@
+//! The persistent worker pool behind [`crate::parallel`].
+//!
+//! # Lifecycle
+//!
+//! Workers are **lazily spawned and never exit**: the first parallel region
+//! that needs `W` ways spawns `W - 1` worker threads (the calling thread is
+//! always the region's last worker), and every later region reuses them.
+//! Between regions a worker is *parked* on a condvar inside
+//! [`Pool::worker_loop`] — it consumes no CPU and wakes only when a job is
+//! submitted. The pool grows monotonically to the largest region width ever
+//! requested and is shared by every parallel kernel in the workspace: the
+//! GEMM M-split, the per-example backward fan-out, the clip-reduce, and the
+//! figure binaries' `run_parallel`. This replaces the original
+//! `std::thread::scope` design, which re-spawned (and re-joined) OS threads
+//! on **every** region — measurable overhead when DP-SGD issues thousands
+//! of small parallel regions per training step.
+//!
+//! # Region protocol
+//!
+//! [`run_region`] takes the region's tasks in range order, submits all but
+//! the last to the shared queue, runs the last inline on the calling
+//! thread, and then blocks on a per-region latch until every submitted task
+//! has finished. Task-to-*data* assignment is decided by the caller before
+//! submission (each task owns its output range), so which OS thread happens
+//! to execute a task can never affect results — the bit-stability guarantee
+//! of the scoped design is preserved verbatim.
+//!
+//! A task that panics does not kill its worker: the panic is caught, the
+//! first payload is stashed in the latch, and [`run_region`] re-raises it
+//! on the calling thread after the region completes — the same observable
+//! behavior as `std::thread::scope`.
+//!
+//! # Why the one `unsafe` block is sound
+//!
+//! Tasks borrow the caller's stack (`&mut` output ranges, `&` operands), so
+//! their true lifetime is the region's `'scope`, but the queue stores
+//! `'static` jobs. [`run_region`] erases the lifetime with a transmute and
+//! restores soundness by construction: it does not return — not even by
+//! unwinding, the inline task's panic is caught — until the latch counted
+//! every submitted job as complete. No job can outlive the borrows it
+//! holds. This is the same argument `std::thread::scope` makes via its
+//! internal `ScopeData`; it is confined to this module and pinned by the
+//! keep-alive and panic tests in `tests/pool_keepalive.rs`.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Poison-proof lock acquisition. The soundness argument of [`run_region`]
+/// requires that, once a region has submitted its first job, nothing on
+/// its path to `latch.wait_all()` can panic — a poisoned mutex (from, say,
+/// a worker-spawn failure on another thread) turning `submit` into a
+/// panic would unwind the region while lifetime-erased jobs still borrow
+/// its stack. Pool and latch state are plain counters and queues with no
+/// invariant a mid-update panic could break (the only panic site while a
+/// lock is held is `ensure_workers`' spawn `expect`, which mutates nothing
+/// partially), so ignoring poison is both sound and required.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A type- and lifetime-erased unit of region work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Occupancy snapshot of the persistent pool, for tests and diagnostics
+/// (see [`crate::parallel::pool_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned since process start. Workers never exit, so
+    /// this grows monotonically to the widest region ever requested; two
+    /// back-to-back identical regions leave it unchanged.
+    pub spawned: usize,
+    /// Workers currently parked waiting for work.
+    pub idle: usize,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    spawned: usize,
+    idle: usize,
+}
+
+/// The process-wide keep-alive pool. See the module docs for the lifecycle.
+pub(crate) struct Pool {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The process-wide pool instance (created empty; workers spawn on
+    /// demand).
+    pub(crate) fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                spawned: 0,
+                idle: 0,
+            }),
+            work_ready: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn stats(&self) -> PoolStats {
+        let st = lock_unpoisoned(&self.state);
+        PoolStats {
+            spawned: st.spawned,
+            idle: st.idle,
+        }
+    }
+
+    /// Spawns workers until at least `workers` exist. Existing (possibly
+    /// busy) workers count; the pool never shrinks.
+    pub(crate) fn ensure_workers(&'static self, workers: usize) {
+        let mut st = lock_unpoisoned(&self.state);
+        while st.spawned < workers {
+            st.spawned += 1;
+            let idx = st.spawned;
+            std::thread::Builder::new()
+                .name(format!("diva-pool-{idx}"))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    /// A worker's whole life: pop a job or park until one arrives, run it,
+    /// repeat. Jobs are pre-wrapped by [`run_region`] to catch panics, so
+    /// the loop (and the worker) survives panicking tasks.
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut st = lock_unpoisoned(&self.state);
+                loop {
+                    if let Some(job) = st.queue.pop_front() {
+                        break job;
+                    }
+                    st.idle += 1;
+                    st = self.work_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                    st.idle -= 1;
+                }
+            };
+            job();
+        }
+    }
+
+    fn submit(&'static self, job: Job) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.queue.push_back(job);
+        drop(st);
+        // If every worker is mid-job the notify is lost, but not the work:
+        // a worker re-checks the queue after finishing its current job.
+        self.work_ready.notify_one();
+    }
+}
+
+/// Completion latch for one region: counts outstanding remote tasks and
+/// stashes the first panic payload.
+struct Latch {
+    state: Mutex<LatchState>,
+    all_done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Self {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            all_done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = lock_unpoisoned(&self.state);
+        while st.remaining > 0 {
+            st = self.all_done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.panic.take()
+    }
+}
+
+/// Runs the region's tasks concurrently: all but the last on pool workers,
+/// the last inline on the calling thread (exactly the task distribution of
+/// the old scoped design). Returns only after **every** task finished; the
+/// first panic, remote or inline, is re-raised here afterwards.
+pub(crate) fn run_region(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let mut tasks = tasks;
+    let Some(inline_task) = tasks.pop() else {
+        return;
+    };
+    if tasks.is_empty() {
+        inline_task();
+        return;
+    }
+    let pool = Pool::global();
+    pool.ensure_workers(tasks.len());
+    let latch = Arc::new(Latch::new(tasks.len()));
+    for task in tasks {
+        let latch = Arc::clone(&latch);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            latch.complete(result.err());
+        });
+        // SAFETY: this only erases the job's lifetime, not its type. The
+        // job's borrows stay valid for the whole region because this
+        // function cannot return (or unwind — the inline task below runs
+        // under `catch_unwind`) before `latch.wait_all()` has observed the
+        // job's completion; the latch is decremented strictly after the
+        // task finished, even if it panicked. See the module docs.
+        #[allow(unsafe_code)]
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+        pool.submit(job);
+    }
+    let inline_result = catch_unwind(AssertUnwindSafe(inline_task));
+    let remote_panic = latch.wait_all();
+    if let Err(payload) = inline_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = remote_panic {
+        resume_unwind(payload);
+    }
+}

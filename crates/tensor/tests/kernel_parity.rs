@@ -234,3 +234,43 @@ fn parallel_split_is_bitwise_invisible() {
         );
     }
 }
+
+/// The full dispatch matrix — explicit-SIMD kernel on/off × threads
+/// 1/4/8 × odd blocked-path shapes — must produce bit-identical outputs:
+/// every cell performs the same per-element FMA sequence, so neither the
+/// kernel choice nor the M-split may show up in a single bit.
+///
+/// Without the `simd` feature (or on CPUs without AVX2+FMA),
+/// `set_simd_enabled` is a no-op and the matrix degenerates to the
+/// thread sweep; with it, this is the contract that makes the feature safe
+/// to enable in production.
+#[test]
+fn simd_thread_matrix_is_bit_identical() {
+    use diva_tensor::{set_simd_enabled, simd_available, Backend};
+    // Odd shapes that all route through the blocked/packed path (k >= 16,
+    // m*k*n over the threshold), straddling panel and strip boundaries.
+    let shapes = [(65usize, 129usize, 33usize), (97, 803, 51), (129, 1031, 17)];
+    let mut rng = DivaRng::seed_from_u64(5);
+    for &(m, k, n) in &shapes {
+        let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        // Baseline cell: safe kernel, one thread.
+        set_simd_enabled(false);
+        let baseline = Backend::serial().install(|| matmul(&a, &b));
+        for simd in [false, true] {
+            if simd && !simd_available() {
+                continue;
+            }
+            set_simd_enabled(simd);
+            for threads in [1usize, 4, 8] {
+                let out = Backend::with_threads(threads).install(|| matmul(&a, &b));
+                assert_eq!(
+                    out.max_abs_diff(&baseline),
+                    0.0,
+                    "({m},{k},{n}) simd={simd} threads={threads} diverged from baseline"
+                );
+            }
+        }
+        set_simd_enabled(true); // restore the default dispatch
+    }
+}

@@ -1,0 +1,130 @@
+//! Lifecycle contract of the persistent worker pool behind
+//! `diva_tensor::parallel`: workers are spawned lazily, parked between
+//! regions, reused by later regions (never re-spawned per region, which is
+//! what the old `std::thread::scope` design did), and nested regions still
+//! degrade to serial execution on the worker they run on.
+//!
+//! This suite lives in its own integration-test binary so its pool-growth
+//! assertions see a process whose pool traffic it fully controls.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+use diva_tensor::parallel::{self, par_map, pool_stats, Backend};
+
+/// The pool is process-global and the test harness runs tests concurrently;
+/// every test that asserts on spawn counts takes this lock so another
+/// test's pool growth cannot race its before/after reads.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn pool_guard() -> std::sync::MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Two back-to-back regions of the same width must reuse the workers the
+/// first one spawned: the spawn count stays flat, and across many regions
+/// the set of distinct worker threads stays bounded by that count instead
+/// of growing per region.
+#[test]
+fn back_to_back_regions_reuse_workers() {
+    const WIDTH: usize = 4;
+    const REGIONS: usize = 6;
+    let _guard = pool_guard();
+    Backend::with_threads(WIDTH).install(|| {
+        let caller = std::thread::current().id();
+        // Warm-up region: allowed to spawn workers.
+        let _ = par_map(WIDTH, |i| i);
+        let spawned_after_first = pool_stats().spawned;
+        assert!(
+            spawned_after_first >= WIDTH - 1,
+            "a {WIDTH}-way region needs at least {} workers, pool has {}",
+            WIDTH - 1,
+            spawned_after_first
+        );
+
+        let mut worker_ids: HashSet<ThreadId> = HashSet::new();
+        for _ in 0..REGIONS {
+            let ids = par_map(WIDTH, |_| std::thread::current().id());
+            worker_ids.extend(ids.into_iter().filter(|id| *id != caller));
+        }
+        let spawned_after_all = pool_stats().spawned;
+        assert_eq!(
+            spawned_after_first, spawned_after_all,
+            "equal-width regions must not grow the pool"
+        );
+        // Scoped threads would have produced up to REGIONS * (WIDTH - 1)
+        // distinct ids; the keep-alive pool draws every region from the
+        // same spawned set.
+        assert!(
+            worker_ids.len() <= spawned_after_all,
+            "{} distinct worker threads across {REGIONS} regions, but only {} ever spawned",
+            worker_ids.len(),
+            spawned_after_all
+        );
+    });
+}
+
+/// A nested parallel region inside a pool worker must not fan out again:
+/// it runs serially, on the worker thread itself.
+#[test]
+fn nested_region_falls_back_to_serial_on_the_worker() {
+    Backend::with_threads(4).install(|| {
+        let reports = par_map(4, |_| {
+            let outer = std::thread::current().id();
+            let nested = par_map(4, |_| std::thread::current().id());
+            (outer, nested)
+        });
+        for (outer, nested) in reports {
+            for id in nested {
+                assert_eq!(id, outer, "nested region escaped its worker thread");
+            }
+        }
+    });
+}
+
+/// `prewarm` spawns workers ahead of the first region, and `Backend::prewarm`
+/// resolves its configured width the same way its regions will.
+#[test]
+fn prewarm_spawns_and_parks_workers() {
+    let _guard = pool_guard();
+    parallel::prewarm(3);
+    assert!(pool_stats().spawned >= 2, "prewarm(3) must leave 2 workers");
+    Backend::with_threads(6).prewarm();
+    let stats = pool_stats();
+    assert!(
+        stats.spawned >= 5,
+        "Backend::with_threads(6).prewarm() must leave 5 workers, have {}",
+        stats.spawned
+    );
+    // Workers are parked, not burning a queue: an immediate region works.
+    let out = Backend::with_threads(6).install(|| par_map(12, |i| i * 2));
+    assert_eq!(out, (0..12).map(|i| i * 2).collect::<Vec<_>>());
+}
+
+/// A panic in a pool worker must propagate to the region caller (matching
+/// the old scoped behavior) and must not kill the worker: the pool stays
+/// usable afterwards without re-spawning.
+#[test]
+fn worker_panic_propagates_and_pool_survives() {
+    let _guard = pool_guard();
+    Backend::with_threads(4).install(|| {
+        let _ = par_map(4, |i| i); // warm up
+        let spawned_before = pool_stats().spawned;
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, |i| {
+                assert!(i != 0, "deliberate test panic");
+                i
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool still works, with the same workers.
+        let out = par_map(8, |i| i + 1);
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+        assert_eq!(
+            pool_stats().spawned,
+            spawned_before,
+            "a panicking task must not cost a worker"
+        );
+    });
+}
