@@ -101,6 +101,22 @@ impl Phase {
             Phase::WeightUpdate => "Weight update",
         }
     }
+
+    /// A stable machine-readable identifier, used as a metric-name suffix
+    /// in the scenario/report JSON schema (`diva-scenario/v1`).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Phase::Forward => "fwd",
+            Phase::BwdActGrad1 => "bwd_act_grad1",
+            Phase::BwdPerExampleGrad => "bwd_per_example_grad",
+            Phase::BwdGradNorm => "bwd_grad_norm",
+            Phase::BwdActGrad2 => "bwd_act_grad2",
+            Phase::BwdPerBatchGrad => "bwd_per_batch_grad",
+            Phase::BwdGradClip => "bwd_grad_clip",
+            Phase::BwdReduceNoise => "bwd_reduce_noise",
+            Phase::WeightUpdate => "weight_update",
+        }
+    }
 }
 
 impl fmt::Display for Phase {

@@ -175,20 +175,29 @@ fn bench_dp_step(h: &mut Harness, sink: &mut PerfSink) {
         };
 
         set_scalar_reference_mode(true);
-        let scalar_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+        let scalar_trainer = DpTrainer::builder()
+            .config(config)
+            .backend(Backend::serial())
+            .build();
         h.bench(&format!("{label}/scalar"), || {
             scalar_trainer
                 .step(&mut net, black_box(&x), &labels, &mut rng)
                 .mean_loss
         });
         set_scalar_reference_mode(false);
-        let serial_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+        let serial_trainer = DpTrainer::builder()
+            .config(config)
+            .backend(Backend::serial())
+            .build();
         h.bench(&format!("{label}/blocked_serial"), || {
             serial_trainer
                 .step(&mut net, black_box(&x), &labels, &mut rng)
                 .mean_loss
         });
-        let parallel_trainer = DpTrainer::new(config).with_backend(Backend::auto());
+        let parallel_trainer = DpTrainer::builder()
+            .config(config)
+            .backend(Backend::auto())
+            .build();
         h.bench(&format!("{label}/blocked_parallel"), || {
             parallel_trainer
                 .step(&mut net, black_box(&x), &labels, &mut rng)
@@ -245,20 +254,29 @@ fn bench_conv_dp_step(h: &mut Harness, sink: &mut PerfSink) {
     };
 
     set_scalar_reference_mode(true);
-    let scalar_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+    let scalar_trainer = DpTrainer::builder()
+        .config(config)
+        .backend(Backend::serial())
+        .build();
     h.bench(&format!("{label}/scalar"), || {
         scalar_trainer
             .step(&mut net, black_box(&x), &labels, &mut rng)
             .mean_loss
     });
     set_scalar_reference_mode(false);
-    let serial_trainer = DpTrainer::new(config).with_backend(Backend::serial());
+    let serial_trainer = DpTrainer::builder()
+        .config(config)
+        .backend(Backend::serial())
+        .build();
     h.bench(&format!("{label}/blocked_serial"), || {
         serial_trainer
             .step(&mut net, black_box(&x), &labels, &mut rng)
             .mean_loss
     });
-    let parallel_trainer = DpTrainer::new(config).with_backend(Backend::auto());
+    let parallel_trainer = DpTrainer::builder()
+        .config(config)
+        .backend(Backend::auto())
+        .build();
     h.bench(&format!("{label}/blocked_parallel"), || {
         parallel_trainer
             .step(&mut net, black_box(&x), &labels, &mut rng)

@@ -1,46 +1,7 @@
-//! Ablation: would shadow accumulator latches (drain/compute overlap) be
-//! worth it? DiVa drains output tiles serially at R rows/cycle (Section
-//! IV-C); double-buffered accumulators would hide that drain behind the
-//! next tile's compute at the cost of a second 32-bit latch per PE.
-
-use diva_bench::{fmt, fmt_x, paper_batch, print_table, run_parallel};
-use diva_core::{Accelerator, DesignPoint};
-use diva_workload::{zoo, Algorithm, ModelSpec};
+//! Ablation: drain/compute overlap (shadow accumulators) — a legacy shim
+//! over the registered `ablation_drain_overlap` scenario
+//! (`diva-report ablation_drain_overlap`).
 
 fn main() {
-    let baseline = Accelerator::from_design_point(DesignPoint::Diva);
-    let mut overlap_cfg = DesignPoint::Diva.config();
-    overlap_cfg.drain_overlap = true;
-    let overlapped = Accelerator::from_config("DiVa+overlap", overlap_cfg).expect("valid config");
-
-    let results = run_parallel(zoo::all_models(), |model: &ModelSpec| {
-        let batch = paper_batch(model);
-        let serial = baseline.run(model, Algorithm::DpSgdReweighted, batch);
-        let ovl = overlapped.run(model, Algorithm::DpSgdReweighted, batch);
-        (model.name.clone(), batch, serial.seconds, ovl.seconds)
-    });
-
-    let mut rows = Vec::new();
-    let mut gains = Vec::new();
-    for (name, batch, serial, ovl) in &results {
-        let gain = serial / ovl;
-        gains.push(gain);
-        rows.push(vec![
-            name.clone(),
-            batch.to_string(),
-            fmt(1e3 * serial, 2),
-            fmt(1e3 * ovl, 2),
-            fmt_x(gain),
-        ]);
-    }
-    print_table(
-        "Ablation: drain/compute overlap (shadow accumulators), DP-SGD(R) on DiVa",
-        &["model", "batch", "serial (ms)", "overlap (ms)", "gain"],
-        &rows,
-    );
-    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
-    println!(
-        "\naverage gain: {avg:.2}x — the serial drain costs little at R = 8 because\n\
-         K usually exceeds 128/R; overlap pays off only for the tiniest-K layers."
-    );
+    diva_bench::scenario::run("ablation_drain_overlap");
 }

@@ -1,41 +1,6 @@
-//! Ablation: how much of the baseline's behaviour depends on the 16 MB
-//! on-chip SRAM (Table II)? Sweeps SRAM capacity and reports DP-SGD(R)
-//! step time and DRAM traffic on the WS baseline and on DiVa.
-
-use diva_bench::{fmt, fmt_bytes, print_table};
-use diva_core::{Accelerator, DesignPoint};
-use diva_workload::{zoo, Algorithm};
+//! Ablation: SRAM capacity sweep — a legacy shim over the registered
+//! `ablation_sram` scenario (`diva-report ablation_sram`).
 
 fn main() {
-    let model = zoo::resnet50();
-    let batch = 64;
-    let sizes: [u64; 5] = [2 << 20, 4 << 20, 8 << 20, 16 << 20, 64 << 20];
-
-    let mut rows = Vec::new();
-    for dp in [DesignPoint::WsBaseline, DesignPoint::Diva] {
-        for &sram in &sizes {
-            let mut cfg = dp.config();
-            cfg.sram_bytes = sram;
-            let accel =
-                Accelerator::from_config(format!("{} {}", dp.label(), fmt_bytes(sram)), cfg)
-                    .expect("valid config");
-            let r = accel.run(&model, Algorithm::DpSgdReweighted, batch);
-            rows.push(vec![
-                dp.label().to_string(),
-                fmt_bytes(sram),
-                fmt(1e3 * r.seconds, 2),
-                fmt_bytes(r.timing.total_dram_bytes()),
-            ]);
-        }
-    }
-    print_table(
-        "Ablation: SRAM capacity sweep (ResNet-50, DP-SGD(R), batch 64)",
-        &["design", "SRAM", "step (ms)", "DRAM traffic"],
-        &rows,
-    );
-    println!(
-        "\nSmaller SRAM forces operand re-streaming (more DRAM traffic); DiVa's PPU\n\
-         fusion makes it far less sensitive than the WS baseline, whose post-processing\n\
-         spills scale with gradient size, not SRAM."
-    );
+    diva_bench::scenario::run("ablation_sram");
 }

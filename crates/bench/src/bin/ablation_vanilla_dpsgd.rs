@@ -1,57 +1,7 @@
-//! Ablation: Figure 13 rerun with *vanilla* DP-SGD instead of DP-SGD(R).
-//!
-//! The paper evaluates DiVa on DP-SGD(R) (its strongest baseline
-//! algorithm). Vanilla DP-SGD must persist every per-example gradient for
-//! the later clip/reduce sweep, so the PPU can fuse the norm computation
-//! but not the spill — DiVa still wins, by less, and memory bandwidth
-//! becomes the wall. This quantifies how much of DiVa's win depends on the
-//! algorithm co-design.
-
-use diva_bench::{fmt_x, paper_batch, print_table, run_parallel};
-use diva_core::{Accelerator, DesignPoint};
-use diva_workload::{zoo, Algorithm, ModelSpec};
+//! Ablation: vanilla DP-SGD vs DP-SGD(R) — a legacy shim over the
+//! registered `ablation_vanilla_dpsgd` scenario
+//! (`diva-report ablation_vanilla_dpsgd`).
 
 fn main() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
-    let models = zoo::all_models();
-
-    let results = run_parallel(models, |model: &ModelSpec| {
-        let batch = paper_batch(model);
-        let rows: Vec<f64> = [Algorithm::DpSgd, Algorithm::DpSgdReweighted]
-            .iter()
-            .map(|&alg| {
-                let base = ws.run(model, alg, batch).seconds;
-                let fast = diva.run(model, alg, batch).seconds;
-                base / fast
-            })
-            .collect();
-        (model.name.clone(), batch, rows)
-    });
-
-    let mut rows = Vec::new();
-    let mut vanilla = Vec::new();
-    let mut reweighted = Vec::new();
-    for (name, batch, speedups) in &results {
-        rows.push(vec![
-            name.clone(),
-            batch.to_string(),
-            fmt_x(speedups[0]),
-            fmt_x(speedups[1]),
-        ]);
-        vanilla.push(speedups[0]);
-        reweighted.push(speedups[1]);
-    }
-    print_table(
-        "Ablation: DiVa speedup vs WS under vanilla DP-SGD vs DP-SGD(R)",
-        &["model", "batch", "DP-SGD", "DP-SGD(R)"],
-        &rows,
-    );
-    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "\naverage: {:.2}x (vanilla) vs {:.2}x (reweighted) — the hardware needs the\n\
-         algorithm: without DP-SGD(R)'s ephemeral gradients the spill traffic caps the win.",
-        avg(&vanilla),
-        avg(&reweighted)
-    );
+    diva_bench::scenario::run("ablation_vanilla_dpsgd");
 }

@@ -1,0 +1,268 @@
+//! `diva-report` — the one CLI behind every paper figure, table and
+//! ablation.
+//!
+//! ```text
+//! diva-report --list
+//! diva-report fig13
+//! diva-report fig13 --json out.json --models mobilenet,vgg16 --points ws,diva
+//! diva-report sensitivity_image --batch 32 --csv out.csv --no-table
+//! diva-report fig13 --axis algorithm=dp-sgd-r --json - --no-table
+//! ```
+//!
+//! Axis filters restrict any registered scenario without per-scenario
+//! code: `--models`, `--points`, `--algs` and `--axis NAME=a,b` subset an
+//! axis (labels matched case-insensitively, punctuation ignored), while
+//! `--batch N[,M...]` *replaces* the batch axis (its default usually holds
+//! the symbolic paper policy). `--selfcheck` re-reads the JSON written by
+//! `--json` and validates schema, axes and reductions — the CI smoke path.
+
+use std::process::ExitCode;
+
+use diva_bench::print_table;
+use diva_bench::scenario::{
+    self,
+    json::{parse_scenario_json, to_json},
+    render::{print_result, to_csv},
+    RunOptions,
+};
+
+/// Parsed command line.
+struct Args {
+    scenario: Option<String>,
+    list: bool,
+    opts: RunOptions,
+    json: Option<String>,
+    csv: Option<String>,
+    no_table: bool,
+    selfcheck: bool,
+}
+
+const USAGE: &str = "\
+usage: diva-report --list
+       diva-report <scenario> [options]
+
+options:
+  --list               list registered scenarios (with their axes)
+  --models A,B         restrict the \"model\" axis
+  --points A,B         restrict the \"point\" axis
+  --algs A,B           restrict the \"algorithm\" axis
+  --axis NAME=A,B      restrict any axis by name
+  --batch N[,M...]     replace the \"batch\" axis with fixed sizes
+  --json PATH          write the diva-scenario/v1 JSON document (\"-\" = stdout)
+  --csv PATH           write CSV rows (\"-\" = stdout)
+  --no-table           suppress the text table
+  --selfcheck          re-read and validate the document written by --json
+  --help               show this help
+
+Filter labels are matched case-insensitively with punctuation stripped:
+--points diva-w/o-ppu matches the \"DiVa w/o PPU\" arm.";
+
+fn split_csv(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        scenario: None,
+        list: false,
+        opts: RunOptions::default(),
+        json: None,
+        csv: None,
+        no_table: false,
+        selfcheck: false,
+    };
+    let mut it = argv.iter().peekable();
+    let value_of = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                    flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--list" => args.list = true,
+            "--no-table" => args.no_table = true,
+            "--selfcheck" => args.selfcheck = true,
+            "--json" => args.json = Some(value_of(&mut it, "--json")?),
+            "--csv" => args.csv = Some(value_of(&mut it, "--csv")?),
+            "--models" | "--points" | "--algs" => {
+                let axis = match arg.as_str() {
+                    "--models" => "model",
+                    "--points" => "point",
+                    _ => "algorithm",
+                };
+                let labels = split_csv(&value_of(&mut it, arg)?);
+                args.opts.filters.push((axis.to_string(), labels));
+            }
+            "--axis" => {
+                let spec = value_of(&mut it, "--axis")?;
+                let (axis, labels) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--axis wants NAME=A,B, got {spec:?}"))?;
+                args.opts
+                    .filters
+                    .push((axis.to_string(), split_csv(labels)));
+            }
+            "--batch" => {
+                let batches: Result<Vec<u64>, _> = split_csv(&value_of(&mut it, "--batch")?)
+                    .iter()
+                    .map(|b| b.parse::<u64>())
+                    .collect();
+                let batches = batches.map_err(|e| format!("--batch wants integers: {e}"))?;
+                if batches.is_empty() || batches.contains(&0) {
+                    return Err("--batch wants positive integers".to_string());
+                }
+                args.opts.batch_override = Some(batches);
+            }
+            name if !name.starts_with('-') && args.scenario.is_none() => {
+                args.scenario = Some(name.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Prints the registry as an aligned table: name, axes, summary.
+fn print_list() {
+    let rows: Vec<Vec<String>> = scenario::registry::REGISTRY
+        .iter()
+        .map(|info| {
+            let exp = (info.build)();
+            let axes: Vec<String> = exp
+                .axes
+                .iter()
+                .map(|a| format!("{}({})", a.name, a.values.len()))
+                .collect();
+            vec![
+                info.name.to_string(),
+                axes.join(" x "),
+                info.summary.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Registered scenarios (diva-report <name> [--json out.json] [--models ...])",
+        &["name", "axes", "summary"],
+        &rows,
+    );
+}
+
+/// Validates an emitted JSON document: schema, scenario name, declared
+/// axes and reductions all present and parseable. `text` is re-read from
+/// disk when the document went to a file, so the check covers the actual
+/// artifact.
+fn selfcheck(text: &str, expected: &scenario::ScenarioResult) -> Result<(), String> {
+    let parsed = parse_scenario_json(text)?;
+    if parsed.scenario != expected.name {
+        return Err(format!(
+            "selfcheck: scenario {:?} != expected {:?}",
+            parsed.scenario, expected.name
+        ));
+    }
+    for axis in &expected.axes {
+        let found = parsed
+            .axes
+            .iter()
+            .find(|(name, _)| name == &axis.name)
+            .ok_or_else(|| format!("selfcheck: axis {:?} missing from JSON", axis.name))?;
+        if found.1 != axis.labels {
+            return Err(format!(
+                "selfcheck: axis {:?} labels {:?} != {:?}",
+                axis.name, found.1, axis.labels
+            ));
+        }
+    }
+    if parsed.reductions.len() != expected.summaries.len() {
+        return Err(format!(
+            "selfcheck: {} reductions in JSON, {} computed",
+            parsed.reductions.len(),
+            expected.summaries.len()
+        ));
+    }
+    if parsed.records.len() != expected.rows.len() {
+        return Err(format!(
+            "selfcheck: {} records in JSON, {} computed",
+            parsed.records.len(),
+            expected.rows.len()
+        ));
+    }
+    println!(
+        "selfcheck ok: {} ({} records, {} reductions, {} axes)",
+        parsed.scenario,
+        parsed.records.len(),
+        parsed.reductions.len(),
+        parsed.axes.len()
+    );
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    if args.list {
+        print_list();
+        return Ok(());
+    }
+    let Some(name) = &args.scenario else {
+        return Err(USAGE.to_string());
+    };
+    let result = scenario::run_with(name, &args.opts)?;
+    if !args.no_table {
+        print_result(&result);
+    }
+    if let Some(path) = &args.csv {
+        let csv = to_csv(&result);
+        if path == "-" {
+            print!("{csv}");
+        } else {
+            std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
+    if let Some(path) = &args.json {
+        let json = to_json(&result);
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if args.selfcheck {
+            // Re-read the artifact when it went to a file, so the check
+            // covers what actually landed on disk.
+            let written = if path == "-" {
+                json
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("selfcheck: read {path}: {e}"))?
+            };
+            selfcheck(&written, &result)?;
+        }
+    } else if args.selfcheck {
+        return Err("--selfcheck requires --json".to_string());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("diva-report: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,57 +1,6 @@
-//! Figure 4: breakdown of training memory usage by functionality for SGD,
-//! DP-SGD and DP-SGD(R), normalized to SGD's total. All three algorithms
-//! use the same batch (the max DP-SGD batch, per the paper's caption).
-
-use diva_bench::{fmt, paper_batch, print_table};
-use diva_workload::{zoo, Algorithm};
+//! Figure 4: memory-usage breakdown — a legacy shim over the registered
+//! `fig04` scenario (`diva-report fig04`).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut dp_fracs = Vec::new();
-    let mut reductions = Vec::new();
-    for model in zoo::all_models() {
-        let batch = paper_batch(&model);
-        let sgd_total = model.memory_profile(Algorithm::Sgd, batch).total() as f64;
-        for alg in Algorithm::ALL {
-            let p = model.memory_profile(alg, batch);
-            rows.push(vec![
-                model.name.clone(),
-                alg.label().to_string(),
-                batch.to_string(),
-                fmt(p.weight_bytes as f64 / sgd_total, 2),
-                fmt(p.activation_bytes as f64 / sgd_total, 2),
-                fmt(p.per_batch_grad_bytes as f64 / sgd_total, 2),
-                fmt(p.per_example_grad_bytes as f64 / sgd_total, 2),
-                fmt(p.other_bytes as f64 / sgd_total, 2),
-                fmt(p.total() as f64 / sgd_total, 2),
-            ]);
-            if alg == Algorithm::DpSgd {
-                dp_fracs.push(p.per_example_fraction());
-                let dpr = model.memory_profile(Algorithm::DpSgdReweighted, batch);
-                reductions.push(p.total() as f64 / dpr.total() as f64);
-            }
-        }
-    }
-    print_table(
-        "Figure 4: memory usage breakdown (normalized to SGD total, identical batch)",
-        &[
-            "model",
-            "algorithm",
-            "batch",
-            "weight",
-            "activation",
-            "per-batch G(W)",
-            "per-example G(W)",
-            "else",
-            "total",
-        ],
-        &rows,
-    );
-    let avg_frac = dp_fracs.iter().sum::<f64>() / dp_fracs.len() as f64;
-    let avg_red = reductions.iter().sum::<f64>() / reductions.len() as f64;
-    println!(
-        "\nDP-SGD per-example gradient share of total memory: avg {:.0}% (paper: ~78%)",
-        100.0 * avg_frac
-    );
-    println!("DP-SGD(R) memory reduction vs DP-SGD: avg {avg_red:.1}x (paper: ~3.8x)");
+    diva_bench::scenario::run("fig04");
 }

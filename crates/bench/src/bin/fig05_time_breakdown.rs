@@ -1,95 +1,6 @@
-//! Figure 5: end-to-end training time on the TPUv3-like WS baseline,
-//! broken into forward/backward phases, for SGD, DP-SGD and DP-SGD(R),
-//! normalized to SGD. (The paper's headline: DP-SGD ≈ 9.1× and
-//! DP-SGD(R) ≈ 5.8× slower than SGD on average, with backprop ≈ 99% of
-//! DP time.)
-
-use diva_bench::{fmt, paper_batch, print_table, run_parallel};
-use diva_core::{Accelerator, DesignPoint, Phase};
-use diva_workload::{zoo, Algorithm};
+//! Figure 5: WS-baseline training-time breakdown — a legacy shim over the
+//! registered `fig05` scenario (`diva-report fig05`).
 
 fn main() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let models = zoo::all_models();
-
-    struct Row {
-        model: String,
-        alg: Algorithm,
-        batch: u64,
-        phase_cycles: Vec<u64>,
-        total: u64,
-    }
-
-    let work: Vec<(diva_workload::ModelSpec, Algorithm)> = models
-        .iter()
-        .flat_map(|m| Algorithm::ALL.iter().map(|&a| (m.clone(), a)))
-        .collect();
-    let results: Vec<Row> = run_parallel(work, |(model, alg)| {
-        let batch = paper_batch(model);
-        let r = ws.run(model, *alg, batch);
-        Row {
-            model: model.name.clone(),
-            alg: *alg,
-            batch,
-            phase_cycles: Phase::ALL.iter().map(|&p| r.phase_cycles(p)).collect(),
-            total: r.timing.total_cycles(),
-        }
-    });
-
-    let mut rows = Vec::new();
-    let mut dp_slowdowns = Vec::new();
-    let mut dpr_slowdowns = Vec::new();
-    let mut bwd_fractions = Vec::new();
-    for chunk in results.chunks(3) {
-        let sgd_total = chunk[0].total as f64;
-        for r in chunk {
-            let mut row = vec![
-                r.model.clone(),
-                r.alg.label().to_string(),
-                r.batch.to_string(),
-            ];
-            for cycles in &r.phase_cycles {
-                row.push(fmt(*cycles as f64 / sgd_total, 2));
-            }
-            row.push(fmt(r.total as f64 / sgd_total, 2));
-            rows.push(row);
-            match r.alg {
-                Algorithm::DpSgd => dp_slowdowns.push(r.total as f64 / sgd_total),
-                Algorithm::DpSgdReweighted => {
-                    dpr_slowdowns.push(r.total as f64 / sgd_total);
-                    let fwd = r.phase_cycles[0] as f64;
-                    bwd_fractions.push(1.0 - fwd / r.total as f64);
-                }
-                Algorithm::Sgd => {}
-            }
-        }
-    }
-
-    let mut headers: Vec<&str> = vec!["model", "algorithm", "batch"];
-    let labels: Vec<String> = Phase::ALL.iter().map(|p| p.label().to_string()).collect();
-    headers.extend(labels.iter().map(String::as_str));
-    headers.push("total");
-    print_table(
-        "Figure 5: training-time breakdown on WS baseline (normalized to SGD)",
-        &headers,
-        &rows,
-    );
-
-    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "\nDP-SGD slowdown vs SGD:     avg {:.1}x (paper: ~9.1x)",
-        avg(&dp_slowdowns)
-    );
-    println!(
-        "DP-SGD(R) slowdown vs SGD:  avg {:.1}x (paper: ~5.8x)",
-        avg(&dpr_slowdowns)
-    );
-    println!(
-        "DP-SGD(R) vs DP-SGD:        avg {:.0}% faster (paper: ~31%)",
-        100.0 * (1.0 - avg(&dpr_slowdowns) / avg(&dp_slowdowns))
-    );
-    println!(
-        "Backprop share of DP-SGD(R) time: avg {:.0}% (paper: ~99%)",
-        100.0 * avg(&bwd_fractions)
-    );
+    diva_bench::scenario::run("fig05");
 }

@@ -1,86 +1,6 @@
-//! Figure 6: the GEMM dimensions of forward propagation, per-batch weight
-//! gradients, and per-example weight gradients, instantiated on concrete
-//! layers of the zoo (one per layer family).
-
-use diva_bench::print_table;
-use diva_workload::{zoo, LayerSpec};
+//! Figure 6: GEMM dimensions per training phase — a legacy shim over the
+//! registered `fig06` scenario (`diva-report fig06`).
 
 fn main() {
-    let batch = 32u64;
-    let mut rows = Vec::new();
-
-    let mut show = |family: &str, model: &str, layer: &LayerSpec| {
-        let fwd = layer.forward_gemms(batch);
-        let pb = layer.per_batch_wgrad_gemms(batch);
-        let pe = layer.per_example_wgrad_gemms(batch);
-        if fwd.is_empty() || pb.is_empty() || pe.is_empty() {
-            return;
-        }
-        rows.push(vec![
-            family.to_string(),
-            format!("{model}/{}", layer.name()),
-            format!("{}", fwd[0].shape),
-            format!("{}", pb[0].shape),
-            format!("{} x{}", pe[0].shape, pe[0].count),
-        ]);
-    };
-
-    // MLP layer: the VGG classifier head.
-    let vgg = zoo::vgg16();
-    if let Some(l) = vgg
-        .layers
-        .iter()
-        .find(|l| matches!(l, LayerSpec::Linear { .. }))
-    {
-        show("MLP", &vgg.name, l);
-    }
-    // Convolution: a mid-network ResNet-50 3x3.
-    let rn = zoo::resnet50();
-    if let Some(l) = rn.layers.iter().find(
-        |l| matches!(l, LayerSpec::Conv { k, cin, groups, .. } if *k == 3 && *cin >= 128 && *groups == 1),
-    ) {
-        show("Convolutional", &rn.name, l);
-    }
-    // Depthwise convolution: MobileNet.
-    let mb = zoo::mobilenet();
-    if let Some(l) = mb
-        .layers
-        .iter()
-        .find(|l| matches!(l, LayerSpec::Conv { groups, .. } if *groups > 1))
-    {
-        show("Depthwise conv", &mb.name, l);
-    }
-    // Time-series MLP: a BERT projection and an LSTM gate GEMM.
-    let bb = zoo::bert_base();
-    if let Some(l) = bb
-        .layers
-        .iter()
-        .find(|l| matches!(l, LayerSpec::SeqLinear { .. }))
-    {
-        show("MLP (time-series)", &bb.name, l);
-    }
-    let ll = zoo::lstm_large();
-    if let Some(l) = ll
-        .layers
-        .iter()
-        .find(|l| matches!(l, LayerSpec::SeqLinear { .. }))
-    {
-        show("MLP (time-series)", &ll.name, l);
-    }
-
-    print_table(
-        &format!("Figure 6: GEMM (M, K, N) per training phase, B = {batch}"),
-        &[
-            "layer kind",
-            "instance",
-            "forward",
-            "per-batch G(W)",
-            "per-example G(W)",
-        ],
-        &rows,
-    );
-    println!(
-        "\nNote how per-example K collapses: conv K = P*Q, MLP K = 1, time-series K = L —\n\
-         independent of the mini-batch, unlike per-batch K (the paper's key observation)."
-    );
+    diva_bench::scenario::run("fig06");
 }

@@ -1,82 +1,6 @@
-//! Figure 7: TPUv3 (WS systolic) FLOPS utilization during the key GEMM
-//! classes of forward and backpropagation. Per-example weight-gradient
-//! GEMMs show dramatically lower utilization — the paper's central
-//! motivation.
-
-use diva_bench::{fmt, paper_batch, print_table, run_parallel};
-use diva_core::{Accelerator, DesignPoint, Phase};
-use diva_workload::{zoo, Algorithm, ModelSpec};
-
-/// Merged GEMM classes shown in Figure 7.
-const CLASSES: [(&str, &[Phase]); 4] = [
-    ("Fwdprop", &[Phase::Forward]),
-    (
-        "Backprop (activation grad)",
-        &[Phase::BwdActGrad1, Phase::BwdActGrad2],
-    ),
-    ("Backprop (per-batch grad)", &[Phase::BwdPerBatchGrad]),
-    ("Backprop (per-example grad)", &[Phase::BwdPerExampleGrad]),
-];
+//! Figure 7: WS-baseline FLOPS utilization per GEMM class — a legacy shim
+//! over the registered `fig07` scenario (`diva-report fig07`).
 
 fn main() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let models = zoo::all_models();
-    let pe_macs = ws.config().pe.macs();
-
-    let results = run_parallel(models, |model: &ModelSpec| {
-        let batch = paper_batch(model);
-        // DP-SGD(R) exercises all four GEMM classes in one step.
-        let r = ws.run(model, Algorithm::DpSgdReweighted, batch);
-        let utils: Vec<f64> = CLASSES
-            .iter()
-            .map(|(_, phases)| {
-                let (macs, cycles) = phases.iter().fold((0u64, 0u64), |acc, &p| {
-                    let b = r.timing.phases.get(&p);
-                    (
-                        acc.0 + b.map_or(0, |x| x.macs),
-                        acc.1 + b.map_or(0, |x| x.cycles),
-                    )
-                });
-                if cycles == 0 {
-                    0.0
-                } else {
-                    macs as f64 / (cycles as f64 * pe_macs as f64)
-                }
-            })
-            .collect();
-        (model.name.clone(), batch, utils)
-    });
-
-    let mut rows = Vec::new();
-    let mut gaps = Vec::new();
-    for (name, batch, utils) in &results {
-        rows.push(vec![
-            name.clone(),
-            batch.to_string(),
-            fmt(100.0 * utils[0], 1),
-            fmt(100.0 * utils[1], 1),
-            fmt(100.0 * utils[2], 1),
-            fmt(100.0 * utils[3], 1),
-        ]);
-        if utils[3] > 0.0 {
-            gaps.push(utils[2] / utils[3]);
-        }
-    }
-    print_table(
-        "Figure 7: WS-baseline FLOPS utilization per GEMM class (%)",
-        &[
-            "model",
-            "batch",
-            "Fwdprop",
-            "Bwd(act grad)",
-            "Bwd(per-batch grad)",
-            "Bwd(per-example grad)",
-        ],
-        &rows,
-    );
-    let max_gap = gaps.iter().cloned().fold(0.0, f64::max);
-    println!(
-        "\nPer-batch vs per-example utilization gap: up to {max_gap:.1}x \
-         (paper: up to ~29x lower utilization for per-example GEMMs)"
-    );
+    diva_bench::scenario::run("fig07");
 }

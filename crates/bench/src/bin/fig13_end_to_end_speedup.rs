@@ -1,89 +1,6 @@
-//! Figure 13: end-to-end speedup vs the WS systolic baseline.
-//!
-//! Design points: WS (baseline), OS+PPU, DiVa without PPU, DiVa — all
-//! running DP-SGD(R) — plus non-private SGD on WS and DiVa as reference
-//! points. (Paper headline: DiVa avg 3.6× / max 7.3× over WS; DiVa-SGD
-//! ≈ 1.6× over WS-SGD; DiVa-DP reaches ~75% of WS-SGD.)
-
-use diva_bench::{fmt_x, paper_batch, print_table, run_parallel};
-use diva_core::{geomean, Accelerator, DesignPoint};
-use diva_workload::{zoo, Algorithm, ModelSpec};
+//! Figure 13: end-to-end speedup vs the WS systolic baseline — a legacy
+//! shim over the registered `fig13` scenario (`diva-report fig13`).
 
 fn main() {
-    let accels: Vec<Accelerator> = DesignPoint::ALL
-        .iter()
-        .map(|&dp| Accelerator::from_design_point(dp))
-        .collect();
-    let models = zoo::all_models();
-
-    let results = run_parallel(models, |model: &ModelSpec| {
-        let batch = paper_batch(model);
-        let dp_secs: Vec<f64> = accels
-            .iter()
-            .map(|a| a.run(model, Algorithm::DpSgdReweighted, batch).seconds)
-            .collect();
-        let sgd_ws = accels[0].run(model, Algorithm::Sgd, batch).seconds;
-        let sgd_diva = accels[3].run(model, Algorithm::Sgd, batch).seconds;
-        (model.name.clone(), batch, dp_secs, sgd_ws, sgd_diva)
-    });
-
-    let mut rows = Vec::new();
-    let mut diva_speedups = Vec::new();
-    let mut diva_noppu_speedups = Vec::new();
-    let mut os_speedups = Vec::new();
-    let mut sgd_speedups = Vec::new();
-    let mut dp_vs_sgd = Vec::new();
-    for (name, batch, dp, sgd_ws, sgd_diva) in &results {
-        let base = dp[0];
-        rows.push(vec![
-            name.clone(),
-            batch.to_string(),
-            fmt_x(base / dp[1]),
-            fmt_x(base / dp[2]),
-            fmt_x(base / dp[3]),
-            fmt_x(base / sgd_ws),
-            fmt_x(base / sgd_diva),
-        ]);
-        os_speedups.push(base / dp[1]);
-        diva_noppu_speedups.push(base / dp[2]);
-        diva_speedups.push(base / dp[3]);
-        sgd_speedups.push(sgd_ws / sgd_diva);
-        dp_vs_sgd.push(sgd_ws / dp[3]); // DiVa DP time vs WS SGD time
-    }
-
-    print_table(
-        "Figure 13: speedup over the WS baseline (DP-SGD(R) unless noted)",
-        &[
-            "model",
-            "batch",
-            "OS+PPU",
-            "DiVa w/o PPU",
-            "DiVa",
-            "SGD on WS",
-            "SGD on DiVa",
-        ],
-        &rows,
-    );
-
-    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
-    println!(
-        "\nDiVa speedup vs WS:          avg {:.1}x, geomean {:.1}x, max {:.1}x (paper: avg 3.6x, max 7.3x)",
-        avg(&diva_speedups),
-        geomean(&diva_speedups),
-        max(&diva_speedups)
-    );
-    println!(
-        "DiVa w/o PPU speedup:        avg {:.1}x (the PPU ablation)",
-        avg(&diva_noppu_speedups)
-    );
-    println!("OS+PPU speedup:              avg {:.1}x", avg(&os_speedups));
-    println!(
-        "DiVa-SGD vs WS-SGD:          avg {:.1}x (paper: ~1.6x)",
-        avg(&sgd_speedups)
-    );
-    println!(
-        "DiVa DP-SGD(R) reaches {:.0}% of WS non-private SGD throughput (paper: ~75%)",
-        100.0 * avg(&dp_vs_sgd)
-    );
+    diva_bench::scenario::run("fig13");
 }

@@ -1,70 +1,6 @@
-//! Figure 14: DP-SGD(R) training-time breakdown per design point for
-//! VGG-16, ResNet-152, BERT-large and LSTM-large, normalized to the WS
-//! baseline total. Shows where DiVa's speedup comes from: per-example
-//! gradient GEMMs and grad-norm derivation collapse.
-
-use diva_bench::{fmt, paper_batch, print_table};
-use diva_core::{Accelerator, DesignPoint, Phase};
-use diva_workload::{zoo, Algorithm};
-
-const SHOWN_PHASES: [Phase; 6] = [
-    Phase::Forward,
-    Phase::BwdActGrad1,
-    Phase::BwdPerExampleGrad,
-    Phase::BwdGradNorm,
-    Phase::BwdActGrad2,
-    Phase::BwdPerBatchGrad,
-];
+//! Figure 14: DP-SGD(R) latency breakdown per design point — a legacy
+//! shim over the registered `fig14` scenario (`diva-report fig14`).
 
 fn main() {
-    let models = [
-        zoo::vgg16(),
-        zoo::resnet152(),
-        zoo::bert_large(),
-        zoo::lstm_large(),
-    ];
-    let accels: Vec<Accelerator> = DesignPoint::ALL
-        .iter()
-        .map(|&dp| Accelerator::from_design_point(dp))
-        .collect();
-
-    let mut rows = Vec::new();
-    let mut pe_grad_reductions = Vec::new();
-    for model in &models {
-        let batch = paper_batch(model);
-        let reports: Vec<_> = accels
-            .iter()
-            .map(|a| a.run(model, Algorithm::DpSgdReweighted, batch))
-            .collect();
-        let ws_total = reports[0].timing.total_cycles() as f64;
-        let ws_pe = reports[0].phase_cycles(Phase::BwdPerExampleGrad) as f64;
-        for r in &reports {
-            let mut row = vec![model.name.clone(), r.accelerator.clone()];
-            for &p in &SHOWN_PHASES {
-                row.push(fmt(r.phase_cycles(p) as f64 / ws_total, 3));
-            }
-            row.push(fmt(r.timing.total_cycles() as f64 / ws_total, 3));
-            rows.push(row);
-        }
-        let diva_pe = reports[3].phase_cycles(Phase::BwdPerExampleGrad) as f64;
-        if diva_pe > 0.0 {
-            pe_grad_reductions.push(ws_pe / diva_pe);
-        }
-    }
-
-    let mut headers: Vec<&str> = vec!["model", "design"];
-    let labels: Vec<String> = SHOWN_PHASES.iter().map(|p| p.label().to_string()).collect();
-    headers.extend(labels.iter().map(String::as_str));
-    headers.push("total");
-    print_table(
-        "Figure 14: DP-SGD(R) latency breakdown (normalized to WS total)",
-        &headers,
-        &rows,
-    );
-    let avg = pe_grad_reductions.iter().sum::<f64>() / pe_grad_reductions.len() as f64;
-    let max = pe_grad_reductions.iter().cloned().fold(0.0, f64::max);
-    println!(
-        "\nPer-example-gradient latency reduction, DiVa vs WS: avg {avg:.1}x, max {max:.1}x \
-         (paper: avg 7.0x, max 14.6x)"
-    );
+    diva_bench::scenario::run("fig14");
 }

@@ -1,95 +1,6 @@
-//! Figure 15: FLOPS-utilization improvement per GEMM class, normalized to
-//! the WS systolic baseline (paper: per-example gradients improve by 5.5×
-//! on average, up to 28.9× on SqueezeNet; Transformers/RNNs ~2.2×).
-
-use diva_bench::{fmt_x, paper_batch, print_table, run_parallel};
-use diva_core::{Accelerator, DesignPoint, Phase};
-use diva_workload::{zoo, Algorithm, ModelSpec};
-
-const CLASSES: [(&str, &[Phase]); 4] = [
-    ("Fwdprop", &[Phase::Forward]),
-    ("Bwd(act grad)", &[Phase::BwdActGrad1, Phase::BwdActGrad2]),
-    ("Bwd(per-batch)", &[Phase::BwdPerBatchGrad]),
-    ("Bwd(per-example)", &[Phase::BwdPerExampleGrad]),
-];
-
-fn class_utils(r: &diva_core::Simulator, report: &diva_core::StepTiming, pe_macs: u64) -> Vec<f64> {
-    let _ = r;
-    CLASSES
-        .iter()
-        .map(|(_, phases)| {
-            let (macs, cycles) = phases.iter().fold((0u64, 0u64), |acc, &p| {
-                let b = report.phases.get(&p);
-                (
-                    acc.0 + b.map_or(0, |x| x.macs),
-                    acc.1 + b.map_or(0, |x| x.cycles),
-                )
-            });
-            if cycles == 0 {
-                0.0
-            } else {
-                macs as f64 / (cycles as f64 * pe_macs as f64)
-            }
-        })
-        .collect()
-}
+//! Figure 15: FLOPS-utilization improvement vs WS — a legacy shim over
+//! the registered `fig15` scenario (`diva-report fig15`).
 
 fn main() {
-    let designs = [
-        DesignPoint::WsBaseline,
-        DesignPoint::OsWithPpu,
-        DesignPoint::Diva,
-    ];
-    let accels: Vec<Accelerator> = designs
-        .iter()
-        .map(|&d| Accelerator::from_design_point(d))
-        .collect();
-    let models = zoo::all_models();
-
-    let results = run_parallel(models, |model: &ModelSpec| {
-        let batch = paper_batch(model);
-        let utils: Vec<Vec<f64>> = accels
-            .iter()
-            .map(|a| {
-                let r = a.run(model, Algorithm::DpSgdReweighted, batch);
-                class_utils(a.simulator(), &r.timing, a.config().pe.macs())
-            })
-            .collect();
-        (model.name.clone(), utils)
-    });
-
-    let mut rows = Vec::new();
-    let mut pe_improvements = Vec::new();
-    for (name, utils) in &results {
-        let ws = &utils[0];
-        for (di, design) in designs.iter().enumerate() {
-            let mut row = vec![name.clone(), design.label().to_string()];
-            for (ci, _) in CLASSES.iter().enumerate() {
-                let v = if ws[ci] > 0.0 {
-                    utils[di][ci] / ws[ci]
-                } else {
-                    0.0
-                };
-                row.push(fmt_x(v));
-            }
-            rows.push(row);
-        }
-        if ws[3] > 0.0 {
-            pe_improvements.push(utils[2][3] / ws[3]);
-        }
-    }
-
-    let mut headers: Vec<&str> = vec!["model", "design"];
-    headers.extend(CLASSES.iter().map(|(n, _)| *n));
-    print_table(
-        "Figure 15: FLOPS-utilization improvement vs WS (DP-SGD(R))",
-        &headers,
-        &rows,
-    );
-    let avg = pe_improvements.iter().sum::<f64>() / pe_improvements.len() as f64;
-    let max = pe_improvements.iter().cloned().fold(0.0, f64::max);
-    println!(
-        "\nDiVa per-example-grad utilization improvement: avg {avg:.1}x, max {max:.1}x \
-         (paper: avg 5.5x, max 28.9x)"
-    );
+    diva_bench::scenario::run("fig15");
 }

@@ -1,79 +1,6 @@
-//! Figure 16: chip-wide energy consumption of one DP-SGD(R) training step,
-//! normalized to the WS systolic baseline (paper: DiVa averages 2.6×, max
-//! 4.6× lower energy across the full suite).
-
-use diva_bench::{fmt, paper_batch, print_table};
-use diva_core::{Accelerator, AcceleratorConfig, Dataflow, DesignPoint};
-use diva_workload::{zoo, Algorithm};
-
-fn design_points() -> Vec<(String, Accelerator)> {
-    let mut os_no_ppu: AcceleratorConfig =
-        AcceleratorConfig::tpu_v3_like(Dataflow::OutputStationary);
-    os_no_ppu.has_ppu = false;
-    vec![
-        (
-            "WS".into(),
-            Accelerator::from_design_point(DesignPoint::WsBaseline),
-        ),
-        (
-            "OS w/o PPU".into(),
-            Accelerator::from_config("OS w/o PPU", os_no_ppu).expect("valid config"),
-        ),
-        (
-            "OS+PPU".into(),
-            Accelerator::from_design_point(DesignPoint::OsWithPpu),
-        ),
-        (
-            "DiVa w/o PPU".into(),
-            Accelerator::from_design_point(DesignPoint::DivaNoPpu),
-        ),
-        (
-            "DiVa".into(),
-            Accelerator::from_design_point(DesignPoint::Diva),
-        ),
-    ]
-}
+//! Figure 16: chip-wide step energy normalized to WS — a legacy shim over
+//! the registered `fig16` scenario (`diva-report fig16`).
 
 fn main() {
-    let accels = design_points();
-    let models = zoo::all_models();
-
-    let mut rows = Vec::new();
-    let mut diva_reductions = Vec::new();
-    for model in &models {
-        let batch = paper_batch(model);
-        let energies: Vec<_> = accels
-            .iter()
-            .map(|(_, a)| {
-                let r = a.run(model, Algorithm::DpSgdReweighted, batch);
-                r.energy
-            })
-            .collect();
-        let ws_total = energies[0].total();
-        for ((label, _), e) in accels.iter().zip(&energies) {
-            rows.push(vec![
-                model.name.clone(),
-                label.clone(),
-                fmt(e.total() / ws_total, 3),
-                fmt(e.engine_j / ws_total, 3),
-                fmt(e.ppu_j / ws_total, 3),
-                fmt(e.sram_j / ws_total, 3),
-                fmt(e.dram_j / ws_total, 3),
-                fmt(e.uncore_j / ws_total, 3),
-            ]);
-        }
-        diva_reductions.push(ws_total / energies[4].total());
-    }
-    print_table(
-        "Figure 16: DP-SGD(R) step energy (normalized to WS total)",
-        &[
-            "model", "design", "total", "engine", "ppu", "sram", "dram", "uncore",
-        ],
-        &rows,
-    );
-    let avg = diva_reductions.iter().sum::<f64>() / diva_reductions.len() as f64;
-    let max = diva_reductions.iter().cloned().fold(0.0, f64::max);
-    println!(
-        "\nDiVa energy reduction vs WS: avg {avg:.1}x, max {max:.1}x (paper: avg 2.6x, max 4.6x)"
-    );
+    diva_bench::scenario::run("fig16");
 }

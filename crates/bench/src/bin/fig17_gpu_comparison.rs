@@ -1,79 +1,6 @@
-//! Figure 17: DiVa vs NVIDIA V100/A100 on the GEMMs of DP-SGD's
-//! backpropagation bottleneck (per-example weight gradients), with GPUs
-//! running JAX-style batched kernels at FP32 (CUDA cores) or FP16 (tensor
-//! cores). Speedups are normalized to V100 FP32.
-//!
-//! Paper headline: DiVa averages ~1.2×/1.0× vs V100/A100 tensor cores with
-//! only 23.6%/9.5% of their peak FP16 throughput; MobileNet is the GPU-
-//! friendly exception.
-
-use diva_bench::{fmt_x, paper_batch, print_table, run_parallel};
-use diva_core::{bottleneck_accel_seconds, bottleneck_gpu_seconds, Accelerator, DesignPoint};
-use diva_gpu::{GpuModel, Precision};
-use diva_workload::{zoo, ModelSpec};
+//! Figure 17: DiVa vs V100/A100 on the DP-SGD bottleneck GEMMs — a legacy
+//! shim over the registered `fig17` scenario (`diva-report fig17`).
 
 fn main() {
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
-    let v100 = GpuModel::v100();
-    let a100 = GpuModel::a100();
-    let models = zoo::all_models();
-
-    let results = run_parallel(models, |model: &ModelSpec| {
-        let batch = paper_batch(model);
-        let t = [
-            bottleneck_gpu_seconds(model, batch, &v100, Precision::Fp32),
-            bottleneck_gpu_seconds(model, batch, &v100, Precision::Fp16TensorCore),
-            bottleneck_gpu_seconds(model, batch, &a100, Precision::Fp32),
-            bottleneck_gpu_seconds(model, batch, &a100, Precision::Fp16TensorCore),
-            bottleneck_accel_seconds(&diva, model, batch),
-        ];
-        (model.name.clone(), batch, t)
-    });
-
-    let mut rows = Vec::new();
-    let mut vs_v100 = Vec::new();
-    let mut vs_a100 = Vec::new();
-    for (name, batch, t) in &results {
-        let base = t[0]; // V100 FP32
-        rows.push(vec![
-            name.clone(),
-            batch.to_string(),
-            fmt_x(1.0),
-            fmt_x(base / t[1]),
-            fmt_x(base / t[2]),
-            fmt_x(base / t[3]),
-            fmt_x(base / t[4]),
-        ]);
-        vs_v100.push(t[1] / t[4]);
-        vs_a100.push(t[3] / t[4]);
-    }
-    print_table(
-        "Figure 17: DP-SGD bottleneck-GEMM speedup (normalized to V100 FP32)",
-        &[
-            "model",
-            "batch",
-            "V100 (FP32)",
-            "V100 (FP16)",
-            "A100 (FP32)",
-            "A100 (FP16)",
-            "DiVa (BF16)",
-        ],
-        &rows,
-    );
-    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
-    println!(
-        "\nDiVa vs V100 tensor cores: avg {:.2}x, max {:.1}x (paper: avg 1.2x, max 4.1x)",
-        avg(&vs_v100),
-        max(&vs_v100)
-    );
-    println!(
-        "DiVa vs A100 tensor cores: avg {:.2}x, max {:.1}x (paper: avg 1.0x, max 3.4x)",
-        avg(&vs_a100),
-        max(&vs_a100)
-    );
-    println!(
-        "DiVa peak is only 23.6% / 9.5% of V100 / A100 FP16 peak — winning by mapping,\n\
-         not muscle (the paper's point). MobileNet favors the GPUs (batched micro-GEMMs)."
-    );
+    diva_bench::scenario::run("fig17");
 }

@@ -1,34 +1,6 @@
-//! Section III-A: maximum mini-batch size per model and training algorithm
-//! under TPUv3's 16 GB HBM (the paper quotes e.g. SGD 8192 vs DP-SGD 32 for
-//! ResNet-152, and 1024 vs 8 for BERT-base).
-
-use diva_bench::{fmt_bytes, print_table, HBM_CAPACITY};
-use diva_workload::{zoo, Algorithm};
+//! Section III-A: max mini-batch per model and algorithm — a legacy shim
+//! over the registered `maxbatch` scenario (`diva-report maxbatch`).
 
 fn main() {
-    let rows: Vec<Vec<String>> = zoo::all_models()
-        .iter()
-        .map(|m| {
-            let mut row = vec![m.name.clone(), fmt_bytes(m.params() * 4)];
-            for alg in Algorithm::ALL {
-                row.push(m.max_batch_pow2(alg, HBM_CAPACITY).to_string());
-            }
-            let ratio = m.max_batch_pow2(Algorithm::Sgd, HBM_CAPACITY) as f64
-                / m.max_batch_pow2(Algorithm::DpSgd, HBM_CAPACITY).max(1) as f64;
-            row.push(format!("{ratio:.0}x"));
-            row
-        })
-        .collect();
-    print_table(
-        "Max power-of-two mini-batch under 16 GB HBM (paper Section III-A)",
-        &[
-            "model",
-            "weights",
-            "SGD",
-            "DP-SGD",
-            "DP-SGD(R)",
-            "SGD/DP-SGD",
-        ],
-        &rows,
-    );
+    diva_bench::scenario::run("maxbatch");
 }

@@ -1,62 +1,7 @@
-//! Section IV-C / VI-A: the PPU's off-chip traffic reduction during
-//! gradient post-processing (paper claim: 99%).
-//!
-//! Post-processing traffic = the DRAM bytes of per-example-gradient
-//! write-back plus the gradient norm / clip / reduce / noise sweeps.
-
-use diva_bench::{fmt_bytes, paper_batch, print_table};
-use diva_core::{Accelerator, DesignPoint, Phase};
-use diva_workload::{zoo, Algorithm};
-
-/// Gradient-tensor movement during post-processing: the per-example
-/// gradient spill (the *write* side of the per-example GEMMs — their input
-/// reads are backpropagation proper, not post-processing) plus the
-/// norm/clip/reduce sweeps that re-read those tensors.
-fn post_bytes(report: &diva_core::StepTiming) -> u64 {
-    let spill: u64 = report
-        .ops
-        .iter()
-        .filter(|o| o.phase == Phase::BwdPerExampleGrad)
-        .map(|o| o.dram_write_bytes)
-        .sum();
-    let sweeps: u64 = [
-        Phase::BwdGradNorm,
-        Phase::BwdGradClip,
-        Phase::BwdReduceNoise,
-    ]
-    .iter()
-    .map(|&p| report.phase_dram_bytes(p))
-    .sum();
-    spill + sweeps
-}
+//! Section IV-C / VI-A: the PPU's post-processing traffic reduction — a
+//! legacy shim over the registered `ppu_traffic` scenario
+//! (`diva-report ppu_traffic`).
 
 fn main() {
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
-    let no_ppu = Accelerator::from_design_point(DesignPoint::DivaNoPpu);
-
-    let mut rows = Vec::new();
-    let mut reductions = Vec::new();
-    for model in zoo::all_models() {
-        let batch = paper_batch(&model);
-        let with = diva.run(&model, Algorithm::DpSgdReweighted, batch);
-        let without = no_ppu.run(&model, Algorithm::DpSgdReweighted, batch);
-        let b_with = post_bytes(&with.timing);
-        let b_without = post_bytes(&without.timing);
-        let reduction = 100.0 * (1.0 - b_with as f64 / b_without as f64);
-        reductions.push(reduction);
-        rows.push(vec![
-            model.name.clone(),
-            batch.to_string(),
-            fmt_bytes(b_without),
-            fmt_bytes(b_with),
-            format!("{reduction:.2}%"),
-        ]);
-    }
-    print_table(
-        "PPU off-chip traffic during gradient post-processing (DP-SGD(R))",
-        &["model", "batch", "w/o PPU", "with PPU", "reduction"],
-        &rows,
-    );
-    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
-    println!("\nAverage reduction: {avg:.2}% (paper: 99%)");
+    diva_bench::scenario::run("ppu_traffic");
 }

@@ -1,91 +1,7 @@
-//! Roofline analysis of DP-SGD(R)'s GEMM classes (analytical backdrop of
-//! the paper's Section III-C): where each phase sits relative to the
-//! machine's ridge point on WS vs DiVa, and how PPU fusion moves the
-//! per-example gradients off the memory roof.
-
-use diva_arch::{Phase, TrainingOpKind};
-use diva_bench::{fmt, paper_batch, print_table};
-use diva_core::{Accelerator, DesignPoint};
-use diva_sim::{ridge_intensity, roofline, Bound};
-use diva_workload::{zoo, Algorithm};
+//! Section III-C: roofline placement of DP-SGD(R)'s GEMM classes — a
+//! legacy shim over the registered `roofline` scenario
+//! (`diva-report roofline`).
 
 fn main() {
-    let model = zoo::resnet50();
-    let batch = paper_batch(&model);
-    let ops = model.lower(Algorithm::DpSgdReweighted, batch);
-
-    let mut rows = Vec::new();
-    for dp in [DesignPoint::WsBaseline, DesignPoint::Diva] {
-        let accel = Accelerator::from_design_point(dp);
-        let cfg = accel.config();
-        // One representative GEMM per phase: the largest by MACs, except
-        // the per-example phase, where the *smallest K* is the pathological
-        // (and interesting) case.
-        for phase in [
-            Phase::Forward,
-            Phase::BwdActGrad1,
-            Phase::BwdPerBatchGrad,
-            Phase::BwdPerExampleGrad,
-        ] {
-            let candidates = ops.iter().filter(|o| o.phase == phase);
-            let pick = if phase == Phase::BwdPerExampleGrad {
-                candidates.min_by_key(|o| match &o.kind {
-                    TrainingOpKind::Gemm { shape, .. } => shape.k,
-                    _ => u64::MAX,
-                })
-            } else {
-                candidates.max_by_key(|o| o.macs())
-            };
-            let Some(op) = pick else { continue };
-            let TrainingOpKind::Gemm {
-                shape,
-                count,
-                output_persists,
-            } = &op.kind
-            else {
-                continue;
-            };
-            let write = *output_persists || !accel.simulator().can_fuse_postprocessing();
-            let p = roofline(cfg, *shape, *count, write);
-            rows.push(vec![
-                dp.label().to_string(),
-                phase.label().to_string(),
-                format!("{shape} x{count}"),
-                if p.intensity.is_infinite() {
-                    "inf".to_string()
-                } else {
-                    fmt(p.intensity, 1)
-                },
-                fmt(p.macs_per_cycle, 0),
-                fmt(p.ceiling, 0),
-                match p.bound {
-                    Bound::Compute => "compute".to_string(),
-                    Bound::Memory => "memory".to_string(),
-                },
-            ]);
-        }
-    }
-    let diva_cfg = DesignPoint::Diva.config();
-    print_table(
-        &format!(
-            "Roofline: ResNet-50 DP-SGD(R) at batch {batch} (ridge = {:.1} MACs/byte)",
-            ridge_intensity(&diva_cfg)
-        ),
-        &[
-            "design",
-            "phase",
-            "largest GEMM",
-            "MACs/byte",
-            "MACs/cyc",
-            "ceiling",
-            "bound",
-        ],
-        &rows,
-    );
-    println!(
-        "\nThe small-K per-example gradient GEMM is the pathology: on WS its spilled\n\
-         output pins it to the memory roof at a fraction of peak; on DiVa the PPU\n\
-         consumes the output on-chip, lifting both the intensity and the achieved\n\
-         rate — Section III-C's bottleneck, visualized."
-    );
+    diva_bench::scenario::run("roofline");
 }

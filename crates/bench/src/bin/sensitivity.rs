@@ -1,89 +1,8 @@
-//! Section VI-C sensitivity: DiVa's speedup over the WS baseline as inputs
-//! grow — image area ×4/×16/×64 for the CNNs, sequence length ×2/×4/×8 for
-//! BERT/LSTM. Larger inputs enlarge the per-example GEMM K dimension, so
-//! the systolic baseline recovers and DiVa's edge narrows (paper:
-//! 3.6×/2.1×/1.7× for images, 2.0×/1.6×/1.5× for sequences).
-
-use diva_bench::{fmt_x, paper_batch, print_table};
-use diva_core::{Accelerator, DesignPoint};
-use diva_workload::{zoo, Algorithm, ModelSpec};
-
-/// A named parameterized model builder (input side or sequence length).
-type ModelBuilder = (&'static str, fn(usize) -> ModelSpec);
-
-fn speedup(ws: &Accelerator, diva: &Accelerator, model: &ModelSpec) -> f64 {
-    let batch = paper_batch(model);
-    let base = ws.run(model, Algorithm::DpSgdReweighted, batch).seconds;
-    let fast = diva.run(model, Algorithm::DpSgdReweighted, batch).seconds;
-    base / fast
-}
+//! Section VI-C sensitivity studies — a legacy shim running both
+//! registered sweeps (`diva-report sensitivity_image` /
+//! `diva-report sensitivity_seq`).
 
 fn main() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
-
-    // --- Image-size sweep over the five CNNs ---
-    let sides = [32usize, 64, 128, 256];
-    let cnn_builders: [ModelBuilder; 5] = [
-        ("VGG-16", zoo::vgg16_at),
-        ("ResNet-50", zoo::resnet50_at),
-        ("ResNet-152", zoo::resnet152_at),
-        ("SqueezeNet", zoo::squeezenet_at),
-        ("MobileNet", zoo::mobilenet_at),
-    ];
-    let mut rows = Vec::new();
-    let mut avgs = vec![Vec::new(); sides.len()];
-    for (name, build) in &cnn_builders {
-        let mut row = vec![name.to_string()];
-        for (i, &side) in sides.iter().enumerate() {
-            let model = build(side);
-            let s = speedup(&ws, &diva, &model);
-            avgs[i].push(s);
-            row.push(fmt_x(s));
-        }
-        rows.push(row);
-    }
-    let mut avg_row = vec!["average".to_string()];
-    for a in &avgs {
-        avg_row.push(fmt_x(a.iter().sum::<f64>() / a.len() as f64));
-    }
-    rows.push(avg_row);
-    print_table(
-        "Sensitivity: DiVa speedup vs WS as image size grows (pixels x1/x4/x16/x64)",
-        &["model", "32x32", "64x64", "128x128", "256x256"],
-        &rows,
-    );
-    println!("(paper averages: 3.6x / 2.1x / 1.7x at x4/x16/x64)");
-
-    // --- Sequence-length sweep over BERT/LSTM ---
-    let seqs = [32usize, 64, 128, 256];
-    let seq_builders: [ModelBuilder; 4] = [
-        ("BERT-base", zoo::bert_base_with_seq),
-        ("BERT-large", zoo::bert_large_with_seq),
-        ("LSTM-small", zoo::lstm_small_with_seq),
-        ("LSTM-large", zoo::lstm_large_with_seq),
-    ];
-    let mut rows = Vec::new();
-    let mut avgs = vec![Vec::new(); seqs.len()];
-    for (name, build) in &seq_builders {
-        let mut row = vec![name.to_string()];
-        for (i, &seq) in seqs.iter().enumerate() {
-            let model = build(seq);
-            let s = speedup(&ws, &diva, &model);
-            avgs[i].push(s);
-            row.push(fmt_x(s));
-        }
-        rows.push(row);
-    }
-    let mut avg_row = vec!["average".to_string()];
-    for a in &avgs {
-        avg_row.push(fmt_x(a.iter().sum::<f64>() / a.len() as f64));
-    }
-    rows.push(avg_row);
-    print_table(
-        "Sensitivity: DiVa speedup vs WS as sequence length grows (L = 32/64/128/256)",
-        &["model", "L=32", "L=64", "L=128", "L=256"],
-        &rows,
-    );
-    println!("(paper averages: 2.0x / 1.6x / 1.5x at x2/x4/x8)");
+    diva_bench::scenario::run("sensitivity_image");
+    diva_bench::scenario::run("sensitivity_seq");
 }

@@ -1,30 +1,6 @@
-//! Table I: on-chip SRAM read/write bandwidth requirements per dataflow.
-
-use diva_arch::{sram_bandwidth, Dataflow, PeArray};
-use diva_bench::print_table;
+//! Table I: SRAM bandwidth requirements per dataflow — a legacy shim over
+//! the registered `table1` scenario (`diva-report table1`).
 
 fn main() {
-    let pe = PeArray::new(128, 128);
-    let rows: Vec<Vec<String>> = Dataflow::ALL
-        .iter()
-        .map(|&df| {
-            let bw = sram_bandwidth(df, pe, 8, 8);
-            vec![
-                df.label().to_string(),
-                format!("{} B/clk", bw.lhs_read),
-                format!("{} B/clk", bw.rhs_read),
-                format!("{} B/clk", bw.output_write),
-                format!("{} B/clk", bw.total()),
-            ]
-        })
-        .collect();
-    print_table(
-        "Table I: SRAM bandwidth requirements (128x128 PEs, BF16 in / FP32 out)",
-        &["dataflow", "LHS read", "RHS read", "output write", "total"],
-        &rows,
-    );
-    println!(
-        "\nWS total = (2*PE_H + 20*PE_W) B/clk; OS & outer-product = (2*PE_H + 34*PE_W) B/clk,\n\
-         the paper's Section IV-D design-overhead trade-off."
-    );
+    diva_bench::scenario::run("table1");
 }

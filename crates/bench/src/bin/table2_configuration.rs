@@ -1,39 +1,6 @@
-//! Table II: the DiVa architecture configuration.
-
-use diva_bench::{fmt_bytes, print_table};
-use diva_core::DesignPoint;
+//! Table II: the DiVa architecture configuration — a legacy shim over the
+//! registered `table2` scenario (`diva-report table2`).
 
 fn main() {
-    let cfg = DesignPoint::Diva.config();
-    let rows = vec![
-        vec!["PE array dimension".into(), format!("{}", cfg.pe)],
-        vec![
-            "PE operating frequency".into(),
-            format!("{:.0} MHz", cfg.freq_hz / 1e6),
-        ],
-        vec!["On-chip SRAM size".into(), fmt_bytes(cfg.sram_bytes)],
-        vec!["Memory channels".into(), cfg.memory.channels.to_string()],
-        vec![
-            "Memory bandwidth".into(),
-            format!("{:.0} GB/sec", cfg.memory.bandwidth_bytes_per_sec / 1e9),
-        ],
-        vec![
-            "Memory access latency".into(),
-            format!("{} cycles", cfg.memory.access_latency_cycles),
-        ],
-        vec![
-            "Output drain rate (R)".into(),
-            format!("{} rows/cycle", cfg.drain_rows_per_cycle),
-        ],
-        vec![
-            "Peak throughput".into(),
-            format!("{:.1} TFLOPS", cfg.peak_tflops()),
-        ],
-        vec!["Post-processing unit".into(), cfg.has_ppu.to_string()],
-    ];
-    print_table(
-        "Table II: DiVa architecture configuration",
-        &["parameter", "value"],
-        &rows,
-    );
+    diva_bench::scenario::run("table2");
 }

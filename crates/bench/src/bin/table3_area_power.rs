@@ -1,72 +1,6 @@
-//! Table III: power, area, and effective throughput (TFLOPS) normalized to
-//! power and area for the three GEMM engines. Effective TFLOPS is measured
-//! by running the full DP-SGD(R) workload suite through the simulator.
-
-use diva_bench::{fmt, paper_batch, print_table};
-use diva_core::{Accelerator, DesignPoint};
-use diva_energy::{table_iii, SynthesisModel};
-use diva_workload::{zoo, Algorithm};
+//! Table III: engine power/area and effective throughput — a legacy shim
+//! over the registered `table3` scenario (`diva-report table3`).
 
 fn main() {
-    // Measure effective TFLOPS per engine over the whole suite.
-    let designs = [
-        DesignPoint::WsBaseline,
-        DesignPoint::OsWithPpu,
-        DesignPoint::Diva,
-    ];
-    let models = zoo::all_models();
-    let mut effective = [0.0f64; 3];
-    for (i, design) in designs.iter().enumerate() {
-        let accel = Accelerator::from_design_point(*design);
-        let mut flops = 0.0;
-        let mut seconds = 0.0;
-        for model in &models {
-            let r = accel.run(model, Algorithm::DpSgdReweighted, paper_batch(model));
-            flops += 2.0 * r.timing.total_macs() as f64;
-            seconds += r.seconds;
-        }
-        effective[i] = flops / seconds / 1e12;
-    }
-
-    let cfg = DesignPoint::Diva.config();
-    let rows_data = table_iii(&cfg, &SynthesisModel::calibrated(), effective);
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .map(|r| {
-            vec![
-                r.dataflow.label().to_string(),
-                fmt(r.peak_tflops, 1),
-                fmt(r.effective_tflops, 1),
-                fmt(r.power_w, 1),
-                fmt(r.area_mm2, 0),
-                fmt(r.tflops_per_watt, 3),
-                fmt(r.tflops_per_mm2, 3),
-            ]
-        })
-        .collect();
-    print_table(
-        "Table III: engine power/area and effective throughput (DP-SGD(R) suite)",
-        &[
-            "engine",
-            "peak TFLOPS",
-            "eff TFLOPS",
-            "power (W)",
-            "area (mm^2)",
-            "eff TFLOPS/W",
-            "eff TFLOPS/mm^2",
-        ],
-        &rows,
-    );
-    println!(
-        "\nDiVa vs WS: {:.1}x TFLOPS/W, {:.1}x TFLOPS/mm^2 (paper: 3.5x and 4.6x; paper's\n\
-         measured effective TFLOPS were 1.2 / 0.9 / 6.6)",
-        rows_data[2].tflops_per_watt / rows_data[0].tflops_per_watt,
-        rows_data[2].tflops_per_mm2 / rows_data[0].tflops_per_mm2
-    );
-    let s = SynthesisModel::calibrated();
-    println!(
-        "Area overhead vs WS: engine {:.1}%, +PPU {:.1}% (paper: 19.6% and +4.6%)",
-        100.0 * s.area_overhead_vs_ws(false),
-        100.0 * (s.area_overhead_vs_ws(true) - s.area_overhead_vs_ws(false))
-    );
+    diva_bench::scenario::run("table3");
 }

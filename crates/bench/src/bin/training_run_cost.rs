@@ -1,57 +1,7 @@
-//! Capstone: the practitioner's view of the paper's result. For a
-//! CIFAR-10-scale private training run (50k examples, 100 epochs, σ = 1.1,
-//! δ = 1e-5), what does each model cost in hours, watt-hours and ε on the
-//! TPU-like WS baseline versus DiVa?
-
-use diva_bench::{fmt, paper_batch, print_table, run_parallel};
-use diva_core::{Accelerator, DesignPoint, TrainingRunPlan};
-use diva_workload::{zoo, Algorithm, ModelSpec};
+//! Capstone: full private-training-run cost — a legacy shim over the
+//! registered `training_run_cost` scenario
+//! (`diva-report training_run_cost`).
 
 fn main() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
-
-    let results = run_parallel(zoo::all_models(), |model: &ModelSpec| {
-        let batch = paper_batch(model);
-        let plan = TrainingRunPlan {
-            dataset_size: 50_000,
-            batch,
-            epochs: 100,
-            noise_multiplier: 1.1,
-            delta: 1e-5,
-        };
-        let a = ws.estimate_training_run(model, Algorithm::DpSgdReweighted, &plan);
-        let b = diva.estimate_training_run(model, Algorithm::DpSgdReweighted, &plan);
-        (model.name.clone(), batch, a, b)
-    });
-
-    let mut rows = Vec::new();
-    for (name, batch, a, b) in &results {
-        rows.push(vec![
-            name.clone(),
-            batch.to_string(),
-            fmt(a.hours(), 2),
-            fmt(b.hours(), 2),
-            fmt(a.watt_hours(), 1),
-            fmt(b.watt_hours(), 1),
-            fmt(a.epsilon.unwrap_or(f64::NAN), 2),
-        ]);
-    }
-    print_table(
-        "Training-run cost: 100 epochs of CIFAR-10-scale DP-SGD(R), sigma=1.1, delta=1e-5",
-        &[
-            "model",
-            "batch",
-            "WS (h)",
-            "DiVa (h)",
-            "WS (Wh)",
-            "DiVa (Wh)",
-            "epsilon",
-        ],
-        &rows,
-    );
-    println!(
-        "\nEpsilon is a property of the algorithm, not the hardware: DiVa buys back the\n\
-         wall-clock and energy that privacy costs, at identical (eps, delta)."
-    );
+    diva_bench::scenario::run("training_run_cost");
 }

@@ -1,19 +1,27 @@
 //! Shared harness utilities for the figure/table regeneration binaries and
 //! the performance benchmarks.
 //!
-//! Every table and figure of the paper's evaluation has a dedicated binary
-//! in `src/bin/` (see DESIGN.md's experiment index). This library hosts the
-//! pieces they share: the batch-size policy, aligned table printing, a
-//! parallel runner backed by the workspace-wide thread pool, a small
-//! measurement harness (`harness`) for the `cargo bench` targets, and the
-//! `BENCH_perf.json` emitter (`perf`) that records compute-backend
-//! throughput so later PRs have a trajectory to regress against.
+//! Every table and figure of the paper's evaluation is a **registered
+//! scenario** of the declarative experiment API in [`scenario`]: an
+//! `Experiment` (named axes × per-cell eval × declared reductions)
+//! executed by one shared runner and rendered as text, JSON or CSV. The
+//! `diva-report` binary drives the registry (`diva-report --list`); the
+//! per-figure binaries in `src/bin/` are thin shims over
+//! [`scenario::run`] kept for compatibility.
+//!
+//! This library also hosts the other shared pieces: the batch-size
+//! policy, aligned table printing, a parallel runner backed by the
+//! workspace-wide thread pool, a small measurement harness (`harness`)
+//! for the `cargo bench` targets, and the `BENCH_perf.json` emitter
+//! (`perf`) that records compute-backend throughput so later PRs have a
+//! trajectory to regress against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod perf;
+pub mod scenario;
 
 use diva_workload::{Algorithm, ModelSpec};
 

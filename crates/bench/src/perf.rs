@@ -150,8 +150,9 @@ pub fn parse_perf_json(text: &str) -> Result<Vec<PerfRecord>, String> {
     Ok(records)
 }
 
-/// Parses one `"key": value` comma-separated record body.
-fn parse_record(body: &str) -> Result<PerfRecord, String> {
+/// Parses one `"key": value` comma-separated record body (also used by the
+/// scenario JSON parser, whose arrays hold the same flat objects).
+pub(crate) fn parse_record(body: &str) -> Result<PerfRecord, String> {
     let mut record = PerfRecord::default();
     let mut rest = body.trim();
     while !rest.is_empty() {
@@ -191,7 +192,7 @@ fn parse_record(body: &str) -> Result<PerfRecord, String> {
 
 /// Parses a leading JSON string literal, returning it unescaped plus the
 /// remaining input.
-fn parse_json_string(s: &str) -> Result<(String, &str), String> {
+pub(crate) fn parse_json_string(s: &str) -> Result<(String, &str), String> {
     let inner = s
         .strip_prefix('"')
         .ok_or_else(|| format!("expected string at {:?}", &s[..s.len().min(20)]))?;
@@ -230,7 +231,7 @@ impl PerfRecord {
 
 /// Escapes a string as a JSON string literal (control characters, quotes
 /// and backslashes; everything we emit is ASCII identifiers).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,713 @@
+//! Scenario definitions for the paper's Figures 4–17.
+
+use std::sync::Arc;
+
+use diva_core::{
+    bottleneck_accel_seconds, bottleneck_gpu_seconds, Accelerator, AcceleratorConfig, Dataflow,
+    DesignPoint, Phase,
+};
+use diva_gpu::{GpuModel, Precision};
+use diva_workload::{zoo, Algorithm, LayerSpec};
+
+use super::super::{
+    Axis, AxisValue, BatchSpec, Cell, CellCtx, Experiment, Normalize, ReduceKind, Reduction,
+};
+use super::{algorithms_axis, models_axis, paper_batch_axis, points_axis};
+
+/// Figure 7 / 15's merged GEMM classes.
+const CLASSES: [(&str, &[Phase]); 4] = [
+    ("util_fwd", &[Phase::Forward]),
+    ("util_bwd_act", &[Phase::BwdActGrad1, Phase::BwdActGrad2]),
+    ("util_bwd_per_batch", &[Phase::BwdPerBatchGrad]),
+    ("util_bwd_per_example", &[Phase::BwdPerExampleGrad]),
+];
+
+/// Per-class FLOPS utilization of one simulated step.
+fn class_utils(report: &diva_core::RunReport, pe_macs: u64) -> Vec<(String, f64)> {
+    CLASSES
+        .iter()
+        .map(|(name, phases)| {
+            let (macs, cycles) = phases.iter().fold((0u64, 0u64), |acc, &p| {
+                let b = report.timing.phases.get(&p);
+                (
+                    acc.0 + b.map_or(0, |x| x.macs),
+                    acc.1 + b.map_or(0, |x| x.cycles),
+                )
+            });
+            let util = if cycles == 0 {
+                0.0
+            } else {
+                macs as f64 / (cycles as f64 * pe_macs as f64)
+            };
+            (name.to_string(), util)
+        })
+        .collect()
+}
+
+/// Figure 4: training-memory breakdown per algorithm, normalized to SGD.
+pub(in super::super) fn fig04() -> Experiment {
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let model = ctx.model();
+        let batch = ctx.batch();
+        let p = model.memory_profile(ctx.algorithm(), batch);
+        Cell::new()
+            .metric("weight_bytes", p.weight_bytes as f64)
+            .metric("activation_bytes", p.activation_bytes as f64)
+            .metric("per_batch_grad_bytes", p.per_batch_grad_bytes as f64)
+            .metric("per_example_grad_bytes", p.per_example_grad_bytes as f64)
+            .metric("other_bytes", p.other_bytes as f64)
+            .metric("total_bytes", p.total() as f64)
+            .metric("per_example_fraction", p.per_example_fraction())
+    });
+    let norm_metrics = [
+        "weight_bytes",
+        "activation_bytes",
+        "per_batch_grad_bytes",
+        "per_example_grad_bytes",
+        "other_bytes",
+        "total_bytes",
+    ];
+    Experiment::new(
+        "fig04",
+        "Figure 4: memory usage breakdown (normalized to SGD total, identical batch)",
+        eval,
+    )
+    .axis(models_axis())
+    .axis(algorithms_axis(&Algorithm::ALL))
+    .axis(paper_batch_axis())
+    .derive(Normalize::fraction(
+        &norm_metrics,
+        Some("total_bytes"),
+        &[("algorithm", "SGD")],
+        "_vs_sgd",
+    ))
+    .derive(Normalize::fraction(
+        &["total_bytes"],
+        Some("total_bytes"),
+        &[("algorithm", "DP-SGD(R)")],
+        "_vs_dpr",
+    ))
+    .display(&[
+        "weight_bytes_vs_sgd",
+        "activation_bytes_vs_sgd",
+        "per_batch_grad_bytes_vs_sgd",
+        "per_example_grad_bytes_vs_sgd",
+        "other_bytes_vs_sgd",
+        "total_bytes_vs_sgd",
+    ])
+    .reduce(
+        Reduction::new(
+            "DP-SGD per-example share of total memory",
+            "per_example_fraction",
+            ReduceKind::Mean,
+        )
+        .filter(&[("algorithm", "DP-SGD")])
+        .paper("~0.78"),
+    )
+    .reduce(
+        Reduction::new(
+            "DP-SGD(R) memory reduction vs DP-SGD",
+            "total_bytes_vs_dpr",
+            ReduceKind::Mean,
+        )
+        .filter(&[("algorithm", "DP-SGD")])
+        .paper("~3.8x"),
+    )
+}
+
+/// Figure 5: WS-baseline training-time breakdown per algorithm.
+pub(in super::super) fn fig05() -> Experiment {
+    let ws = Arc::new(Accelerator::from_design_point(DesignPoint::WsBaseline));
+    let eval = Arc::new(move |ctx: &CellCtx| {
+        let r = ws.run(ctx.model(), ctx.algorithm(), ctx.batch());
+        let fwd = r.phase_cycles(Phase::Forward) as f64;
+        let total = r.timing.total_cycles() as f64;
+        Cell::from(&r).metric("bwd_fraction", 1.0 - fwd / total)
+    });
+    let mut norm_metrics: Vec<String> = Phase::ALL
+        .iter()
+        .map(|p| format!("cycles_{}", p.slug()))
+        .collect();
+    norm_metrics.push("total_cycles".to_string());
+    let norm_refs: Vec<&str> = norm_metrics.iter().map(String::as_str).collect();
+    let display: Vec<String> = norm_metrics.iter().map(|m| format!("{m}_vs_sgd")).collect();
+    let display_refs: Vec<&str> = display.iter().map(String::as_str).collect();
+    Experiment::new(
+        "fig05",
+        "Figure 5: training-time breakdown on WS baseline (normalized to SGD)",
+        eval,
+    )
+    .axis(models_axis())
+    .axis(algorithms_axis(&Algorithm::ALL))
+    .axis(paper_batch_axis())
+    .derive(Normalize::fraction(
+        &norm_refs,
+        Some("total_cycles"),
+        &[("algorithm", "SGD")],
+        "_vs_sgd",
+    ))
+    .derive(Normalize::speedup(
+        "total_cycles",
+        &[("algorithm", "DP-SGD")],
+        "speedup_vs_dpsgd",
+    ))
+    .display(&display_refs)
+    .reduce(
+        Reduction::new(
+            "DP-SGD slowdown vs SGD",
+            "total_cycles_vs_sgd",
+            ReduceKind::Mean,
+        )
+        .filter(&[("algorithm", "DP-SGD")])
+        .paper("~9.1x"),
+    )
+    .reduce(
+        Reduction::new(
+            "DP-SGD(R) speedup over vanilla DP-SGD",
+            "speedup_vs_dpsgd",
+            ReduceKind::Mean,
+        )
+        .filter(&[("algorithm", "DP-SGD(R)")])
+        .paper("~1.45x (the paper's ~31% faster)"),
+    )
+    .reduce(
+        Reduction::new(
+            "DP-SGD(R) slowdown vs SGD",
+            "total_cycles_vs_sgd",
+            ReduceKind::Mean,
+        )
+        .filter(&[("algorithm", "DP-SGD(R)")])
+        .paper("~5.8x"),
+    )
+    .reduce(
+        Reduction::new(
+            "Backprop share of DP-SGD(R) time",
+            "bwd_fraction",
+            ReduceKind::Mean,
+        )
+        .filter(&[("algorithm", "DP-SGD(R)")])
+        .paper("~99%"),
+    )
+}
+
+/// Figure 6: representative GEMM dimensions per training phase.
+pub(in super::super) fn fig06() -> Experiment {
+    // One concrete layer per family, picked from the zoo at build time.
+    let mut picks: Vec<(String, String, LayerSpec)> = Vec::new();
+    let vgg = zoo::vgg16();
+    if let Some(l) = vgg
+        .layers
+        .iter()
+        .find(|l| matches!(l, LayerSpec::Linear { .. }))
+    {
+        picks.push((
+            "MLP".into(),
+            format!("{}/{}", vgg.name, l.name()),
+            l.clone(),
+        ));
+    }
+    let rn = zoo::resnet50();
+    if let Some(l) = rn.layers.iter().find(
+        |l| matches!(l, LayerSpec::Conv { k, cin, groups, .. } if *k == 3 && *cin >= 128 && *groups == 1),
+    ) {
+        picks.push((
+            "Convolutional".into(),
+            format!("{}/{}", rn.name, l.name()),
+            l.clone(),
+        ));
+    }
+    let mb = zoo::mobilenet();
+    if let Some(l) = mb
+        .layers
+        .iter()
+        .find(|l| matches!(l, LayerSpec::Conv { groups, .. } if *groups > 1))
+    {
+        picks.push((
+            "Depthwise conv".into(),
+            format!("{}/{}", mb.name, l.name()),
+            l.clone(),
+        ));
+    }
+    for model in [zoo::bert_base(), zoo::lstm_large()] {
+        if let Some(l) = model
+            .layers
+            .iter()
+            .find(|l| matches!(l, LayerSpec::SeqLinear { .. }))
+        {
+            picks.push((
+                format!("MLP (time-series, {})", model.name),
+                format!("{}/{}", model.name, l.name()),
+                l.clone(),
+            ));
+        }
+    }
+    let axis = Axis::new(
+        "layer",
+        picks
+            .iter()
+            .map(|(label, _, _)| AxisValue::label(label.clone())),
+    );
+    let eval = Arc::new(move |ctx: &CellCtx| {
+        let batch = match ctx.batch_spec() {
+            BatchSpec::Fixed(b) => b,
+            BatchSpec::Paper => 32,
+        };
+        let (_, instance, layer) = picks
+            .iter()
+            .find(|(label, _, _)| label == ctx.label("layer"))
+            .expect("layer axis label");
+        let fwd = layer.forward_gemms(batch);
+        let pb = layer.per_batch_wgrad_gemms(batch);
+        let pe = layer.per_example_wgrad_gemms(batch);
+        let mut cell = Cell::new().note("instance", instance.clone());
+        let shape = |cell: Cell, prefix: &str, g: &diva_workload::LoweredGemm| {
+            cell.metric(format!("{prefix}_m"), g.shape.m as f64)
+                .metric(format!("{prefix}_k"), g.shape.k as f64)
+                .metric(format!("{prefix}_n"), g.shape.n as f64)
+                .metric(format!("{prefix}_count"), g.count as f64)
+                .note(prefix, format!("{} x{}", g.shape, g.count))
+        };
+        if let Some(g) = fwd.first() {
+            cell = shape(cell, "fwd", g);
+        }
+        if let Some(g) = pb.first() {
+            cell = shape(cell, "per_batch", g);
+        }
+        if let Some(g) = pe.first() {
+            cell = shape(cell, "per_example", g);
+        }
+        cell
+    });
+    Experiment::new("fig06", "Figure 6: GEMM (M, K, N) per training phase", eval)
+        .axis(axis)
+        .axis(super::fixed_batch_axis(32))
+        .display(&["per_example_k", "per_batch_k"])
+        .note(
+            "Note how per-example K collapses: conv K = P*Q, MLP K = 1, time-series K = L —\n\
+         independent of the mini-batch, unlike per-batch K (the paper's key observation).",
+        )
+}
+
+/// Figure 7: WS-baseline FLOPS utilization per GEMM class.
+pub(in super::super) fn fig07() -> Experiment {
+    let ws = Arc::new(Accelerator::from_design_point(DesignPoint::WsBaseline));
+    let eval = Arc::new(move |ctx: &CellCtx| {
+        // DP-SGD(R) exercises all four GEMM classes in one step.
+        let r = ws.run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
+        let utils = class_utils(&r, ws.config().pe.macs());
+        let pb = utils[2].1;
+        let pe = utils[3].1;
+        let mut cell = Cell::new();
+        cell.metrics.extend(utils);
+        if pe > 0.0 {
+            cell = cell.metric("per_batch_over_per_example", pb / pe);
+        }
+        cell
+    });
+    Experiment::new(
+        "fig07",
+        "Figure 7: WS-baseline FLOPS utilization per GEMM class",
+        eval,
+    )
+    .axis(models_axis())
+    .axis(paper_batch_axis())
+    .display(&[
+        "util_fwd",
+        "util_bwd_act",
+        "util_bwd_per_batch",
+        "util_bwd_per_example",
+    ])
+    .reduce(
+        Reduction::new(
+            "Per-batch vs per-example utilization gap",
+            "per_batch_over_per_example",
+            ReduceKind::Max,
+        )
+        .paper("up to ~29x"),
+    )
+    .reduce(Reduction::new(
+        "Per-example-grad utilization",
+        "util_bwd_per_example",
+        ReduceKind::Mean,
+    ))
+}
+
+/// Figure 13: end-to-end speedup vs the WS systolic baseline.
+pub(in super::super) fn fig13() -> Experiment {
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let r = ctx.accel().run(ctx.model(), ctx.algorithm(), ctx.batch());
+        Cell::from(&r)
+    });
+    Experiment::new(
+        "fig13",
+        "Figure 13: speedup over the WS baseline (DP-SGD(R) unless noted)",
+        eval,
+    )
+    .axis(models_axis())
+    .axis(points_axis(&DesignPoint::ALL))
+    .axis(algorithms_axis(&[
+        Algorithm::DpSgdReweighted,
+        Algorithm::Sgd,
+    ]))
+    .axis(paper_batch_axis())
+    .derive(Normalize::speedup(
+        "seconds",
+        &[("point", "WS"), ("algorithm", "DP-SGD(R)")],
+        "speedup",
+    ))
+    .derive(Normalize::speedup(
+        "seconds",
+        &[("point", "WS")],
+        "speedup_same_alg",
+    ))
+    .derive(Normalize::speedup(
+        "seconds",
+        &[("point", "WS"), ("algorithm", "SGD")],
+        "vs_ws_sgd",
+    ))
+    .display(&["seconds", "speedup"])
+    .pivot_on("point", "speedup")
+    .reduce(
+        Reduction::new(
+            "DiVa speedup vs WS (geomean)",
+            "speedup",
+            ReduceKind::Geomean,
+        )
+        .filter(&[("point", "DiVa"), ("algorithm", "DP-SGD(R)")])
+        .paper("avg 3.6x"),
+    )
+    .reduce(
+        Reduction::new("DiVa speedup vs WS (mean)", "speedup", ReduceKind::Mean)
+            .filter(&[("point", "DiVa"), ("algorithm", "DP-SGD(R)")])
+            .paper("3.6x"),
+    )
+    .reduce(
+        Reduction::new("DiVa speedup vs WS (max)", "speedup", ReduceKind::Max)
+            .filter(&[("point", "DiVa"), ("algorithm", "DP-SGD(R)")])
+            .paper("7.3x"),
+    )
+    .reduce(
+        Reduction::new("DiVa w/o PPU speedup (mean)", "speedup", ReduceKind::Mean)
+            .filter(&[("point", "DiVa w/o PPU"), ("algorithm", "DP-SGD(R)")]),
+    )
+    .reduce(
+        Reduction::new("OS+PPU speedup (mean)", "speedup", ReduceKind::Mean)
+            .filter(&[("point", "OS+PPU"), ("algorithm", "DP-SGD(R)")]),
+    )
+    .reduce(
+        Reduction::new(
+            "DiVa-SGD vs WS-SGD (mean)",
+            "speedup_same_alg",
+            ReduceKind::Mean,
+        )
+        .filter(&[("point", "DiVa"), ("algorithm", "SGD")])
+        .paper("~1.6x"),
+    )
+    .reduce(
+        Reduction::new(
+            "DiVa DP-SGD(R) as a fraction of WS SGD throughput",
+            "vs_ws_sgd",
+            ReduceKind::Mean,
+        )
+        .filter(&[("point", "DiVa"), ("algorithm", "DP-SGD(R)")])
+        .paper("~0.75"),
+    )
+}
+
+/// Figure 14: DP-SGD(R) latency breakdown per design point.
+pub(in super::super) fn fig14() -> Experiment {
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let r = ctx
+            .accel()
+            .run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
+        Cell::from(&r)
+    });
+    const SHOWN: [Phase; 6] = [
+        Phase::Forward,
+        Phase::BwdActGrad1,
+        Phase::BwdPerExampleGrad,
+        Phase::BwdGradNorm,
+        Phase::BwdActGrad2,
+        Phase::BwdPerBatchGrad,
+    ];
+    let mut norm_metrics: Vec<String> = SHOWN
+        .iter()
+        .map(|p| format!("cycles_{}", p.slug()))
+        .collect();
+    norm_metrics.push("total_cycles".to_string());
+    let norm_refs: Vec<&str> = norm_metrics.iter().map(String::as_str).collect();
+    let display: Vec<String> = norm_metrics.iter().map(|m| format!("{m}_vs_ws")).collect();
+    let display_refs: Vec<&str> = display.iter().map(String::as_str).collect();
+    Experiment::new(
+        "fig14",
+        "Figure 14: DP-SGD(R) latency breakdown (normalized to WS total)",
+        eval,
+    )
+    .axis(Axis::new(
+        "model",
+        [
+            zoo::vgg16(),
+            zoo::resnet152(),
+            zoo::bert_large(),
+            zoo::lstm_large(),
+        ]
+        .map(AxisValue::model),
+    ))
+    .axis(points_axis(&DesignPoint::ALL))
+    .axis(paper_batch_axis())
+    .derive(Normalize::fraction(
+        &norm_refs,
+        Some("total_cycles"),
+        &[("point", "WS")],
+        "_vs_ws",
+    ))
+    .derive(Normalize::speedup(
+        "cycles_bwd_per_example_grad",
+        &[("point", "WS")],
+        "per_example_grad_speedup",
+    ))
+    .display(&display_refs)
+    .reduce(
+        Reduction::new(
+            "Per-example-gradient latency reduction, DiVa vs WS (mean)",
+            "per_example_grad_speedup",
+            ReduceKind::Mean,
+        )
+        .filter(&[("point", "DiVa")])
+        .paper("avg 7.0x"),
+    )
+    .reduce(
+        Reduction::new(
+            "Per-example-gradient latency reduction, DiVa vs WS (max)",
+            "per_example_grad_speedup",
+            ReduceKind::Max,
+        )
+        .filter(&[("point", "DiVa")])
+        .paper("max 14.6x"),
+    )
+}
+
+/// Figure 15: FLOPS-utilization improvement per GEMM class vs WS.
+pub(in super::super) fn fig15() -> Experiment {
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let accel = ctx.accel();
+        let r = accel.run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
+        let mut cell = Cell::new();
+        cell.metrics
+            .extend(class_utils(&r, accel.config().pe.macs()));
+        cell
+    });
+    let class_names: Vec<&str> = CLASSES.iter().map(|(n, _)| *n).collect();
+    let display: Vec<String> = class_names
+        .iter()
+        .map(|m| format!("{m}_improvement"))
+        .collect();
+    let display_refs: Vec<&str> = display.iter().map(String::as_str).collect();
+    Experiment::new(
+        "fig15",
+        "Figure 15: FLOPS-utilization improvement vs WS (DP-SGD(R))",
+        eval,
+    )
+    .axis(models_axis())
+    .axis(points_axis(&[
+        DesignPoint::WsBaseline,
+        DesignPoint::OsWithPpu,
+        DesignPoint::Diva,
+    ]))
+    .axis(paper_batch_axis())
+    .derive(Normalize::fraction(
+        &class_names,
+        None,
+        &[("point", "WS")],
+        "_improvement",
+    ))
+    .display(&display_refs)
+    .pivot_on("point", "util_bwd_per_example_improvement")
+    .reduce(
+        Reduction::new(
+            "DiVa per-example-grad utilization improvement (mean)",
+            "util_bwd_per_example_improvement",
+            ReduceKind::Mean,
+        )
+        .filter(&[("point", "DiVa")])
+        .paper("avg 5.5x"),
+    )
+    .reduce(
+        Reduction::new(
+            "DiVa per-example-grad utilization improvement (max)",
+            "util_bwd_per_example_improvement",
+            ReduceKind::Max,
+        )
+        .filter(&[("point", "DiVa")])
+        .paper("max 28.9x"),
+    )
+}
+
+/// Figure 16: chip-wide step energy normalized to the WS baseline.
+pub(in super::super) fn fig16() -> Experiment {
+    let mut os_no_ppu: AcceleratorConfig =
+        AcceleratorConfig::tpu_v3_like(Dataflow::OutputStationary);
+    os_no_ppu.has_ppu = false;
+    let points = Axis::new(
+        "point",
+        [
+            AxisValue::accel(Accelerator::from_design_point(DesignPoint::WsBaseline)),
+            AxisValue::accel(
+                Accelerator::from_config("OS w/o PPU", os_no_ppu).expect("valid config"),
+            ),
+            AxisValue::accel(Accelerator::from_design_point(DesignPoint::OsWithPpu)),
+            AxisValue::accel(Accelerator::from_design_point(DesignPoint::DivaNoPpu)),
+            AxisValue::accel(Accelerator::from_design_point(DesignPoint::Diva)),
+        ],
+    );
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let r = ctx
+            .accel()
+            .run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
+        Cell::from(&r)
+    });
+    let components = [
+        "energy_j",
+        "energy_engine_j",
+        "energy_ppu_j",
+        "energy_sram_j",
+        "energy_dram_j",
+        "energy_uncore_j",
+    ];
+    let display: Vec<String> = components.iter().map(|m| format!("{m}_vs_ws")).collect();
+    let display_refs: Vec<&str> = display.iter().map(String::as_str).collect();
+    Experiment::new(
+        "fig16",
+        "Figure 16: DP-SGD(R) step energy (normalized to WS total)",
+        eval,
+    )
+    .axis(models_axis())
+    .axis(points)
+    .axis(paper_batch_axis())
+    .derive(Normalize::fraction(
+        &components,
+        Some("energy_j"),
+        &[("point", "WS")],
+        "_vs_ws",
+    ))
+    .derive(Normalize::speedup(
+        "energy_j",
+        &[("point", "WS")],
+        "energy_reduction",
+    ))
+    .display(&display_refs)
+    .pivot_on("point", "energy_j_vs_ws")
+    .reduce(
+        Reduction::new(
+            "DiVa energy reduction vs WS (mean)",
+            "energy_reduction",
+            ReduceKind::Mean,
+        )
+        .filter(&[("point", "DiVa")])
+        .paper("avg 2.6x"),
+    )
+    .reduce(
+        Reduction::new(
+            "DiVa energy reduction vs WS (max)",
+            "energy_reduction",
+            ReduceKind::Max,
+        )
+        .filter(&[("point", "DiVa")])
+        .paper("max 4.6x"),
+    )
+}
+
+/// Figure 17: DiVa vs V100/A100 on the per-example-gradient bottleneck.
+pub(in super::super) fn fig17() -> Experiment {
+    let diva = Arc::new(Accelerator::from_design_point(DesignPoint::Diva));
+    let v100 = GpuModel::v100();
+    let a100 = GpuModel::a100();
+    let devices = [
+        "V100 (FP32)",
+        "V100 (FP16)",
+        "A100 (FP32)",
+        "A100 (FP16)",
+        "DiVa (BF16)",
+    ];
+    let eval = Arc::new(move |ctx: &CellCtx| {
+        let model = ctx.model();
+        let batch = ctx.batch();
+        let seconds = match ctx.label("device") {
+            "V100 (FP32)" => bottleneck_gpu_seconds(model, batch, &v100, Precision::Fp32),
+            "V100 (FP16)" => bottleneck_gpu_seconds(model, batch, &v100, Precision::Fp16TensorCore),
+            "A100 (FP32)" => bottleneck_gpu_seconds(model, batch, &a100, Precision::Fp32),
+            "A100 (FP16)" => bottleneck_gpu_seconds(model, batch, &a100, Precision::Fp16TensorCore),
+            "DiVa (BF16)" => bottleneck_accel_seconds(&diva, model, batch),
+            other => panic!("unknown device {other:?}"),
+        };
+        Cell::new().metric("seconds", seconds)
+    });
+    Experiment::new(
+        "fig17",
+        "Figure 17: DP-SGD bottleneck-GEMM speedup (normalized to V100 FP32)",
+        eval,
+    )
+    .axis(models_axis())
+    .axis(Axis::new(
+        "device",
+        devices.iter().map(|d| AxisValue::label(*d)),
+    ))
+    .axis(paper_batch_axis())
+    .derive(Normalize::speedup(
+        "seconds",
+        &[("device", "V100 (FP32)")],
+        "speedup",
+    ))
+    .derive(Normalize::speedup(
+        "seconds",
+        &[("device", "V100 (FP16)")],
+        "vs_v100_fp16",
+    ))
+    .derive(Normalize::speedup(
+        "seconds",
+        &[("device", "A100 (FP16)")],
+        "vs_a100_fp16",
+    ))
+    .display(&["seconds", "speedup"])
+    .pivot_on("device", "speedup")
+    .reduce(
+        Reduction::new(
+            "DiVa vs V100 tensor cores (mean)",
+            "vs_v100_fp16",
+            ReduceKind::Mean,
+        )
+        .filter(&[("device", "DiVa (BF16)")])
+        .paper("avg 1.2x"),
+    )
+    .reduce(
+        Reduction::new(
+            "DiVa vs V100 tensor cores (max)",
+            "vs_v100_fp16",
+            ReduceKind::Max,
+        )
+        .filter(&[("device", "DiVa (BF16)")])
+        .paper("max 4.1x"),
+    )
+    .reduce(
+        Reduction::new(
+            "DiVa vs A100 tensor cores (mean)",
+            "vs_a100_fp16",
+            ReduceKind::Mean,
+        )
+        .filter(&[("device", "DiVa (BF16)")])
+        .paper("avg 1.0x"),
+    )
+    .reduce(
+        Reduction::new(
+            "DiVa vs A100 tensor cores (max)",
+            "vs_a100_fp16",
+            ReduceKind::Max,
+        )
+        .filter(&[("device", "DiVa (BF16)")])
+        .paper("max 3.4x"),
+    )
+    .note(
+        "DiVa peak is only 23.6% / 9.5% of V100 / A100 FP16 peak — winning by mapping,\n\
+         not muscle (the paper's point). MobileNet favors the GPUs (batched micro-GEMMs).",
+    )
+}

@@ -1,0 +1,47 @@
+//! The registered scenario definitions — one [`Experiment`] builder per
+//! paper figure, table and ablation, grouped by artifact family.
+//!
+//! These are pure *declarations*: each builder wires axes, a per-cell
+//! closure over the simulation/energy/memory substrate, derived-metric
+//! rules and reductions. All execution, filtering, aggregation and output
+//! formatting lives in the shared scenario runner.
+
+pub(super) mod ablations;
+pub(super) mod figures;
+pub(super) mod sensitivity;
+pub(super) mod tables;
+
+use super::{Axis, AxisValue};
+use diva_core::{Accelerator, DesignPoint};
+use diva_workload::{zoo, Algorithm};
+
+/// The full nine-model zoo as a `"model"` axis.
+pub(super) fn models_axis() -> Axis {
+    Axis::new("model", zoo::all_models().into_iter().map(AxisValue::model))
+}
+
+/// The given design points as a `"point"` axis of built accelerators.
+pub(super) fn points_axis(points: &[DesignPoint]) -> Axis {
+    Axis::new(
+        "point",
+        points
+            .iter()
+            .map(|&p| AxisValue::accel(Accelerator::from_design_point(p))),
+    )
+}
+
+/// The given algorithms as an `"algorithm"` axis.
+pub(super) fn algorithms_axis(algs: &[Algorithm]) -> Axis {
+    Axis::new("algorithm", algs.iter().copied().map(AxisValue::algorithm))
+}
+
+/// The paper batch policy as a single-valued `"batch"` axis (replaceable
+/// via `--batch`).
+pub(super) fn paper_batch_axis() -> Axis {
+    Axis::new("batch", [AxisValue::batch_paper()])
+}
+
+/// A fixed batch size as a single-valued `"batch"` axis.
+pub(super) fn fixed_batch_axis(b: u64) -> Axis {
+    Axis::new("batch", [AxisValue::batch(b)])
+}

@@ -1,0 +1,103 @@
+//! Scenario definitions for the Section VI-C sensitivity studies: DiVa's
+//! edge as image area or sequence length grows.
+
+use std::sync::Arc;
+
+use diva_core::DesignPoint;
+use diva_workload::{zoo, Algorithm, ModelSpec};
+
+use super::super::{Axis, AxisValue, Cell, CellCtx, Experiment, Normalize, ReduceKind, Reduction};
+use super::{paper_batch_axis, points_axis};
+
+/// A named parameterized model builder (input side or sequence length).
+type ModelBuilder = (&'static str, fn(usize) -> ModelSpec);
+
+/// Shared shape of both sensitivity sweeps: (model-builder × scale ×
+/// design-point) grid measuring DP-SGD(R) step time and the DiVa-vs-WS
+/// speedup at each scale.
+fn sensitivity(
+    name: &'static str,
+    title: &str,
+    builders: Vec<ModelBuilder>,
+    scale_axis: Axis,
+    paper_note: &str,
+) -> Experiment {
+    let model_axis = Axis::new(
+        "model",
+        builders.iter().map(|(label, _)| AxisValue::label(*label)),
+    );
+    let eval = Arc::new(move |ctx: &CellCtx| {
+        let build = builders
+            .iter()
+            .find(|(label, _)| *label == ctx.label("model"))
+            .map(|(_, f)| *f)
+            .expect("model axis label");
+        let model = build(ctx.num("scale") as usize);
+        let batch = ctx.batch_for(&model);
+        let r = ctx.accel().run(&model, Algorithm::DpSgdReweighted, batch);
+        Cell::new()
+            .metric("seconds", r.seconds)
+            .metric("batch_used", batch as f64)
+    });
+    Experiment::new(name, title, eval)
+        .axis(model_axis)
+        .axis(scale_axis)
+        .axis(points_axis(&[DesignPoint::WsBaseline, DesignPoint::Diva]))
+        .axis(paper_batch_axis())
+        .derive(Normalize::speedup("seconds", &[("point", "WS")], "speedup"))
+        .display(&["seconds", "speedup"])
+        .pivot_on("scale", "speedup")
+        .reduce(
+            Reduction::new("DiVa speedup vs WS (mean)", "speedup", ReduceKind::Mean)
+                .filter(&[("point", "DiVa")])
+                .group_by(&["scale"]),
+        )
+        .note(paper_note.to_string())
+}
+
+/// Image-size sweep over the five CNNs (pixels ×1/×4/×16/×64).
+pub(in super::super) fn sensitivity_image() -> Experiment {
+    let builders: Vec<ModelBuilder> = vec![
+        ("VGG-16", zoo::vgg16_at),
+        ("ResNet-50", zoo::resnet50_at),
+        ("ResNet-152", zoo::resnet152_at),
+        ("SqueezeNet", zoo::squeezenet_at),
+        ("MobileNet", zoo::mobilenet_at),
+    ];
+    let scales = Axis::new(
+        "scale",
+        [32usize, 64, 128, 256]
+            .iter()
+            .map(|&s| AxisValue::num(format!("{s}x{s}"), s as f64)),
+    );
+    sensitivity(
+        "sensitivity_image",
+        "Sensitivity: DiVa speedup vs WS as image size grows (pixels x1/x4/x16/x64)",
+        builders,
+        scales,
+        "(paper averages: 3.6x / 2.1x / 1.7x at x4/x16/x64)",
+    )
+}
+
+/// Sequence-length sweep over BERT/LSTM (L = 32/64/128/256).
+pub(in super::super) fn sensitivity_seq() -> Experiment {
+    let builders: Vec<ModelBuilder> = vec![
+        ("BERT-base", zoo::bert_base_with_seq),
+        ("BERT-large", zoo::bert_large_with_seq),
+        ("LSTM-small", zoo::lstm_small_with_seq),
+        ("LSTM-large", zoo::lstm_large_with_seq),
+    ];
+    let scales = Axis::new(
+        "scale",
+        [32usize, 64, 128, 256]
+            .iter()
+            .map(|&s| AxisValue::num(format!("L={s}"), s as f64)),
+    );
+    sensitivity(
+        "sensitivity_seq",
+        "Sensitivity: DiVa speedup vs WS as sequence length grows (L = 32/64/128/256)",
+        builders,
+        scales,
+        "(paper averages: 2.0x / 1.6x / 1.5x at x2/x4/x8)",
+    )
+}

@@ -1,0 +1,346 @@
+//! The `diva-scenario/v1` JSON schema: serialization of a
+//! [`ScenarioResult`] and a matching parser.
+//!
+//! The document is deliberately **flat**, following the
+//! `diva-bench-perf/v1` conventions of [`crate::perf`] (no serde in the
+//! approved dependency set):
+//!
+//! ```json
+//! {
+//!   "schema": "diva-scenario/v1",
+//!   "scenario": "fig13",
+//!   "title": "Figure 13: ...",
+//!   "axes": [
+//!     {"name": "model", "values": "VGG-16|ResNet-50"},
+//!     {"name": "point", "values": "WS|DiVa"}
+//!   ],
+//!   "reductions": [
+//!     {"name": "DiVa speedup vs WS", "metric": "speedup", "kind": "geomean",
+//!      "group": "", "filter": "point=DiVa", "paper": "avg 3.6x", "value": 3.4,
+//!      "count": 9}
+//!   ],
+//!   "records": [
+//!     {"name": "fig13", "model": "VGG-16", "point": "WS", "batch": "64",
+//!      "seconds": 0.0123, "speedup": 1.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Every array element is a flat object of string and numeric values, so
+//! [`crate::perf::parse_perf_json`]'s record scanner applies verbatim to
+//! the `records` array; axis value lists are `|`-joined into one string.
+//! Non-finite metrics serialize as `null` and are dropped on parse.
+
+use std::fmt::Write as _;
+
+use super::runner::{ScenarioResult, Summary};
+use crate::perf::{self, PerfRecord};
+
+/// The schema identifier emitted by [`to_json`].
+pub const SCHEMA: &str = "diva-scenario/v1";
+
+/// Serializes a result to the `diva-scenario/v1` document.
+pub fn to_json(result: &ScenarioResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", perf::json_string(SCHEMA));
+    let _ = writeln!(out, "  \"scenario\": {},", perf::json_string(&result.name));
+    let _ = writeln!(out, "  \"title\": {},", perf::json_string(&result.title));
+    out.push_str("  \"axes\": [\n");
+    for (i, axis) in result.axes.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": {}, \"values\": {}}}",
+            perf::json_string(&axis.name),
+            perf::json_string(&axis.labels.join("|"))
+        );
+        out.push_str(if i + 1 < result.axes.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n  \"reductions\": [\n");
+    for (i, s) in result.summaries.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(out, "\"name\": {}", perf::json_string(&s.label));
+        let _ = write!(out, ", \"metric\": {}", perf::json_string(&s.metric));
+        let _ = write!(out, ", \"kind\": {}", perf::json_string(s.kind.slug()));
+        let _ = write!(
+            out,
+            ", \"group\": {}",
+            perf::json_string(&join_pins(&s.group))
+        );
+        if let Some(paper) = s.paper {
+            let _ = write!(out, ", \"paper\": {}", perf::json_string(paper));
+        }
+        if s.value.is_finite() {
+            let _ = write!(out, ", \"value\": {}", s.value);
+        } else {
+            out.push_str(", \"value\": null");
+        }
+        let _ = write!(out, ", \"count\": {}", s.count);
+        out.push('}');
+        out.push_str(if i + 1 < result.summaries.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n  \"records\": [\n");
+    for (i, row) in result.rows.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(out, "\"name\": {}", perf::json_string(&result.name));
+        for (axis, label) in &row.coords {
+            let _ = write!(
+                out,
+                ", {}: {}",
+                perf::json_string(axis),
+                perf::json_string(label)
+            );
+        }
+        for (key, value) in &row.notes {
+            let _ = write!(
+                out,
+                ", {}: {}",
+                perf::json_string(key),
+                perf::json_string(value)
+            );
+        }
+        for (key, value) in &row.metrics {
+            if value.is_finite() {
+                let _ = write!(out, ", {}: {}", perf::json_string(key), value);
+            } else {
+                let _ = write!(out, ", {}: null", perf::json_string(key));
+            }
+        }
+        out.push('}');
+        out.push_str(if i + 1 < result.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A parsed `diva-scenario/v1` document.
+#[derive(Clone, Debug)]
+pub struct ParsedScenario {
+    /// The schema identifier (must be [`SCHEMA`]).
+    pub schema: String,
+    /// The scenario's registry name.
+    pub scenario: String,
+    /// The table title.
+    pub title: String,
+    /// Parsed axes: `(name, labels)`.
+    pub axes: Vec<(String, Vec<String>)>,
+    /// Reduction summaries as flat records (`name` = label; the value is
+    /// in the `"value"` metric, contributing cells in `"count"`).
+    pub reductions: Vec<PerfRecord>,
+    /// Result rows as flat records (`name` = scenario, axis/note tags,
+    /// numeric metrics).
+    pub records: Vec<PerfRecord>,
+}
+
+/// Parses a document produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct, including a
+/// schema mismatch.
+pub fn parse_scenario_json(text: &str) -> Result<ParsedScenario, String> {
+    let schema = top_level_string(text, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+    }
+    let scenario = top_level_string(text, "scenario")?;
+    let title = top_level_string(text, "title")?;
+    let axes = flat_objects(text, "axes")?
+        .into_iter()
+        .map(|r| {
+            let name = r
+                .tag_value("name")
+                .map(str::to_string)
+                // The scanner maps the "name" key onto PerfRecord::name.
+                .unwrap_or_else(|| r.name.clone());
+            let values = r
+                .tag_value("values")
+                .map(|v| v.split('|').map(str::to_string).collect())
+                .unwrap_or_default();
+            (name, values)
+        })
+        .collect();
+    let reductions = flat_objects(text, "reductions")?;
+    let records = flat_objects(text, "records")?;
+    Ok(ParsedScenario {
+        schema,
+        scenario,
+        title,
+        axes,
+        reductions,
+        records,
+    })
+}
+
+/// Joins `(axis, label)` pins into the flat `axis=label,axis=label` form.
+fn join_pins(pins: &[(String, String)]) -> String {
+    pins.iter()
+        .map(|(a, l)| format!("{a}={l}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats a [`Summary`]'s group for display/JSON (public for the report
+/// binary's self-check).
+pub fn summary_group(summary: &Summary) -> String {
+    join_pins(&summary.group)
+}
+
+/// Extracts the first top-level `"key": "value"` string.
+fn top_level_string(text: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\"");
+    let at = text
+        .find(&pat)
+        .ok_or_else(|| format!("missing {key:?} key"))?;
+    let rest = text[at + pat.len()..]
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or_else(|| format!("expected ':' after {key:?}"))?
+        .trim_start();
+    let (value, _) = perf::parse_json_string(rest)?;
+    Ok(value)
+}
+
+/// Parses the array under `key` as a sequence of flat objects.
+fn flat_objects(text: &str, key: &str) -> Result<Vec<PerfRecord>, String> {
+    let pat = format!("\"{key}\"");
+    let at = text
+        .find(&pat)
+        .ok_or_else(|| format!("missing {key:?} array"))?;
+    let open = text[at..]
+        .find('[')
+        .ok_or_else(|| format!("missing '[' after {key:?}"))?
+        + at;
+    let mut rest = text[open + 1..].trim_start();
+    let mut out = Vec::new();
+    loop {
+        if rest.starts_with(']') {
+            return Ok(out);
+        }
+        let obj_open = rest
+            .find('{')
+            .ok_or_else(|| format!("expected object or ']' in {key:?} array"))?;
+        // Arrays of *flat* objects only: the next '}' closes the object.
+        let obj_close = rest[obj_open..]
+            .find('}')
+            .ok_or_else(|| format!("unterminated object in {key:?} array"))?
+            + obj_open;
+        out.push(parse_flat(&rest[obj_open + 1..obj_close])?);
+        rest = rest[obj_close + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+}
+
+/// Parses one flat object body into a [`PerfRecord`], tolerating a missing
+/// `name` key (axis objects use `"name"` for the axis name, which the
+/// perf scanner maps onto [`PerfRecord::name`]).
+fn parse_flat(body: &str) -> Result<PerfRecord, String> {
+    // Reuse the perf record parser but relax its name requirement by
+    // injecting a placeholder when absent.
+    match perf::parse_record(body) {
+        Ok(r) => Ok(r),
+        Err(e) if e.contains("without a name") => {
+            perf::parse_record(&format!("\"name\": \"-\", {body}"))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::runner::{AxisMeta, ResultRow, ScenarioResult, Summary};
+    use super::super::ReduceKind;
+    use super::*;
+
+    fn sample() -> ScenarioResult {
+        ScenarioResult {
+            name: "toy".into(),
+            title: "Toy \"scenario\"".into(),
+            axes: vec![
+                AxisMeta {
+                    name: "model".into(),
+                    labels: vec!["VGG-16".into(), "ResNet-50".into()],
+                },
+                AxisMeta {
+                    name: "point".into(),
+                    labels: vec!["WS".into(), "DiVa".into()],
+                },
+            ],
+            rows: vec![ResultRow {
+                coords: vec![
+                    ("model".into(), "VGG-16".into()),
+                    ("point".into(), "WS".into()),
+                ],
+                metrics: vec![("seconds".into(), 0.125), ("bad".into(), f64::NAN)],
+                notes: vec![("bound".into(), "memory".into())],
+            }],
+            summaries: vec![Summary {
+                label: "mean seconds".into(),
+                metric: "seconds".into(),
+                kind: ReduceKind::Mean,
+                group: vec![("point".into(), "DiVa".into())],
+                value: 0.125,
+                count: 1,
+                paper: Some("0.1"),
+            }],
+            display_metrics: Vec::new(),
+            pivot: None,
+            notes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_parser() {
+        let doc = to_json(&sample());
+        let parsed = parse_scenario_json(&doc).expect("parse");
+        assert_eq!(parsed.schema, SCHEMA);
+        assert_eq!(parsed.scenario, "toy");
+        assert_eq!(parsed.title, "Toy \"scenario\"");
+        assert_eq!(parsed.axes.len(), 2);
+        assert_eq!(parsed.axes[0].0, "model");
+        assert_eq!(parsed.axes[0].1, vec!["VGG-16", "ResNet-50"]);
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.records[0].tag_value("model"), Some("VGG-16"));
+        assert_eq!(parsed.records[0].tag_value("bound"), Some("memory"));
+        assert_eq!(parsed.records[0].metric_value("seconds"), Some(0.125));
+        assert_eq!(parsed.records[0].metric_value("bad"), None); // NaN → null
+        assert_eq!(parsed.reductions.len(), 1);
+        assert_eq!(parsed.reductions[0].name, "mean seconds");
+        assert_eq!(parsed.reductions[0].tag_value("group"), Some("point=DiVa"));
+        assert_eq!(parsed.reductions[0].metric_value("value"), Some(0.125));
+        assert_eq!(parsed.reductions[0].metric_value("count"), Some(1.0));
+    }
+
+    #[test]
+    fn records_array_is_perf_record_compatible() {
+        let doc = to_json(&sample());
+        let records = crate::perf::parse_perf_json(&doc).expect("perf-compatible");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "toy");
+        assert_eq!(records[0].metric_value("seconds"), Some(0.125));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let doc = to_json(&sample()).replace(SCHEMA, "other/v9");
+        assert!(parse_scenario_json(&doc).is_err());
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let doc = to_json(&sample());
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+}

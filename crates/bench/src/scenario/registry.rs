@@ -1,0 +1,206 @@
+//! The scenario registry: every paper figure, table and ablation under a
+//! stable name, plus the convenience entry points the legacy figure
+//! binaries shim onto.
+
+use super::defs::{ablations, figures, sensitivity, tables};
+use super::render::print_result;
+use super::runner::{run_experiment, RunOptions, ScenarioResult};
+use super::Experiment;
+
+/// One registry entry: a stable name, a one-line summary, and the builder
+/// producing the scenario's [`Experiment`].
+#[derive(Clone, Copy)]
+pub struct ScenarioInfo {
+    /// Stable scenario name (the `diva-report` CLI argument).
+    pub name: &'static str,
+    /// One-line summary shown by `diva-report --list`.
+    pub summary: &'static str,
+    /// Builds the experiment.
+    pub build: fn() -> Experiment,
+}
+
+/// All registered scenarios, in the paper's presentation order.
+pub const REGISTRY: &[ScenarioInfo] = &[
+    ScenarioInfo {
+        name: "maxbatch",
+        summary: "Section III-A: max mini-batch per model and algorithm under 16 GB HBM",
+        build: tables::maxbatch,
+    },
+    ScenarioInfo {
+        name: "fig04",
+        summary: "Figure 4: training-memory breakdown per algorithm, normalized to SGD",
+        build: figures::fig04,
+    },
+    ScenarioInfo {
+        name: "fig05",
+        summary: "Figure 5: WS-baseline training-time breakdown per algorithm",
+        build: figures::fig05,
+    },
+    ScenarioInfo {
+        name: "fig06",
+        summary: "Figure 6: representative GEMM (M, K, N) per training phase",
+        build: figures::fig06,
+    },
+    ScenarioInfo {
+        name: "fig07",
+        summary: "Figure 7: WS-baseline FLOPS utilization per GEMM class",
+        build: figures::fig07,
+    },
+    ScenarioInfo {
+        name: "roofline",
+        summary: "Section III-C: roofline placement of DP-SGD(R)'s GEMM classes",
+        build: tables::roofline_analysis,
+    },
+    ScenarioInfo {
+        name: "table1",
+        summary: "Table I: SRAM bandwidth requirements per dataflow",
+        build: tables::table1,
+    },
+    ScenarioInfo {
+        name: "table2",
+        summary: "Table II: the DiVa architecture configuration",
+        build: tables::table2,
+    },
+    ScenarioInfo {
+        name: "fig13",
+        summary: "Figure 13: end-to-end speedup vs the WS systolic baseline",
+        build: figures::fig13,
+    },
+    ScenarioInfo {
+        name: "fig14",
+        summary: "Figure 14: DP-SGD(R) latency breakdown per design point",
+        build: figures::fig14,
+    },
+    ScenarioInfo {
+        name: "fig15",
+        summary: "Figure 15: FLOPS-utilization improvement per GEMM class vs WS",
+        build: figures::fig15,
+    },
+    ScenarioInfo {
+        name: "fig16",
+        summary: "Figure 16: chip-wide step energy normalized to the WS baseline",
+        build: figures::fig16,
+    },
+    ScenarioInfo {
+        name: "fig17",
+        summary: "Figure 17: DiVa vs V100/A100 on the per-example-gradient bottleneck",
+        build: figures::fig17,
+    },
+    ScenarioInfo {
+        name: "table3",
+        summary: "Table III: engine power/area and effective DP-SGD(R) throughput",
+        build: tables::table3,
+    },
+    ScenarioInfo {
+        name: "ppu_traffic",
+        summary: "Section IV-C/VI-A: the PPU's post-processing traffic reduction",
+        build: tables::ppu_traffic,
+    },
+    ScenarioInfo {
+        name: "sensitivity_image",
+        summary: "Section VI-C: DiVa's edge as image area grows (five CNNs)",
+        build: sensitivity::sensitivity_image,
+    },
+    ScenarioInfo {
+        name: "sensitivity_seq",
+        summary: "Section VI-C: DiVa's edge as sequence length grows (BERT/LSTM)",
+        build: sensitivity::sensitivity_seq,
+    },
+    ScenarioInfo {
+        name: "ablation_drain_overlap",
+        summary: "Ablation: shadow-accumulator drain/compute overlap on DiVa",
+        build: ablations::ablation_drain_overlap,
+    },
+    ScenarioInfo {
+        name: "ablation_sram",
+        summary: "Ablation: SRAM capacity sweep on WS and DiVa",
+        build: ablations::ablation_sram,
+    },
+    ScenarioInfo {
+        name: "ablation_vanilla_dpsgd",
+        summary: "Ablation: DiVa's win under vanilla DP-SGD vs DP-SGD(R)",
+        build: ablations::ablation_vanilla_dpsgd,
+    },
+    ScenarioInfo {
+        name: "training_run_cost",
+        summary: "Capstone: hours / watt-hours / epsilon of a full private run",
+        build: tables::training_run_cost,
+    },
+];
+
+/// Looks up a scenario by (case-insensitively normalized) name.
+pub fn find(name: &str) -> Option<&'static ScenarioInfo> {
+    let wanted = super::norm_label(name);
+    REGISTRY
+        .iter()
+        .find(|s| super::norm_label(s.name) == wanted)
+}
+
+/// All registered scenario names, in registry order.
+pub fn list() -> Vec<&'static str> {
+    REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// Builds and runs a registered scenario with explicit options.
+///
+/// # Errors
+///
+/// Returns a description when `name` is unknown or the options are
+/// inconsistent with the scenario's axes.
+pub fn run_with(name: &str, opts: &RunOptions) -> Result<ScenarioResult, String> {
+    let info = find(name).ok_or_else(|| {
+        format!(
+            "unknown scenario {name:?}; registered: {}",
+            list().join(", ")
+        )
+    })?;
+    run_experiment(&(info.build)(), opts)
+}
+
+/// Runs a registered scenario with default options and prints its text
+/// table, summaries and notes — the entry point the legacy figure
+/// binaries shim onto.
+///
+/// # Panics
+///
+/// Panics if `name` is not registered (a build error, not a user error:
+/// every shim names a registry constant).
+pub fn run(name: &str) {
+    let result = run_with(name, &RunOptions::default())
+        .unwrap_or_else(|e| panic!("scenario {name:?} failed: {e}"));
+    print_result(&result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names = list();
+        assert_eq!(names.len(), 21, "expected all 21 paper artifacts");
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+        assert!(find("fig13").is_some());
+        assert!(find("FIG13").is_some(), "lookup is case-insensitive");
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn every_registered_experiment_builds_with_nonempty_axes() {
+        for info in REGISTRY {
+            let exp = (info.build)();
+            assert_eq!(exp.name, info.name, "experiment/registry name mismatch");
+            assert!(!exp.axes.is_empty(), "{} has no axes", info.name);
+            for axis in &exp.axes {
+                assert!(
+                    !axis.values.is_empty(),
+                    "{}: axis {} is empty",
+                    info.name,
+                    axis.name
+                );
+            }
+        }
+    }
+}

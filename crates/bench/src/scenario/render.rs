@@ -1,0 +1,259 @@
+//! Rendering of a [`ScenarioResult`]: aligned text tables (long form or
+//! pivoted) with summary lines, and CSV in long form.
+
+use super::runner::{ScenarioResult, Summary};
+use crate::print_table;
+
+/// Formats a value to `sig` significant digits (plain decimal notation;
+/// `inf`/`nan` render as `inf`/`-`).
+pub fn fmt_sig(v: f64, sig: usize) -> String {
+    if v.is_nan() {
+        return "-".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "inf" } else { "-inf" }.to_string();
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let mag = v.abs().log10().floor() as i32;
+    let decimals = (sig as i32 - 1 - mag).clamp(0, 6) as usize;
+    format!("{v:.decimals$}")
+}
+
+/// The ordered union of metric names across rows, restricted to
+/// `display` when non-empty.
+fn metric_columns(result: &ScenarioResult) -> Vec<String> {
+    if !result.display_metrics.is_empty() {
+        return result.display_metrics.clone();
+    }
+    metric_columns_all(result)
+}
+
+/// The ordered union of note names across rows.
+fn note_columns(result: &ScenarioResult) -> Vec<String> {
+    let mut cols: Vec<String> = Vec::new();
+    for row in &result.rows {
+        for (k, _) in &row.notes {
+            if !cols.contains(k) {
+                cols.push(k.clone());
+            }
+        }
+    }
+    cols
+}
+
+/// Prints the result as an aligned text table (pivoted when the experiment
+/// declared a pivot), followed by summary and commentary lines.
+pub fn print_result(result: &ScenarioResult) {
+    match &result.pivot {
+        Some((axis, metric)) if result.axes.iter().any(|a| &a.name == axis) => {
+            print_pivot(result, axis, metric);
+        }
+        _ => print_long(result),
+    }
+    print_summaries(&result.summaries);
+    for note in &result.notes {
+        println!("{note}");
+    }
+}
+
+/// Long form: one row per grid cell, columns = axes + notes + metrics.
+fn print_long(result: &ScenarioResult) {
+    let metrics = metric_columns(result);
+    let notes = note_columns(result);
+    let mut headers: Vec<&str> = result.axes.iter().map(|a| a.name.as_str()).collect();
+    headers.extend(notes.iter().map(String::as_str));
+    headers.extend(metrics.iter().map(String::as_str));
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|row| {
+            let mut cells: Vec<String> = result
+                .axes
+                .iter()
+                .map(|a| row.coord(&a.name).unwrap_or("-").to_string())
+                .collect();
+            for n in &notes {
+                cells.push(
+                    row.notes
+                        .iter()
+                        .find(|(k, _)| k == n)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
+            for m in &metrics {
+                cells.push(
+                    row.get(m)
+                        .map_or_else(|| "-".to_string(), |v| fmt_sig(v, 4)),
+                );
+            }
+            cells
+        })
+        .collect();
+    print_table(&result.title, &headers, &rows);
+}
+
+/// Pivoted form: the pivot axis becomes columns showing one metric; rows
+/// are the remaining axes in grid order.
+fn print_pivot(result: &ScenarioResult, axis: &str, metric: &str) {
+    let pivot_labels = result
+        .axes
+        .iter()
+        .find(|a| a.name == axis)
+        .map(|a| a.labels.clone())
+        .unwrap_or_default();
+    let other_axes: Vec<&str> = result
+        .axes
+        .iter()
+        .map(|a| a.name.as_str())
+        .filter(|n| *n != axis)
+        .collect();
+    let mut headers: Vec<&str> = other_axes.clone();
+    headers.extend(pivot_labels.iter().map(String::as_str));
+
+    // Group rows by their non-pivot coordinates, preserving grid order.
+    let mut grouped: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+    for row in &result.rows {
+        let key: Vec<String> = other_axes
+            .iter()
+            .map(|a| row.coord(a).unwrap_or("-").to_string())
+            .collect();
+        let col = row.coord(axis).unwrap_or("-");
+        let ci = pivot_labels.iter().position(|l| l == col);
+        let value = row
+            .get(metric)
+            .map_or_else(|| "-".to_string(), |v| fmt_sig(v, 4));
+        let entry = match grouped.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, cells)) => cells,
+            None => {
+                grouped.push((key, vec!["-".to_string(); pivot_labels.len()]));
+                &mut grouped.last_mut().expect("just pushed").1
+            }
+        };
+        if let Some(ci) = ci {
+            entry[ci] = value;
+        }
+    }
+    let rows: Vec<Vec<String>> = grouped
+        .into_iter()
+        .map(|(mut key, cells)| {
+            key.extend(cells);
+            key
+        })
+        .collect();
+    print_table(&format!("{} [{metric}]", result.title), &headers, &rows);
+}
+
+/// Prints summary lines (`label [group]: value (paper: ...)`).
+fn print_summaries(summaries: &[Summary]) {
+    if summaries.is_empty() {
+        return;
+    }
+    println!();
+    for s in summaries {
+        let group = if s.group.is_empty() {
+            String::new()
+        } else {
+            let pins: Vec<String> = s.group.iter().map(|(a, l)| format!("{a}={l}")).collect();
+            format!(" [{}]", pins.join(", "))
+        };
+        let paper = s
+            .paper
+            .map(|p| format!(" (paper: {p})"))
+            .unwrap_or_default();
+        println!(
+            "{}{group}: {} {} over {} cells{paper}",
+            s.label,
+            fmt_sig(s.value, 4),
+            s.kind.slug(),
+            s.count
+        );
+    }
+}
+
+/// Renders the result as CSV in long form: axis columns, then note
+/// columns, then the union of metric columns (missing values empty).
+/// Values are emitted with full `f64` round-trip precision.
+pub fn to_csv(result: &ScenarioResult) -> String {
+    let metrics = metric_columns_all(result);
+    let notes = note_columns(result);
+    let mut out = String::new();
+    let mut header: Vec<String> = result.axes.iter().map(|a| a.name.clone()).collect();
+    header.extend(notes.iter().cloned());
+    header.extend(metrics.iter().cloned());
+    out.push_str(&csv_line(&header));
+    for row in &result.rows {
+        let mut cells: Vec<String> = result
+            .axes
+            .iter()
+            .map(|a| row.coord(&a.name).unwrap_or("").to_string())
+            .collect();
+        for n in &notes {
+            cells.push(
+                row.notes
+                    .iter()
+                    .find(|(k, _)| k == n)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default(),
+            );
+        }
+        for m in &metrics {
+            cells.push(row.get(m).map_or_else(String::new, |v| format!("{v}")));
+        }
+        out.push_str(&csv_line(&cells));
+    }
+    out
+}
+
+/// CSV always carries every metric, ignoring the display restriction.
+fn metric_columns_all(result: &ScenarioResult) -> Vec<String> {
+    let mut cols: Vec<String> = Vec::new();
+    for row in &result.rows {
+        for (k, _) in &row.metrics {
+            if !cols.contains(k) {
+                cols.push(k.clone());
+            }
+        }
+    }
+    cols
+}
+
+/// Quotes fields containing separators per RFC 4180.
+fn csv_line(cells: &[String]) -> String {
+    let quoted: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", quoted.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significant_digit_formatting() {
+        assert_eq!(fmt_sig(3.60523, 4), "3.605");
+        assert_eq!(fmt_sig(1234.56, 4), "1235");
+        assert_eq!(fmt_sig(0.0012344, 4), "0.001234"); // capped at 6 decimals
+        assert_eq!(fmt_sig(0.0, 4), "0");
+        assert_eq!(fmt_sig(f64::INFINITY, 4), "inf");
+        assert_eq!(fmt_sig(f64::NAN, 4), "-");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_separators() {
+        assert_eq!(
+            csv_line(&["a,b".to_string(), "plain".to_string()]),
+            "\"a,b\",plain\n"
+        );
+    }
+}

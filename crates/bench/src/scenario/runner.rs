@@ -1,0 +1,564 @@
+//! Deterministic grid execution for [`Experiment`]s: filtering, parallel
+//! evaluation over the shared keep-alive pool, derived metrics, and
+//! declared reductions.
+//!
+//! Determinism: the grid is enumerated row-major in axis-declaration
+//! order, evaluated with [`crate::run_parallel`] (which fixes the
+//! task-to-slot assignment before execution starts), and every cell's
+//! evaluation is a pure function of its coordinates — so results are
+//! bit-identical for every worker-thread count. `scenario_determinism` in
+//! `crates/bench/tests/scenario_tests.rs` pins this.
+
+use super::{
+    norm_label, AxisValue, Cell, CellCtx, Experiment, Normalize, ReduceKind, Reduction, Rename,
+};
+use diva_core::geomean;
+
+/// Options steering one experiment run (the CLI's axis filters).
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Per-axis label allowlists: `(axis name, allowed labels)`. Labels are
+    /// matched via [`norm_label`].
+    pub filters: Vec<(String, Vec<String>)>,
+    /// Replaces the `"batch"` axis values with these fixed sizes (the
+    /// `--batch` flag — a replacement, not a restriction, since the default
+    /// axis usually holds the symbolic paper policy).
+    pub batch_override: Option<Vec<u64>>,
+}
+
+impl RunOptions {
+    /// Adds a filter for `axis`.
+    pub fn filter(mut self, axis: &str, labels: &[&str]) -> Self {
+        self.filters.push((
+            axis.to_string(),
+            labels.iter().map(|l| l.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Replaces the batch axis with fixed sizes.
+    pub fn batches(mut self, batches: &[u64]) -> Self {
+        self.batch_override = Some(batches.to_vec());
+        self
+    }
+}
+
+/// The labels of one axis after filtering (visible values only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AxisMeta {
+    /// Axis name.
+    pub name: String,
+    /// Visible value labels, in axis order.
+    pub labels: Vec<String>,
+}
+
+/// One visible result row: coordinates, metrics (declared + derived) and
+/// string annotations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultRow {
+    /// `(axis name, value label)` coordinates in axis order.
+    pub coords: Vec<(String, String)>,
+    /// Numeric metrics in evaluation-then-derivation order.
+    pub metrics: Vec<(String, f64)>,
+    /// String annotations.
+    pub notes: Vec<(String, String)>,
+}
+
+impl ResultRow {
+    /// The label of axis `axis` in this row.
+    pub fn coord(&self, axis: &str) -> Option<&str> {
+        self.coords
+            .iter()
+            .find(|(a, _)| a == axis)
+            .map(|(_, l)| l.as_str())
+    }
+
+    /// The value of metric `key`, if present.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// One computed summary value of a declared [`Reduction`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// The reduction's display label.
+    pub label: String,
+    /// The aggregated metric.
+    pub metric: String,
+    /// The aggregation function.
+    pub kind: ReduceKind,
+    /// `(axis, label)` pins identifying this group (empty when ungrouped).
+    pub group: Vec<(String, String)>,
+    /// The aggregated value.
+    pub value: f64,
+    /// How many cells contributed.
+    pub count: usize,
+    /// The paper's reference value, if declared.
+    pub paper: Option<&'static str>,
+}
+
+/// A fully executed experiment, ready for rendering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioResult {
+    /// Registry name.
+    pub name: String,
+    /// Table title.
+    pub title: String,
+    /// Post-filter axis metadata (visible labels only).
+    pub axes: Vec<AxisMeta>,
+    /// Visible result rows in grid order.
+    pub rows: Vec<ResultRow>,
+    /// Computed summaries in declaration (then group) order.
+    pub summaries: Vec<Summary>,
+    /// Metrics the text renderer should show (empty = all).
+    pub display_metrics: Vec<String>,
+    /// Text-table pivot, forwarded from the experiment.
+    pub pivot: Option<(String, String)>,
+    /// Commentary lines.
+    pub notes: Vec<String>,
+}
+
+/// One axis after filtering: kept values plus per-value visibility.
+struct KeptAxis<'a> {
+    name: &'a str,
+    values: Vec<AxisValue>,
+    visible: Vec<bool>,
+}
+
+/// Applies filters and the batch override to the experiment's axes,
+/// retaining filtered-out values that a [`Normalize`] baseline needs
+/// (marked invisible).
+fn keep_axes<'a>(exp: &'a Experiment, opts: &RunOptions) -> Result<Vec<KeptAxis<'a>>, String> {
+    // A filter naming an axis the experiment doesn't have is an error, not
+    // a no-op: silently ignoring it would return full unfiltered results
+    // for a typo'd `--axis` name.
+    for (name, _) in &opts.filters {
+        if !exp.axes.iter().any(|a| &a.name == name) {
+            return Err(format!(
+                "scenario {:?} has no axis named {name:?}; axes: {}",
+                exp.name,
+                exp.axes
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+    if opts.batch_override.is_some() && !exp.axes.iter().any(|a| a.name == "batch") {
+        return Err(format!(
+            "scenario {:?} has no \"batch\" axis to override",
+            exp.name
+        ));
+    }
+    let mut kept = Vec::with_capacity(exp.axes.len());
+    for axis in &exp.axes {
+        let mut values: Vec<AxisValue> = axis.values.clone();
+        if axis.name == "batch" {
+            if let Some(batches) = &opts.batch_override {
+                values = batches.iter().map(|&b| AxisValue::batch(b)).collect();
+            }
+        }
+        let filter = opts.filters.iter().find(|(name, _)| name == &axis.name);
+        let mut visible: Vec<bool> = match filter {
+            None => vec![true; values.len()],
+            Some((_, raw_labels)) => {
+                let wanted: Vec<String> = raw_labels.iter().map(|l| norm_label(l)).collect();
+                let vis: Vec<bool> = values
+                    .iter()
+                    .map(|v| wanted.contains(&norm_label(&v.label)))
+                    .collect();
+                // Every requested label must match something, and at least
+                // one value must survive.
+                for (raw, w) in raw_labels.iter().zip(&wanted) {
+                    if !values.iter().any(|v| &norm_label(&v.label) == w) {
+                        return Err(format!(
+                            "axis {:?} has no value matching {raw:?}; available: {}",
+                            axis.name,
+                            values
+                                .iter()
+                                .map(|v| v.label.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                }
+                vis
+            }
+        };
+        if !visible.iter().any(|&v| v) {
+            return Err(format!("axis {:?} filtered down to nothing", axis.name));
+        }
+        // Baseline arms referenced by derived-metric rules are evaluated
+        // even when filtered out, so ratios survive aggressive filters.
+        let needed: Vec<&String> = exp
+            .derived
+            .iter()
+            .flat_map(|n| n.baseline.iter())
+            .filter(|(a, _)| a == &axis.name)
+            .map(|(_, label)| label)
+            .collect();
+        let keep_mask: Vec<bool> = values
+            .iter()
+            .zip(&visible)
+            .map(|(v, &vis)| vis || needed.iter().any(|n| norm_label(n) == norm_label(&v.label)))
+            .collect();
+        let mut kept_values = Vec::new();
+        let mut kept_visible = Vec::new();
+        for ((v, keep), vis) in values.into_iter().zip(keep_mask).zip(visible.drain(..)) {
+            if keep {
+                kept_values.push(v);
+                kept_visible.push(vis);
+            }
+        }
+        kept.push(KeptAxis {
+            name: &axis.name,
+            values: kept_values,
+            visible: kept_visible,
+        });
+    }
+    Ok(kept)
+}
+
+/// Row-major enumeration of the kept grid: cell `i`'s coordinate along
+/// axis `a` is `indices(i)[a]`.
+fn grid_shape(axes: &[KeptAxis]) -> Vec<usize> {
+    axes.iter().map(|a| a.values.len()).collect()
+}
+
+fn unravel(mut i: usize, shape: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0; shape.len()];
+    for a in (0..shape.len()).rev() {
+        idx[a] = i % shape[a];
+        i /= shape[a];
+    }
+    idx
+}
+
+fn ravel(idx: &[usize], shape: &[usize]) -> usize {
+    let mut flat = 0;
+    for (a, &i) in idx.iter().enumerate() {
+        flat = flat * shape[a] + i;
+    }
+    flat
+}
+
+/// Executes an experiment: filter → evaluate → derive → reduce.
+///
+/// # Errors
+///
+/// Returns a description when a filter names an unknown label or empties
+/// an axis, or when a reduction/derivation references an unknown axis.
+pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> Result<ScenarioResult, String> {
+    let axes = keep_axes(exp, opts)?;
+    for rule in &exp.derived {
+        for (axis, _) in &rule.baseline {
+            if !axes.iter().any(|a| a.name == axis) {
+                return Err(format!("derive rule references unknown axis {axis:?}"));
+            }
+        }
+    }
+    for red in &exp.reductions {
+        for axis in red.group_by.iter().chain(red.filter.iter().map(|(a, _)| a)) {
+            if !axes.iter().any(|a| a.name == axis) {
+                return Err(format!(
+                    "reduction {:?} references unknown axis {axis:?}",
+                    red.label
+                ));
+            }
+        }
+    }
+
+    let shape = grid_shape(&axes);
+    let n_cells: usize = shape.iter().product();
+    let contexts: Vec<CellCtx> = (0..n_cells)
+        .map(|i| {
+            let idx = unravel(i, &shape);
+            CellCtx {
+                coords: axes
+                    .iter()
+                    .zip(&idx)
+                    .map(|(a, &vi)| (a.name, &a.values[vi]))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // Evaluate the whole grid (visible and hidden baseline cells) on the
+    // shared pool; `run_parallel` preserves input order.
+    let eval = &exp.eval;
+    let mut cells: Vec<Cell> = crate::run_parallel(contexts, |ctx: &CellCtx| eval(ctx));
+
+    // Derived metrics: look up each cell's baseline arm and append ratios.
+    for rule in &exp.derived {
+        apply_normalize(rule, &axes, &shape, &mut cells)?;
+    }
+
+    let visible = |idx: &[usize]| -> bool { axes.iter().zip(idx).all(|(a, &vi)| a.visible[vi]) };
+
+    let mut rows = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let idx = unravel(i, &shape);
+        if !visible(&idx) {
+            continue;
+        }
+        rows.push(ResultRow {
+            coords: axes
+                .iter()
+                .zip(&idx)
+                .map(|(a, &vi)| (a.name.to_string(), a.values[vi].label.clone()))
+                .collect(),
+            metrics: cell.metrics.clone(),
+            notes: cell.notes.clone(),
+        });
+    }
+
+    let mut summaries = Vec::new();
+    for red in &exp.reductions {
+        summaries.extend(apply_reduction(red, &rows));
+    }
+
+    Ok(ScenarioResult {
+        name: exp.name.to_string(),
+        title: exp.title.clone(),
+        axes: axes
+            .iter()
+            .map(|a| AxisMeta {
+                name: a.name.to_string(),
+                labels: a
+                    .values
+                    .iter()
+                    .zip(&a.visible)
+                    .filter(|(_, &vis)| vis)
+                    .map(|(v, _)| v.label.clone())
+                    .collect(),
+            })
+            .collect(),
+        rows,
+        summaries,
+        display_metrics: exp.display_metrics.clone(),
+        pivot: exp
+            .pivot
+            .as_ref()
+            .map(|p| (p.axis.clone(), p.metric.clone())),
+        notes: exp.notes.clone(),
+    })
+}
+
+/// Applies one [`Normalize`] rule across the evaluated grid.
+fn apply_normalize(
+    rule: &Normalize,
+    axes: &[KeptAxis],
+    shape: &[usize],
+    cells: &mut [Cell],
+) -> Result<(), String> {
+    // Resolve the pinned index on each baseline axis (by normalized label).
+    let mut pins: Vec<(usize, usize)> = Vec::new(); // (axis position, value index)
+    for (axis_name, label) in &rule.baseline {
+        let a = axes
+            .iter()
+            .position(|a| a.name == axis_name)
+            .expect("validated above");
+        let Some(vi) = axes[a]
+            .values
+            .iter()
+            .position(|v| norm_label(&v.label) == norm_label(label))
+        else {
+            // The baseline arm does not exist on this (possibly
+            // batch-overridden) axis; skip the rule rather than fail, so
+            // e.g. `--batch` replacements don't kill unrelated scenarios.
+            return Ok(());
+        };
+        pins.push((a, vi));
+    }
+    if let (Rename::To(_), true) = (&rule.rename, rule.metrics.len() != 1) {
+        return Err("Rename::To requires exactly one metric".to_string());
+    }
+    for i in 0..cells.len() {
+        let mut base_idx = unravel(i, shape);
+        for &(a, vi) in &pins {
+            base_idx[a] = vi;
+        }
+        let base_flat = ravel(&base_idx, shape);
+        let mut new_metrics = Vec::new();
+        for metric in &rule.metrics {
+            let denom_key = rule.denom_metric.as_deref().unwrap_or(metric.as_str());
+            let (Some(num), Some(denom)) = (cells[i].get(metric), cells[base_flat].get(denom_key))
+            else {
+                continue;
+            };
+            if denom == 0.0 || num == 0.0 && rule.invert {
+                continue;
+            }
+            let value = if rule.invert {
+                denom / num
+            } else {
+                num / denom
+            };
+            let name = match &rule.rename {
+                Rename::Suffix(s) => format!("{metric}{s}"),
+                Rename::To(n) => n.clone(),
+            };
+            new_metrics.push((name, value));
+        }
+        cells[i].metrics.extend(new_metrics);
+    }
+    Ok(())
+}
+
+/// A reduction group's `(axis, label)` key.
+type GroupKey = Vec<(String, String)>;
+
+/// Applies one [`Reduction`] over the visible rows, producing one summary
+/// per group (groups appear in first-encountered grid order).
+fn apply_reduction(red: &Reduction, rows: &[ResultRow]) -> Vec<Summary> {
+    let mut groups: Vec<(GroupKey, Vec<f64>)> = Vec::new();
+    for row in rows {
+        let matches = red.filter.iter().all(|(axis, label)| {
+            row.coord(axis)
+                .is_some_and(|l| norm_label(l) == norm_label(label))
+        });
+        if !matches {
+            continue;
+        }
+        let Some(value) = row.get(&red.metric) else {
+            continue;
+        };
+        let key: Vec<(String, String)> = red
+            .group_by
+            .iter()
+            .filter_map(|axis| row.coord(axis).map(|l| (axis.clone(), l.to_string())))
+            .collect();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, values)) => values.push(value),
+            None => groups.push((key, vec![value])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(group, values)| {
+            let value = match red.kind {
+                ReduceKind::Mean => values.iter().sum::<f64>() / values.len() as f64,
+                ReduceKind::Geomean => geomean(&values),
+                ReduceKind::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                ReduceKind::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
+            };
+            Summary {
+                label: red.label.clone(),
+                metric: red.metric.clone(),
+                kind: red.kind,
+                group,
+                value,
+                count: values.len(),
+                paper: red.paper,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Axis;
+    use super::*;
+    use std::sync::Arc;
+
+    /// A tiny synthetic experiment: value = 10 * model-index + point-index.
+    fn toy() -> Experiment {
+        Experiment::new(
+            "toy",
+            "toy experiment",
+            Arc::new(|ctx: &CellCtx| {
+                let m: f64 = ctx
+                    .label("model")
+                    .strip_prefix('m')
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                let p: f64 = ctx
+                    .label("point")
+                    .strip_prefix('p')
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                Cell::new().metric("v", 10.0 * m + p + 1.0)
+            }),
+        )
+        .axis(Axis::new(
+            "model",
+            (0..3).map(|i| AxisValue::label(format!("m{i}"))),
+        ))
+        .axis(Axis::new(
+            "point",
+            (0..2).map(|i| AxisValue::label(format!("p{i}"))),
+        ))
+        .derive(Normalize::speedup("v", &[("point", "p0")], "ratio"))
+        .reduce(
+            Reduction::new("mean ratio at p1", "ratio", ReduceKind::Mean)
+                .filter(&[("point", "p1")]),
+        )
+    }
+
+    #[test]
+    fn grid_is_row_major_and_complete() {
+        let res = run_experiment(&toy(), &RunOptions::default()).unwrap();
+        assert_eq!(res.rows.len(), 6);
+        assert_eq!(
+            res.rows[0].coords,
+            vec![
+                ("model".to_string(), "m0".to_string()),
+                ("point".to_string(), "p0".to_string()),
+            ]
+        );
+        assert_eq!(res.rows[1].coord("point"), Some("p1"));
+        assert_eq!(res.rows[5].get("v"), Some(22.0));
+    }
+
+    #[test]
+    fn derived_ratio_uses_baseline_arm() {
+        let res = run_experiment(&toy(), &RunOptions::default()).unwrap();
+        // ratio at (m1, p1) = v(m1,p0)/v(m1,p1) = 11/12.
+        let row = res
+            .rows
+            .iter()
+            .find(|r| r.coord("model") == Some("m1") && r.coord("point") == Some("p1"))
+            .unwrap();
+        assert_eq!(row.get("ratio"), Some(11.0 / 12.0));
+    }
+
+    #[test]
+    fn reduction_filters_and_counts() {
+        let res = run_experiment(&toy(), &RunOptions::default()).unwrap();
+        let s = &res.summaries[0];
+        assert_eq!(s.count, 3);
+        let expected = (1.0 / 2.0 + 11.0 / 12.0 + 21.0 / 22.0) / 3.0;
+        assert!((s.value - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hidden_baseline_survives_filters() {
+        let opts = RunOptions::default().filter("point", &["p1"]);
+        let res = run_experiment(&toy(), &opts).unwrap();
+        // Only p1 rows are visible, but the p0 baseline was still evaluated.
+        assert_eq!(res.rows.len(), 3);
+        assert!(res.rows.iter().all(|r| r.coord("point") == Some("p1")));
+        assert_eq!(res.rows[0].get("ratio"), Some(1.0 / 2.0));
+        assert_eq!(res.axes[1].labels, vec!["p1".to_string()]);
+    }
+
+    #[test]
+    fn unknown_filter_label_is_an_error() {
+        let opts = RunOptions::default().filter("model", &["m0", "bogus"]);
+        let err = run_experiment(&toy(), &opts).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(err.contains("available"), "{err}");
+    }
+
+    #[test]
+    fn ravel_unravel_round_trip() {
+        let shape = [3usize, 4, 2];
+        for i in 0..24 {
+            assert_eq!(ravel(&unravel(i, &shape), &shape), i);
+        }
+    }
+}

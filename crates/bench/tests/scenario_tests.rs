@@ -1,0 +1,240 @@
+//! Integration tests for the scenario/experiment layer: registry
+//! completeness, JSON schema stability (golden structure on a 2-model
+//! subset), round-tripping through the in-tree parser, axis-filter
+//! semantics, and bit-identical results across worker-thread counts.
+
+use diva_bench::scenario::{
+    self,
+    json::{parse_scenario_json, to_json, SCHEMA},
+    render::to_csv,
+    RunOptions,
+};
+use diva_tensor::Backend;
+
+/// The small fig13 subset every schema test runs: 2 models × 2 points.
+fn small_fig13_opts() -> RunOptions {
+    RunOptions::default()
+        .filter("model", &["mobilenet", "squeezenet"])
+        .filter("point", &["ws", "diva"])
+}
+
+#[test]
+fn every_registered_scenario_is_listed() {
+    let names = scenario::list();
+    assert_eq!(names.len(), 21);
+    // Every legacy figure/table/ablation binary has its scenario.
+    for expected in [
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "table1",
+        "table2",
+        "table3",
+        "maxbatch",
+        "ppu_traffic",
+        "roofline",
+        "sensitivity_image",
+        "sensitivity_seq",
+        "ablation_drain_overlap",
+        "ablation_sram",
+        "ablation_vanilla_dpsgd",
+        "training_run_cost",
+    ] {
+        assert!(names.contains(&expected), "missing scenario {expected}");
+    }
+}
+
+/// Golden structure snapshot of the fig13 JSON document on a 2-model
+/// subset: schema id, axes, record count and the exact derived-metric
+/// column set are pinned, so the `diva-scenario/v1` schema cannot drift
+/// silently.
+#[test]
+fn fig13_json_golden_structure() {
+    let result = scenario::run_with("fig13", &small_fig13_opts()).expect("fig13 runs");
+    let doc = to_json(&result);
+    let parsed = parse_scenario_json(&doc).expect("parses");
+
+    assert_eq!(parsed.schema, SCHEMA);
+    assert_eq!(parsed.scenario, "fig13");
+    let axes: Vec<(&str, Vec<&str>)> = parsed
+        .axes
+        .iter()
+        .map(|(n, vs)| (n.as_str(), vs.iter().map(String::as_str).collect()))
+        .collect();
+    assert_eq!(
+        axes,
+        vec![
+            ("model", vec!["SqueezeNet", "MobileNet"]),
+            ("point", vec!["WS", "DiVa"]),
+            ("algorithm", vec!["DP-SGD(R)", "SGD"]),
+            ("batch", vec!["paper"]),
+        ]
+    );
+    // 2 models × 2 points × 2 algorithms × 1 batch.
+    assert_eq!(parsed.records.len(), 8);
+    for record in &parsed.records {
+        assert_eq!(record.name, "fig13");
+        for axis in ["model", "point", "algorithm", "batch"] {
+            assert!(record.tag_value(axis).is_some(), "record misses {axis}");
+        }
+        // The derived columns are schema-stable.
+        for metric in ["seconds", "speedup", "speedup_same_alg", "vs_ws_sgd"] {
+            assert!(
+                record.metric_value(metric).is_some(),
+                "record misses {metric}"
+            );
+        }
+    }
+    // The headline reductions survive the subset (arms whose cells were
+    // filtered out simply produce no summary).
+    let labels: Vec<&str> = parsed.reductions.iter().map(|r| r.name.as_str()).collect();
+    assert!(
+        labels.contains(&"DiVa speedup vs WS (geomean)"),
+        "{labels:?}"
+    );
+    for r in &parsed.reductions {
+        assert!(r.metric_value("value").is_some(), "{} has no value", r.name);
+        assert!(r.tag_value("kind").is_some());
+    }
+}
+
+/// The JSON document round-trips: every metric value of every record
+/// survives serialize → parse exactly (f64 Display is round-trip-precise).
+#[test]
+fn fig13_json_round_trips_values() {
+    let result = scenario::run_with("fig13", &small_fig13_opts()).expect("fig13 runs");
+    let parsed = parse_scenario_json(&to_json(&result)).expect("parses");
+    assert_eq!(parsed.records.len(), result.rows.len());
+    for (record, row) in parsed.records.iter().zip(&result.rows) {
+        for (axis, label) in &row.coords {
+            assert_eq!(record.tag_value(axis), Some(label.as_str()));
+        }
+        for (metric, value) in &row.metrics {
+            if value.is_finite() {
+                assert_eq!(
+                    record.metric_value(metric),
+                    Some(*value),
+                    "metric {metric} did not round-trip"
+                );
+            } else {
+                assert_eq!(record.metric_value(metric), None);
+            }
+        }
+    }
+    assert_eq!(parsed.reductions.len(), result.summaries.len());
+    for (red, summary) in parsed.reductions.iter().zip(&result.summaries) {
+        assert_eq!(red.name, summary.label);
+        assert_eq!(red.metric_value("value"), Some(summary.value));
+        assert_eq!(red.metric_value("count"), Some(summary.count as f64));
+    }
+}
+
+/// The runner must be bit-identical across worker-thread counts: the grid
+/// assignment is fixed before execution, so serial and 8-way runs produce
+/// byte-identical JSON.
+#[test]
+fn runner_is_bit_identical_across_thread_counts() {
+    let opts = small_fig13_opts();
+    let serial =
+        Backend::serial().install(|| scenario::run_with("fig13", &opts).expect("serial run"));
+    let parallel = Backend::with_threads(8)
+        .install(|| scenario::run_with("fig13", &opts).expect("parallel run"));
+    assert_eq!(serial, parallel, "results differ across thread counts");
+    assert_eq!(
+        to_json(&serial),
+        to_json(&parallel),
+        "JSON differs across thread counts"
+    );
+}
+
+/// `--batch` replaces the symbolic paper batch with fixed sizes.
+#[test]
+fn batch_override_replaces_the_batch_axis() {
+    let opts = small_fig13_opts().batches(&[8, 16]);
+    let result = scenario::run_with("fig13", &opts).expect("runs");
+    assert_eq!(result.rows.len(), 16); // 2 × 2 × 2 × 2 batches
+    let batches: Vec<&str> = result
+        .axes
+        .iter()
+        .find(|a| a.name == "batch")
+        .unwrap()
+        .labels
+        .iter()
+        .map(String::as_str)
+        .collect();
+    assert_eq!(batches, vec!["8", "16"]);
+    assert!(result
+        .rows
+        .iter()
+        .all(|r| matches!(r.coord("batch"), Some("8") | Some("16"))));
+}
+
+/// Filtering away the WS baseline must not kill the speedup column: the
+/// runner evaluates hidden baseline arms for derived metrics.
+#[test]
+fn sensitivity_keeps_speedups_without_the_baseline_arm() {
+    let opts = RunOptions::default()
+        .filter("model", &["vgg16"])
+        .filter("scale", &["32x32", "64x64"])
+        .filter("point", &["diva"]);
+    let result = scenario::run_with("sensitivity_image", &opts).expect("runs");
+    assert_eq!(result.rows.len(), 2);
+    for row in &result.rows {
+        assert_eq!(row.coord("point"), Some("DiVa"));
+        let speedup = row.get("speedup").expect("derived vs hidden WS arm");
+        assert!(speedup > 1.0, "DiVa should win: {speedup}");
+    }
+    // Speedups narrow as the image grows (the paper's Section VI-C trend).
+    assert!(result.rows[1].get("speedup") < result.rows[0].get("speedup"));
+}
+
+#[test]
+fn unknown_scenario_and_bad_filters_error_cleanly() {
+    assert!(scenario::run_with("nope", &RunOptions::default())
+        .unwrap_err()
+        .contains("registered:"));
+    let err = scenario::run_with(
+        "fig13",
+        &RunOptions::default().filter("model", &["not-a-model"]),
+    )
+    .unwrap_err();
+    assert!(err.contains("not-a-model"), "{err}");
+    // A filter naming an axis the scenario doesn't have must error, not
+    // silently return the full unfiltered grid.
+    let err =
+        scenario::run_with("table1", &RunOptions::default().filter("point", &["ws"])).unwrap_err();
+    assert!(err.contains("no axis named"), "{err}");
+    assert!(err.contains("dataflow"), "lists available axes: {err}");
+    // Same for a --batch override on a scenario without a batch axis.
+    let err = scenario::run_with("maxbatch", &RunOptions::default().batches(&[32])).unwrap_err();
+    assert!(err.contains("batch"), "{err}");
+}
+
+/// CSV carries one column per axis plus every metric, one line per row.
+#[test]
+fn csv_has_header_plus_one_line_per_row() {
+    let result = scenario::run_with("fig13", &small_fig13_opts()).expect("runs");
+    let csv = to_csv(&result);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + result.rows.len());
+    assert!(lines[0].starts_with("model,point,algorithm,batch,"));
+    assert!(lines[0].contains("speedup"));
+}
+
+/// Small non-sweep scenarios run end to end through the registry.
+#[test]
+fn degenerate_scenarios_run() {
+    for name in ["table1", "table2", "fig06"] {
+        let result = scenario::run_with(name, &RunOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!result.rows.is_empty(), "{name} produced no rows");
+        let doc = to_json(&result);
+        parse_scenario_json(&doc).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

@@ -57,6 +57,41 @@ impl RunReport {
     pub fn phase_utilization(&self, phase: Phase, pe_macs: u64) -> f64 {
         self.timing.phase_utilization(phase, pe_macs)
     }
+
+    /// Flattens the report into a stable list of named numeric metrics —
+    /// the bridge the scenario layer (`diva_bench::scenario`) turns into
+    /// result cells and machine-readable report rows.
+    ///
+    /// The metric set is schema-stable: every phase of [`Phase::ALL`]
+    /// contributes its `cycles_*` and `dram_bytes_*` entries even when
+    /// zero, so columns never appear or vanish with the workload.
+    pub fn flat_metrics(&self) -> Vec<(String, f64)> {
+        let mut metrics: Vec<(String, f64)> = vec![
+            ("seconds".into(), self.seconds),
+            ("total_cycles".into(), self.timing.total_cycles() as f64),
+            ("total_macs".into(), self.timing.total_macs() as f64),
+            ("dram_bytes".into(), self.timing.total_dram_bytes() as f64),
+            ("sram_bytes".into(), self.timing.total_sram_bytes() as f64),
+            ("flops_utilization".into(), self.flops_utilization),
+            ("energy_j".into(), self.energy.total()),
+            ("energy_engine_j".into(), self.energy.engine_j),
+            ("energy_ppu_j".into(), self.energy.ppu_j),
+            ("energy_sram_j".into(), self.energy.sram_j),
+            ("energy_dram_j".into(), self.energy.dram_j),
+            ("energy_uncore_j".into(), self.energy.uncore_j),
+        ];
+        for phase in Phase::ALL {
+            metrics.push((
+                format!("cycles_{}", phase.slug()),
+                self.timing.phase_cycles(phase) as f64,
+            ));
+            metrics.push((
+                format!("dram_bytes_{}", phase.slug()),
+                self.timing.phase_dram_bytes(phase) as f64,
+            ));
+        }
+        metrics
+    }
 }
 
 impl Accelerator {
@@ -180,6 +215,35 @@ mod tests {
         assert!(r.energy.total() > 0.0);
         assert!(r.flops_utilization > 0.0 && r.flops_utilization <= 1.0);
         assert!((r.speedup_vs(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_metrics_are_schema_stable_and_consistent() {
+        let model = zoo::lstm_small();
+        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let sgd = diva.run(&model, Algorithm::Sgd, 8);
+        let dpr = diva.run(&model, Algorithm::DpSgdReweighted, 8);
+        let keys = |r: &RunReport| -> Vec<String> {
+            r.flat_metrics().into_iter().map(|(k, _)| k).collect()
+        };
+        // Same columns regardless of which phases the workload exercises.
+        assert_eq!(keys(&sgd), keys(&dpr));
+        let get = |r: &RunReport, k: &str| -> f64 {
+            r.flat_metrics()
+                .into_iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing metric {k}"))
+        };
+        assert_eq!(get(&dpr, "seconds"), dpr.seconds);
+        assert_eq!(get(&dpr, "energy_j"), dpr.energy.total());
+        assert_eq!(
+            get(&dpr, "cycles_fwd"),
+            dpr.phase_cycles(Phase::Forward) as f64
+        );
+        // SGD never runs the second activation-grad pass; the column still
+        // exists and reads zero.
+        assert_eq!(get(&sgd, "cycles_bwd_act_grad2"), 0.0);
     }
 
     #[test]

@@ -53,6 +53,8 @@ mod synthetic;
 pub use accountant::{calibrate_sigma, RdpAccountant};
 pub use clip::{clip_factors, ClipSummary};
 pub use mechanism::GaussianMechanism;
-pub use optimizer::{ClipMode, DpSgdConfig, DpTrainer, StepReport, TrainingAlgorithm};
+pub use optimizer::{
+    ClipMode, DpSgdConfig, DpTrainer, DpTrainerBuilder, StepReport, TrainingAlgorithm,
+};
 pub use sampling::poisson_sample;
 pub use synthetic::{make_blobs, make_image_blobs, make_sequence_blobs, Dataset};

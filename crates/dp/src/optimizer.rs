@@ -105,6 +105,102 @@ pub struct StepReport {
     pub update_norm: f64,
 }
 
+/// Builder for [`DpTrainer`]: hyper-parameters, clip mode and compute
+/// backend in one fluent chain (replaces the deprecated two-argument
+/// `DpTrainer::with_clip_mode`).
+///
+/// # Example
+///
+/// ```
+/// use diva_dp::{ClipMode, DpTrainer, TrainingAlgorithm};
+/// use diva_tensor::Backend;
+///
+/// let trainer = DpTrainer::builder()
+///     .algorithm(TrainingAlgorithm::DpSgd)
+///     .clip_norm(0.5)
+///     .noise_multiplier(1.3)
+///     .learning_rate(0.2)
+///     .clip_mode(ClipMode::PerLayer)
+///     .backend(Backend::serial())
+///     .build();
+/// assert_eq!(trainer.clip_mode(), ClipMode::PerLayer);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DpTrainerBuilder {
+    config: DpSgdConfig,
+    clip_mode: ClipMode,
+    backend: Option<Backend>,
+}
+
+impl DpTrainerBuilder {
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: DpSgdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the gradient-derivation algorithm.
+    pub fn algorithm(mut self, algorithm: TrainingAlgorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the max per-example gradient L2 norm `C`.
+    pub fn clip_norm(mut self, clip_norm: f64) -> Self {
+        self.config.clip_norm = clip_norm;
+        self
+    }
+
+    /// Sets the noise multiplier `σ`.
+    pub fn noise_multiplier(mut self, noise_multiplier: f64) -> Self {
+        self.config.noise_multiplier = noise_multiplier;
+        self
+    }
+
+    /// Sets the SGD learning rate `η`.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.config.learning_rate = learning_rate;
+        self
+    }
+
+    /// Sets the clipping mode ([`ClipMode::Flat`] by default).
+    pub fn clip_mode(mut self, clip_mode: ClipMode) -> Self {
+        self.clip_mode = clip_mode;
+        self
+    }
+
+    /// Selects the compute backend (thread count) every step runs under;
+    /// prewarms the shared keep-alive pool to that width at [`Self::build`]
+    /// time. When not set, the trainer defaults to [`Backend::auto`]
+    /// *without* prewarming — workers spawn lazily at the first parallel
+    /// region, so a trainer that is immediately narrowed (the bench
+    /// sweep's serial arm) never parks a core-count of idle workers.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Builds the trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ClipMode::PerLayer`] is combined with DP-SGD(R) (the
+    /// reweighted algorithm expresses clipping as a single per-example
+    /// loss scale, which cannot encode per-layer factors), or if the
+    /// configuration is private and `clip_norm` / `noise_multiplier` are
+    /// invalid.
+    pub fn build(self) -> DpTrainer {
+        if let Some(backend) = self.backend {
+            backend.prewarm();
+        }
+        DpTrainer::assemble(
+            self.config,
+            self.clip_mode,
+            self.backend.unwrap_or_default(),
+        )
+    }
+}
+
 /// A stateless training-step driver: owns the hyper-parameters, borrows the
 /// network and RNG per step.
 ///
@@ -146,6 +242,16 @@ pub struct DpTrainer {
 }
 
 impl DpTrainer {
+    /// Starts a [`DpTrainerBuilder`] with the default configuration
+    /// ([`DpSgdConfig::default`], flat clipping, auto backend).
+    pub fn builder() -> DpTrainerBuilder {
+        DpTrainerBuilder {
+            config: DpSgdConfig::default(),
+            clip_mode: ClipMode::Flat,
+            backend: None,
+        }
+    }
+
     /// Creates a trainer with flat (whole-gradient) clipping.
     ///
     /// # Panics
@@ -153,7 +259,7 @@ impl DpTrainer {
     /// Panics if the configuration is private and `clip_norm` or
     /// `noise_multiplier` are invalid.
     pub fn new(config: DpSgdConfig) -> Self {
-        Self::with_clip_mode(config, ClipMode::Flat)
+        Self::assemble(config, ClipMode::Flat, Backend::auto())
     }
 
     /// Creates a trainer with an explicit [`ClipMode`].
@@ -163,7 +269,17 @@ impl DpTrainer {
     /// Panics if `ClipMode::PerLayer` is combined with DP-SGD(R): the
     /// reweighted algorithm expresses clipping as a single per-example loss
     /// scale, which cannot encode per-layer factors.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `DpTrainer::builder().config(..).clip_mode(..).build()` instead"
+    )]
     pub fn with_clip_mode(config: DpSgdConfig, clip_mode: ClipMode) -> Self {
+        Self::assemble(config, clip_mode, Backend::auto())
+    }
+
+    /// The one construction path behind [`Self::new`],
+    /// [`DpTrainerBuilder::build`] and the deprecated `with_clip_mode`.
+    fn assemble(config: DpSgdConfig, clip_mode: ClipMode, backend: Backend) -> Self {
         assert!(
             !(clip_mode == ClipMode::PerLayer
                 && config.algorithm == TrainingAlgorithm::DpSgdReweighted),
@@ -178,14 +294,15 @@ impl DpTrainer {
         // No prewarm here: the default backend is full-width auto, and a
         // caller may immediately narrow it (`.with_backend(Backend::serial())`
         // — the bench sweep's serial arm), which must not leave a core-count
-        // of permanently parked workers behind. `with_backend` prewarms the
-        // width actually chosen; a trainer left on auto spawns workers
-        // lazily at its first parallel region.
+        // of permanently parked workers behind. `with_backend` and
+        // `DpTrainerBuilder::backend` prewarm the width actually chosen; a
+        // trainer left on auto spawns workers lazily at its first parallel
+        // region.
         Self {
             config,
             clip_mode,
             mechanism,
-            backend: Backend::auto(),
+            backend,
         }
     }
 
@@ -626,15 +743,13 @@ mod tests {
         let mut net = mlp(&mut rng);
         let (x, labels) = batch(&mut rng, 4);
         let c = 1e-2; // tiny bound: everything clips
-        let trainer = DpTrainer::with_clip_mode(
-            DpSgdConfig {
-                algorithm: TrainingAlgorithm::DpSgd,
-                clip_norm: c,
-                noise_multiplier: 0.0,
-                learning_rate: 0.0, // no update: we inspect the report only
-            },
-            ClipMode::PerLayer,
-        );
+        let trainer = DpTrainer::builder()
+            .algorithm(TrainingAlgorithm::DpSgd)
+            .clip_norm(c)
+            .noise_multiplier(0.0)
+            .learning_rate(0.0) // no update: we inspect the report only
+            .clip_mode(ClipMode::PerLayer)
+            .build();
         let report = trainer.step(&mut net, &x, &labels, &mut rng);
         let clip = report.clip.expect("clipping expected");
         assert_eq!(clip.clipped_count, 4);
@@ -646,13 +761,41 @@ mod tests {
     #[test]
     #[should_panic(expected = "per-layer clipping requires")]
     fn per_layer_clipping_rejects_reweighted() {
-        let _ = DpTrainer::with_clip_mode(
-            DpSgdConfig {
-                algorithm: TrainingAlgorithm::DpSgdReweighted,
-                ..DpSgdConfig::default()
-            },
-            ClipMode::PerLayer,
-        );
+        let _ = DpTrainer::builder()
+            .algorithm(TrainingAlgorithm::DpSgdReweighted)
+            .clip_mode(ClipMode::PerLayer)
+            .build();
+    }
+
+    /// The deprecated two-argument constructor must keep behaving exactly
+    /// like the builder until it is removed.
+    #[test]
+    fn deprecated_with_clip_mode_matches_builder() {
+        let cfg = DpSgdConfig {
+            algorithm: TrainingAlgorithm::DpSgd,
+            clip_norm: 0.7,
+            noise_multiplier: 1.0,
+            learning_rate: 0.2,
+        };
+        #[allow(deprecated)]
+        let legacy = DpTrainer::with_clip_mode(cfg, ClipMode::PerLayer);
+        let built = DpTrainer::builder()
+            .config(cfg)
+            .clip_mode(ClipMode::PerLayer)
+            .build();
+        assert_eq!(legacy.config(), built.config());
+        assert_eq!(legacy.clip_mode(), built.clip_mode());
+        assert_eq!(legacy.backend(), built.backend());
+    }
+
+    /// Builder defaults mirror `DpTrainer::new(DpSgdConfig::default())`.
+    #[test]
+    fn builder_defaults_match_new() {
+        let a = DpTrainer::new(DpSgdConfig::default());
+        let b = DpTrainer::builder().build();
+        assert_eq!(a.config(), b.config());
+        assert_eq!(a.clip_mode(), b.clip_mode());
+        assert_eq!(a.backend(), b.backend());
     }
 
     /// With a generous bound, per-layer and flat clipping agree (nothing
@@ -672,8 +815,13 @@ mod tests {
         let mut net_b = net0.clone();
         let mut r1 = DivaRng::seed_from_u64(1);
         let mut r2 = DivaRng::seed_from_u64(1);
-        DpTrainer::with_clip_mode(cfg, ClipMode::Flat).step(&mut net_a, &x, &labels, &mut r1);
-        DpTrainer::with_clip_mode(cfg, ClipMode::PerLayer).step(&mut net_b, &x, &labels, &mut r2);
+        let flat = DpTrainer::builder().config(cfg).build();
+        let per_layer = DpTrainer::builder()
+            .config(cfg)
+            .clip_mode(ClipMode::PerLayer)
+            .build();
+        flat.step(&mut net_a, &x, &labels, &mut r1);
+        per_layer.step(&mut net_b, &x, &labels, &mut r2);
         for (la, lb) in net_a.layers().iter().zip(net_b.layers()) {
             for (pa, pb) in la.params().iter().zip(lb.params()) {
                 assert!(pa.max_abs_diff(pb) < 1e-6);

@@ -27,7 +27,7 @@ mod model;
 mod step;
 pub mod zoo;
 
-pub use layers::LayerSpec;
+pub use layers::{LayerSpec, LoweredGemm};
 pub use memory::MemoryProfile;
 pub use model::ModelSpec;
 pub use step::Algorithm;

@@ -28,7 +28,7 @@ fn main() {
         noise_multiplier: 1.1,
         learning_rate: 0.5,
     };
-    let trainer = DpTrainer::new(config);
+    let trainer = DpTrainer::builder().config(config).build();
     let accountant = RdpAccountant::new(batch as f64 / train.len() as f64, config.noise_multiplier);
 
     println!(

@@ -220,6 +220,56 @@ fn sgd_side_benefits() {
     );
 }
 
+/// The fig13 scenario run through the registry must reproduce the same
+/// headline numbers as the legacy shim path computed by hand: identical
+/// per-model speedups (same simulator calls) and a bit-identical geomean
+/// (both sides reduce with `diva_core::geomean` over the same model
+/// order).
+#[test]
+fn fig13_registry_matches_direct_computation() {
+    use diva_bench::scenario::{self, RunOptions};
+
+    let result = scenario::run_with("fig13", &RunOptions::default()).expect("fig13 runs");
+
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let mut direct = Vec::new();
+    for m in zoo::all_models() {
+        let b = paper_batch(&m);
+        let t_ws = ws.run(&m, Algorithm::DpSgdReweighted, b).seconds;
+        let t_diva = diva.run(&m, Algorithm::DpSgdReweighted, b).seconds;
+        direct.push((m.name.clone(), t_ws / t_diva));
+    }
+
+    // Per-model speedups agree exactly (same simulator, same arithmetic).
+    for (name, speedup) in &direct {
+        let row = result
+            .rows
+            .iter()
+            .find(|r| {
+                r.coord("model") == Some(name)
+                    && r.coord("point") == Some("DiVa")
+                    && r.coord("algorithm") == Some("DP-SGD(R)")
+            })
+            .unwrap_or_else(|| panic!("no fig13 row for {name}"));
+        assert_eq!(
+            row.get("speedup"),
+            Some(*speedup),
+            "{name}: registry speedup diverged from the direct path"
+        );
+    }
+
+    // And so does the declared geomean reduction.
+    let summary = result
+        .summaries
+        .iter()
+        .find(|s| s.label == "DiVa speedup vs WS (geomean)")
+        .expect("fig13 declares the geomean headline");
+    let speedups: Vec<f64> = direct.iter().map(|(_, s)| *s).collect();
+    assert_eq!(summary.count, speedups.len());
+    assert_eq!(summary.value, geomean(&speedups));
+}
+
 /// Section VI-C: DiVa's edge narrows (but persists) as inputs grow.
 #[test]
 fn sensitivity_trend_holds() {
