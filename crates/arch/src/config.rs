@@ -148,7 +148,9 @@ impl AcceleratorConfig {
         if self.sram_bytes == 0 {
             return Err(ConfigError::NoSram);
         }
-        if self.memory.bandwidth_bytes_per_sec <= 0.0 {
+        if self.memory.bandwidth_bytes_per_sec <= 0.0
+            || !self.memory.bandwidth_bytes_per_sec.is_finite()
+        {
             return Err(ConfigError::InvalidBandwidth(
                 self.memory.bandwidth_bytes_per_sec,
             ));
@@ -227,7 +229,8 @@ impl AcceleratorConfigBuilder {
     }
 }
 
-/// Validation errors for [`AcceleratorConfig`].
+/// Validation, parameter-registry and design-point errors — the single
+/// error type of the configuration layer.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ConfigError {
     /// PE array has zero rows or columns.
@@ -236,7 +239,7 @@ pub enum ConfigError {
     InvalidFrequency(f64),
     /// SRAM capacity is zero.
     NoSram,
-    /// Memory bandwidth is non-positive.
+    /// Memory bandwidth is non-positive or non-finite.
     InvalidBandwidth(f64),
     /// Drain rate is zero or exceeds the PE row count.
     InvalidDrainRate(u64),
@@ -244,6 +247,28 @@ pub enum ConfigError {
     InvalidFillRate(u64),
     /// A PPU was attached to a dataflow that cannot feed it.
     PpuRequiresOutputStationary(Dataflow),
+    /// A parameter name not present in the registry
+    /// ([`crate::params::param_names`]); the message lists every
+    /// registered name.
+    UnknownParameter(String),
+    /// A parameter value string that does not parse as its type.
+    InvalidValue {
+        /// The registered parameter name.
+        param: String,
+        /// The offending input.
+        value: String,
+        /// What the parameter expects, e.g. `"an unsigned integer"`.
+        expected: &'static str,
+    },
+    /// A design-point preset name that matches none of the known presets.
+    UnknownPreset {
+        /// The offending input.
+        name: String,
+        /// Comma-joined known preset names, for the message.
+        available: String,
+    },
+    /// A design-point spec string that is not `preset[:k=v,...]`.
+    MalformedSpec(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -260,6 +285,26 @@ impl fmt::Display for ConfigError {
             ConfigError::PpuRequiresOutputStationary(d) => {
                 write!(f, "PPU cannot be fed by the {d} dataflow")
             }
+            ConfigError::UnknownParameter(name) => write!(
+                f,
+                "unknown parameter {name:?}; available: {}",
+                crate::params::param_names().join(", ")
+            ),
+            ConfigError::InvalidValue {
+                param,
+                value,
+                expected,
+            } => write!(f, "parameter {param}: {value:?} is not {expected}"),
+            ConfigError::UnknownPreset { name, available } => {
+                write!(
+                    f,
+                    "unknown design-point preset {name:?}; available: {available}"
+                )
+            }
+            ConfigError::MalformedSpec(spec) => write!(
+                f,
+                "malformed design-point spec {spec:?}; want preset[:key=value,...]"
+            ),
         }
     }
 }

@@ -23,8 +23,22 @@ mod bandwidth;
 mod config;
 mod gemm;
 mod ops;
+pub mod params;
 
 pub use bandwidth::{sram_bandwidth, SramBandwidth};
 pub use config::{AcceleratorConfig, AcceleratorConfigBuilder, ConfigError, MemoryConfig, PeArray};
 pub use gemm::{DataType, GemmShape};
 pub use ops::{Dataflow, Phase, TrainingOp, TrainingOpKind, VectorOpKind};
+pub use params::{ParamSpec, ParamValue};
+
+/// Normalizes a label for lenient matching: lowercased ASCII
+/// alphanumerics only, so `"DiVa w/o PPU"` → `"divawoppu"`. The single
+/// implementation behind dataflow/preset parsing here and in
+/// `diva_core`, and the scenario layer's CLI label filters.
+pub fn norm_label(label: &str) -> String {
+    label
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}

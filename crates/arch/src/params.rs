@@ -1,0 +1,451 @@
+//! The **parameter registry** over [`AcceleratorConfig`]: every Table II
+//! knob under a stable string name with a typed get/set/parse/format
+//! implementation.
+//!
+//! This is the substrate of the design-space exploration layer: the
+//! `diva-report` CLI's `--set key=value` / `--sweep key=v1,v2` flags, the
+//! preset+override design points in `diva-core`, and the `dse_*` scenario
+//! family all resolve parameter names through this table, so a new
+//! hardware question never needs new Rust code.
+//!
+//! Contract:
+//!
+//! * Names are stable (they appear in CLI invocations, scripts and JSON
+//!   artifacts). The registered set is [`param_names`].
+//! * [`set_param`] parses the *string* form and assigns; it never panics
+//!   and reports unknown names / malformed values as [`ConfigError`]s
+//!   (range constraints are enforced by [`AcceleratorConfig::validate`]
+//!   when the config is built into a simulator).
+//! * [`get_param`] → [`ParamValue::format`] → [`set_param`] round-trips
+//!   bit-exactly: the formatted string parses back to the identical value.
+//!
+//! # Example
+//!
+//! ```
+//! use diva_arch::{params, AcceleratorConfig, Dataflow};
+//!
+//! let mut cfg = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
+//! params::set_param(&mut cfg, "drain_rows", "4").unwrap();
+//! assert_eq!(cfg.drain_rows_per_cycle, 4);
+//! assert_eq!(params::get_param(&cfg, "sram_mib").unwrap().format(), "16");
+//! assert!(params::set_param(&mut cfg, "typo", "1").is_err());
+//! ```
+
+use std::fmt;
+
+use crate::config::{AcceleratorConfig, ConfigError};
+use crate::ops::Dataflow;
+
+/// The typed value of one registered parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ParamValue {
+    /// An unsigned integer (PE geometry, channel counts, rates).
+    U64(u64),
+    /// A float in the parameter's display unit (MHz, MiB, GB/s).
+    F64(f64),
+    /// A boolean toggle (PPU, drain overlap).
+    Bool(bool),
+    /// A GEMM-engine dataflow.
+    Flow(Dataflow),
+}
+
+impl ParamValue {
+    /// The canonical string form; [`set_param`] parses it back to the
+    /// bit-identical value (`f64` `Display` is round-trip precise).
+    pub fn format(&self) -> String {
+        match self {
+            ParamValue::U64(v) => v.to_string(),
+            ParamValue::F64(v) => format!("{v}"),
+            ParamValue::Bool(v) => v.to_string(),
+            ParamValue::Flow(d) => flow_slug(*d).to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.format())
+    }
+}
+
+/// The stable lowercase identifier of a dataflow (parseable by
+/// [`set_param`] on `"dataflow"`).
+fn flow_slug(d: Dataflow) -> &'static str {
+    match d {
+        Dataflow::WeightStationary => "ws",
+        Dataflow::OutputStationary => "os",
+        Dataflow::OuterProduct => "diva",
+    }
+}
+
+/// One registry entry: stable name, human description, typed accessors.
+pub struct ParamSpec {
+    /// The stable parameter name (`"pe.rows"`, `"drain_rows"`, …).
+    pub name: &'static str,
+    /// One-line description shown by CLI help and docs.
+    pub doc: &'static str,
+    /// Reads the current value.
+    pub get: fn(&AcceleratorConfig) -> ParamValue,
+    /// Parses the string form and assigns (no range validation — that is
+    /// [`AcceleratorConfig::validate`]'s job).
+    pub set: fn(&mut AcceleratorConfig, &str) -> Result<(), ConfigError>,
+}
+
+macro_rules! invalid {
+    ($name:expr, $value:expr, $expected:expr) => {
+        ConfigError::InvalidValue {
+            param: $name.to_string(),
+            value: $value.to_string(),
+            expected: $expected,
+        }
+    };
+}
+
+fn parse_u64(name: &'static str, s: &str) -> Result<u64, ConfigError> {
+    s.trim()
+        .parse::<u64>()
+        .map_err(|_| invalid!(name, s, "an unsigned integer"))
+}
+
+fn parse_f64(name: &'static str, s: &str) -> Result<f64, ConfigError> {
+    let v = s
+        .trim()
+        .parse::<f64>()
+        .map_err(|_| invalid!(name, s, "a finite number"))?;
+    if !v.is_finite() {
+        return Err(invalid!(name, s, "a finite number"));
+    }
+    Ok(v)
+}
+
+fn parse_bool(name: &'static str, s: &str) -> Result<bool, ConfigError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "true" | "1" | "yes" | "on" => Ok(true),
+        "false" | "0" | "no" | "off" => Ok(false),
+        _ => Err(invalid!(name, s, "a boolean (true/false)")),
+    }
+}
+
+fn parse_flow(s: &str) -> Result<Dataflow, ConfigError> {
+    match crate::norm_label(s).as_str() {
+        "ws" | "weightstationary" => Ok(Dataflow::WeightStationary),
+        "os" | "outputstationary" => Ok(Dataflow::OutputStationary),
+        "diva" | "op" | "outerproduct" => Ok(Dataflow::OuterProduct),
+        _ => Err(invalid!("dataflow", s, "one of ws, os, diva")),
+    }
+}
+
+const MIB: f64 = (1u64 << 20) as f64;
+
+/// The registry: every Table II knob of [`AcceleratorConfig`].
+pub const PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        name: "pe.rows",
+        doc: "PE array height PE_H (rows)",
+        get: |c| ParamValue::U64(c.pe.rows),
+        set: |c, s| {
+            c.pe.rows = parse_u64("pe.rows", s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "pe.cols",
+        doc: "PE array width PE_W (columns)",
+        get: |c| ParamValue::U64(c.pe.cols),
+        set: |c, s| {
+            c.pe.cols = parse_u64("pe.cols", s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "freq_mhz",
+        doc: "core clock in MHz (Table II: 940)",
+        get: |c| ParamValue::F64(c.freq_hz / 1e6),
+        set: |c, s| {
+            c.freq_hz = parse_f64("freq_mhz", s)? * 1e6;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "sram_mib",
+        doc: "on-chip SRAM capacity in MiB (Table II: 16)",
+        get: |c| ParamValue::F64(c.sram_bytes as f64 / MIB),
+        set: |c, s| {
+            let v = parse_f64("sram_mib", s)?;
+            if v < 0.0 {
+                return Err(invalid!("sram_mib", s, "a non-negative MiB count"));
+            }
+            c.sram_bytes = (v * MIB).round() as u64;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "mem.bandwidth_gbps",
+        doc: "aggregate DRAM bandwidth in GB/s (Table II: 450)",
+        get: |c| ParamValue::F64(c.memory.bandwidth_bytes_per_sec / 1e9),
+        set: |c, s| {
+            c.memory.bandwidth_bytes_per_sec = parse_f64("mem.bandwidth_gbps", s)? * 1e9;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "mem.channels",
+        doc: "memory channel count (Table II: 16; bookkeeping only — the analytic \
+              model prices aggregate bandwidth, so sweeping this alone is inert)",
+        get: |c| ParamValue::U64(c.memory.channels),
+        set: |c, s| {
+            c.memory.channels = parse_u64("mem.channels", s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "mem.latency_cycles",
+        doc: "DRAM access latency in core cycles (Table II: 100)",
+        get: |c| ParamValue::U64(c.memory.access_latency_cycles),
+        set: |c, s| {
+            c.memory.access_latency_cycles = parse_u64("mem.latency_cycles", s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "dataflow",
+        doc: "GEMM-engine dataflow: ws, os or diva (outer-product)",
+        get: |c| ParamValue::Flow(c.dataflow),
+        set: |c, s| {
+            c.dataflow = parse_flow(s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "rhs_fill_rows",
+        doc: "WS RHS fill rate in rows/cycle (Table I: 8)",
+        get: |c| ParamValue::U64(c.rhs_fill_rows_per_cycle),
+        set: |c, s| {
+            c.rhs_fill_rows_per_cycle = parse_u64("rhs_fill_rows", s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "drain_rows",
+        doc: "output drain rate R in rows/cycle (Section IV-C: 8)",
+        get: |c| ParamValue::U64(c.drain_rows_per_cycle),
+        set: |c, s| {
+            c.drain_rows_per_cycle = parse_u64("drain_rows", s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "ppu",
+        doc: "post-processing unit attached (requires an output-stationary dataflow)",
+        get: |c| ParamValue::Bool(c.has_ppu),
+        set: |c, s| {
+            c.has_ppu = parse_bool("ppu", s)?;
+            Ok(())
+        },
+    },
+    ParamSpec {
+        name: "drain_overlap",
+        doc: "shadow-accumulator drain/compute overlap (ablation knob)",
+        get: |c| ParamValue::Bool(c.drain_overlap),
+        set: |c, s| {
+            c.drain_overlap = parse_bool("drain_overlap", s)?;
+            Ok(())
+        },
+    },
+];
+
+/// All registered parameter names, in registry order.
+pub fn param_names() -> Vec<&'static str> {
+    PARAMS.iter().map(|p| p.name).collect()
+}
+
+/// Whether `name` is a registered parameter.
+pub fn is_param(name: &str) -> bool {
+    PARAMS.iter().any(|p| p.name == name)
+}
+
+fn spec(name: &str) -> Result<&'static ParamSpec, ConfigError> {
+    PARAMS
+        .iter()
+        .find(|p| p.name == name)
+        .ok_or_else(|| ConfigError::UnknownParameter(name.to_string()))
+}
+
+/// Reads parameter `name` from `cfg`.
+///
+/// # Errors
+///
+/// [`ConfigError::UnknownParameter`] when `name` is not registered.
+pub fn get_param(cfg: &AcceleratorConfig, name: &str) -> Result<ParamValue, ConfigError> {
+    Ok((spec(name)?.get)(cfg))
+}
+
+/// Parses `value` and assigns parameter `name` on `cfg`. Range
+/// constraints (zero-sized arrays, PPU-on-WS, …) are *not* checked here;
+/// run [`AcceleratorConfig::validate`] — or build the config into a
+/// simulator — afterwards.
+///
+/// # Errors
+///
+/// [`ConfigError::UnknownParameter`] for an unregistered name (the
+/// message lists every registered one), [`ConfigError::InvalidValue`] for
+/// an unparseable value.
+pub fn set_param(cfg: &mut AcceleratorConfig, name: &str, value: &str) -> Result<(), ConfigError> {
+    (spec(name)?.set)(cfg, value)
+}
+
+/// Applies `(name, value)` string pairs in order, then validates the
+/// result — the one-call form behind preset+override design points and
+/// the CLI's `--set`/`--sweep`.
+///
+/// # Errors
+///
+/// The first [`ConfigError`] from parsing, assignment or validation.
+pub fn apply_overrides<K: AsRef<str>, V: AsRef<str>>(
+    cfg: &mut AcceleratorConfig,
+    overrides: &[(K, V)],
+) -> Result<(), ConfigError> {
+    for (name, value) in overrides {
+        set_param(cfg, name.as_ref(), value.as_ref())?;
+    }
+    cfg.validate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AcceleratorConfig {
+        AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct)
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let mut names = param_names();
+        assert_eq!(names.len(), 12);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "duplicate parameter names");
+        for p in PARAMS {
+            assert!(!p.doc.is_empty(), "{} has no doc", p.name);
+        }
+    }
+
+    /// The satellite contract: for every registered name,
+    /// set → get → format → parse round-trips bit-exactly.
+    #[test]
+    fn every_param_round_trips_bit_exactly() {
+        let samples: &[(&str, &[&str])] = &[
+            ("pe.rows", &["1", "64", "256"]),
+            ("pe.cols", &["16", "128"]),
+            ("freq_mhz", &["940", "700", "1537.5"]),
+            ("sram_mib", &["16", "2.5", "64"]),
+            ("mem.bandwidth_gbps", &["450", "225.5", "1800"]),
+            ("mem.channels", &["1", "16", "32"]),
+            ("mem.latency_cycles", &["100", "250"]),
+            ("dataflow", &["ws", "os", "diva"]),
+            ("rhs_fill_rows", &["8", "16"]),
+            ("drain_rows", &["2", "8", "128"]),
+            ("ppu", &["true", "false"]),
+            ("drain_overlap", &["false", "true"]),
+        ];
+        // Every registered name has a sample set.
+        assert_eq!(samples.len(), PARAMS.len());
+        for (name, values) in samples {
+            assert!(is_param(name), "{name} not registered");
+            for v in *values {
+                let mut cfg = base();
+                set_param(&mut cfg, name, v).unwrap_or_else(|e| panic!("{name}={v}: {e}"));
+                let got = get_param(&cfg, name).unwrap();
+                let formatted = got.format();
+                let mut cfg2 = base();
+                set_param(&mut cfg2, name, &formatted).unwrap();
+                let reparsed = get_param(&cfg2, name).unwrap();
+                assert_eq!(
+                    got, reparsed,
+                    "{name}: {v:?} → {got:?} → {formatted:?} → {reparsed:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_and_list_the_registry() {
+        let mut cfg = base();
+        let err = set_param(&mut cfg, "dram_rows", "8").unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownParameter(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("dram_rows"), "{msg}");
+        assert!(msg.contains("drain_rows"), "lists available names: {msg}");
+        assert!(get_param(&cfg, "nope").is_err());
+        // The failed set left the config untouched.
+        assert_eq!(cfg, base());
+    }
+
+    #[test]
+    fn malformed_values_are_config_errors_not_panics() {
+        let mut cfg = base();
+        for (name, bad) in [
+            ("pe.rows", "-3"),
+            ("pe.rows", "many"),
+            ("freq_mhz", "fast"),
+            ("freq_mhz", "inf"),
+            ("sram_mib", "-1"),
+            ("dataflow", "systolic"),
+            ("ppu", "maybe"),
+            ("drain_rows", "8.5"),
+        ] {
+            let err = set_param(&mut cfg, name, bad).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::InvalidValue { .. }),
+                "{name}={bad}: {err:?}"
+            );
+            assert!(err.to_string().contains(name), "{err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_fail_validation_not_assignment() {
+        let mut cfg = base();
+        set_param(&mut cfg, "drain_rows", "4096").unwrap();
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::InvalidDrainRate(4096)
+        );
+        let mut cfg = base();
+        assert!(apply_overrides(&mut cfg, &[("sram_mib", "0")]).is_err());
+    }
+
+    #[test]
+    fn apply_overrides_rejects_inconsistent_combinations() {
+        let mut cfg = base();
+        // Switching DiVa's engine to WS while the PPU stays attached is
+        // inconsistent; the validation step reports it.
+        let err = apply_overrides(&mut cfg, &[("dataflow", "ws")]).unwrap_err();
+        assert!(matches!(err, ConfigError::PpuRequiresOutputStationary(_)));
+        // Dropping the PPU first makes the same retarget valid.
+        let mut cfg = base();
+        apply_overrides(&mut cfg, &[("ppu", "false"), ("dataflow", "ws")]).unwrap();
+        assert_eq!(cfg.dataflow, Dataflow::WeightStationary);
+    }
+
+    #[test]
+    fn unit_conversions_match_the_raw_fields() {
+        let mut cfg = base();
+        apply_overrides(
+            &mut cfg,
+            &[
+                ("sram_mib", "8"),
+                ("freq_mhz", "700"),
+                ("mem.bandwidth_gbps", "900"),
+                ("pe.rows", "64"),
+                ("pe.cols", "64"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(cfg.sram_bytes, 8 << 20);
+        assert_eq!(cfg.freq_hz, 700.0e6);
+        assert_eq!(cfg.memory.bandwidth_bytes_per_sec, 900.0e9);
+        assert_eq!(cfg.pe.macs(), 4096);
+    }
+}

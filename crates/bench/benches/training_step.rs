@@ -16,7 +16,7 @@ fn main() {
     });
 
     for dp in [DesignPoint::WsBaseline, DesignPoint::Diva] {
-        let accel = Accelerator::from_design_point(dp);
+        let accel = Accelerator::from_design_point(dp).unwrap();
         h.bench(
             &format!("simulate_step/resnet50_b32/{}", dp.label()),
             || {

@@ -21,6 +21,7 @@ use std::process::ExitCode;
 use diva_bench::print_table;
 use diva_bench::scenario::{
     self,
+    compare::compare_docs,
     json::{parse_scenario_json, to_json},
     render::{print_result, to_csv},
     RunOptions,
@@ -30,28 +31,40 @@ use diva_bench::scenario::{
 struct Args {
     scenario: Option<String>,
     list: bool,
+    params: bool,
     opts: RunOptions,
     json: Option<String>,
     csv: Option<String>,
     no_table: bool,
     selfcheck: bool,
+    compare: Option<(String, String)>,
+    tolerance: f64,
 }
 
 const USAGE: &str = "\
 usage: diva-report --list
        diva-report <scenario> [options]
+       diva-report --compare A.json B.json [--tolerance 0.05]
 
 options:
   --list               list registered scenarios (with their axes)
+  --params             list the registered config parameters (--set/--sweep keys)
   --models A,B         restrict the \"model\" axis
   --points A,B         restrict the \"point\" axis
   --algs A,B           restrict the \"algorithm\" axis
   --axis NAME=A,B      restrict any axis by name
   --batch N[,M...]     replace the \"batch\" axis with fixed sizes
+  --set KEY=VALUE      override a config parameter on every accelerator arm
+                       (repeatable; KEY is a registry name like drain_rows)
+  --sweep KEY=V1,V2    inject an ad-hoc config axis sweeping KEY (repeatable)
   --json PATH          write the diva-scenario/v1 JSON document (\"-\" = stdout)
   --csv PATH           write CSV rows (\"-\" = stdout)
   --no-table           suppress the text table
   --selfcheck          re-read and validate the document written by --json
+  --compare A B        diff two diva-scenario/v1 documents cell-by-cell;
+                       exits nonzero when a ratio-normalized metric drifts
+                       more than the tolerance
+  --tolerance F        --compare gate on relative drift (default 0.05)
   --help               show this help
 
 Filter labels are matched case-insensitively with punctuation stripped:
@@ -70,11 +83,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         scenario: None,
         list: false,
+        params: false,
         opts: RunOptions::default(),
         json: None,
         csv: None,
         no_table: false,
         selfcheck: false,
+        compare: None,
+        tolerance: 0.05,
     };
     let mut it = argv.iter().peekable();
     let value_of = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -88,10 +104,49 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--help" | "-h" => return Err(USAGE.to_string()),
             "--list" => args.list = true,
+            "--params" => args.params = true,
             "--no-table" => args.no_table = true,
             "--selfcheck" => args.selfcheck = true,
             "--json" => args.json = Some(value_of(&mut it, "--json")?),
             "--csv" => args.csv = Some(value_of(&mut it, "--csv")?),
+            "--set" => {
+                let spec = value_of(&mut it, "--set")?;
+                let (key, value) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set wants KEY=VALUE, got {spec:?}"))?;
+                args.opts
+                    .set_overrides
+                    .push((key.trim().to_string(), value.trim().to_string()));
+            }
+            "--sweep" => {
+                let spec = value_of(&mut it, "--sweep")?;
+                let (key, values) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--sweep wants KEY=V1,V2,..., got {spec:?}"))?;
+                args.opts
+                    .sweeps
+                    .push((key.trim().to_string(), split_csv(values)));
+            }
+            "--compare" => {
+                let a = value_of(&mut it, "--compare")?;
+                let b = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--compare wants two document paths".to_string())?;
+                args.compare = Some((a, b));
+            }
+            "--tolerance" => {
+                let raw = value_of(&mut it, "--tolerance")?;
+                let tol: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("--tolerance wants a number: {e}"))?;
+                if !tol.is_finite() || tol < 0.0 {
+                    return Err(format!(
+                        "--tolerance wants a non-negative number, got {raw}"
+                    ));
+                }
+                args.tolerance = tol;
+            }
             "--models" | "--points" | "--algs" => {
                 let axis = match arg.as_str() {
                     "--models" => "model",
@@ -204,10 +259,47 @@ fn selfcheck(text: &str, expected: &scenario::ScenarioResult) -> Result<(), Stri
     Ok(())
 }
 
-fn run(args: &Args) -> Result<(), String> {
+/// Prints the parameter registry: every `--set`/`--sweep` key with its
+/// description and Table II (DiVa-preset) default.
+fn print_params() {
+    let default = diva_core::DesignPoint::Diva.config();
+    let rows: Vec<Vec<String>> = diva_arch::params::PARAMS
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                (p.get)(&default).format(),
+                p.doc.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Registered config parameters (diva-report <scenario> --sweep NAME=V1,V2)",
+        &["name", "default", "description"],
+        &rows,
+    );
+}
+
+/// Runs `--compare`: prints the per-metric drift report; `Ok(false)`
+/// means the gate failed (nonzero exit without the error banner).
+fn run_compare(a: &str, b: &str, tolerance: f64) -> Result<bool, String> {
+    let read = |path: &str| std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"));
+    let report = compare_docs(&read(a)?, &read(b)?, tolerance)?;
+    print!("{}", report.render());
+    Ok(report.passed())
+}
+
+fn run(args: &Args) -> Result<bool, String> {
     if args.list {
         print_list();
-        return Ok(());
+        return Ok(true);
+    }
+    if args.params {
+        print_params();
+        return Ok(true);
+    }
+    if let Some((a, b)) = &args.compare {
+        return run_compare(a, b, args.tolerance);
     }
     let Some(name) = &args.scenario else {
         return Err(USAGE.to_string());
@@ -246,7 +338,7 @@ fn run(args: &Args) -> Result<(), String> {
     } else if args.selfcheck {
         return Err("--selfcheck requires --json".to_string());
     }
-    Ok(())
+    Ok(true)
 }
 
 fn main() -> ExitCode {
@@ -259,7 +351,9 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        // --compare gate failure: the report already explained itself.
+        Ok(false) => ExitCode::FAILURE,
         Err(msg) => {
             eprintln!("diva-report: {msg}");
             ExitCode::FAILURE

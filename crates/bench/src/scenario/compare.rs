@@ -1,0 +1,449 @@
+//! `diva-report --compare`: cell-by-cell diffing of two
+//! `diva-scenario/v1` documents — the analytic-model counterpart of the
+//! `bench_regress` CI gate.
+//!
+//! Records are matched by their axis coordinates (the axis names come
+//! from the document itself), every shared numeric metric's relative
+//! delta is aggregated per metric, and the **gated** metrics — the
+//! ratio-normalized columns named by the document's `derived` field, or
+//! every metric when a scenario declares none — decide the exit code:
+//! any gated drift beyond the tolerance is a violation. Raw metrics
+//! (seconds, cycles, joules) are reported but do not gate, mirroring
+//! `bench_regress`'s machine-portable relative-speedup policy.
+
+use super::json::{parse_scenario_json, ParsedScenario};
+use crate::perf::PerfRecord;
+
+/// Aggregated drift of one metric across all matched record pairs.
+#[derive(Clone, Debug)]
+pub struct MetricDrift {
+    /// Metric name.
+    pub metric: String,
+    /// Whether this metric gates the exit code.
+    pub gated: bool,
+    /// How many record pairs carried the metric on both sides.
+    pub compared: usize,
+    /// The largest relative delta `|b - a| / |a|` observed (infinite when
+    /// a value appeared or vanished, or moved away from exactly zero).
+    pub max_rel: f64,
+    /// The coordinates of the worst cell, for the report.
+    pub worst: String,
+}
+
+/// The outcome of comparing two scenario documents.
+#[derive(Clone, Debug)]
+pub struct CompareReport {
+    /// The scenario both documents describe.
+    pub scenario: String,
+    /// The gate threshold on relative drift.
+    pub tolerance: f64,
+    /// The metric names that gate the exit code.
+    pub gated: Vec<String>,
+    /// Matched record pairs.
+    pub matched: usize,
+    /// Record keys present only in the first document.
+    pub only_in_a: Vec<String>,
+    /// Record keys present only in the second document.
+    pub only_in_b: Vec<String>,
+    /// Per-metric aggregated drift, document order, records then
+    /// reductions.
+    pub drifts: Vec<MetricDrift>,
+}
+
+impl CompareReport {
+    /// `true` when no gated metric drifted beyond the tolerance and the
+    /// two documents cover the same cells.
+    pub fn passed(&self) -> bool {
+        self.only_in_a.is_empty()
+            && self.only_in_b.is_empty()
+            && self
+                .drifts
+                .iter()
+                .all(|d| !d.gated || d.max_rel <= self.tolerance)
+    }
+
+    /// The gated drifts beyond tolerance.
+    pub fn violations(&self) -> Vec<&MetricDrift> {
+        self.drifts
+            .iter()
+            .filter(|d| d.gated && d.max_rel > self.tolerance)
+            .collect()
+    }
+
+    /// Renders the per-metric delta table plus the verdict as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "compare {}: {} matched cells, tolerance {:.1}% on [{}]\n",
+            self.scenario,
+            self.matched,
+            self.tolerance * 100.0,
+            self.gated.join(", ")
+        ));
+        for key in &self.only_in_a {
+            out.push_str(&format!("  cell only in first document:  {key}\n"));
+        }
+        for key in &self.only_in_b {
+            out.push_str(&format!("  cell only in second document: {key}\n"));
+        }
+        for d in &self.drifts {
+            let gate = if d.gated { "gated" } else { "info " };
+            let flag = if d.gated && d.max_rel > self.tolerance {
+                "  <-- VIOLATION"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  [{gate}] {:<32} max drift {:>9} over {} cells{}{flag}\n",
+                d.metric,
+                format!("{:.3}%", d.max_rel * 100.0),
+                d.compared,
+                if d.max_rel > 0.0 && !d.worst.is_empty() {
+                    format!("  (worst: {})", d.worst)
+                } else {
+                    String::new()
+                },
+            ));
+        }
+        let verdict = if self.passed() {
+            format!(
+                "OK: no gated metric drifted more than {:.1}%",
+                self.tolerance * 100.0
+            )
+        } else {
+            format!(
+                "FAIL: {} gated metric(s) drifted more than {:.1}%{}",
+                self.violations().len(),
+                self.tolerance * 100.0,
+                if self.only_in_a.is_empty() && self.only_in_b.is_empty() {
+                    ""
+                } else {
+                    " (and the documents cover different cells)"
+                }
+            )
+        };
+        out.push_str(&verdict);
+        out.push('\n');
+        out
+    }
+}
+
+/// A record's identity: its coordinates along the document's axes.
+fn record_key(record: &PerfRecord, axis_names: &[String]) -> String {
+    axis_names
+        .iter()
+        .map(|a| format!("{a}={}", record.tag_value(a).unwrap_or("-")))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Relative delta of `b` vs `a`; infinite when one side is exactly zero
+/// (or missing) and the other is not.
+fn rel_delta(a: Option<f64>, b: Option<f64>) -> f64 {
+    match (a, b) {
+        (None, None) => 0.0,
+        (Some(a), Some(b)) => {
+            if a == b {
+                0.0
+            } else if a == 0.0 {
+                f64::INFINITY
+            } else {
+                ((b - a) / a).abs()
+            }
+        }
+        _ => f64::INFINITY,
+    }
+}
+
+/// The ordered union of metric names across a record list.
+fn metric_union(records: &[PerfRecord]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for r in records {
+        for (k, _) in &r.metrics {
+            if !names.contains(k) {
+                names.push(k.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Compares two `diva-scenario/v1` documents cell-by-cell.
+///
+/// # Errors
+///
+/// Returns a description when either document fails to parse or the two
+/// describe different scenarios (comparing apples to oranges is a usage
+/// error, not a regression).
+pub fn compare_docs(a_text: &str, b_text: &str, tolerance: f64) -> Result<CompareReport, String> {
+    let a = parse_scenario_json(a_text).map_err(|e| format!("first document: {e}"))?;
+    let b = parse_scenario_json(b_text).map_err(|e| format!("second document: {e}"))?;
+    if a.scenario != b.scenario {
+        return Err(format!(
+            "documents describe different scenarios: {:?} vs {:?}",
+            a.scenario, b.scenario
+        ));
+    }
+    if a.overrides != b.overrides {
+        return Err(format!(
+            "documents were produced under different --set overrides: \
+             {:?} vs {:?} — drift between them is a config difference, \
+             not a regression",
+            a.overrides, b.overrides
+        ));
+    }
+    Ok(compare_parsed(&a, &b, tolerance))
+}
+
+fn compare_parsed(a: &ParsedScenario, b: &ParsedScenario, tolerance: f64) -> CompareReport {
+    let axis_names: Vec<String> = a.axes.iter().map(|(n, _)| n.clone()).collect();
+    let metrics = {
+        let mut m = metric_union(&a.records);
+        for extra in metric_union(&b.records) {
+            if !m.contains(&extra) {
+                m.push(extra);
+            }
+        }
+        m
+    };
+    // Gate on the document's declared derived (ratio) metrics; a scenario
+    // with none declared gates on everything it has.
+    let gated: Vec<String> = if a.derived.is_empty() {
+        metrics.clone()
+    } else {
+        a.derived.clone()
+    };
+
+    let b_keyed: Vec<(String, &PerfRecord)> = b
+        .records
+        .iter()
+        .map(|r| (record_key(r, &axis_names), r))
+        .collect();
+    let mut only_in_a = Vec::new();
+    let mut matched: Vec<(&PerfRecord, &PerfRecord)> = Vec::new();
+    let mut seen_b: Vec<bool> = vec![false; b_keyed.len()];
+    for ra in &a.records {
+        let key = record_key(ra, &axis_names);
+        match b_keyed.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                seen_b[i] = true;
+                matched.push((ra, b_keyed[i].1));
+            }
+            None => only_in_a.push(key),
+        }
+    }
+    let mut only_in_b: Vec<String> = b_keyed
+        .iter()
+        .zip(&seen_b)
+        .filter(|(_, &seen)| !seen)
+        .map(|((k, _), _)| k.clone())
+        .collect();
+
+    let mut drifts: Vec<MetricDrift> = Vec::new();
+    for metric in &metrics {
+        let mut max_rel = 0.0f64;
+        let mut compared = 0usize;
+        let mut worst = String::new();
+        for (ra, rb) in &matched {
+            let (va, vb) = (ra.metric_value(metric), rb.metric_value(metric));
+            if va.is_none() && vb.is_none() {
+                continue;
+            }
+            compared += 1;
+            let rel = rel_delta(va, vb);
+            if rel > max_rel {
+                max_rel = rel;
+                worst = record_key(ra, &axis_names);
+            }
+        }
+        if compared > 0 {
+            drifts.push(MetricDrift {
+                metric: metric.clone(),
+                gated: gated.contains(metric),
+                compared,
+                max_rel,
+                worst,
+            });
+        }
+    }
+
+    // Reductions: matched by (label, group), their values drift-checked
+    // under the reduction's source metric's gating. A reduction present
+    // on only one side is structural drift, reported like a missing cell
+    // (and failing the comparison).
+    let red_key = |r: &PerfRecord| {
+        format!(
+            "reduction: {} [{}]",
+            r.name,
+            r.tag_value("group").unwrap_or_default()
+        )
+    };
+    for ra in &a.reductions {
+        let Some(rb) = b.reductions.iter().find(|rb| red_key(rb) == red_key(ra)) else {
+            only_in_a.push(red_key(ra));
+            continue;
+        };
+        let rel = rel_delta(ra.metric_value("value"), rb.metric_value("value"));
+        let source = ra.tag_value("metric").unwrap_or_default().to_string();
+        drifts.push(MetricDrift {
+            metric: red_key(ra),
+            gated: gated.contains(&source),
+            compared: 1,
+            max_rel: rel,
+            worst: String::new(),
+        });
+    }
+    for rb in &b.reductions {
+        if !a.reductions.iter().any(|ra| red_key(ra) == red_key(rb)) {
+            only_in_b.push(red_key(rb));
+        }
+    }
+
+    CompareReport {
+        scenario: a.scenario.clone(),
+        tolerance,
+        gated,
+        matched: matched.len(),
+        only_in_a,
+        only_in_b,
+        drifts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::to_json;
+    use super::super::runner::{AxisMeta, ResultRow, ScenarioResult, Summary};
+    use super::super::ReduceKind;
+    use super::*;
+
+    /// A two-cell result with one raw and one derived metric.
+    fn doc(seconds: [f64; 2], speedup: f64) -> String {
+        let row = |point: &str, secs: f64, sp: f64| ResultRow {
+            coords: vec![
+                ("model".into(), "VGG-16".into()),
+                ("point".into(), point.into()),
+            ],
+            metrics: vec![("seconds".into(), secs), ("speedup".into(), sp)],
+            notes: Vec::new(),
+        };
+        to_json(&ScenarioResult {
+            name: "toy".into(),
+            title: "toy".into(),
+            axes: vec![
+                AxisMeta {
+                    name: "model".into(),
+                    labels: vec!["VGG-16".into()],
+                },
+                AxisMeta {
+                    name: "point".into(),
+                    labels: vec!["WS".into(), "DiVa".into()],
+                },
+            ],
+            rows: vec![row("WS", seconds[0], 1.0), row("DiVa", seconds[1], speedup)],
+            summaries: vec![Summary {
+                label: "mean speedup".into(),
+                metric: "speedup".into(),
+                kind: ReduceKind::Mean,
+                group: Vec::new(),
+                value: (1.0 + speedup) / 2.0,
+                count: 2,
+                paper: None,
+            }],
+            display_metrics: Vec::new(),
+            pivot: None,
+            notes: Vec::new(),
+            derived_metrics: vec!["speedup".into()],
+            overrides: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn identical_documents_pass_with_zero_drift() {
+        let a = doc([4.0, 1.0], 4.0);
+        let report = compare_docs(&a, &a, 0.05).expect("compares");
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.matched, 2);
+        assert!(report.drifts.iter().all(|d| d.max_rel == 0.0));
+        assert!(report.render().contains("OK"));
+    }
+
+    #[test]
+    fn gated_drift_beyond_tolerance_fails() {
+        let a = doc([4.0, 1.0], 4.0);
+        // 10% speedup regression: gated metric, must fail at 5%.
+        let b = doc([4.0, 1.1], 3.6);
+        let report = compare_docs(&a, &b, 0.05).expect("compares");
+        assert!(!report.passed(), "{}", report.render());
+        let violations = report.violations();
+        assert!(violations.iter().any(|d| d.metric == "speedup"));
+        assert!(report.render().contains("VIOLATION"));
+        // The same drift passes under a looser gate.
+        assert!(compare_docs(&a, &b, 0.15).unwrap().passed());
+    }
+
+    #[test]
+    fn raw_metric_drift_is_reported_but_not_gated() {
+        let a = doc([4.0, 1.0], 4.0);
+        // Both arms 50% slower, ratio unchanged: like a host change in
+        // bench_regress, this must not fail the gate.
+        let b = doc([6.0, 1.5], 4.0);
+        let report = compare_docs(&a, &b, 0.05).expect("compares");
+        assert!(report.passed(), "{}", report.render());
+        let secs = report
+            .drifts
+            .iter()
+            .find(|d| d.metric == "seconds")
+            .expect("seconds drift reported");
+        assert!(!secs.gated);
+        assert!((secs.max_rel - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_cells_fail_the_comparison() {
+        let a = doc([4.0, 1.0], 4.0);
+        let mut short = doc([4.0, 1.0], 4.0);
+        // Drop the DiVa record from the second document.
+        let at = short.find("\"point\": \"DiVa\"").unwrap();
+        let open = short[..at].rfind('{').unwrap();
+        let close = at + short[at..].find('}').unwrap();
+        short.replace_range(open..=close, "{\"name\": \"toy\", \"model\": \"VGG-16\", \"point\": \"WS\", \"seconds\": 4.0, \"speedup\": 1.0}");
+        let report = compare_docs(&a, &short, 0.05).expect("compares");
+        assert!(!report.passed());
+        assert!(!report.only_in_a.is_empty());
+    }
+
+    #[test]
+    fn different_scenarios_are_a_usage_error() {
+        let a = doc([4.0, 1.0], 4.0);
+        let b = a.replace("\"scenario\": \"toy\"", "\"scenario\": \"other\"");
+        assert!(compare_docs(&a, &b, 0.05).is_err());
+    }
+
+    #[test]
+    fn different_set_overrides_are_a_usage_error() {
+        let a = doc([4.0, 1.0], 4.0);
+        let b = a.replace("\"overrides\": \"\"", "\"overrides\": \"sram_mib=8\"");
+        let err = compare_docs(&a, &b, 0.05).unwrap_err();
+        assert!(err.contains("sram_mib=8"), "{err}");
+        assert!(err.contains("config difference"), "{err}");
+    }
+
+    #[test]
+    fn missing_reductions_fail_like_missing_cells() {
+        let a = doc([4.0, 1.0], 4.0);
+        // Empty the reductions array in the second document (the array
+        // holds flat objects only, so the first ']' after it closes it).
+        let open = a.find("\"reductions\": [").unwrap() + "\"reductions\": [".len();
+        let close = a[open..].find(']').unwrap() + open;
+        let mut b = a.clone();
+        b.replace_range(open..close, "\n  ");
+        let report = compare_docs(&a, &b, 0.05).expect("compares");
+        assert!(!report.passed(), "{}", report.render());
+        assert!(
+            report.only_in_a.iter().any(|k| k.starts_with("reduction:")),
+            "{:?}",
+            report.only_in_a
+        );
+    }
+}

@@ -18,7 +18,9 @@ pub(in super::super) fn ablation_drain_overlap() -> Experiment {
     let points = Axis::new(
         "point",
         [
-            AxisValue::accel(Accelerator::from_design_point(DesignPoint::Diva)),
+            AxisValue::accel(
+                Accelerator::from_design_point(DesignPoint::Diva).expect("preset configs validate"),
+            ),
             AxisValue::accel(
                 Accelerator::from_config("DiVa+overlap", overlap_cfg).expect("valid config"),
             ),

@@ -1,0 +1,125 @@
+//! The **design-space exploration** (`dse_*`) scenario family: Table II
+//! knobs as first-class sweep axes, asking the hardware questions the
+//! paper's fixed configuration (and its Figures 13–17 one-point answers)
+//! cannot.
+//!
+//! Every scenario here is a `(model × design point × config axis)` grid:
+//! the config axis carries parameter overrides from the
+//! `diva_arch::params` registry, the runner materializes a validated
+//! accelerator per cell, and the existing [`Normalize`] machinery derives
+//! DiVa-vs-WS speedups *at each swept configuration* — so the baseline
+//! moves with the knob, exactly like the paper's sensitivity studies.
+//!
+//! These four are only the registered starters: `diva-report <scenario>
+//! --sweep key=v1,v2` injects the same kind of axis into any scenario
+//! with an accelerator axis, for any registered parameter, with no new
+//! Rust code.
+
+use std::sync::Arc;
+
+use diva_core::{DesignPoint, DesignSpec};
+use diva_workload::{zoo, Algorithm};
+
+use super::super::{Axis, AxisValue, Cell, CellCtx, Experiment, Normalize, ReduceKind, Reduction};
+use super::{config_axis, paper_batch_axis, spec_points_axis};
+
+/// The three-model DSE workload set: one large CNN, one depthwise CNN
+/// (the paper's hardest case), one transformer.
+fn dse_models_axis() -> Axis {
+    Axis::new(
+        "model",
+        [zoo::resnet50(), zoo::mobilenet(), zoo::bert_base()].map(AxisValue::model),
+    )
+}
+
+/// The WS-vs-DiVa point axis every `dse_*` scenario compares across.
+fn dse_points_axis() -> Axis {
+    spec_points_axis(&[
+        DesignSpec::preset(DesignPoint::WsBaseline),
+        DesignSpec::preset(DesignPoint::Diva),
+    ])
+}
+
+/// Shared shape of the family: DP-SGD(R) step time over (model × point ×
+/// config axis), with the DiVa-vs-WS speedup derived at each swept value.
+fn dse(name: &'static str, title: &str, cfg_axis: Axis, note: &str) -> Experiment {
+    let axis_name = cfg_axis.name.clone();
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let r = ctx
+            .accel()
+            .run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
+        Cell::from(&r)
+    });
+    Experiment::new(name, title, eval)
+        .axis(dse_models_axis())
+        .axis(dse_points_axis())
+        .axis(cfg_axis)
+        .axis(paper_batch_axis())
+        .derive(Normalize::speedup("seconds", &[("point", "WS")], "speedup"))
+        .display(&["seconds", "speedup"])
+        .pivot_on(&axis_name, "speedup")
+        .reduce(
+            Reduction::new(
+                "DiVa speedup vs WS (geomean)",
+                "speedup",
+                ReduceKind::Geomean,
+            )
+            .filter(&[("point", "DiVa")])
+            .group_by(&[axis_name.as_str()]),
+        )
+        .note(note.to_string())
+}
+
+/// DSE: PE-array scale (both dimensions swept together).
+pub(in super::super) fn dse_pe_scale() -> Experiment {
+    let scales = Axis::new(
+        "pe",
+        ["32", "64", "128", "256"]
+            .iter()
+            .map(|s| AxisValue::overrides(format!("{s}x{s}"), &[("pe.rows", s), ("pe.cols", s)])),
+    );
+    dse(
+        "dse_pe_scale",
+        "DSE: DiVa vs WS as the PE array scales (DP-SGD(R), Table II otherwise)",
+        scales,
+        "Small arrays hide WS's fill/drain overheads less than they hide DiVa's\n\
+         rank-1 broadcasts; at 256x256 the small-K per-example GEMMs strand even\n\
+         more WS columns, so DiVa's edge grows with the array.",
+    )
+}
+
+/// DSE: output drain rate `R` (rows per cycle).
+pub(in super::super) fn dse_drain_rate() -> Experiment {
+    dse(
+        "dse_drain_rate",
+        "DSE: drain-rate R sweep (rows/cycle drained from the accumulators)",
+        config_axis("drain_rows", &["2", "4", "8", "16", "32"]),
+        "The paper fixes R = 8 (Section IV-C); the WS baseline has no\n\
+         output-stationary drain, so its time is flat and the speedup curve\n\
+         isolates how hard DiVa leans on drain bandwidth.",
+    )
+}
+
+/// DSE: on-chip SRAM capacity.
+pub(in super::super) fn dse_sram() -> Experiment {
+    dse(
+        "dse_sram",
+        "DSE: SRAM capacity sweep (MiB, both design points)",
+        config_axis("sram_mib", &["4", "8", "16", "32", "64"]),
+        "Generalizes ablation_sram through the parameter registry: both arms\n\
+         re-stream operands as SRAM shrinks, but WS additionally spills\n\
+         per-example gradients, so DiVa's edge widens at small capacities.",
+    )
+}
+
+/// DSE: off-chip DRAM bandwidth.
+pub(in super::super) fn dse_bandwidth() -> Experiment {
+    dse(
+        "dse_bandwidth",
+        "DSE: DRAM bandwidth sweep (GB/s, Table II baseline is 450)",
+        config_axis("mem.bandwidth_gbps", &["225", "450", "900", "1800"]),
+        "DP-SGD's post-processing is bandwidth-bound on WS (Section III-C);\n\
+         more DRAM bandwidth narrows DiVa's win while starved memory widens it —\n\
+         the PPU is, in effect, bandwidth amplification.",
+    )
+}

@@ -117,7 +117,9 @@ pub(in super::super) fn fig04() -> Experiment {
 
 /// Figure 5: WS-baseline training-time breakdown per algorithm.
 pub(in super::super) fn fig05() -> Experiment {
-    let ws = Arc::new(Accelerator::from_design_point(DesignPoint::WsBaseline));
+    let ws = Arc::new(
+        Accelerator::from_design_point(DesignPoint::WsBaseline).expect("preset configs validate"),
+    );
     let eval = Arc::new(move |ctx: &CellCtx| {
         let r = ws.run(ctx.model(), ctx.algorithm(), ctx.batch());
         let fwd = r.phase_cycles(Phase::Forward) as f64;
@@ -290,7 +292,9 @@ pub(in super::super) fn fig06() -> Experiment {
 
 /// Figure 7: WS-baseline FLOPS utilization per GEMM class.
 pub(in super::super) fn fig07() -> Experiment {
-    let ws = Arc::new(Accelerator::from_design_point(DesignPoint::WsBaseline));
+    let ws = Arc::new(
+        Accelerator::from_design_point(DesignPoint::WsBaseline).expect("preset configs validate"),
+    );
     let eval = Arc::new(move |ctx: &CellCtx| {
         // DP-SGD(R) exercises all four GEMM classes in one step.
         let r = ws.run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
@@ -551,13 +555,24 @@ pub(in super::super) fn fig16() -> Experiment {
     let points = Axis::new(
         "point",
         [
-            AxisValue::accel(Accelerator::from_design_point(DesignPoint::WsBaseline)),
+            AxisValue::accel(
+                Accelerator::from_design_point(DesignPoint::WsBaseline)
+                    .expect("preset configs validate"),
+            ),
             AxisValue::accel(
                 Accelerator::from_config("OS w/o PPU", os_no_ppu).expect("valid config"),
             ),
-            AxisValue::accel(Accelerator::from_design_point(DesignPoint::OsWithPpu)),
-            AxisValue::accel(Accelerator::from_design_point(DesignPoint::DivaNoPpu)),
-            AxisValue::accel(Accelerator::from_design_point(DesignPoint::Diva)),
+            AxisValue::accel(
+                Accelerator::from_design_point(DesignPoint::OsWithPpu)
+                    .expect("preset configs validate"),
+            ),
+            AxisValue::accel(
+                Accelerator::from_design_point(DesignPoint::DivaNoPpu)
+                    .expect("preset configs validate"),
+            ),
+            AxisValue::accel(
+                Accelerator::from_design_point(DesignPoint::Diva).expect("preset configs validate"),
+            ),
         ],
     );
     let eval = Arc::new(|ctx: &CellCtx| {
@@ -619,7 +634,9 @@ pub(in super::super) fn fig16() -> Experiment {
 
 /// Figure 17: DiVa vs V100/A100 on the per-example-gradient bottleneck.
 pub(in super::super) fn fig17() -> Experiment {
-    let diva = Arc::new(Accelerator::from_design_point(DesignPoint::Diva));
+    let diva = Arc::new(
+        Accelerator::from_design_point(DesignPoint::Diva).expect("preset configs validate"),
+    );
     let v100 = GpuModel::v100();
     let a100 = GpuModel::a100();
     let devices = [

@@ -7,12 +7,13 @@
 //! formatting lives in the shared scenario runner.
 
 pub(super) mod ablations;
+pub(super) mod dse;
 pub(super) mod figures;
 pub(super) mod sensitivity;
 pub(super) mod tables;
 
 use super::{Axis, AxisValue};
-use diva_core::{Accelerator, DesignPoint};
+use diva_core::{Accelerator, DesignPoint, DesignSpec};
 use diva_workload::{zoo, Algorithm};
 
 /// The full nine-model zoo as a `"model"` axis.
@@ -24,9 +25,35 @@ pub(super) fn models_axis() -> Axis {
 pub(super) fn points_axis(points: &[DesignPoint]) -> Axis {
     Axis::new(
         "point",
-        points
+        points.iter().map(|&p| {
+            AxisValue::accel(Accelerator::from_design_point(p).expect("preset configs validate"))
+        }),
+    )
+}
+
+/// A `"point"` axis built from [`DesignSpec`]s — the preset+override path
+/// of the design-point layer. Specs are scenario-definition constants, so
+/// a bad one is a build bug (panic), not a user error.
+pub(super) fn spec_points_axis(specs: &[DesignSpec]) -> Axis {
+    Axis::new(
+        "point",
+        specs.iter().map(|s| {
+            AxisValue::accel(
+                Accelerator::from_spec(s).unwrap_or_else(|e| panic!("design spec {s}: {e}")),
+            )
+        }),
+    )
+}
+
+/// A single-parameter **config axis** named after the registered
+/// parameter: each value carries the override the runner applies to the
+/// cell's accelerator arm (see [`super::Payload::Overrides`]).
+pub(super) fn config_axis(param: &'static str, values: &[&str]) -> Axis {
+    Axis::new(
+        param,
+        values
             .iter()
-            .map(|&p| AxisValue::accel(Accelerator::from_design_point(p))),
+            .map(|v| AxisValue::overrides(*v, &[(param, v)])),
     )
 }
 

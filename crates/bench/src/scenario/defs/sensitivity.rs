@@ -3,11 +3,27 @@
 
 use std::sync::Arc;
 
-use diva_core::DesignPoint;
+use diva_core::{DesignPoint, DesignSpec};
 use diva_workload::{zoo, Algorithm, ModelSpec};
 
 use super::super::{Axis, AxisValue, Cell, CellCtx, Experiment, Normalize, ReduceKind, Reduction};
-use super::{paper_batch_axis, points_axis};
+use super::{paper_batch_axis, spec_points_axis};
+
+/// The WS-vs-DiVa comparison expressed through the design-space layer:
+/// DiVa is the WS preset with its engine retargeted via registered
+/// parameter overrides (`dataflow=diva`, `ppu=true`), which resolves to a
+/// configuration bit-identical to the `DesignPoint::Diva` preset — pinned
+/// by `sensitivity_matches_legacy_design_points` in
+/// `crates/bench/tests/scenario_tests.rs`.
+fn sensitivity_points_axis() -> Axis {
+    spec_points_axis(&[
+        DesignSpec::preset(DesignPoint::WsBaseline),
+        DesignSpec::preset(DesignPoint::WsBaseline)
+            .with("dataflow", "diva")
+            .with("ppu", "true")
+            .named("DiVa"),
+    ])
+}
 
 /// A named parameterized model builder (input side or sequence length).
 type ModelBuilder = (&'static str, fn(usize) -> ModelSpec);
@@ -42,7 +58,7 @@ fn sensitivity(
     Experiment::new(name, title, eval)
         .axis(model_axis)
         .axis(scale_axis)
-        .axis(points_axis(&[DesignPoint::WsBaseline, DesignPoint::Diva]))
+        .axis(sensitivity_points_axis())
         .axis(paper_batch_axis())
         .derive(Normalize::speedup("seconds", &[("point", "WS")], "speedup"))
         .display(&["seconds", "speedup"])

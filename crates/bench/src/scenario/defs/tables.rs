@@ -109,7 +109,7 @@ pub(in super::super) fn table3() -> Experiment {
             Dataflow::OuterProduct => DesignPoint::Diva,
         };
         // Effective TFLOPS over the full DP-SGD(R) suite on this engine.
-        let accel = Accelerator::from_design_point(design);
+        let accel = Accelerator::from_design_point(design).expect("preset configs validate");
         let mut flops = 0.0;
         let mut seconds = 0.0;
         for model in zoo::all_models() {

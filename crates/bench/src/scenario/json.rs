@@ -45,6 +45,16 @@ pub fn to_json(result: &ScenarioResult) -> String {
     let _ = writeln!(out, "  \"schema\": {},", perf::json_string(SCHEMA));
     let _ = writeln!(out, "  \"scenario\": {},", perf::json_string(&result.name));
     let _ = writeln!(out, "  \"title\": {},", perf::json_string(&result.title));
+    let _ = writeln!(
+        out,
+        "  \"derived\": {},",
+        perf::json_string(&result.derived_metrics.join("|"))
+    );
+    let _ = writeln!(
+        out,
+        "  \"overrides\": {},",
+        perf::json_string(&join_pins(&result.overrides))
+    );
     out.push_str("  \"axes\": [\n");
     for (i, axis) in result.axes.iter().enumerate() {
         let _ = write!(
@@ -133,6 +143,13 @@ pub struct ParsedScenario {
     pub scenario: String,
     /// The table title.
     pub title: String,
+    /// Names of the scenario's ratio-normalized (derived) metrics — the
+    /// metrics `diva-report --compare` gates its exit code on. Empty for
+    /// documents predating the field or scenarios without derived rules.
+    pub derived: Vec<String>,
+    /// The `--set` overrides the document was produced under, in the
+    /// flat `key=value,key=value` form (empty for a baseline run).
+    pub overrides: String,
     /// Parsed axes: `(name, labels)`.
     pub axes: Vec<(String, Vec<String>)>,
     /// Reduction summaries as flat records (`name` = label; the value is
@@ -156,6 +173,17 @@ pub fn parse_scenario_json(text: &str) -> Result<ParsedScenario, String> {
     }
     let scenario = top_level_string(text, "scenario")?;
     let title = top_level_string(text, "title")?;
+    // Optional (documents from before the design-space layer lack it).
+    let derived: Vec<String> = top_level_string(text, "derived")
+        .map(|s| {
+            s.split('|')
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    // Optional like "derived": absent in pre-design-space documents.
+    let overrides = top_level_string(text, "overrides").unwrap_or_default();
     let axes = flat_objects(text, "axes")?
         .into_iter()
         .map(|r| {
@@ -177,6 +205,8 @@ pub fn parse_scenario_json(text: &str) -> Result<ParsedScenario, String> {
         schema,
         scenario,
         title,
+        derived,
+        overrides,
         axes,
         reductions,
         records,
@@ -297,6 +327,8 @@ mod tests {
             display_metrics: Vec::new(),
             pivot: None,
             notes: Vec::new(),
+            derived_metrics: vec!["speedup".into()],
+            overrides: vec![("sram_mib".into(), "8".into())],
         }
     }
 
@@ -307,6 +339,8 @@ mod tests {
         assert_eq!(parsed.schema, SCHEMA);
         assert_eq!(parsed.scenario, "toy");
         assert_eq!(parsed.title, "Toy \"scenario\"");
+        assert_eq!(parsed.derived, vec!["speedup".to_string()]);
+        assert_eq!(parsed.overrides, "sram_mib=8");
         assert_eq!(parsed.axes.len(), 2);
         assert_eq!(parsed.axes[0].0, "model");
         assert_eq!(parsed.axes[0].1, vec!["VGG-16", "ResNet-50"]);

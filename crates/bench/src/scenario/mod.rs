@@ -32,6 +32,7 @@
 //! The legacy per-figure binaries in `src/bin/` are thin shims over
 //! [`run`], so `cargo run --bin fig13_end_to_end_speedup` keeps working.
 
+pub mod compare;
 pub mod json;
 pub mod registry;
 pub mod render;
@@ -74,6 +75,13 @@ pub enum Payload {
     Num(f64),
     /// A bare label; the evaluation closure interprets it.
     Label,
+    /// A **config axis** value: `(parameter name, value string)` pairs
+    /// resolved through the `diva_arch::params` registry. The runner
+    /// materializes each cell's accelerator by applying these overrides to
+    /// the cell's accelerator-axis arm (validated, never panicking), so
+    /// any registered Table II knob is sweepable — this is what the CLI's
+    /// `--sweep key=v1,v2` injects and what the `dse_*` scenarios declare.
+    Overrides(Vec<(String, String)>),
 }
 
 /// One value of an [`Axis`]: a display/filter label plus a typed payload.
@@ -139,6 +147,20 @@ impl AxisValue {
         Self {
             label: label.into(),
             payload: Payload::Label,
+        }
+    }
+
+    /// A config-axis value: named parameter overrides applied to the
+    /// cell's accelerator arm (see [`Payload::Overrides`]).
+    pub fn overrides(label: impl Into<String>, pairs: &[(&str, &str)]) -> Self {
+        Self {
+            label: label.into(),
+            payload: Payload::Overrides(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            ),
         }
     }
 }
@@ -214,6 +236,11 @@ impl From<&RunReport> for Cell {
 pub struct CellCtx<'a> {
     /// `(axis name, axis value)` pairs in axis-declaration order.
     pub coords: Vec<(&'a str, &'a AxisValue)>,
+    /// The accelerator materialized for this cell when any coordinate is a
+    /// config-axis value ([`Payload::Overrides`]): the accelerator-axis
+    /// arm with the cell's overrides applied and validated. `None` on
+    /// grids without config axes.
+    pub accel_override: Option<Arc<Accelerator>>,
 }
 
 impl CellCtx<'_> {
@@ -253,13 +280,18 @@ impl CellCtx<'_> {
         }
     }
 
-    /// The accelerator carried by the `"point"` axis.
+    /// The cell's accelerator: the config-axis materialization when any
+    /// coordinate carries [`Payload::Overrides`], otherwise the arm of the
+    /// `"point"` axis.
     ///
     /// # Panics
     ///
-    /// Panics if there is no `"point"` axis or its values are not
-    /// [`Payload::Accel`].
+    /// Panics if there is no materialized accelerator and no `"point"`
+    /// axis carrying [`Payload::Accel`] values.
     pub fn accel(&self) -> &Accelerator {
+        if let Some(accel) = &self.accel_override {
+            return accel;
+        }
         match &self.value("point").payload {
             Payload::Accel(a) => a,
             other => panic!("axis \"point\" does not carry Accelerator payloads: {other:?}"),
@@ -365,6 +397,17 @@ pub struct Normalize {
 }
 
 impl Normalize {
+    /// The derived metric's name for `metric` under this rule's renaming —
+    /// the single naming used both when the runner appends the derived
+    /// values and when it declares them in `ScenarioResult::derived_metrics`
+    /// (and thus the JSON `derived` field `--compare` gates on).
+    pub fn derived_name(&self, metric: &str) -> String {
+        match &self.rename {
+            Rename::Suffix(s) => format!("{metric}{s}"),
+            Rename::To(n) => n.clone(),
+        }
+    }
+
     /// The classic speedup rule: `new_name = baseline(metric) / metric`.
     pub fn speedup(
         metric: impl Into<String>,
@@ -592,13 +635,9 @@ impl Experiment {
 
 /// Normalizes a label for filter matching: lowercase, alphanumerics only.
 /// `"DiVa w/o PPU"` → `"divawoppu"`, so `--points diva-w/o-ppu` matches.
-pub fn norm_label(label: &str) -> String {
-    label
-        .chars()
-        .filter(|c| c.is_ascii_alphanumeric())
-        .map(|c| c.to_ascii_lowercase())
-        .collect()
-}
+/// Re-exported from `diva_arch` — the one implementation shared with
+/// dataflow and design-point preset parsing.
+pub use diva_arch::norm_label;
 
 #[cfg(test)]
 mod tests {
@@ -623,7 +662,7 @@ mod tests {
     #[test]
     fn run_report_bridges_to_cell() {
         let model = diva_workload::zoo::lstm_small();
-        let accel = Accelerator::from_design_point(diva_core::DesignPoint::Diva);
+        let accel = Accelerator::from_design_point(diva_core::DesignPoint::Diva).unwrap();
         let report = accel.run(&model, Algorithm::DpSgdReweighted, 8);
         let cell = Cell::from(&report);
         assert_eq!(cell.get("seconds"), Some(report.seconds));

@@ -2,7 +2,7 @@
 //! stable name, plus the convenience entry points the legacy figure
 //! binaries shim onto.
 
-use super::defs::{ablations, figures, sensitivity, tables};
+use super::defs::{ablations, dse, figures, sensitivity, tables};
 use super::render::print_result;
 use super::runner::{run_experiment, RunOptions, ScenarioResult};
 use super::Experiment;
@@ -107,6 +107,26 @@ pub const REGISTRY: &[ScenarioInfo] = &[
         build: sensitivity::sensitivity_seq,
     },
     ScenarioInfo {
+        name: "dse_pe_scale",
+        summary: "DSE: DiVa-vs-WS speedup as the PE array scales 32x32..256x256",
+        build: dse::dse_pe_scale,
+    },
+    ScenarioInfo {
+        name: "dse_drain_rate",
+        summary: "DSE: drain-rate R sweep (rows/cycle) on both design points",
+        build: dse::dse_drain_rate,
+    },
+    ScenarioInfo {
+        name: "dse_sram",
+        summary: "DSE: SRAM capacity sweep through the parameter registry",
+        build: dse::dse_sram,
+    },
+    ScenarioInfo {
+        name: "dse_bandwidth",
+        summary: "DSE: DRAM bandwidth sweep (GB/s) on both design points",
+        build: dse::dse_bandwidth,
+    },
+    ScenarioInfo {
         name: "ablation_drain_overlap",
         summary: "Ablation: shadow-accumulator drain/compute overlap on DiVa",
         build: ablations::ablation_drain_overlap,
@@ -178,13 +198,20 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let mut names = list();
-        assert_eq!(names.len(), 21, "expected all 21 paper artifacts");
+        assert_eq!(
+            names.len(),
+            25,
+            "expected 21 paper artifacts + 4 dse scenarios"
+        );
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 25);
         assert!(find("fig13").is_some());
         assert!(find("FIG13").is_some(), "lookup is case-insensitive");
+        assert!(find("dse_drain_rate").is_some());
         assert!(find("nope").is_none());
+        // The acceptance bar: at least four registered dse_* scenarios.
+        assert!(names.iter().filter(|n| n.starts_with("dse_")).count() >= 4);
     }
 
     #[test]

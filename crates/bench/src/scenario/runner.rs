@@ -9,12 +9,17 @@
 //! bit-identical for every worker-thread count. `scenario_determinism` in
 //! `crates/bench/tests/scenario_tests.rs` pins this.
 
-use super::{
-    norm_label, AxisValue, Cell, CellCtx, Experiment, Normalize, ReduceKind, Reduction, Rename,
-};
-use diva_core::geomean;
+use std::sync::Arc;
 
-/// Options steering one experiment run (the CLI's axis filters).
+use super::{
+    norm_label, Axis, AxisValue, Cell, CellCtx, Experiment, Normalize, Payload, ReduceKind,
+    Reduction, Rename,
+};
+use diva_arch::ConfigError;
+use diva_core::{geomean, Accelerator};
+
+/// Options steering one experiment run (the CLI's axis filters and
+/// design-space knobs).
 #[derive(Clone, Debug, Default)]
 pub struct RunOptions {
     /// Per-axis label allowlists: `(axis name, allowed labels)`. Labels are
@@ -24,6 +29,15 @@ pub struct RunOptions {
     /// `--batch` flag — a replacement, not a restriction, since the default
     /// axis usually holds the symbolic paper policy).
     pub batch_override: Option<Vec<u64>>,
+    /// `(parameter, value)` overrides applied to **every** accelerator arm
+    /// of the scenario before running (the `--set key=value` flag).
+    /// Parameter names resolve through the `diva_arch::params` registry;
+    /// a typo errors with the list of registered names.
+    pub set_overrides: Vec<(String, String)>,
+    /// Ad-hoc config axes injected into the grid (the `--sweep key=v1,v2`
+    /// flag): each entry becomes an [`Payload::Overrides`] axis named
+    /// after the parameter, inserted right after the accelerator axis.
+    pub sweeps: Vec<(String, Vec<String>)>,
 }
 
 impl RunOptions {
@@ -39,6 +53,22 @@ impl RunOptions {
     /// Replaces the batch axis with fixed sizes.
     pub fn batches(mut self, batches: &[u64]) -> Self {
         self.batch_override = Some(batches.to_vec());
+        self
+    }
+
+    /// Overrides a registered parameter on every accelerator arm.
+    pub fn set(mut self, param: &str, value: &str) -> Self {
+        self.set_overrides
+            .push((param.to_string(), value.to_string()));
+        self
+    }
+
+    /// Injects an ad-hoc config axis sweeping a registered parameter.
+    pub fn sweep(mut self, param: &str, values: &[&str]) -> Self {
+        self.sweeps.push((
+            param.to_string(),
+            values.iter().map(|v| v.to_string()).collect(),
+        ));
         self
     }
 }
@@ -117,6 +147,15 @@ pub struct ScenarioResult {
     pub pivot: Option<(String, String)>,
     /// Commentary lines.
     pub notes: Vec<String>,
+    /// Names of the ratio metrics the experiment's [`Normalize`] rules
+    /// derive. Serialized into the JSON document so `diva-report
+    /// --compare` knows which metrics gate the regression exit code.
+    pub derived_metrics: Vec<String>,
+    /// The `--set` parameter overrides this run was produced under
+    /// (empty for a baseline run). Serialized into the JSON document so
+    /// an overridden artifact is distinguishable from a baseline one —
+    /// `--compare` refuses to diff documents with different overrides.
+    pub overrides: Vec<(String, String)>,
 }
 
 /// One axis after filtering: kept values plus per-value visibility.
@@ -126,19 +165,83 @@ struct KeptAxis<'a> {
     visible: Vec<bool>,
 }
 
-/// Applies filters and the batch override to the experiment's axes,
-/// retaining filtered-out values that a [`Normalize`] baseline needs
-/// (marked invisible).
-fn keep_axes<'a>(exp: &'a Experiment, opts: &RunOptions) -> Result<Vec<KeptAxis<'a>>, String> {
+/// Applies the design-space knobs to a working copy of the experiment's
+/// axes: `--set` rebuilds every accelerator arm with the overrides,
+/// `--sweep` injects a config axis per swept parameter (right after the
+/// accelerator-carrying axis, so the grid reads naturally).
+fn effective_axes(exp: &Experiment, opts: &RunOptions) -> Result<Vec<Axis>, String> {
+    let mut axes: Vec<Axis> = exp.axes.clone();
+    if !opts.set_overrides.is_empty() {
+        let mut rebuilt = 0usize;
+        for axis in &mut axes {
+            for value in &mut axis.values {
+                if let Payload::Accel(accel) = &value.payload {
+                    let new = accel
+                        .with_overrides(&opts.set_overrides)
+                        .map_err(|e| format!("--set on arm {:?}: {e}", value.label))?;
+                    value.payload = Payload::Accel(Arc::new(new));
+                    rebuilt += 1;
+                }
+            }
+        }
+        if rebuilt == 0 {
+            return Err(format!(
+                "scenario {:?} has no accelerator-carrying axis for --set to override",
+                exp.name
+            ));
+        }
+    }
+    for (param, values) in &opts.sweeps {
+        if !diva_arch::params::is_param(param) {
+            return Err(ConfigError::UnknownParameter(param.clone()).to_string());
+        }
+        if values.is_empty() {
+            return Err(format!("sweep over {param:?} needs at least one value"));
+        }
+        if axes.iter().any(|a| &a.name == param) {
+            return Err(format!(
+                "scenario {:?} already has an axis named {param:?}",
+                exp.name
+            ));
+        }
+        let Some(pos) = axes.iter().position(|a| {
+            a.values
+                .iter()
+                .any(|v| matches!(v.payload, Payload::Accel(_)))
+        }) else {
+            return Err(format!(
+                "scenario {:?} has no accelerator-carrying axis for --sweep {param}",
+                exp.name
+            ));
+        };
+        let axis = Axis::new(
+            param.clone(),
+            values
+                .iter()
+                .map(|v| AxisValue::overrides(v.clone(), &[(param.as_str(), v.as_str())])),
+        );
+        axes.insert(pos + 1, axis);
+    }
+    Ok(axes)
+}
+
+/// Applies filters and the batch override to the experiment's (effective)
+/// axes, retaining filtered-out values that a [`Normalize`] baseline
+/// needs (marked invisible).
+fn keep_axes<'a>(
+    exp: &Experiment,
+    exp_axes: &'a [Axis],
+    opts: &RunOptions,
+) -> Result<Vec<KeptAxis<'a>>, String> {
     // A filter naming an axis the experiment doesn't have is an error, not
     // a no-op: silently ignoring it would return full unfiltered results
     // for a typo'd `--axis` name.
     for (name, _) in &opts.filters {
-        if !exp.axes.iter().any(|a| &a.name == name) {
+        if !exp_axes.iter().any(|a| &a.name == name) {
             return Err(format!(
                 "scenario {:?} has no axis named {name:?}; axes: {}",
                 exp.name,
-                exp.axes
+                exp_axes
                     .iter()
                     .map(|a| a.name.as_str())
                     .collect::<Vec<_>>()
@@ -146,14 +249,14 @@ fn keep_axes<'a>(exp: &'a Experiment, opts: &RunOptions) -> Result<Vec<KeptAxis<
             ));
         }
     }
-    if opts.batch_override.is_some() && !exp.axes.iter().any(|a| a.name == "batch") {
+    if opts.batch_override.is_some() && !exp_axes.iter().any(|a| a.name == "batch") {
         return Err(format!(
             "scenario {:?} has no \"batch\" axis to override",
             exp.name
         ));
     }
-    let mut kept = Vec::with_capacity(exp.axes.len());
-    for axis in &exp.axes {
+    let mut kept = Vec::with_capacity(exp_axes.len());
+    for axis in exp_axes {
         let mut values: Vec<AxisValue> = axis.values.clone();
         if axis.name == "batch" {
             if let Some(batches) = &opts.batch_override {
@@ -251,7 +354,8 @@ fn ravel(idx: &[usize], shape: &[usize]) -> usize {
 /// Returns a description when a filter names an unknown label or empties
 /// an axis, or when a reduction/derivation references an unknown axis.
 pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> Result<ScenarioResult, String> {
-    let axes = keep_axes(exp, opts)?;
+    let exp_axes = effective_axes(exp, opts)?;
+    let axes = keep_axes(exp, &exp_axes, opts)?;
     for rule in &exp.derived {
         for (axis, _) in &rule.baseline {
             if !axes.iter().any(|a| a.name == axis) {
@@ -272,15 +376,87 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> Result<ScenarioRes
 
     let shape = grid_shape(&axes);
     let n_cells: usize = shape.iter().product();
+
+    // Config-axis materialization: when any axis carries
+    // [`Payload::Overrides`] values, every distinct (accelerator arm ×
+    // config coordinates) combination is built once — base config +
+    // overrides, validated — and handed to the cells via
+    // `CellCtx::accel_override`. Bad parameter names or out-of-range
+    // values surface here as errors, never panics.
+    let accel_axis = axes.iter().position(|a| {
+        a.values
+            .iter()
+            .any(|v| matches!(v.payload, Payload::Accel(_)))
+    });
+    let cfg_axes: Vec<usize> = axes
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            a.values
+                .iter()
+                .any(|v| matches!(v.payload, Payload::Overrides(_)))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let combo_key = |idx: &[usize], pa: usize| -> Vec<usize> {
+        std::iter::once(idx[pa])
+            .chain(cfg_axes.iter().map(|&a| idx[a]))
+            .collect()
+    };
+    let mut materialized: Vec<(Vec<usize>, Arc<Accelerator>)> = Vec::new();
+    if !cfg_axes.is_empty() {
+        let pa = accel_axis.ok_or_else(|| {
+            format!(
+                "scenario {:?} has a config axis but no accelerator-carrying axis",
+                exp.name
+            )
+        })?;
+        for i in 0..n_cells {
+            let idx = unravel(i, &shape);
+            let key = combo_key(&idx, pa);
+            if materialized.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let Payload::Accel(base) = &axes[pa].values[idx[pa]].payload else {
+                return Err(format!(
+                    "axis {:?} mixes accelerator and non-accelerator values",
+                    axes[pa].name
+                ));
+            };
+            let mut overrides: Vec<(String, String)> = Vec::new();
+            for &a in &cfg_axes {
+                let Payload::Overrides(ovr) = &axes[a].values[idx[a]].payload else {
+                    return Err(format!(
+                        "config axis {:?} mixes override and non-override values",
+                        axes[a].name
+                    ));
+                };
+                overrides.extend(ovr.iter().cloned());
+            }
+            let accel = base
+                .with_overrides(&overrides)
+                .map_err(|e| format!("arm {:?}: {e}", axes[pa].values[idx[pa]].label))?;
+            materialized.push((key, Arc::new(accel)));
+        }
+    }
+
     let contexts: Vec<CellCtx> = (0..n_cells)
         .map(|i| {
             let idx = unravel(i, &shape);
+            let accel_override = accel_axis.filter(|_| !cfg_axes.is_empty()).and_then(|pa| {
+                let key = combo_key(&idx, pa);
+                materialized
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, a)| Arc::clone(a))
+            });
             CellCtx {
                 coords: axes
                     .iter()
                     .zip(&idx)
                     .map(|(a, &vi)| (a.name, &a.values[vi]))
                     .collect(),
+                accel_override,
             }
         })
         .collect();
@@ -314,9 +490,25 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> Result<ScenarioRes
         });
     }
 
+    // Ad-hoc `--sweep` axes join every pre-declared reduction's group_by
+    // (exactly what the registered dse_* scenarios declare themselves):
+    // pooling cells across swept configurations into one aggregate —
+    // next to a paper reference valid only at the paper's fixed point —
+    // would be misleading.
+    let sweep_axes: Vec<&str> = opts
+        .sweeps
+        .iter()
+        .map(|(param, _)| param.as_str())
+        .collect();
     let mut summaries = Vec::new();
     for red in &exp.reductions {
-        summaries.extend(apply_reduction(red, &rows));
+        let mut red = red.clone();
+        for axis in &sweep_axes {
+            if !red.group_by.iter().any(|g| g == axis) {
+                red.group_by.push(axis.to_string());
+            }
+        }
+        summaries.extend(apply_reduction(&red, &rows));
     }
 
     Ok(ScenarioResult {
@@ -342,8 +534,39 @@ pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> Result<ScenarioRes
             .pivot
             .as_ref()
             .map(|p| (p.axis.clone(), p.metric.clone())),
-        notes: exp.notes.clone(),
+        notes: {
+            let mut notes = exp.notes.clone();
+            if !opts.set_overrides.is_empty() {
+                let pins: Vec<String> = opts
+                    .set_overrides
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                notes.push(format!(
+                    "(every accelerator arm rebuilt with --set {})",
+                    pins.join(" ")
+                ));
+            }
+            notes
+        },
+        derived_metrics: derived_names(exp),
+        overrides: opts.set_overrides.clone(),
     })
+}
+
+/// The metric names the experiment's [`Normalize`] rules derive, deduped
+/// in declaration order.
+fn derived_names(exp: &Experiment) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for rule in &exp.derived {
+        for metric in &rule.metrics {
+            let name = rule.derived_name(metric);
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names
 }
 
 /// Applies one [`Normalize`] rule across the evaluated grid.
@@ -396,11 +619,7 @@ fn apply_normalize(
             } else {
                 num / denom
             };
-            let name = match &rule.rename {
-                Rename::Suffix(s) => format!("{metric}{s}"),
-                Rename::To(n) => n.clone(),
-            };
-            new_metrics.push((name, value));
+            new_metrics.push((rule.derived_name(metric), value));
         }
         cells[i].metrics.extend(new_metrics);
     }

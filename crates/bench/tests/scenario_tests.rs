@@ -21,8 +21,9 @@ fn small_fig13_opts() -> RunOptions {
 #[test]
 fn every_registered_scenario_is_listed() {
     let names = scenario::list();
-    assert_eq!(names.len(), 21);
-    // Every legacy figure/table/ablation binary has its scenario.
+    assert_eq!(names.len(), 25);
+    // Every legacy figure/table/ablation binary has its scenario, plus
+    // the four design-space exploration starters.
     for expected in [
         "fig04",
         "fig05",
@@ -41,6 +42,10 @@ fn every_registered_scenario_is_listed() {
         "roofline",
         "sensitivity_image",
         "sensitivity_seq",
+        "dse_pe_scale",
+        "dse_drain_rate",
+        "dse_sram",
+        "dse_bandwidth",
         "ablation_drain_overlap",
         "ablation_sram",
         "ablation_vanilla_dpsgd",
@@ -237,4 +242,168 @@ fn degenerate_scenarios_run() {
         let doc = to_json(&result);
         parse_scenario_json(&doc).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
+}
+
+/// The small dse_drain_rate subset the design-space tests run.
+fn small_dse_opts() -> RunOptions {
+    RunOptions::default()
+        .filter("model", &["resnet50"])
+        .filter("drain_rows", &["2", "8"])
+}
+
+/// The satellite contract: a `dse_*` scenario is byte-identical across
+/// worker-thread counts (the config-axis materialization is part of the
+/// deterministic pre-execution grid setup).
+#[test]
+fn dse_scenario_is_bit_identical_across_thread_counts() {
+    let opts = small_dse_opts();
+    let serial = Backend::serial()
+        .install(|| scenario::run_with("dse_drain_rate", &opts).expect("serial run"));
+    let parallel = Backend::with_threads(8)
+        .install(|| scenario::run_with("dse_drain_rate", &opts).expect("parallel run"));
+    assert_eq!(serial, parallel, "results differ across thread counts");
+    assert_eq!(
+        to_json(&serial),
+        to_json(&parallel),
+        "JSON differs across thread counts"
+    );
+    // The sweep actually moved the knob: DiVa is slower at R=2 than R=8,
+    // while the WS baseline (no output-stationary drain) is flat.
+    let get = |point: &str, drain: &str| {
+        serial
+            .rows
+            .iter()
+            .find(|r| r.coord("point") == Some(point) && r.coord("drain_rows") == Some(drain))
+            .and_then(|r| r.get("seconds"))
+            .expect("cell present")
+    };
+    assert!(get("DiVa", "2") > get("DiVa", "8"));
+    assert_eq!(get("WS", "2"), get("WS", "8"));
+}
+
+/// `--sweep key=v1,v2` injects the same config axis ad hoc: sweeping
+/// drain_rows over fig13 must reproduce dse_drain_rate's cells exactly.
+#[test]
+fn ad_hoc_sweep_matches_the_registered_dse_scenario() {
+    let sweep_opts = RunOptions::default()
+        .filter("model", &["resnet50"])
+        .filter("point", &["ws", "diva"])
+        .filter("algorithm", &["dp-sgd-r"])
+        .sweep("drain_rows", &["2", "8"]);
+    let swept = scenario::run_with("fig13", &sweep_opts).expect("fig13 sweeps");
+    let axis_names: Vec<&str> = swept.axes.iter().map(|a| a.name.as_str()).collect();
+    assert!(axis_names.contains(&"drain_rows"), "{axis_names:?}");
+    // Pre-declared reductions are re-grouped by the injected axis: no
+    // summary may pool cells across swept configurations.
+    assert!(!swept.summaries.is_empty());
+    for summary in &swept.summaries {
+        assert!(
+            summary.group.iter().any(|(axis, _)| axis == "drain_rows"),
+            "summary {:?} pools across drain_rows values",
+            summary.label
+        );
+    }
+    let dse = scenario::run_with("dse_drain_rate", &small_dse_opts()).expect("dse runs");
+    for row in &dse.rows {
+        let point = row.coord("point").unwrap();
+        let drain = row.coord("drain_rows").unwrap();
+        let twin = swept
+            .rows
+            .iter()
+            .find(|r| r.coord("point") == Some(point) && r.coord("drain_rows") == Some(drain))
+            .unwrap_or_else(|| panic!("fig13 sweep misses ({point}, {drain})"));
+        assert_eq!(
+            twin.get("seconds"),
+            row.get("seconds"),
+            "({point}, R={drain}) differs between --sweep and dse_drain_rate"
+        );
+    }
+}
+
+/// `--set key=value` shifts every accelerator arm; `--sweep`/`--set`
+/// reject typos (with the registry listing) and scenarios without an
+/// accelerator axis.
+#[test]
+fn set_override_and_error_paths() {
+    let base_opts = RunOptions::default()
+        .filter("model", &["squeezenet"])
+        .filter("point", &["diva"])
+        .filter("algorithm", &["dp-sgd-r"]);
+    let base = scenario::run_with("fig13", &base_opts).expect("base runs");
+    let slow =
+        scenario::run_with("fig13", &base_opts.clone().set("drain_rows", "1")).expect("--set runs");
+    assert!(
+        slow.rows[0].get("seconds") > base.rows[0].get("seconds"),
+        "draining one row per cycle must slow DiVa down"
+    );
+    // Typo'd parameter names list the registry.
+    let err = scenario::run_with("fig13", &base_opts.clone().set("dram_rows", "4")).unwrap_err();
+    assert!(err.contains("drain_rows"), "{err}");
+    let err =
+        scenario::run_with("fig13", &RunOptions::default().sweep("dram_rows", &["2"])).unwrap_err();
+    assert!(err.contains("available"), "{err}");
+    // Out-of-range values are errors, not panics.
+    let err =
+        scenario::run_with("fig13", &base_opts.clone().set("drain_rows", "4096")).unwrap_err();
+    assert!(err.contains("drain rate"), "{err}");
+    // Scenarios without an accelerator-carrying axis reject both flags.
+    for opts in [
+        RunOptions::default().set("drain_rows", "4"),
+        RunOptions::default().sweep("drain_rows", &["2", "4"]),
+    ] {
+        let err = scenario::run_with("table1", &opts).unwrap_err();
+        assert!(err.contains("accelerator"), "{err}");
+    }
+}
+
+/// The satellite pin: the re-based sensitivity scenarios (whose DiVa arm
+/// is now the WS preset retargeted through registered parameter
+/// overrides) reproduce the pre-refactor values **bit-for-bit**, computed
+/// here the legacy way from the closed DesignPoint presets.
+#[test]
+fn sensitivity_matches_legacy_design_points() {
+    use diva_core::{Accelerator, DesignPoint};
+    use diva_workload::Algorithm;
+
+    let opts = RunOptions::default()
+        .filter("model", &["vgg16"])
+        .filter("scale", &["32x32", "64x64"]);
+    let result = scenario::run_with("sensitivity_image", &opts).expect("runs");
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
+    // The override-built DiVa arm resolves to the preset's exact config.
+    for row in &result.rows {
+        let scale = match row.coord("scale") {
+            Some("32x32") => 32,
+            Some("64x64") => 64,
+            other => panic!("unexpected scale {other:?}"),
+        };
+        let model = diva_workload::zoo::vgg16_at(scale);
+        let batch = diva_bench::paper_batch(&model);
+        let accel = match row.coord("point") {
+            Some("WS") => &ws,
+            Some("DiVa") => &diva,
+            other => panic!("unexpected point {other:?}"),
+        };
+        let legacy = accel.run(&model, Algorithm::DpSgdReweighted, batch);
+        assert_eq!(
+            row.get("seconds"),
+            Some(legacy.seconds),
+            "{:?} diverged from the legacy design-point path",
+            row.coords
+        );
+        let legacy_speedup =
+            ws.run(&model, Algorithm::DpSgdReweighted, batch).seconds / legacy.seconds;
+        assert_eq!(row.get("speedup"), Some(legacy_speedup));
+    }
+}
+
+/// The JSON document names its derived (ratio) metrics, so `--compare`
+/// can gate on them.
+#[test]
+fn json_declares_derived_metrics() {
+    let result = scenario::run_with("dse_drain_rate", &small_dse_opts()).expect("runs");
+    assert_eq!(result.derived_metrics, vec!["speedup".to_string()]);
+    let parsed = parse_scenario_json(&to_json(&result)).expect("parses");
+    assert_eq!(parsed.derived, vec!["speedup".to_string()]);
 }

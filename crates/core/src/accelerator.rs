@@ -5,7 +5,7 @@ use diva_energy::{EnergyModel, EnergyReport};
 use diva_sim::{Simulator, StepTiming};
 use diva_workload::{Algorithm, ModelSpec};
 
-use crate::design_point::DesignPoint;
+use crate::design_point::{DesignPoint, DesignSpec};
 
 /// A fully configured accelerator that can execute (simulate) training
 /// steps of any zoo model under any of the three training algorithms.
@@ -96,13 +96,45 @@ impl RunReport {
 
 impl Accelerator {
     /// Builds one of the paper's design points at Table II scale.
-    pub fn from_design_point(point: DesignPoint) -> Self {
-        let config = point.config();
-        Self {
-            name: point.label().to_string(),
-            simulator: Simulator::new(config).expect("design-point configs are valid"),
-            energy_model: EnergyModel::calibrated(),
-        }
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the preset configuration fails
+    /// validation (presets are valid by construction and pinned by tests,
+    /// so in practice this is infallible — but the design-point layer is
+    /// `Result` everywhere rather than panicking).
+    pub fn from_design_point(point: DesignPoint) -> Result<Self, ConfigError> {
+        Self::from_config(point.label(), point.config())
+    }
+
+    /// Builds an accelerator from a preset-plus-overrides [`DesignSpec`],
+    /// named with the spec's label.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an unknown parameter name, a
+    /// malformed value, or an overridden configuration that fails
+    /// validation.
+    pub fn from_spec(spec: &DesignSpec) -> Result<Self, ConfigError> {
+        Self::from_config(spec.label(), spec.config()?)
+    }
+
+    /// A copy of this accelerator with `(parameter, value)` overrides
+    /// applied to its configuration (resolved through the
+    /// `diva_arch::params` registry) — the scenario layer's config-axis
+    /// materialization path. The name is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for an unknown parameter name, a
+    /// malformed value, or an invalid resulting configuration.
+    pub fn with_overrides<K: AsRef<str>, V: AsRef<str>>(
+        &self,
+        overrides: &[(K, V)],
+    ) -> Result<Self, ConfigError> {
+        let mut config = self.config().clone();
+        diva_arch::params::apply_overrides(&mut config, overrides)?;
+        Self::from_config(self.name.clone(), config)
     }
 
     /// Builds an accelerator from a custom configuration.
@@ -170,8 +202,8 @@ mod tests {
     fn diva_beats_ws_on_dp_training() {
         // The headline claim, on a small model for test speed.
         let model = zoo::squeezenet();
-        let diva = Accelerator::from_design_point(DesignPoint::Diva);
-        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
+        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
         let fast = diva.run(&model, Algorithm::DpSgdReweighted, 32);
         let slow = ws.run(&model, Algorithm::DpSgdReweighted, 32);
         let speedup = fast.speedup_vs(&slow);
@@ -181,8 +213,8 @@ mod tests {
     #[test]
     fn ppu_matters() {
         let model = zoo::squeezenet();
-        let full = Accelerator::from_design_point(DesignPoint::Diva);
-        let ablated = Accelerator::from_design_point(DesignPoint::DivaNoPpu);
+        let full = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
+        let ablated = Accelerator::from_design_point(DesignPoint::DivaNoPpu).unwrap();
         let with = full.run(&model, Algorithm::DpSgdReweighted, 32);
         let without = ablated.run(&model, Algorithm::DpSgdReweighted, 32);
         assert!(with.seconds < without.seconds);
@@ -194,7 +226,7 @@ mod tests {
     #[test]
     fn dp_sgd_slower_than_sgd_on_baseline() {
         let model = zoo::squeezenet();
-        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
         let sgd = ws.run(&model, Algorithm::Sgd, 32);
         let dp = ws.run(&model, Algorithm::DpSgd, 32);
         let dpr = ws.run(&model, Algorithm::DpSgdReweighted, 32);
@@ -207,7 +239,7 @@ mod tests {
     #[test]
     fn reports_are_self_consistent() {
         let model = zoo::lstm_small();
-        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
         let r = diva.run(&model, Algorithm::DpSgdReweighted, 16);
         assert_eq!(r.accelerator, "DiVa");
         assert_eq!(r.model, "LSTM-small");
@@ -220,7 +252,7 @@ mod tests {
     #[test]
     fn flat_metrics_are_schema_stable_and_consistent() {
         let model = zoo::lstm_small();
-        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
         let sgd = diva.run(&model, Algorithm::Sgd, 8);
         let dpr = diva.run(&model, Algorithm::DpSgdReweighted, 8);
         let keys = |r: &RunReport| -> Vec<String> {

@@ -1,6 +1,17 @@
-//! The accelerator design points evaluated in the paper's Figures 13–16.
+//! The **design-point layer**: the paper's four Figure 13 hardware points
+//! as named presets, generalized to "preset + named parameter overrides"
+//! so any point of the design space is constructible — from Rust or from
+//! a plain string — without new code.
+//!
+//! * [`DesignPoint`] is the closed preset set the paper evaluates.
+//! * [`DesignSpec`] is an open point: a base preset plus `(parameter,
+//!   value)` overrides resolved through the `diva_arch::params` registry,
+//!   with a derived (or explicit) label. `DesignSpec::parse` accepts the
+//!   `preset[:key=value,...]` string form the CLI and scenario layer use.
+//!
+//! Everything is fallible with [`ConfigError`] — no panics on bad input.
 
-use diva_arch::{AcceleratorConfig, Dataflow};
+use diva_arch::{params, AcceleratorConfig, ConfigError, Dataflow};
 
 /// The four hardware design points the paper compares (Figure 13):
 /// the WS systolic baseline, an OS systolic array with the PPU attached,
@@ -50,11 +61,159 @@ impl DesignPoint {
             DesignPoint::Diva => AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct),
         }
     }
+
+    /// Parses a preset name, matched case-insensitively with punctuation
+    /// ignored, so `"ws"`, `"os+ppu"`, `"diva-w/o-ppu"` and `"DiVa"` all
+    /// resolve.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownPreset`] listing the known presets.
+    pub fn parse(name: &str) -> Result<Self, ConfigError> {
+        let wanted = norm(name);
+        DesignPoint::ALL
+            .into_iter()
+            .find(|p| norm(p.label()) == wanted || norm_alias(&wanted) == norm(p.label()))
+            .ok_or_else(|| ConfigError::UnknownPreset {
+                name: name.to_string(),
+                available: DesignPoint::ALL
+                    .iter()
+                    .map(|p| p.label())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            })
+    }
+}
+
+use diva_arch::norm_label as norm;
+
+/// Extra spellings accepted for preset names.
+fn norm_alias(normed: &str) -> &str {
+    match normed {
+        "wsbaseline" | "baseline" => "ws",
+        "os" | "osppu" => "osppu",
+        "divanoppu" => "divawoppu",
+        other => other,
+    }
 }
 
 impl std::fmt::Display for DesignPoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// An open design point: a base preset plus named parameter overrides
+/// (resolved through the `diva_arch::params` registry) and a derived or
+/// explicit label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignSpec {
+    /// The preset the overrides start from.
+    pub base: DesignPoint,
+    /// `(parameter name, value string)` overrides, applied in order.
+    pub overrides: Vec<(String, String)>,
+    /// Explicit label; `None` derives one from base + overrides.
+    pub name: Option<String>,
+}
+
+impl DesignSpec {
+    /// A spec that is exactly the preset.
+    pub fn preset(base: DesignPoint) -> Self {
+        Self {
+            base,
+            overrides: Vec::new(),
+            name: None,
+        }
+    }
+
+    /// Adds a parameter override (builder style). The name is checked at
+    /// [`Self::config`] / [`Self::parse`] time, not here.
+    pub fn with(mut self, param: impl Into<String>, value: impl Into<String>) -> Self {
+        self.overrides.push((param.into(), value.into()));
+        self
+    }
+
+    /// Sets an explicit label.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The display label: the explicit name if set, the bare preset label
+    /// when there are no overrides, otherwise `"<preset> k=v ..."`.
+    pub fn label(&self) -> String {
+        if let Some(name) = &self.name {
+            return name.clone();
+        }
+        if self.overrides.is_empty() {
+            return self.base.label().to_string();
+        }
+        let pins: Vec<String> = self
+            .overrides
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{} {}", self.base.label(), pins.join(" "))
+    }
+
+    /// Builds the validated configuration: preset, overrides in order,
+    /// then [`AcceleratorConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ConfigError`] from an unknown parameter name, a malformed
+    /// value, or a constraint the overridden configuration violates.
+    pub fn config(&self) -> Result<AcceleratorConfig, ConfigError> {
+        let mut cfg = self.base.config();
+        params::apply_overrides(&mut cfg, &self.overrides)?;
+        Ok(cfg)
+    }
+
+    /// Parses the `preset[:key=value,...]` string form, e.g. `"ws"`,
+    /// `"diva:drain_rows=4"` or `"diva:sram_mib=8,ppu=false"`. Parameter
+    /// names are checked against the registry immediately so typos fail
+    /// here (with the available-name list), not at build time.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownPreset`], [`ConfigError::MalformedSpec`] or
+    /// [`ConfigError::UnknownParameter`].
+    pub fn parse(spec: &str) -> Result<Self, ConfigError> {
+        let (preset, rest) = match spec.split_once(':') {
+            Some((p, r)) => (p, Some(r)),
+            None => (spec, None),
+        };
+        let mut out = Self::preset(DesignPoint::parse(preset.trim())?);
+        if let Some(rest) = rest {
+            for pair in rest.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| ConfigError::MalformedSpec(spec.to_string()))?;
+                let key = key.trim();
+                if !params::is_param(key) {
+                    return Err(ConfigError::UnknownParameter(key.to_string()));
+                }
+                out.overrides
+                    .push((key.to_string(), value.trim().to_string()));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Display for DesignSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl From<DesignPoint> for DesignSpec {
+    fn from(point: DesignPoint) -> Self {
+        Self::preset(point)
     }
 }
 
@@ -83,5 +242,81 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn preset_names_parse_with_aliases() {
+        assert_eq!(DesignPoint::parse("ws").unwrap(), DesignPoint::WsBaseline);
+        assert_eq!(DesignPoint::parse("WS").unwrap(), DesignPoint::WsBaseline);
+        assert_eq!(
+            DesignPoint::parse("baseline").unwrap(),
+            DesignPoint::WsBaseline
+        );
+        assert_eq!(
+            DesignPoint::parse("os+ppu").unwrap(),
+            DesignPoint::OsWithPpu
+        );
+        assert_eq!(DesignPoint::parse("os").unwrap(), DesignPoint::OsWithPpu);
+        assert_eq!(DesignPoint::parse("diva").unwrap(), DesignPoint::Diva);
+        assert_eq!(
+            DesignPoint::parse("diva-w/o-ppu").unwrap(),
+            DesignPoint::DivaNoPpu
+        );
+        assert_eq!(
+            DesignPoint::parse("diva-no-ppu").unwrap(),
+            DesignPoint::DivaNoPpu
+        );
+        let err = DesignPoint::parse("tpu").unwrap_err();
+        assert!(err.to_string().contains("DiVa"), "{err}");
+    }
+
+    #[test]
+    fn spec_parse_builds_overridden_configs() {
+        let spec = DesignSpec::parse("diva:drain_rows=4, sram_mib=8").unwrap();
+        assert_eq!(spec.base, DesignPoint::Diva);
+        let cfg = spec.config().unwrap();
+        assert_eq!(cfg.drain_rows_per_cycle, 4);
+        assert_eq!(cfg.sram_bytes, 8 << 20);
+        assert_eq!(spec.label(), "DiVa drain_rows=4 sram_mib=8");
+        // A bare preset keeps the paper's label.
+        assert_eq!(DesignSpec::parse("ws").unwrap().label(), "WS");
+        // Explicit names win.
+        assert_eq!(
+            DesignSpec::parse("diva:drain_rows=4")
+                .unwrap()
+                .named("fast-drain")
+                .label(),
+            "fast-drain"
+        );
+    }
+
+    #[test]
+    fn spec_parse_rejects_bad_input_without_panicking() {
+        assert!(matches!(
+            DesignSpec::parse("tpu:drain_rows=4"),
+            Err(ConfigError::UnknownPreset { .. })
+        ));
+        assert!(matches!(
+            DesignSpec::parse("diva:drain_rows"),
+            Err(ConfigError::MalformedSpec(_))
+        ));
+        let err = DesignSpec::parse("diva:dram_rows=4").unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownParameter(_)));
+        assert!(err.to_string().contains("drain_rows"), "{err}");
+        // Out-of-range values surface at config() time as ConfigError.
+        let spec = DesignSpec::parse("diva:drain_rows=4096").unwrap();
+        assert_eq!(
+            spec.config().unwrap_err(),
+            ConfigError::InvalidDrainRate(4096)
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_presets() {
+        for dp in DesignPoint::ALL {
+            let spec = DesignSpec::parse(dp.label()).unwrap();
+            assert_eq!(spec, DesignSpec::preset(dp));
+            assert_eq!(spec.config().unwrap(), dp.config());
+        }
     }
 }

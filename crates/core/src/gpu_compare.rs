@@ -77,7 +77,7 @@ mod tests {
         // league as V100 tensor cores (125 TFLOPS) on these GEMMs.
         let model = zoo::resnet50();
         let batch = 32;
-        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
         let t_diva = bottleneck_accel_seconds(&diva, &model, batch);
         let t_v100 =
             bottleneck_gpu_seconds(&model, batch, &GpuModel::v100(), Precision::Fp16TensorCore);
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn bottleneck_time_is_a_fraction_of_total() {
         let model = zoo::vgg16();
-        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
         let total = diva.run(&model, Algorithm::DpSgdReweighted, 16).seconds;
         let bottleneck = bottleneck_accel_seconds(&diva, &model, 16);
         assert!(bottleneck > 0.0);

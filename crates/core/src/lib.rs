@@ -19,8 +19,8 @@
 //! use diva_core::{Accelerator, DesignPoint};
 //! use diva_workload::{zoo, Algorithm};
 //!
-//! let diva = Accelerator::from_design_point(DesignPoint::Diva);
-//! let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+//! let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
+//! let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
 //! let model = zoo::squeezenet();
 //!
 //! let fast = diva.run(&model, Algorithm::DpSgdReweighted, 32);
@@ -39,14 +39,14 @@ mod training_run;
 
 pub use accelerator::{Accelerator, RunReport};
 pub use comparison::{geomean, normalize_to, SpeedupRow};
-pub use design_point::DesignPoint;
+pub use design_point::{DesignPoint, DesignSpec};
 pub use gpu_compare::{
     bottleneck_accel_seconds, bottleneck_gpu_seconds, bottleneck_phases, BottleneckComparison,
 };
 pub use training_run::{TrainingRunEstimate, TrainingRunPlan};
 
 // Re-export the substrate types users need to drive the API.
-pub use diva_arch::{AcceleratorConfig, Dataflow, GemmShape, Phase};
+pub use diva_arch::{params, AcceleratorConfig, ConfigError, Dataflow, GemmShape, Phase};
 pub use diva_energy::{EnergyModel, EnergyReport};
 pub use diva_sim::{Simulator, StepTiming};
 pub use diva_workload::{Algorithm, ModelSpec};

@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn private_runs_report_epsilon_sgd_does_not() {
         let model = zoo::squeezenet();
-        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
         let dp = diva.estimate_training_run(&model, Algorithm::DpSgdReweighted, &cifar_plan());
         let sgd = diva.estimate_training_run(&model, Algorithm::Sgd, &cifar_plan());
         assert!(dp.epsilon.is_some());
@@ -137,16 +137,12 @@ mod tests {
         // algorithm), time and energy much lower on DiVa.
         let model = zoo::squeezenet();
         let plan = cifar_plan();
-        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).estimate_training_run(
-            &model,
-            Algorithm::DpSgdReweighted,
-            &plan,
-        );
-        let diva = Accelerator::from_design_point(DesignPoint::Diva).estimate_training_run(
-            &model,
-            Algorithm::DpSgdReweighted,
-            &plan,
-        );
+        let ws = Accelerator::from_design_point(DesignPoint::WsBaseline)
+            .unwrap()
+            .estimate_training_run(&model, Algorithm::DpSgdReweighted, &plan);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva)
+            .unwrap()
+            .estimate_training_run(&model, Algorithm::DpSgdReweighted, &plan);
         assert_eq!(ws.epsilon, diva.epsilon);
         assert_eq!(ws.steps, diva.steps);
         assert!(diva.seconds < ws.seconds);
@@ -156,7 +152,7 @@ mod tests {
     #[test]
     fn epsilon_grows_with_epochs() {
         let model = zoo::lstm_small();
-        let diva = Accelerator::from_design_point(DesignPoint::Diva);
+        let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
         let mut plan = cifar_plan();
         let e10 = diva
             .estimate_training_run(&model, Algorithm::DpSgd, &plan)

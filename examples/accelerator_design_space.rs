@@ -10,7 +10,7 @@ use diva_workload::{zoo, Algorithm};
 fn main() {
     let model = zoo::resnet50();
     let batch = 64;
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
     let baseline = ws.run(&model, Algorithm::DpSgdReweighted, batch).seconds;
 
     println!(

@@ -63,8 +63,8 @@ fn main() {
     }
 
     // --- Latency (Section III-B) ---
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     println!("\nper-phase cycles at batch {batch} (millions):");
     println!(
         "  {:<34} {:>10} {:>10} {:>10} {:>10}",

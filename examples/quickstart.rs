@@ -22,7 +22,7 @@ fn main() {
     println!("Per-example weight-gradient GEMM {shape}, batch of {batch} independent GEMMs\n");
 
     for dp in [DesignPoint::WsBaseline, DesignPoint::Diva] {
-        let accel = Accelerator::from_design_point(dp);
+        let accel = Accelerator::from_design_point(dp).unwrap();
         let t = accel.simulator().gemm_timing(shape, batch, false);
         println!(
             "{:<12}  {:>12} cycles   {:>5.1}% FLOPS utilization   {:>6.2} effective TFLOPS",

@@ -19,8 +19,8 @@ fn paper_batch(model: &diva_workload::ModelSpec) -> u64 {
 /// arrays" — we accept a 1.5×–8× band for the suite average.
 #[test]
 fn headline_energy_efficiency() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     let reductions: Vec<f64> = zoo::all_models()
         .iter()
         .map(|m| {
@@ -43,8 +43,8 @@ fn headline_energy_efficiency() {
 /// We accept a 2×–6× band for the average and require max ≥ 3×.
 #[test]
 fn headline_end_to_end_speedup() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     let speedups: Vec<f64> = zoo::all_models()
         .iter()
         .map(|m| {
@@ -71,7 +71,7 @@ fn headline_end_to_end_speedup() {
 /// (paper avg 9.1×) and DP-SGD(R) beats vanilla DP-SGD (paper ~31% faster).
 #[test]
 fn dp_training_tax_and_reweighting_win() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
     let mut dp_slowdowns = Vec::new();
     let mut dpr_wins = 0usize;
     let models = zoo::all_models();
@@ -129,8 +129,8 @@ fn memory_bloat_and_reweighted_savings() {
 /// of gradient post-processing (paper: 99%).
 #[test]
 fn ppu_kills_postprocessing_traffic() {
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
-    let no_ppu = Accelerator::from_design_point(DesignPoint::DivaNoPpu);
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
+    let no_ppu = Accelerator::from_design_point(DesignPoint::DivaNoPpu).unwrap();
     for m in zoo::all_models() {
         let b = paper_batch(&m);
         let with = diva.run(&m, Algorithm::DpSgdReweighted, b);
@@ -167,8 +167,8 @@ fn ppu_kills_postprocessing_traffic() {
 /// GEMMs (paper: avg 5.5×; CNNs benefit most).
 #[test]
 fn per_example_utilization_improvement() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     let mut gains = Vec::new();
     for m in zoo::all_models() {
         let b = paper_batch(&m);
@@ -195,8 +195,8 @@ fn per_example_utilization_improvement() {
 /// WS throughput (paper: ~75%).
 #[test]
 fn sgd_side_benefits() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     let mut sgd_speedups = Vec::new();
     let mut dp_vs_sgd = Vec::new();
     for m in zoo::all_models() {
@@ -231,8 +231,8 @@ fn fig13_registry_matches_direct_computation() {
 
     let result = scenario::run_with("fig13", &RunOptions::default()).expect("fig13 runs");
 
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     let mut direct = Vec::new();
     for m in zoo::all_models() {
         let b = paper_batch(&m);
@@ -273,8 +273,8 @@ fn fig13_registry_matches_direct_computation() {
 /// Section VI-C: DiVa's edge narrows (but persists) as inputs grow.
 #[test]
 fn sensitivity_trend_holds() {
-    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline);
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     let speedup = |m: &diva_workload::ModelSpec| {
         let b = paper_batch(m);
         ws.run(m, Algorithm::DpSgdReweighted, b).seconds

@@ -122,7 +122,7 @@ fn reweighted_work_decomposition() {
 fn simulation_covers_every_op() {
     let m = zoo::squeezenet();
     let ops = m.lower(Algorithm::DpSgdReweighted, 32);
-    let accel = Accelerator::from_design_point(DesignPoint::Diva);
+    let accel = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
     let r = accel.run(&m, Algorithm::DpSgdReweighted, 32);
     assert_eq!(r.timing.ops.len(), ops.len());
     let sum: u64 = r.timing.ops.iter().map(|o| o.cycles).sum();
@@ -156,8 +156,8 @@ fn per_example_counts_scale_with_batch() {
 /// helps (cycles are monotone).
 #[test]
 fn ppu_is_monotone_improvement() {
-    let diva = Accelerator::from_design_point(DesignPoint::Diva);
-    let no_ppu = Accelerator::from_design_point(DesignPoint::DivaNoPpu);
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
+    let no_ppu = Accelerator::from_design_point(DesignPoint::DivaNoPpu).unwrap();
     for m in zoo::all_models() {
         for alg in [Algorithm::DpSgd, Algorithm::DpSgdReweighted] {
             let with = diva.run(&m, alg, 8).timing.total_cycles();
