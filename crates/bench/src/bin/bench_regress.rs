@@ -1,10 +1,17 @@
 //! Bench-smoke regression gate: diffs the conv / DP-step rows of a fresh
-//! `BENCH_perf.json` against the committed record and fails (exit 1) on a
-//! >25% throughput regression on the same backend.
+//! `BENCH_perf.json` against the committed record and fails on a >25%
+//! throughput regression on the same backend.
 //!
 //! Usage: `bench_regress <baseline.json> <current.json> [threshold]`
 //! (threshold is the allowed fractional regression, default `0.25`; also
 //! settable via `DIVA_BENCH_REGRESS_THRESHOLD`).
+//!
+//! Exit codes distinguish the failure modes so CI can triage without
+//! parsing stderr: `0` all gated rows present and within threshold, `1`
+//! at least one row regressed, `2` usage/parse error or no gated rows,
+//! `3` gated rows missing from the current run (no regression among the
+//! rows that were present). A regression wins over a missing row when
+//! both occur — it is the more actionable signal.
 //!
 //! Comparison metric: the *relative* speedup columns
 //! (`speedup_vs_scalar` / `speedup_vs_naive`), not wall-clock. Both sides
@@ -32,8 +39,14 @@ fn speedup(record: &PerfRecord) -> Option<(&'static str, f64)> {
 }
 
 fn load(path: &str) -> Vec<PerfRecord> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    parse_perf_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_regress: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_perf_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_regress: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -55,7 +68,8 @@ fn main() {
     let baseline = load(baseline_path);
     let current = load(current_path);
 
-    let mut failures = Vec::new();
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
     let mut checked = 0usize;
     println!(
         "{:<36} {:<10} {:>10} {:>10} {:>8}",
@@ -75,15 +89,16 @@ fn main() {
             .iter()
             .find(|r| r.name == base.name && r.tag_value("backend") == Some(backend))
         else {
-            failures.push(format!(
-                "{} [{}]: row missing from current run",
+            missing.push(format!(
+                "{} [{}]: row missing from current run (renamed benchmark, or a \
+                 feature-gated row in the committed record?)",
                 base.name, backend
             ));
             continue;
         };
         let Some(cur_speedup) = cur.metric_value(metric) else {
-            failures.push(format!(
-                "{} [{}]: current run lost metric {metric}",
+            missing.push(format!(
+                "{} [{}]: current run lost metric {metric} (present in the baseline row)",
                 cur.name, backend
             ));
             continue;
@@ -95,7 +110,7 @@ fn main() {
             base.name, backend, base_speedup, cur_speedup, ratio
         );
         if ratio < 1.0 - threshold {
-            failures.push(format!(
+            regressions.push(format!(
                 "{} [{}]: {metric} regressed {:.2}x -> {:.2}x ({:.0}% below baseline, \
                  allowed {:.0}%)",
                 base.name,
@@ -111,10 +126,18 @@ fn main() {
     // Report collected failures before any "nothing was checked" verdict,
     // so an all-rows-missing current run surfaces the real diagnosis
     // instead of a misleading complaint about the baseline.
-    if !failures.is_empty() {
-        eprintln!("\nbench_regress: {} failure(s):", failures.len());
-        for f in &failures {
-            eprintln!("  {f}");
+    if !regressions.is_empty() || !missing.is_empty() {
+        if !regressions.is_empty() {
+            eprintln!("\nbench_regress: {} regression(s):", regressions.len());
+            for f in &regressions {
+                eprintln!("  {f}");
+            }
+        }
+        if !missing.is_empty() {
+            eprintln!("\nbench_regress: {} missing row(s):", missing.len());
+            for f in &missing {
+                eprintln!("  {f}");
+            }
         }
         eprintln!(
             "\nhow to read this: each gated row's speedup is the ratio of the scalar/naive\n\
@@ -130,7 +153,9 @@ fn main() {
              leaking into the committed record. See ARCHITECTURE.md ('Benchmarks and the\n\
              regression gate') for the full contract."
         );
-        std::process::exit(1);
+        // Regressions exit 1; a missing-rows-only failure exits 3 so CI
+        // can tell "the code got slower" from "the record went stale".
+        std::process::exit(if regressions.is_empty() { 3 } else { 1 });
     }
     if checked == 0 {
         eprintln!("bench_regress: no gated conv/DP-step rows found in {baseline_path}");

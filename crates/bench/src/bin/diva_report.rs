@@ -15,16 +15,25 @@
 //! `--batch N[,M...]` *replaces* the batch axis (its default usually holds
 //! the symbolic paper policy). `--selfcheck` re-reads the JSON written by
 //! `--json` and validates schema, axes and reductions — the CI smoke path.
+//!
+//! Fault tolerance: `--keep-going` records failed cells as explicit error
+//! records instead of aborting, `--max-retries N` allows bounded retries,
+//! `--resume DIR` journals completed cells and reuses them across runs,
+//! and `--inject`/`--fault-seed`/`--fault-sticky` drive the deterministic
+//! fault-injection harness (CI only). Exit codes: 0 success, 1
+//! usage/config/parse error, 2 cell failures, 3 `--compare` gate failure,
+//! 4 resume-journal error.
 
 use std::process::ExitCode;
 
+use diva_bench::faults::FaultPlan;
 use diva_bench::print_table;
 use diva_bench::scenario::{
     self,
     compare::compare_docs,
     json::{parse_scenario_json, to_json},
     render::{print_result, to_csv},
-    RunOptions,
+    RunOptions, ScenarioError,
 };
 
 /// Parsed command line.
@@ -65,7 +74,25 @@ options:
                        exits nonzero when a ratio-normalized metric drifts
                        more than the tolerance
   --tolerance F        --compare gate on relative drift (default 0.05)
+  --keep-going         record failed cells as error records instead of
+                       aborting (the run still exits 2)
+  --max-retries N      extra supervised attempts per failing cell (default 0)
+  --timeout-ms N       soft per-cell wall-clock budget; over-budget cells
+                       fail as timed-out (off by default: wall-clock
+                       classification breaks byte-identical artifacts)
+  --resume DIR         journal completed cells under DIR and reuse them:
+                       a re-run evaluates only missing/failed cells and
+                       produces a byte-identical document
+  --inject SPEC        deterministic fault injection (CI only), e.g.
+                       panic=0.5,nan=0.1; kinds: panic, nan, delay
+  --fault-seed N       seed for --inject decisions (default 0)
+  --fault-sticky       injected faults fire on every attempt, not just the
+                       first (exercises retry exhaustion)
   --help               show this help
+
+exit codes:
+  0 success    1 usage/config/parse error    2 cell failures
+  3 --compare gate failure                   4 resume-journal error
 
 Filter labels are matched case-insensitively with punctuation stripped:
 --points diva-w/o-ppu matches the \"DiVa w/o PPU\" arm.";
@@ -92,6 +119,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         compare: None,
         tolerance: 0.05,
     };
+    let mut inject: Option<String> = None;
+    let mut fault_seed: u64 = 0;
+    let mut fault_seed_set = false;
+    let mut fault_sticky = false;
     let mut it = argv.iter().peekable();
     let value_of = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
                     flag: &str|
@@ -107,6 +138,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--params" => args.params = true,
             "--no-table" => args.no_table = true,
             "--selfcheck" => args.selfcheck = true,
+            "--keep-going" => args.opts.keep_going = true,
+            "--fault-sticky" => fault_sticky = true,
+            "--inject" => inject = Some(value_of(&mut it, "--inject")?),
+            "--fault-seed" => {
+                let raw = value_of(&mut it, "--fault-seed")?;
+                fault_seed = raw
+                    .parse()
+                    .map_err(|e| format!("--fault-seed wants an integer: {e}"))?;
+                fault_seed_set = true;
+            }
+            "--max-retries" => {
+                let raw = value_of(&mut it, "--max-retries")?;
+                args.opts.max_retries = raw
+                    .parse()
+                    .map_err(|e| format!("--max-retries wants an integer: {e}"))?;
+            }
+            "--timeout-ms" => {
+                let raw = value_of(&mut it, "--timeout-ms")?;
+                let ms: u64 = raw
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms wants an integer: {e}"))?;
+                if ms == 0 {
+                    return Err("--timeout-ms wants a positive integer".to_string());
+                }
+                args.opts.cell_timeout_ms = Some(ms);
+            }
+            "--resume" => {
+                args.opts.resume_dir = Some(value_of(&mut it, "--resume")?.into());
+            }
             "--json" => args.json = Some(value_of(&mut it, "--json")?),
             "--csv" => args.csv = Some(value_of(&mut it, "--csv")?),
             "--set" => {
@@ -181,6 +241,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }
+    }
+    match inject {
+        Some(spec) => {
+            args.opts.faults = Some(FaultPlan::parse(&spec, fault_seed, fault_sticky)?);
+        }
+        None if fault_seed_set || fault_sticky => {
+            return Err("--fault-seed/--fault-sticky require --inject".to_string());
+        }
+        None => {}
     }
     Ok(args)
 }
@@ -280,29 +349,46 @@ fn print_params() {
     );
 }
 
-/// Runs `--compare`: prints the per-metric drift report; `Ok(false)`
-/// means the gate failed (nonzero exit without the error banner).
-fn run_compare(a: &str, b: &str, tolerance: f64) -> Result<bool, String> {
-    let read = |path: &str| std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"));
-    let report = compare_docs(&read(a)?, &read(b)?, tolerance)?;
+/// Runs `--compare`: prints the per-metric drift report. A gate failure
+/// (drift beyond tolerance, missing rows) exits `3` without the error
+/// banner — the report already explained itself.
+fn run_compare(a: &str, b: &str, tolerance: f64) -> Result<ExitCode, ScenarioError> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })
+    };
+    let report = compare_docs(&read(a)?, &read(b)?, tolerance).map_err(ScenarioError::Parse)?;
     print!("{}", report.render());
-    Ok(report.passed())
+    if report.passed() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(3))
+    }
 }
 
-fn run(args: &Args) -> Result<bool, String> {
+fn run(args: &Args) -> Result<ExitCode, ScenarioError> {
     if args.list {
         print_list();
-        return Ok(true);
+        return Ok(ExitCode::SUCCESS);
     }
     if args.params {
         print_params();
-        return Ok(true);
+        return Ok(ExitCode::SUCCESS);
     }
     if let Some((a, b)) = &args.compare {
         return run_compare(a, b, args.tolerance);
     }
     let Some(name) = &args.scenario else {
-        return Err(USAGE.to_string());
+        eprintln!("{USAGE}");
+        return Ok(ExitCode::FAILURE);
+    };
+    let write = |path: &str, text: &str| {
+        std::fs::write(path, text).map_err(|e| ScenarioError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })
     };
     let result = scenario::run_with(name, &args.opts)?;
     if !args.no_table {
@@ -313,7 +399,7 @@ fn run(args: &Args) -> Result<bool, String> {
         if path == "-" {
             print!("{csv}");
         } else {
-            std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+            write(path, &csv)?;
             eprintln!("wrote {path}");
         }
     }
@@ -322,7 +408,7 @@ fn run(args: &Args) -> Result<bool, String> {
         if path == "-" {
             print!("{json}");
         } else {
-            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            write(path, &json)?;
             eprintln!("wrote {path}");
         }
         if args.selfcheck {
@@ -331,14 +417,31 @@ fn run(args: &Args) -> Result<bool, String> {
             let written = if path == "-" {
                 json
             } else {
-                std::fs::read_to_string(path).map_err(|e| format!("selfcheck: read {path}: {e}"))?
+                std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+                    path: path.to_string(),
+                    message: e.to_string(),
+                })?
             };
-            selfcheck(&written, &result)?;
+            selfcheck(&written, &result).map_err(ScenarioError::Parse)?;
         }
     } else if args.selfcheck {
-        return Err("--selfcheck requires --json".to_string());
+        return Err(ScenarioError::InvalidOptions(
+            "--selfcheck requires --json".to_string(),
+        ));
     }
-    Ok(true)
+    // Under --keep-going the artifacts above carry explicit error records
+    // for every failed cell; the exit code still reports the damage.
+    if !result.failures.is_empty() {
+        eprintln!(
+            "diva-report: {} cell(s) failed; error records are in the output",
+            result.failures.len()
+        );
+        for failure in &result.failures {
+            eprintln!("  {failure}");
+        }
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
@@ -351,12 +454,10 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(true) => ExitCode::SUCCESS,
-        // --compare gate failure: the report already explained itself.
-        Ok(false) => ExitCode::FAILURE,
-        Err(msg) => {
-            eprintln!("diva-report: {msg}");
-            ExitCode::FAILURE
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("diva-report: {err}");
+            ExitCode::from(err.exit_code())
         }
     }
 }

@@ -1,0 +1,245 @@
+//! Deterministic fault injection for the scenario engine's cell
+//! supervisor — a test/CLI-gated harness, never active by default.
+//!
+//! A [`FaultPlan`] names the fault kinds to inject (panics, NaN metric
+//! corruption, artificial delays), each with a probability, plus a seed.
+//! Whether a given grid cell is hit is a pure function of
+//! `(seed, cell key, fault kind)` through an FNV-1a hash: no RNG state,
+//! no ordering dependence, identical on every platform and worker-thread
+//! count. That determinism is the point — the supervisor, retry policy,
+//! journal and `--resume` path can be CI-tested against *reproducible*
+//! failures.
+//!
+//! By default a fault fires only on a cell's **first** attempt, so a
+//! retried cell recovers — the deterministic way to exercise the
+//! supervisor's bounded retry policy. A [`FaultPlan::sticky`] plan fires
+//! on every attempt instead, exercising retry exhaustion.
+//!
+//! The `diva-report` flags `--inject KIND=PROB[,KIND=PROB...]`,
+//! `--fault-seed N` and `--fault-sticky` build a plan from the command
+//! line (see [`FaultPlan::parse`]); library users construct one directly.
+
+/// The kinds of fault the harness can inject into a cell evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic before the cell's evaluation closure runs.
+    Panic,
+    /// Corrupt the evaluated cell's first metric to NaN, so the
+    /// supervisor's non-finite classification triggers.
+    NanMetric,
+    /// Sleep [`DELAY_MILLIS`] before evaluating, so a cell timeout
+    /// (`--timeout-ms`) classifies the cell as timed out.
+    Delay,
+}
+
+/// How long an injected [`FaultKind::Delay`] sleeps.
+pub const DELAY_MILLIS: u64 = 25;
+
+impl FaultKind {
+    /// The stable lowercase name used by `--inject` and error records.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::NanMetric => "nan",
+            FaultKind::Delay => "delay",
+        }
+    }
+
+    fn from_slug(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "nan" => Some(FaultKind::NanMetric),
+            "delay" => Some(FaultKind::Delay),
+            _ => None,
+        }
+    }
+}
+
+/// One injection rule: a fault kind and its per-cell probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Probability in `[0, 1]` that a given cell is hit (decided by
+    /// coordinate hash, not an RNG — see the module docs).
+    pub probability: f64,
+}
+
+/// A deterministic fault-injection plan, carried by
+/// `scenario::RunOptions::faults`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every per-cell decision hash.
+    pub seed: u64,
+    /// The injection rules, evaluated in order (first hit wins).
+    pub rules: Vec<FaultRule>,
+    /// If `true`, faults fire on every attempt (retry exhaustion); if
+    /// `false` (default), only on a cell's first attempt (retry recovery).
+    pub sticky: bool,
+}
+
+impl FaultPlan {
+    /// A plan with one rule.
+    pub fn single(kind: FaultKind, probability: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            rules: vec![FaultRule { kind, probability }],
+            sticky: false,
+        }
+    }
+
+    /// Marks the plan sticky (faults fire on every attempt).
+    pub fn sticky(mut self) -> Self {
+        self.sticky = true;
+        self
+    }
+
+    /// Parses the `--inject` specification: comma-separated `KIND=PROB`
+    /// pairs, e.g. `panic=0.5,nan=0.1`. Kinds: `panic`, `nan`, `delay`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a kind is unknown or a probability does
+    /// not parse or lies outside `[0, 1]`.
+    pub fn parse(spec: &str, seed: u64, sticky: bool) -> Result<Self, String> {
+        let mut rules = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind_s, prob_s) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--inject wants KIND=PROB, got {part:?}"))?;
+            let kind = FaultKind::from_slug(kind_s.trim()).ok_or_else(|| {
+                format!("unknown fault kind {kind_s:?}; known: panic, nan, delay")
+            })?;
+            let probability: f64 = prob_s
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad probability {prob_s:?} for {kind_s}: {e}"))?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(format!(
+                    "probability for {kind_s} must be in [0, 1], got {probability}"
+                ));
+            }
+            rules.push(FaultRule { kind, probability });
+        }
+        if rules.is_empty() {
+            return Err("--inject wants at least one KIND=PROB pair".to_string());
+        }
+        Ok(Self {
+            seed,
+            rules,
+            sticky,
+        })
+    }
+
+    /// Decides which fault (if any) hits the cell identified by `key` on
+    /// the given attempt. Pure and platform-independent: the decision
+    /// depends only on `(self, key, attempt)`.
+    pub fn decide(&self, key: &str, attempt: u32) -> Option<FaultKind> {
+        if attempt > 0 && !self.sticky {
+            return None;
+        }
+        for rule in &self.rules {
+            let h = fnv1a64(&[
+                &self.seed.to_le_bytes(),
+                key.as_bytes(),
+                &[match rule.kind {
+                    FaultKind::Panic => 1u8,
+                    FaultKind::NanMetric => 2,
+                    FaultKind::Delay => 3,
+                }],
+            ]);
+            // Upper 53 bits → uniform in [0, 1); exact in f64.
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < rule.probability {
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+}
+
+/// 64-bit FNV-1a over a sequence of byte slices — the workspace's one
+/// deterministic, platform-independent hash, shared by the fault decision
+/// above and the journal's code-version fingerprint.
+pub fn fnv1a64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Delimit parts so ("ab","c") and ("a","bc") hash differently.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_probability_bounded() {
+        let plan = FaultPlan::single(FaultKind::Panic, 0.5, 42);
+        let keys: Vec<String> = (0..200).map(|i| format!("model=m{i}|point=p0")).collect();
+        let hits: Vec<bool> = keys.iter().map(|k| plan.decide(k, 0).is_some()).collect();
+        // Re-deciding gives the same answers.
+        for (k, &hit) in keys.iter().zip(&hits) {
+            assert_eq!(plan.decide(k, 0).is_some(), hit);
+        }
+        let count = hits.iter().filter(|&&h| h).count();
+        assert!(
+            (40..160).contains(&count),
+            "0.5 probability hit {count}/200 cells"
+        );
+        // Probability 0 and 1 are exact.
+        let never = FaultPlan::single(FaultKind::Panic, 0.0, 42);
+        let always = FaultPlan::single(FaultKind::Panic, 1.0, 42);
+        for k in &keys {
+            assert_eq!(never.decide(k, 0), None);
+            assert_eq!(always.decide(k, 0), Some(FaultKind::Panic));
+        }
+    }
+
+    #[test]
+    fn non_sticky_fires_only_on_the_first_attempt() {
+        let plan = FaultPlan::single(FaultKind::Panic, 1.0, 7);
+        assert_eq!(plan.decide("cell", 0), Some(FaultKind::Panic));
+        assert_eq!(plan.decide("cell", 1), None);
+        let sticky = plan.sticky();
+        assert_eq!(sticky.decide("cell", 0), Some(FaultKind::Panic));
+        assert_eq!(sticky.decide("cell", 3), Some(FaultKind::Panic));
+    }
+
+    #[test]
+    fn seeds_decorrelate_cells() {
+        // Different seeds must produce different hit sets at p=0.5.
+        let keys: Vec<String> = (0..64).map(|i| format!("cell{i}")).collect();
+        let hit_set = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::single(FaultKind::Panic, 0.5, seed);
+            keys.iter().map(|k| plan.decide(k, 0).is_some()).collect()
+        };
+        assert_ne!(hit_set(1), hit_set(2));
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let plan = FaultPlan::parse("panic=0.5, nan=0.25", 9, true).expect("parses");
+        assert_eq!(plan.seed, 9);
+        assert!(plan.sticky);
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].kind, FaultKind::Panic);
+        assert_eq!(plan.rules[1].probability, 0.25);
+        assert!(FaultPlan::parse("explode=0.5", 0, false).is_err());
+        assert!(FaultPlan::parse("panic=1.5", 0, false).is_err());
+        assert!(FaultPlan::parse("panic", 0, false).is_err());
+        assert!(FaultPlan::parse("", 0, false).is_err());
+    }
+
+    #[test]
+    fn fnv_delimits_parts() {
+        assert_ne!(fnv1a64(&[b"ab", b"c"]), fnv1a64(&[b"a", b"bc"]));
+        assert_ne!(fnv1a64(&[b"a"]), fnv1a64(&[b"a", b""]));
+    }
+}

@@ -177,6 +177,14 @@ pub(crate) fn parse_record(body: &str) -> Result<PerfRecord, String> {
                 let v: f64 = raw
                     .parse()
                     .map_err(|e| format!("bad number {raw:?} for key {key:?}: {e}"))?;
+                // Rust's f64 parser accepts "NaN"/"inf", but JSON has no
+                // such literals — a document carrying them is corrupt
+                // (our emitters write null for non-finite values).
+                if !v.is_finite() {
+                    return Err(format!(
+                        "non-finite number {raw:?} for key {key:?} (non-finite metrics serialize as null)"
+                    ));
+                }
                 record.metrics.push((key, v));
             }
             &after_colon[end..]
@@ -193,9 +201,12 @@ pub(crate) fn parse_record(body: &str) -> Result<PerfRecord, String> {
 /// Parses a leading JSON string literal, returning it unescaped plus the
 /// remaining input.
 pub(crate) fn parse_json_string(s: &str) -> Result<(String, &str), String> {
-    let inner = s
-        .strip_prefix('"')
-        .ok_or_else(|| format!("expected string at {:?}", &s[..s.len().min(20)]))?;
+    let inner = s.strip_prefix('"').ok_or_else(|| {
+        // Truncate on a char boundary — slicing at a fixed byte offset
+        // panics mid-way through a multi-byte character.
+        let shown: String = s.chars().take(20).collect();
+        format!("expected string at {shown:?}")
+    })?;
     let mut out = String::new();
     let mut chars = inner.char_indices();
     while let Some((i, c)) = chars.next() {

@@ -326,6 +326,7 @@ mod tests {
             ],
             metrics: vec![("seconds".into(), secs), ("speedup".into(), sp)],
             notes: Vec::new(),
+            status: Default::default(),
         };
         to_json(&ScenarioResult {
             name: "toy".into(),
@@ -348,6 +349,7 @@ mod tests {
                 group: Vec::new(),
                 value: (1.0 + speedup) / 2.0,
                 count: 2,
+                skipped: 0,
                 paper: None,
             }],
             display_metrics: Vec::new(),
@@ -355,6 +357,7 @@ mod tests {
             notes: Vec::new(),
             derived_metrics: vec!["speedup".into()],
             overrides: Vec::new(),
+            failures: Vec::new(),
         })
     }
 
@@ -403,11 +406,12 @@ mod tests {
     fn missing_cells_fail_the_comparison() {
         let a = doc([4.0, 1.0], 4.0);
         let mut short = doc([4.0, 1.0], 4.0);
-        // Drop the DiVa record from the second document.
+        // Swap the DiVa record for one at a coordinate A doesn't have
+        // (duplicating an existing coordinate is rejected at parse time).
         let at = short.find("\"point\": \"DiVa\"").unwrap();
         let open = short[..at].rfind('{').unwrap();
         let close = at + short[at..].find('}').unwrap();
-        short.replace_range(open..=close, "{\"name\": \"toy\", \"model\": \"VGG-16\", \"point\": \"WS\", \"seconds\": 4.0, \"speedup\": 1.0}");
+        short.replace_range(open..=close, "{\"name\": \"toy\", \"model\": \"VGG-16\", \"point\": \"Other\", \"seconds\": 4.0, \"speedup\": 1.0}");
         let report = compare_docs(&a, &short, 0.05).expect("compares");
         assert!(!report.passed());
         assert!(!report.only_in_a.is_empty());

@@ -1,0 +1,262 @@
+//! Structured errors for the scenario engine.
+//!
+//! Everything that used to travel as `Result<_, String>` through the
+//! runner, registry and CLI now flows through [`ScenarioError`], which
+//! carries *which cells* failed (coordinates, failure kind, retry
+//! history) instead of a flattened prose blob. `diva-report` maps the
+//! taxonomy onto its exit codes via [`ScenarioError::exit_code`].
+
+use std::fmt;
+
+/// How a supervised cell ultimately failed (after retries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailKind {
+    /// The cell's evaluation closure panicked on every attempt.
+    Panicked,
+    /// The cell evaluated but produced a non-finite (NaN/Inf) metric.
+    Invalid,
+    /// The cell exceeded the configured soft timeout (`--timeout-ms`).
+    TimedOut,
+    /// The cell itself evaluated fine, but a Normalize rule's baseline
+    /// arm failed, so its derived metrics are uncomputable.
+    DepFailed,
+}
+
+impl FailKind {
+    /// Stable lowercase tag used in `diva-scenario/v1` error records.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FailKind::Panicked => "panicked",
+            FailKind::Invalid => "invalid",
+            FailKind::TimedOut => "timed-out",
+            FailKind::DepFailed => "dep-failed",
+        }
+    }
+
+    /// Parses the tag written by [`FailKind::slug`].
+    pub fn from_slug(s: &str) -> Option<Self> {
+        match s {
+            "panicked" => Some(FailKind::Panicked),
+            "invalid" => Some(FailKind::Invalid),
+            "timed-out" => Some(FailKind::TimedOut),
+            "dep-failed" => Some(FailKind::DepFailed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One cell's terminal failure: where it sits in the grid, how it died,
+/// and what every attempt said.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellFailure {
+    /// The cell's grid coordinates as `(axis name, value label)` pairs,
+    /// in axis order.
+    pub coords: Vec<(String, String)>,
+    /// Terminal classification.
+    pub kind: FailKind,
+    /// The last attempt's error message (panic payload, offending
+    /// metric, or timeout description).
+    pub error: String,
+    /// Total attempts made (1 = no retries).
+    pub attempts: u32,
+    /// Per-attempt error messages, oldest first. Length equals
+    /// `attempts` for cells that failed every attempt.
+    pub history: Vec<String>,
+}
+
+impl CellFailure {
+    /// The cell's stable key, `axis=label|axis=label` in axis order —
+    /// the same key the journal and fault harness hash.
+    pub fn key(&self) -> String {
+        let parts: Vec<String> = self
+            .coords
+            .iter()
+            .map(|(axis, label)| format!("{axis}={label}"))
+            .collect();
+        parts.join("|")
+    }
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell [{}] {} after {} attempt{}: {}",
+            self.key(),
+            self.kind,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.error
+        )
+    }
+}
+
+/// The scenario engine's error taxonomy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// No registered scenario matches the requested name.
+    UnknownScenario {
+        /// What the caller asked for.
+        name: String,
+        /// Registered labels, for the error message.
+        available: Vec<String>,
+    },
+    /// A `RunOptions` field is malformed (bad filter, bad sweep spec,
+    /// bad fault spec...).
+    InvalidOptions(String),
+    /// A `--set`/`--sweep` override was rejected by the design-space
+    /// parameter registry.
+    Config(String),
+    /// The experiment definition itself is inconsistent (duplicate axis,
+    /// Normalize rule naming an unknown axis or missing baseline...).
+    Definition(String),
+    /// One or more cells failed terminally. Without `--keep-going` this
+    /// aborts the run; with it, the artifact is still written and this
+    /// error reports the damage.
+    CellsFailed {
+        /// Every terminally-failed cell, in grid order.
+        failures: Vec<CellFailure>,
+        /// How many cells completed OK (they are in the journal, so a
+        /// `--resume` run picks up from here).
+        completed: usize,
+    },
+    /// The resume journal is unusable: fingerprint mismatch, malformed
+    /// header, or conflicting records.
+    Journal(String),
+    /// Filesystem failure while reading or writing artifacts.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error description.
+        message: String,
+    },
+    /// A `diva-scenario/v1` or perf JSON document failed to parse.
+    Parse(String),
+}
+
+impl ScenarioError {
+    /// The `diva-report` process exit code for this error: `2` for cell
+    /// failures (partial results exist), `4` for journal problems
+    /// (resume state needs attention), `1` for everything else.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ScenarioError::CellsFailed { .. } => 2,
+            ScenarioError::Journal(_) => 4,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownScenario { name, available } => {
+                write!(
+                    f,
+                    "unknown scenario '{name}'; available: {}",
+                    available.join(", ")
+                )
+            }
+            ScenarioError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            ScenarioError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ScenarioError::Definition(msg) => write!(f, "experiment definition error: {msg}"),
+            ScenarioError::CellsFailed {
+                failures,
+                completed,
+            } => {
+                writeln!(
+                    f,
+                    "{} cell{} failed ({completed} completed):",
+                    failures.len(),
+                    if failures.len() == 1 { "" } else { "s" }
+                )?;
+                for failure in failures {
+                    writeln!(f, "  {failure}")?;
+                    for (i, msg) in failure.history.iter().enumerate() {
+                        writeln!(f, "    attempt {}: {msg}", i + 1)?;
+                    }
+                }
+                write!(f, "completed cells are journaled; re-run with --resume")
+            }
+            ScenarioError::Journal(msg) => write!(f, "journal error: {msg}"),
+            ScenarioError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+            ScenarioError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failure() -> CellFailure {
+        CellFailure {
+            coords: vec![
+                ("model".to_string(), "BERT".to_string()),
+                ("point".to_string(), "base".to_string()),
+            ],
+            kind: FailKind::Panicked,
+            error: "boom".to_string(),
+            attempts: 2,
+            history: vec!["boom once".to_string(), "boom".to_string()],
+        }
+    }
+
+    #[test]
+    fn cell_key_joins_axis_order() {
+        assert_eq!(failure().key(), "model=BERT|point=base");
+    }
+
+    #[test]
+    fn display_names_coordinates_and_history() {
+        let err = ScenarioError::CellsFailed {
+            failures: vec![failure()],
+            completed: 7,
+        };
+        let text = err.to_string();
+        assert!(text.contains("1 cell failed (7 completed)"));
+        assert!(text.contains("cell [model=BERT|point=base] panicked after 2 attempts: boom"));
+        assert!(text.contains("attempt 1: boom once"));
+        assert!(text.contains("--resume"));
+    }
+
+    #[test]
+    fn exit_codes_partition_the_taxonomy() {
+        let cells = ScenarioError::CellsFailed {
+            failures: vec![failure()],
+            completed: 0,
+        };
+        assert_eq!(cells.exit_code(), 2);
+        assert_eq!(ScenarioError::Journal("x".into()).exit_code(), 4);
+        assert_eq!(ScenarioError::Parse("x".into()).exit_code(), 1);
+        assert_eq!(
+            ScenarioError::UnknownScenario {
+                name: "x".into(),
+                available: vec![]
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn fail_kind_slug_round_trips() {
+        for kind in [
+            FailKind::Panicked,
+            FailKind::Invalid,
+            FailKind::TimedOut,
+            FailKind::DepFailed,
+        ] {
+            assert_eq!(FailKind::from_slug(kind.slug()), Some(kind));
+        }
+        assert_eq!(FailKind::from_slug("exploded"), None);
+    }
+}

@@ -30,10 +30,17 @@
 //! [`crate::perf::parse_perf_json`]'s record scanner applies verbatim to
 //! the `records` array; axis value lists are `|`-joined into one string.
 //! Non-finite metrics serialize as `null` and are dropped on parse.
+//!
+//! Failure records (`--keep-going`): a failed cell serializes with
+//! `"status"`, `"error"` and `"attempts"` string tags and **no metrics**;
+//! the document gains a top-level `"failed": N` count. Clean runs emit
+//! neither — a document from a fully-successful run is byte-identical to
+//! one from before the fault-tolerance layer, which is what makes the
+//! `--resume` byte-identity guarantee testable against fresh runs.
 
 use std::fmt::Write as _;
 
-use super::runner::{ScenarioResult, Summary};
+use super::runner::{RowStatus, ScenarioResult, Summary};
 use crate::perf::{self, PerfRecord};
 
 /// The schema identifier emitted by [`to_json`].
@@ -55,6 +62,9 @@ pub fn to_json(result: &ScenarioResult) -> String {
         "  \"overrides\": {},",
         perf::json_string(&join_pins(&result.overrides))
     );
+    if !result.failures.is_empty() {
+        let _ = writeln!(out, "  \"failed\": {},", result.failures.len());
+    }
     out.push_str("  \"axes\": [\n");
     for (i, axis) in result.axes.iter().enumerate() {
         let _ = write!(
@@ -89,6 +99,9 @@ pub fn to_json(result: &ScenarioResult) -> String {
             out.push_str(", \"value\": null");
         }
         let _ = write!(out, ", \"count\": {}", s.count);
+        if s.skipped > 0 {
+            let _ = write!(out, ", \"skipped\": {}", s.skipped);
+        }
         out.push('}');
         out.push_str(if i + 1 < result.summaries.len() {
             ",\n"
@@ -106,6 +119,20 @@ pub fn to_json(result: &ScenarioResult) -> String {
                 ", {}: {}",
                 perf::json_string(axis),
                 perf::json_string(label)
+            );
+        }
+        if let RowStatus::Failed {
+            kind,
+            error,
+            attempts,
+        } = &row.status
+        {
+            let _ = write!(out, ", \"status\": {}", perf::json_string(kind.slug()));
+            let _ = write!(out, ", \"error\": {}", perf::json_string(error));
+            let _ = write!(
+                out,
+                ", \"attempts\": {}",
+                perf::json_string(&attempts.to_string())
             );
         }
         for (key, value) in &row.notes {
@@ -184,7 +211,7 @@ pub fn parse_scenario_json(text: &str) -> Result<ParsedScenario, String> {
         .unwrap_or_default();
     // Optional like "derived": absent in pre-design-space documents.
     let overrides = top_level_string(text, "overrides").unwrap_or_default();
-    let axes = flat_objects(text, "axes")?
+    let axes: Vec<(String, Vec<String>)> = flat_objects(text, "axes")?
         .into_iter()
         .map(|r| {
             let name = r
@@ -201,6 +228,25 @@ pub fn parse_scenario_json(text: &str) -> Result<ParsedScenario, String> {
         .collect();
     let reductions = flat_objects(text, "reductions")?;
     let records = flat_objects(text, "records")?;
+    // Duplicate cell coordinates are corruption (e.g. a concatenated or
+    // double-written document), not something later consumers should
+    // silently last-write-win on.
+    let axis_names: Vec<&str> = axes.iter().map(|(name, _)| name.as_str()).collect();
+    let mut seen_keys: Vec<String> = Vec::new();
+    for record in &records {
+        let key: Vec<String> = axis_names
+            .iter()
+            .filter_map(|a| record.tag_value(a).map(|l| format!("{a}={l}")))
+            .collect();
+        if key.is_empty() {
+            continue;
+        }
+        let key = key.join("|");
+        if seen_keys.contains(&key) {
+            return Err(format!("duplicate cell coordinates [{key}] in records"));
+        }
+        seen_keys.push(key);
+    }
     Ok(ParsedScenario {
         schema,
         scenario,
@@ -314,6 +360,7 @@ mod tests {
                 ],
                 metrics: vec![("seconds".into(), 0.125), ("bad".into(), f64::NAN)],
                 notes: vec![("bound".into(), "memory".into())],
+                status: RowStatus::Ok,
             }],
             summaries: vec![Summary {
                 label: "mean seconds".into(),
@@ -322,6 +369,7 @@ mod tests {
                 group: vec![("point".into(), "DiVa".into())],
                 value: 0.125,
                 count: 1,
+                skipped: 0,
                 paper: Some("0.1"),
             }],
             display_metrics: Vec::new(),
@@ -329,6 +377,7 @@ mod tests {
             notes: Vec::new(),
             derived_metrics: vec!["speedup".into()],
             overrides: vec![("sram_mib".into(), "8".into())],
+            failures: Vec::new(),
         }
     }
 
@@ -376,5 +425,59 @@ mod tests {
         let doc = to_json(&sample());
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn clean_run_emits_no_failure_fields() {
+        let doc = to_json(&sample());
+        assert!(!doc.contains("\"failed\""));
+        assert!(!doc.contains("\"status\""));
+        assert!(!doc.contains("\"skipped\""));
+    }
+
+    #[test]
+    fn failed_rows_serialize_as_error_records() {
+        use super::super::error::{CellFailure, FailKind};
+        let mut result = sample();
+        result.rows.push(ResultRow {
+            coords: vec![
+                ("model".into(), "VGG-16".into()),
+                ("point".into(), "DiVa".into()),
+            ],
+            metrics: Vec::new(),
+            notes: Vec::new(),
+            status: RowStatus::Failed {
+                kind: FailKind::Panicked,
+                error: "index out of \"bounds\"".into(),
+                attempts: 2,
+            },
+        });
+        result.failures.push(CellFailure {
+            coords: result.rows[1].coords.clone(),
+            kind: FailKind::Panicked,
+            error: "index out of \"bounds\"".into(),
+            attempts: 2,
+            history: vec!["first".into(), "index out of \"bounds\"".into()],
+        });
+        result.summaries[0].skipped = 1;
+        let doc = to_json(&result);
+        assert!(doc.contains("\"failed\": 1,"), "{doc}");
+        assert!(doc.contains("\"skipped\": 1"), "{doc}");
+        let parsed = parse_scenario_json(&doc).expect("parse");
+        let failed = &parsed.records[1];
+        assert_eq!(failed.tag_value("status"), Some("panicked"));
+        assert_eq!(failed.tag_value("error"), Some("index out of \"bounds\""));
+        assert_eq!(failed.tag_value("attempts"), Some("2"));
+        assert!(failed.metrics.is_empty());
+    }
+
+    #[test]
+    fn duplicate_cell_coordinates_are_rejected() {
+        let mut result = sample();
+        let dup = result.rows[0].clone();
+        result.rows.push(dup);
+        let err = parse_scenario_json(&to_json(&result)).unwrap_err();
+        assert!(err.contains("duplicate cell coordinates"), "{err}");
+        assert!(err.contains("model=VGG-16|point=WS"), "{err}");
     }
 }

@@ -33,10 +33,13 @@
 //! [`run`], so `cargo run --bin fig13_end_to_end_speedup` keeps working.
 
 pub mod compare;
+pub mod error;
+pub mod journal;
 pub mod json;
 pub mod registry;
 pub mod render;
 pub mod runner;
+pub mod supervisor;
 
 mod defs;
 
@@ -45,8 +48,11 @@ use std::sync::Arc;
 use diva_core::{Accelerator, RunReport};
 use diva_workload::{Algorithm, ModelSpec};
 
+pub use error::{CellFailure, FailKind, ScenarioError};
 pub use registry::{find, list, run, run_with, ScenarioInfo};
-pub use runner::{run_experiment, AxisMeta, ResultRow, RunOptions, ScenarioResult, Summary};
+pub use runner::{
+    run_experiment, AxisMeta, ResultRow, RowStatus, RunOptions, ScenarioResult, Summary,
+};
 
 /// How the mini-batch of a grid cell is chosen.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -3,6 +3,7 @@
 //! binaries shim onto.
 
 use super::defs::{ablations, dse, figures, sensitivity, tables};
+use super::error::ScenarioError;
 use super::render::print_result;
 use super::runner::{run_experiment, RunOptions, ScenarioResult};
 use super::Experiment;
@@ -165,14 +166,13 @@ pub fn list() -> Vec<&'static str> {
 ///
 /// # Errors
 ///
-/// Returns a description when `name` is unknown or the options are
-/// inconsistent with the scenario's axes.
-pub fn run_with(name: &str, opts: &RunOptions) -> Result<ScenarioResult, String> {
-    let info = find(name).ok_or_else(|| {
-        format!(
-            "unknown scenario {name:?}; registered: {}",
-            list().join(", ")
-        )
+/// [`ScenarioError::UnknownScenario`] when `name` is not registered;
+/// otherwise whatever [`run_experiment`] reports (invalid options, failed
+/// cells, journal problems...).
+pub fn run_with(name: &str, opts: &RunOptions) -> Result<ScenarioResult, ScenarioError> {
+    let info = find(name).ok_or_else(|| ScenarioError::UnknownScenario {
+        name: name.to_string(),
+        available: list().iter().map(|s| s.to_string()).collect(),
     })?;
     run_experiment(&(info.build)(), opts)
 }

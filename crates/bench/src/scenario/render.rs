@@ -1,7 +1,7 @@
 //! Rendering of a [`ScenarioResult`]: aligned text tables (long form or
 //! pivoted) with summary lines, and CSV in long form.
 
-use super::runner::{ScenarioResult, Summary};
+use super::runner::{ResultRow, RowStatus, ScenarioResult, Summary};
 use crate::print_table;
 
 /// Formats a value to `sig` significant digits (plain decimal notation;
@@ -58,11 +58,24 @@ pub fn print_result(result: &ScenarioResult) {
     }
 }
 
-/// Long form: one row per grid cell, columns = axes + notes + metrics.
+/// A failed row's one-word marker for tables and CSV.
+fn status_marker(row: &ResultRow) -> String {
+    match &row.status {
+        RowStatus::Ok => "ok".to_string(),
+        RowStatus::Failed { kind, .. } => kind.slug().to_string(),
+    }
+}
+
+/// Long form: one row per grid cell, columns = axes + notes + metrics,
+/// plus a status column when any cell failed (`--keep-going`).
 fn print_long(result: &ScenarioResult) {
     let metrics = metric_columns(result);
     let notes = note_columns(result);
+    let any_failed = result.rows.iter().any(|r| !r.status.is_ok());
     let mut headers: Vec<&str> = result.axes.iter().map(|a| a.name.as_str()).collect();
+    if any_failed {
+        headers.push("status");
+    }
     headers.extend(notes.iter().map(String::as_str));
     headers.extend(metrics.iter().map(String::as_str));
     let rows: Vec<Vec<String>> = result
@@ -74,6 +87,9 @@ fn print_long(result: &ScenarioResult) {
                 .iter()
                 .map(|a| row.coord(&a.name).unwrap_or("-").to_string())
                 .collect();
+            if any_failed {
+                cells.push(status_marker(row));
+            }
             for n in &notes {
                 cells.push(
                     row.notes
@@ -122,18 +138,22 @@ fn print_pivot(result: &ScenarioResult, axis: &str, metric: &str) {
             .collect();
         let col = row.coord(axis).unwrap_or("-");
         let ci = pivot_labels.iter().position(|l| l == col);
-        let value = row
-            .get(metric)
-            .map_or_else(|| "-".to_string(), |v| fmt_sig(v, 4));
-        let entry = match grouped.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, cells)) => cells,
+        // Failed cells show their failure kind where the value would be.
+        let value = if row.status.is_ok() {
+            row.get(metric)
+                .map_or_else(|| "-".to_string(), |v| fmt_sig(v, 4))
+        } else {
+            format!("!{}", status_marker(row))
+        };
+        let pos = match grouped.iter().position(|(k, _)| *k == key) {
+            Some(pos) => pos,
             None => {
                 grouped.push((key, vec!["-".to_string(); pivot_labels.len()]));
-                &mut grouped.last_mut().expect("just pushed").1
+                grouped.len() - 1
             }
         };
         if let Some(ci) = ci {
-            entry[ci] = value;
+            grouped[pos].1[ci] = value;
         }
     }
     let rows: Vec<Vec<String>> = grouped
@@ -163,8 +183,13 @@ fn print_summaries(summaries: &[Summary]) {
             .paper
             .map(|p| format!(" (paper: {p})"))
             .unwrap_or_default();
+        let skipped = if s.skipped > 0 {
+            format!(" ({} failed cell(s) skipped)", s.skipped)
+        } else {
+            String::new()
+        };
         println!(
-            "{}{group}: {} {} over {} cells{paper}",
+            "{}{group}: {} {} over {} cells{skipped}{paper}",
             s.label,
             fmt_sig(s.value, 4),
             s.kind.slug(),
@@ -179,8 +204,15 @@ fn print_summaries(summaries: &[Summary]) {
 pub fn to_csv(result: &ScenarioResult) -> String {
     let metrics = metric_columns_all(result);
     let notes = note_columns(result);
+    // Clean runs keep the pre-fault-tolerance column set; status/error
+    // columns appear only when a cell actually failed (`--keep-going`).
+    let any_failed = result.rows.iter().any(|r| !r.status.is_ok());
     let mut out = String::new();
     let mut header: Vec<String> = result.axes.iter().map(|a| a.name.clone()).collect();
+    if any_failed {
+        header.push("status".to_string());
+        header.push("error".to_string());
+    }
     header.extend(notes.iter().cloned());
     header.extend(metrics.iter().cloned());
     out.push_str(&csv_line(&header));
@@ -190,6 +222,13 @@ pub fn to_csv(result: &ScenarioResult) -> String {
             .iter()
             .map(|a| row.coord(&a.name).unwrap_or("").to_string())
             .collect();
+        if any_failed {
+            cells.push(status_marker(row));
+            cells.push(match &row.status {
+                RowStatus::Ok => String::new(),
+                RowStatus::Failed { error, .. } => error.clone(),
+            });
+        }
         for n in &notes {
             cells.push(
                 row.notes

@@ -1,0 +1,258 @@
+//! The per-cell supervisor: evaluates one grid cell under
+//! `catch_unwind`, classifies the outcome, and applies the bounded
+//! deterministic retry policy.
+//!
+//! The supervisor runs *inside* the parallel region's worker closure, so
+//! a panicking cell never unwinds the region (contrast
+//! `diva_tensor::pool`'s region-wide re-raise): each cell settles to a
+//! typed [`CellOutcome`]. Retries are sequential within the cell's own
+//! task — which worker thread hosts the cell can never change how many
+//! attempts it gets or what they observe — so the supervised grid stays
+//! bit-stable across worker-thread counts, failures included.
+//!
+//! Classification order for one attempt: a panic wins (there is no cell
+//! to inspect), then the soft timeout (an over-budget cell's metrics are
+//! suspect even if finite), then non-finite metric values. A successful
+//! attempt returns the cell *without* any attempt metadata: a cell that
+//! failed once and then succeeded (or was resumed) is indistinguishable
+//! in the artifact from one that succeeded immediately — the byte-
+//! identical resume guarantee depends on this.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use super::error::FailKind;
+use super::Cell;
+use crate::faults::{FaultKind, FaultPlan, DELAY_MILLIS};
+use diva_tensor::parallel::panic_message;
+
+/// How one supervised cell settled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellOutcome {
+    /// The cell evaluated to finite metrics (possibly after retries —
+    /// deliberately not recorded here; see the module docs).
+    Ok(Cell),
+    /// Every attempt failed.
+    Failed {
+        /// The last attempt's classification.
+        kind: FailKind,
+        /// The last attempt's error message.
+        error: String,
+        /// Total attempts made (`max_retries + 1`).
+        attempts: u32,
+        /// Per-attempt error messages, oldest first.
+        history: Vec<String>,
+    },
+}
+
+/// The supervisor's knobs, extracted from `RunOptions` by the runner.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorCfg {
+    /// Extra attempts after the first failure (`--max-retries`).
+    pub max_retries: u32,
+    /// Soft per-cell wall-clock budget in milliseconds (`--timeout-ms`).
+    /// Checked after the attempt returns — cells are never interrupted
+    /// mid-flight, so an over-budget cell costs its own runtime, no more.
+    /// `None` disables the check (the default: wall-clock classification
+    /// is inherently non-deterministic, so byte-identical workflows leave
+    /// it off).
+    pub timeout_ms: Option<u64>,
+    /// Deterministic fault injection (`--inject`); `None` in production.
+    pub faults: Option<FaultPlan>,
+}
+
+/// Supervises one cell: inject → evaluate under `catch_unwind` →
+/// classify → retry up to the configured bound.
+pub fn supervise<F>(cfg: &SupervisorCfg, key: &str, eval: F) -> CellOutcome
+where
+    F: Fn() -> Cell,
+{
+    let mut history: Vec<String> = Vec::new();
+    for attempt in 0..=cfg.max_retries {
+        let fault = cfg.faults.as_ref().and_then(|p| p.decide(key, attempt));
+        let started = Instant::now();
+        if fault == Some(FaultKind::Delay) {
+            std::thread::sleep(std::time::Duration::from_millis(DELAY_MILLIS));
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if fault == Some(FaultKind::Panic) {
+                panic!("injected panic (fault harness) at cell [{key}]");
+            }
+            let mut cell = eval();
+            if fault == Some(FaultKind::NanMetric) {
+                match cell.metrics.first_mut() {
+                    Some((_, v)) => *v = f64::NAN,
+                    None => cell.metrics.push(("injected_nan".to_string(), f64::NAN)),
+                }
+            }
+            cell
+        }));
+        let elapsed_ms = started.elapsed().as_millis();
+        let (kind, error) = match result {
+            Err(payload) => (FailKind::Panicked, panic_message(payload.as_ref())),
+            Ok(cell) => {
+                if let Some(budget) = cfg.timeout_ms.filter(|&b| elapsed_ms > u128::from(b)) {
+                    (
+                        FailKind::TimedOut,
+                        format!("cell took {elapsed_ms} ms, soft timeout {budget} ms"),
+                    )
+                } else if let Some((name, value)) =
+                    cell.metrics.iter().find(|(_, v)| !v.is_finite())
+                {
+                    (
+                        FailKind::Invalid,
+                        format!("metric {name:?} is non-finite ({value})"),
+                    )
+                } else {
+                    return CellOutcome::Ok(cell);
+                }
+            }
+        };
+        history.push(error);
+        if attempt == cfg.max_retries {
+            return CellOutcome::Failed {
+                kind,
+                error: history.last().cloned().unwrap_or_default(),
+                attempts: cfg.max_retries + 1,
+                history,
+            };
+        }
+    }
+    unreachable!("the retry loop always returns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_cell() -> Cell {
+        Cell::new().metric("v", 1.5).note("tag", "x")
+    }
+
+    #[test]
+    fn healthy_cell_passes_through_untouched() {
+        let out = supervise(&SupervisorCfg::default(), "k", ok_cell);
+        assert_eq!(out, CellOutcome::Ok(ok_cell()));
+    }
+
+    #[test]
+    fn panic_is_caught_and_classified() {
+        let out = supervise(&SupervisorCfg::default(), "k", || {
+            panic!("cell exploded");
+        });
+        let CellOutcome::Failed {
+            kind,
+            error,
+            attempts,
+            history,
+        } = out
+        else {
+            panic!("expected failure");
+        };
+        assert_eq!(kind, FailKind::Panicked);
+        assert_eq!(error, "cell exploded");
+        assert_eq!(attempts, 1);
+        assert_eq!(history, vec!["cell exploded".to_string()]);
+    }
+
+    #[test]
+    fn non_finite_metric_is_invalid_and_named() {
+        let out = supervise(&SupervisorCfg::default(), "k", || {
+            Cell::new().metric("good", 1.0).metric("bad", f64::INFINITY)
+        });
+        let CellOutcome::Failed { kind, error, .. } = out else {
+            panic!("expected failure");
+        };
+        assert_eq!(kind, FailKind::Invalid);
+        assert!(error.contains("\"bad\""), "{error}");
+    }
+
+    #[test]
+    fn retries_are_bounded_and_history_is_complete() {
+        let cfg = SupervisorCfg {
+            max_retries: 2,
+            ..Default::default()
+        };
+        let calls = std::cell::Cell::new(0u32);
+        let out = supervise(&cfg, "k", || {
+            let n = calls.get();
+            calls.set(n + 1);
+            panic!("attempt {n}");
+        });
+        assert_eq!(calls.get(), 3, "1 try + 2 retries");
+        let CellOutcome::Failed {
+            attempts, history, ..
+        } = out
+        else {
+            panic!("expected failure");
+        };
+        assert_eq!(attempts, 3);
+        assert_eq!(history, vec!["attempt 0", "attempt 1", "attempt 2"]);
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_failure_without_a_trace() {
+        let cfg = SupervisorCfg {
+            max_retries: 1,
+            ..Default::default()
+        };
+        let calls = std::cell::Cell::new(0u32);
+        let out = supervise(&cfg, "k", || {
+            if calls.replace(calls.get() + 1) == 0 {
+                panic!("transient");
+            }
+            ok_cell()
+        });
+        // A recovered cell is indistinguishable from a first-try success.
+        assert_eq!(out, CellOutcome::Ok(ok_cell()));
+    }
+
+    #[test]
+    fn injected_panic_fires_first_attempt_only_when_not_sticky() {
+        let cfg = SupervisorCfg {
+            max_retries: 1,
+            faults: Some(FaultPlan::single(FaultKind::Panic, 1.0, 0)),
+            ..Default::default()
+        };
+        let out = supervise(&cfg, "cell", ok_cell);
+        assert_eq!(out, CellOutcome::Ok(ok_cell()), "retry outruns the fault");
+
+        let sticky = SupervisorCfg {
+            faults: cfg.faults.clone().map(FaultPlan::sticky),
+            ..cfg
+        };
+        let out = supervise(&sticky, "cell", ok_cell);
+        let CellOutcome::Failed { kind, attempts, .. } = out else {
+            panic!("sticky fault must exhaust retries");
+        };
+        assert_eq!(kind, FailKind::Panicked);
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn injected_nan_corrupts_the_first_metric() {
+        let cfg = SupervisorCfg {
+            faults: Some(FaultPlan::single(FaultKind::NanMetric, 1.0, 0)),
+            ..Default::default()
+        };
+        let CellOutcome::Failed { kind, error, .. } = supervise(&cfg, "cell", ok_cell) else {
+            panic!("expected failure");
+        };
+        assert_eq!(kind, FailKind::Invalid);
+        assert!(error.contains("\"v\""), "{error}");
+    }
+
+    #[test]
+    fn timeout_classifies_after_delay_injection() {
+        let cfg = SupervisorCfg {
+            timeout_ms: Some(1),
+            faults: Some(FaultPlan::single(FaultKind::Delay, 1.0, 0)),
+            ..Default::default()
+        };
+        let CellOutcome::Failed { kind, error, .. } = supervise(&cfg, "cell", ok_cell) else {
+            panic!("expected timeout");
+        };
+        assert_eq!(kind, FailKind::TimedOut);
+        assert!(error.contains("soft timeout 1 ms"), "{error}");
+    }
+}

@@ -203,21 +203,26 @@ fn sensitivity_keeps_speedups_without_the_baseline_arm() {
 fn unknown_scenario_and_bad_filters_error_cleanly() {
     assert!(scenario::run_with("nope", &RunOptions::default())
         .unwrap_err()
-        .contains("registered:"));
+        .to_string()
+        .contains("available:"));
     let err = scenario::run_with(
         "fig13",
         &RunOptions::default().filter("model", &["not-a-model"]),
     )
-    .unwrap_err();
+    .unwrap_err()
+    .to_string();
     assert!(err.contains("not-a-model"), "{err}");
     // A filter naming an axis the scenario doesn't have must error, not
     // silently return the full unfiltered grid.
-    let err =
-        scenario::run_with("table1", &RunOptions::default().filter("point", &["ws"])).unwrap_err();
+    let err = scenario::run_with("table1", &RunOptions::default().filter("point", &["ws"]))
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("no axis named"), "{err}");
     assert!(err.contains("dataflow"), "lists available axes: {err}");
     // Same for a --batch override on a scenario without a batch axis.
-    let err = scenario::run_with("maxbatch", &RunOptions::default().batches(&[32])).unwrap_err();
+    let err = scenario::run_with("maxbatch", &RunOptions::default().batches(&[32]))
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("batch"), "{err}");
 }
 
@@ -337,21 +342,25 @@ fn set_override_and_error_paths() {
         "draining one row per cycle must slow DiVa down"
     );
     // Typo'd parameter names list the registry.
-    let err = scenario::run_with("fig13", &base_opts.clone().set("dram_rows", "4")).unwrap_err();
+    let err = scenario::run_with("fig13", &base_opts.clone().set("dram_rows", "4"))
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("drain_rows"), "{err}");
-    let err =
-        scenario::run_with("fig13", &RunOptions::default().sweep("dram_rows", &["2"])).unwrap_err();
+    let err = scenario::run_with("fig13", &RunOptions::default().sweep("dram_rows", &["2"]))
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("available"), "{err}");
     // Out-of-range values are errors, not panics.
-    let err =
-        scenario::run_with("fig13", &base_opts.clone().set("drain_rows", "4096")).unwrap_err();
+    let err = scenario::run_with("fig13", &base_opts.clone().set("drain_rows", "4096"))
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("drain rate"), "{err}");
     // Scenarios without an accelerator-carrying axis reject both flags.
     for opts in [
         RunOptions::default().set("drain_rows", "4"),
         RunOptions::default().sweep("drain_rows", &["2", "4"]),
     ] {
-        let err = scenario::run_with("table1", &opts).unwrap_err();
+        let err = scenario::run_with("table1", &opts).unwrap_err().to_string();
         assert!(err.contains("accelerator"), "{err}");
     }
 }

@@ -239,6 +239,45 @@ fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Extracts a human-readable message from a caught panic payload
+/// (`panic!` with a `&str` or formatted `String`; anything else reports
+/// its opacity). Shared by [`try_par_map`] and the scenario layer's cell
+/// supervisor, which classify caught panics into typed failure records.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The **fallible region variant** of [`par_map`]: maps `f` over `0..n`
+/// on the shared keep-alive pool, catching each item's panic individually
+/// instead of letting the region re-raise the first one. Every item runs
+/// to completion — one panicking item cannot unwind the region or starve
+/// its siblings — and the result preserves index order: `Ok(value)` for
+/// items that returned, `Err(message)` for items that panicked.
+///
+/// This is the primitive behind the scenario engine's per-cell
+/// supervisor: a grid of independent evaluations where one poisoned cell
+/// must degrade to an error record, not abort the experiment.
+///
+/// Determinism matches [`par_map`]: task-to-data assignment is fixed
+/// before execution, so results (including which items fail) are
+/// identical for every worker-thread count.
+pub fn try_par_map<T, F>(n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    par_map(n, |i| {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(p.as_ref()))
+    })
+}
+
 /// Maps `f` over `0..n` on the shared keep-alive pool, returning results in
 /// index order. Runs serially when the effective thread count is 1, `n < 2`,
 /// or the call is nested inside another parallel region.

@@ -28,7 +28,11 @@
 //! A task that panics does not kill its worker: the panic is caught, the
 //! first payload is stashed in the latch, and [`run_region`] re-raises it
 //! on the calling thread after the region completes — the same observable
-//! behavior as `std::thread::scope`.
+//! behavior as `std::thread::scope`. Callers that need per-task failure
+//! *isolation* instead of region-wide re-raise (the scenario engine's
+//! cell supervisor) use [`crate::parallel::try_par_map`], which catches
+//! each item's panic inside the task itself so the region always
+//! completes with a `Result` per item.
 //!
 //! # Why the one `unsafe` block is sound
 //!

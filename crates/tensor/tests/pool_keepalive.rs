@@ -102,6 +102,56 @@ fn prewarm_spawns_and_parks_workers() {
     assert_eq!(out, (0..12).map(|i| i * 2).collect::<Vec<_>>());
 }
 
+/// The fallible region variant: `try_par_map` isolates each item's panic
+/// into an `Err` slot — every other item still completes, the region
+/// returns normally, and the pool survives without re-spawning.
+#[test]
+fn try_par_map_isolates_per_item_panics() {
+    let _guard = pool_guard();
+    Backend::with_threads(4).install(|| {
+        let _ = par_map(4, |i| i); // warm up
+        let spawned_before = pool_stats().spawned;
+        let out = parallel::try_par_map(8, |i| {
+            if i % 3 == 0 {
+                panic!("injected failure at {i}");
+            }
+            i * 10
+        });
+        assert_eq!(out.len(), 8);
+        for (i, slot) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                let msg = slot.as_ref().expect_err("multiples of 3 panic");
+                assert_eq!(msg, &format!("injected failure at {i}"));
+            } else {
+                assert_eq!(slot.as_ref().expect("others succeed"), &(i * 10));
+            }
+        }
+        // The failures stayed inside their slots: the pool is intact and
+        // an ordinary region still works on the same workers.
+        assert_eq!(par_map(4, |i| i + 1), vec![1, 2, 3, 4]);
+        assert_eq!(pool_stats().spawned, spawned_before);
+    });
+}
+
+/// `try_par_map` is bit-stable across thread counts, including in *which*
+/// items fail: failure assignment is data-determined, never
+/// scheduling-determined.
+#[test]
+fn try_par_map_failures_are_thread_count_stable() {
+    let run = |threads: usize| {
+        Backend::with_threads(threads).install(|| {
+            parallel::try_par_map(13, |i| {
+                if i % 5 == 2 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        })
+    };
+    assert_eq!(run(1), run(4));
+    assert_eq!(run(1), run(8));
+}
+
 /// A panic in a pool worker must propagate to the region caller (matching
 /// the old scoped behavior) and must not kill the worker: the pool stays
 /// usable afterwards without re-spawning.
