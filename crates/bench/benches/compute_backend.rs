@@ -1,11 +1,12 @@
 //! Compute-backend throughput: the blocked/parallel kernels versus the
 //! seed's scalar loops, on the shapes the acceptance criteria track —
 //! 256³ matmul, a conv forward/weight-gradient pair, a full DP-SGD(R)
-//! training step at batch 32 (MLP and CNN), and the fused patch-reuse conv
-//! first backward versus the naive per-example `im2col` path it replaced.
-//! Results are written to `BENCH_perf.json` at the workspace root
+//! training step at batch 32 (MLP and CNN), the fused patch-reuse conv
+//! first backward versus the naive per-example `im2col` path it replaced,
+//! and the accounting engine's batch-ε API versus a naive per-count query
+//! loop. Results are written to `BENCH_perf.json` at the workspace root
 //! (override with `DIVA_BENCH_OUT`) so subsequent PRs have a trajectory to
-//! regress against (`bench_regress` gates the conv/DP-step rows in CI).
+//! regress against (`bench_regress` gates the conv/DP-step/ε rows in CI).
 //!
 //! Backend sweep: `serial` and `parallel(auto)` rows are recorded for the
 //! step benchmarks; on a single-core host the two coincide and the blocked
@@ -25,7 +26,10 @@ use std::hint::black_box;
 
 use diva_bench::harness::Harness;
 use diva_bench::perf::{PerfRecord, PerfSink};
-use diva_dp::{DpSgdConfig, DpTrainer, TrainingAlgorithm};
+use diva_dp::{
+    batch_epsilons, event_epsilon, AccountantKind, DpEvent, DpSgdConfig, DpTrainer,
+    TrainingAlgorithm,
+};
 use diva_nn::{slice_example, Conv2dLayer, GradMode, Layer, Network, ParamGrads};
 use diva_tensor::{
     conv2d, conv2d_backward_data, conv2d_backward_weight, matmul, matmul_reference, parallel,
@@ -376,6 +380,69 @@ fn bench_conv_first_backward(h: &mut Harness, sink: &mut PerfSink) {
     }
 }
 
+/// Accounting throughput: ε for a schedule of checkpoint step counts under
+/// both accountants — the naive path (one full `event_epsilon` query per
+/// count, each recomposing from scratch) versus the vectorized
+/// `batch_epsilons` (one composition walk, binary-power cache, running
+/// prefix across the sorted counts). The `dp_eps_throughput_*` rows this
+/// emits are gated by `bench_regress`, so a change that destroys the
+/// prefix-reuse win (or quietly routes the batch API through the naive
+/// loop) fails CI.
+fn bench_eps_throughput(h: &mut Harness, sink: &mut PerfSink) {
+    // The MNIST configuration the golden tests pin (q = 600/60000).
+    const Q: f64 = 0.01;
+    const SIGMA: f64 = 1.0;
+    const DELTA: f64 = 1e-5;
+    let counts: Vec<u64> = (1..=16).map(|i| i * 250).collect();
+    let step = DpEvent::poisson_sampled(Q, DpEvent::gaussian(SIGMA));
+
+    for kind in [AccountantKind::Rdp, AccountantKind::Pld] {
+        let label = format!("dp_eps_throughput_{}", kind.label());
+
+        // Refuse to publish a speedup for diverging computations: the two
+        // paths must agree on every ε before their times are compared
+        // (loose tolerance — the PLD sides take different truncation
+        // paths; see the batch tests for the tight contracts).
+        let naive_eps: Vec<f64> = counts
+            .iter()
+            .map(|&t| event_epsilon(kind, &DpEvent::dp_sgd(Q, SIGMA, t), DELTA).unwrap())
+            .collect();
+        let batch_eps = batch_epsilons(kind, &step, &counts, DELTA).unwrap();
+        for (i, (n, b)) in naive_eps.iter().zip(&batch_eps).enumerate() {
+            assert!(
+                (n - b).abs() <= 1e-3 * n.max(1.0),
+                "{label}: naive/batch diverged at {} steps: {n} vs {b}",
+                counts[i]
+            );
+        }
+
+        h.bench(&format!("{label}/naive"), || {
+            counts
+                .iter()
+                .map(|&t| {
+                    event_epsilon(kind, &DpEvent::dp_sgd(Q, SIGMA, black_box(t)), DELTA).unwrap()
+                })
+                .collect::<Vec<f64>>()
+        });
+        h.bench(&format!("{label}/batch"), || {
+            batch_epsilons(kind, black_box(&step), &counts, DELTA).unwrap()
+        });
+
+        let naive = h.get(&format!("{label}/naive")).unwrap().secs_per_iter;
+        for short in ["naive", "batch"] {
+            let secs = h.get(&format!("{label}/{short}")).unwrap().secs_per_iter;
+            sink.push(
+                PerfRecord::new(&label)
+                    .tag("backend", short)
+                    .tag("accountant", kind.label())
+                    .metric("ms", secs * 1e3)
+                    .metric("eps_per_sec", counts.len() as f64 / secs)
+                    .metric("speedup_vs_naive", naive / secs),
+            );
+        }
+    }
+}
+
 fn main() {
     // Standard rows are measured with the portable safe kernel regardless
     // of how the bench was compiled (see the module docs); the matmul
@@ -393,6 +460,7 @@ fn main() {
     bench_dp_step(&mut h, &mut sink);
     bench_conv_dp_step(&mut h, &mut sink);
     bench_conv_first_backward(&mut h, &mut sink);
+    bench_eps_throughput(&mut h, &mut sink);
     match sink.write(None) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("failed to write BENCH_perf.json: {e}"),

@@ -17,8 +17,9 @@
 //! (`speedup_vs_scalar` / `speedup_vs_naive`), not wall-clock. Both sides
 //! of each speedup are measured in the same process on the same host, so
 //! the ratio survives the heterogeneous CI runners that absolute
-//! milliseconds do not. Gated rows are the convolution and DP-step records
-//! (names containing `conv` or `step`); matmul rows are informational.
+//! milliseconds do not. Gated rows are the convolution, DP-step and
+//! accounting-throughput records (names containing `conv`, `step` or
+//! `eps`); matmul rows are informational.
 
 use diva_bench::perf::{parse_perf_json, PerfRecord};
 
@@ -26,7 +27,7 @@ use diva_bench::perf::{parse_perf_json, PerfRecord};
 const SPEEDUP_METRICS: [&str; 2] = ["speedup_vs_scalar", "speedup_vs_naive"];
 
 fn gated(record: &PerfRecord) -> bool {
-    (record.name.contains("conv") || record.name.contains("step"))
+    (record.name.contains("conv") || record.name.contains("step") || record.name.contains("eps"))
         && SPEEDUP_METRICS
             .iter()
             .any(|m| record.metric_value(m).is_some())

@@ -7,6 +7,7 @@
 //! formatting lives in the shared scenario runner.
 
 pub(super) mod ablations;
+pub(super) mod accounting;
 pub(super) mod dse;
 pub(super) mod figures;
 pub(super) mod sensitivity;

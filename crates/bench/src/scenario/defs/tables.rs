@@ -389,6 +389,7 @@ pub(in super::super) fn training_run_cost() -> Experiment {
             .metric("hours", e.hours())
             .metric("watt_hours", e.watt_hours())
             .metric("epsilon", e.epsilon.unwrap_or(f64::NAN))
+            .metric("epsilon_rdp", e.epsilon_rdp.unwrap_or(f64::NAN))
     });
     Experiment::new(
         "training_run_cost",

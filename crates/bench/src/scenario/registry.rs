@@ -2,7 +2,7 @@
 //! stable name, plus the convenience entry points the legacy figure
 //! binaries shim onto.
 
-use super::defs::{ablations, dse, figures, sensitivity, tables};
+use super::defs::{ablations, accounting, dse, figures, sensitivity, tables};
 use super::error::ScenarioError;
 use super::render::print_result;
 use super::runner::{run_experiment, RunOptions, ScenarioResult};
@@ -147,6 +147,11 @@ pub const REGISTRY: &[ScenarioInfo] = &[
         summary: "Capstone: hours / watt-hours / epsilon of a full private run",
         build: tables::training_run_cost,
     },
+    ScenarioInfo {
+        name: "dp_accounting",
+        summary: "DP accounting: epsilon per accountant (rdp/pld), q, sigma, steps",
+        build: accounting::dp_accounting,
+    },
 ];
 
 /// Looks up a scenario by (case-insensitively normalized) name.
@@ -200,12 +205,13 @@ mod tests {
         let mut names = list();
         assert_eq!(
             names.len(),
-            25,
-            "expected 21 paper artifacts + 4 dse scenarios"
+            26,
+            "expected 21 paper artifacts + 4 dse scenarios + dp_accounting"
         );
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 25);
+        assert_eq!(names.len(), 26);
+        assert!(find("dp_accounting").is_some());
         assert!(find("fig13").is_some());
         assert!(find("FIG13").is_some(), "lookup is case-insensitive");
         assert!(find("dse_drain_rate").is_some());

@@ -21,9 +21,9 @@ fn small_fig13_opts() -> RunOptions {
 #[test]
 fn every_registered_scenario_is_listed() {
     let names = scenario::list();
-    assert_eq!(names.len(), 25);
+    assert_eq!(names.len(), 26);
     // Every legacy figure/table/ablation binary has its scenario, plus
-    // the four design-space exploration starters.
+    // the four design-space exploration starters and the accounting grid.
     for expected in [
         "fig04",
         "fig05",
@@ -50,6 +50,7 @@ fn every_registered_scenario_is_listed() {
         "ablation_sram",
         "ablation_vanilla_dpsgd",
         "training_run_cost",
+        "dp_accounting",
     ] {
         assert!(names.contains(&expected), "missing scenario {expected}");
     }

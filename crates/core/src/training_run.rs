@@ -7,7 +7,7 @@
 //! DP-SGD steps let you train longer (more steps ⇒ better accuracy) inside
 //! the same wall-clock budget, at the same privacy cost per step.
 
-use diva_dp::RdpAccountant;
+use diva_dp::{event_epsilon, AccountantKind, DpEvent};
 use diva_workload::{Algorithm, ModelSpec};
 
 use crate::accelerator::Accelerator;
@@ -48,8 +48,12 @@ pub struct TrainingRunEstimate {
     pub seconds: f64,
     /// Total energy in joules.
     pub energy_joules: f64,
-    /// Privacy cost ε at the plan's δ (`None` for non-private training).
+    /// Privacy cost ε at the plan's δ, under the PLD accountant — the
+    /// tight number to publish (`None` for non-private training).
     pub epsilon: Option<f64>,
+    /// ε under the classic RDP (moments) accountant, kept alongside for
+    /// comparability with the literature; always ≥ `epsilon`.
+    pub epsilon_rdp: Option<f64>,
 }
 
 impl TrainingRunEstimate {
@@ -67,12 +71,16 @@ impl TrainingRunEstimate {
 impl Accelerator {
     /// Estimates the full cost of training `model` under `algorithm` per
     /// `plan`: one step is simulated and scaled by the step count; privacy
-    /// is accounted with the RDP accountant at the plan's sampling rate.
+    /// is accounted through the `diva_dp` engine at the plan's sampling
+    /// rate, under both the PLD (reported as `epsilon`) and RDP
+    /// (`epsilon_rdp`) accountants.
     ///
     /// # Panics
     ///
     /// Panics if the plan is degenerate (zero batch/dataset/epochs, or a
-    /// batch larger than the dataset).
+    /// batch larger than the dataset), or — with the accounting error's
+    /// message — if the accounting engine rejects the plan's privacy
+    /// parameters (e.g. a non-finite σ or δ outside `(0, 1)`).
     pub fn estimate_training_run(
         &self,
         model: &ModelSpec,
@@ -88,17 +96,25 @@ impl Accelerator {
         );
         let step = self.run(model, algorithm, plan.batch);
         let steps = plan.steps();
-        let epsilon = if algorithm.is_private() && plan.noise_multiplier > 0.0 {
-            let acc = RdpAccountant::new(plan.sampling_rate(), plan.noise_multiplier);
-            Some(acc.epsilon(steps, plan.delta))
+        let (epsilon, epsilon_rdp) = if algorithm.is_private() && plan.noise_multiplier > 0.0 {
+            let event = DpEvent::dp_sgd(plan.sampling_rate(), plan.noise_multiplier, steps);
+            let eps = |kind| match event_epsilon(kind, &event, plan.delta) {
+                Ok(e) => e,
+                Err(err) => panic!("privacy accounting failed for plan {plan:?}: {err}"),
+            };
+            (
+                Some(eps(AccountantKind::Pld)),
+                Some(eps(AccountantKind::Rdp)),
+            )
         } else {
-            None
+            (None, None)
         };
         TrainingRunEstimate {
             steps,
             seconds: step.seconds * steps as f64,
             energy_joules: step.energy.total() * steps as f64,
             epsilon,
+            epsilon_rdp,
         }
     }
 }
@@ -127,8 +143,12 @@ mod tests {
         let sgd = diva.estimate_training_run(&model, Algorithm::Sgd, &cifar_plan());
         assert!(dp.epsilon.is_some());
         assert!(sgd.epsilon.is_none());
+        assert!(sgd.epsilon_rdp.is_none());
         let eps = dp.epsilon.unwrap();
         assert!(eps > 0.0 && eps < 50.0, "epsilon {eps}");
+        // The published (PLD) epsilon is the tight one.
+        let eps_rdp = dp.epsilon_rdp.unwrap();
+        assert!(eps <= eps_rdp, "pld {eps} vs rdp {eps_rdp}");
     }
 
     #[test]

@@ -70,27 +70,7 @@ impl RdpAccountant {
     ///
     /// Panics if `alpha < 2`.
     pub fn rdp_at(&self, alpha: u32) -> f64 {
-        assert!(alpha >= 2, "RDP orders start at 2");
-        let q = self.sampling_rate;
-        let sigma = self.noise_multiplier;
-        if (q - 1.0).abs() < f64::EPSILON {
-            // No subsampling: plain Gaussian mechanism, RDP(α) = α/(2σ²).
-            return f64::from(alpha) / (2.0 * sigma * sigma);
-        }
-        // log-sum-exp over k of:
-        //   ln C(α,k) + (α−k)·ln(1−q) + k·ln q + (k²−k)/(2σ²)
-        let a = f64::from(alpha);
-        let terms: Vec<f64> = (0..=alpha)
-            .map(|k| {
-                let kf = f64::from(k);
-                ln_binomial(alpha, k)
-                    + (a - kf) * (1.0 - q).ln()
-                    + kf * q.ln()
-                    + (kf * kf - kf) / (2.0 * sigma * sigma)
-            })
-            .collect();
-        let log_sum = log_sum_exp(&terms);
-        (log_sum / (a - 1.0)).max(0.0)
+        subsampled_gaussian_rdp(self.sampling_rate, self.noise_multiplier, alpha)
     }
 
     /// The (ε, δ) privacy cost after `steps` compositions, minimized over
@@ -126,33 +106,33 @@ impl RdpAccountant {
     }
 }
 
-/// Finds the smallest noise multiplier σ achieving `(target_epsilon, delta)`
-/// after `steps` compositions at sampling rate `q`, via bisection.
+/// The per-step RDP of the Poisson-subsampled Gaussian mechanism at
+/// integer order `α` — the shared bound behind both [`RdpAccountant`] and
+/// the event-tree accountant in [`crate::event`].
 ///
 /// # Panics
 ///
-/// Panics if the target is unachievable within σ ∈ [0.2, 1000] (an ε so
-/// small that even enormous noise cannot reach it) or arguments are invalid.
-pub fn calibrate_sigma(target_epsilon: f64, delta: f64, q: f64, steps: u64) -> f64 {
-    assert!(target_epsilon > 0.0, "target epsilon must be positive");
-    let eps_at = |sigma: f64| RdpAccountant::new(q, sigma).epsilon(steps, delta);
-    let (mut lo, mut hi) = (0.2f64, 1000.0f64);
-    assert!(
-        eps_at(hi) <= target_epsilon,
-        "target epsilon {target_epsilon} unachievable even with sigma={hi}"
-    );
-    if eps_at(lo) <= target_epsilon {
-        return lo;
+/// Panics if `alpha < 2` (the bound below is for integer orders ≥ 2).
+pub(crate) fn subsampled_gaussian_rdp(q: f64, sigma: f64, alpha: u32) -> f64 {
+    assert!(alpha >= 2, "RDP orders start at 2");
+    if (q - 1.0).abs() < f64::EPSILON {
+        // No subsampling: plain Gaussian mechanism, RDP(α) = α/(2σ²).
+        return f64::from(alpha) / (2.0 * sigma * sigma);
     }
-    for _ in 0..100 {
-        let mid = 0.5 * (lo + hi);
-        if eps_at(mid) > target_epsilon {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    hi
+    // log-sum-exp over k of:
+    //   ln C(α,k) + (α−k)·ln(1−q) + k·ln q + (k²−k)/(2σ²)
+    let a = f64::from(alpha);
+    let terms: Vec<f64> = (0..=alpha)
+        .map(|k| {
+            let kf = f64::from(k);
+            ln_binomial(alpha, k)
+                + (a - kf) * (1.0 - q).ln()
+                + kf * q.ln()
+                + (kf * kf - kf) / (2.0 * sigma * sigma)
+        })
+        .collect();
+    let log_sum = log_sum_exp(&terms);
+    (log_sum / (a - 1.0)).max(0.0)
 }
 
 /// `ln C(n, k)` computed by summing logarithms (exact enough for n ≤ 10⁴).
@@ -165,8 +145,8 @@ fn ln_binomial(n: u32, k: u32) -> f64 {
     acc
 }
 
-/// Numerically stable `ln Σ exp(xᵢ)`.
-fn log_sum_exp(xs: &[f64]) -> f64 {
+/// Numerically stable `ln Σ exp(xᵢ)` (shared with the event accountant).
+pub(crate) fn log_sum_exp(xs: &[f64]) -> f64 {
     let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if m.is_infinite() {
         return m;
@@ -230,19 +210,6 @@ mod tests {
         let steps = (60_000 / 256) * 60;
         let eps = RdpAccountant::new(q, 1.1).epsilon(steps as u64, 1e-5);
         assert!((1.0..6.0).contains(&eps), "epsilon {eps} outside ballpark");
-    }
-
-    #[test]
-    fn calibration_inverts_epsilon() {
-        let (delta, q, steps) = (1e-5, 0.01, 2_000);
-        for target in [0.5, 2.0, 8.0] {
-            let sigma = calibrate_sigma(target, delta, q, steps);
-            let achieved = RdpAccountant::new(q, sigma).epsilon(steps, delta);
-            assert!(
-                achieved <= target * 1.01,
-                "calibrated sigma {sigma} gives eps {achieved} > {target}"
-            );
-        }
     }
 
     #[test]

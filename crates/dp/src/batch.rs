@@ -1,0 +1,227 @@
+//! Vectorized ε queries: one event, many composition counts.
+//!
+//! Privacy dashboards and the epsilon-throughput bench ask the same
+//! question at every step count of a training run: "what is ε after `k`
+//! steps?" Answering each count independently repeats almost all of the
+//! work — the RDP accountant's per-order totals scale linearly with the
+//! count, and PLD powers of one base distribution share their binary
+//! decomposition. [`batch_epsilons`] exploits both:
+//!
+//! - **RDP**: the event tree is evaluated once per order; each count is
+//!   then a scale-and-minimize over the cached totals (O(orders) per
+//!   count).
+//! - **PLD**: counts are processed in ascending order, maintaining a
+//!   running composed prefix; each step multiplies in the *difference*
+//!   `count − previous` via a shared cache of binary powers `base^(2^i)`,
+//!   so `m` counts up to `K` cost O(log K + m·log K) convolutions instead
+//!   of `m` independent `O(log K)` exponentiations over ever-larger grids.
+//!
+//! Results are returned in the caller's input order; internally counts
+//! are sorted, so the output is bitwise independent of input order (and,
+//! like all accounting, of thread count).
+
+use crate::error::AccountError;
+use crate::event::{check_delta, Accountant, AccountantKind, DpEvent, RdpEventAccountant};
+use crate::pld::{Pld, PldAccountant, PldOptions};
+
+/// ε at `delta` after `count` repetitions of `event`, for every count in
+/// `counts`, in input order. Equivalent to calling
+/// [`crate::event_epsilon`] on `SelfComposed { event, count }` per entry,
+/// but sharing work across the batch (see the module docs).
+///
+/// A count of `0` yields ε = 0.
+///
+/// # Errors
+///
+/// Propagates validation, composition and query errors from the
+/// underlying accountant; the first error aborts the batch.
+pub fn batch_epsilons(
+    kind: AccountantKind,
+    event: &DpEvent,
+    counts: &[u64],
+    delta: f64,
+) -> Result<Vec<f64>, AccountError> {
+    check_delta(delta)?;
+    event.validate()?;
+    if counts.is_empty() {
+        return Ok(Vec::new());
+    }
+    match kind {
+        AccountantKind::Rdp => batch_rdp(event, counts, delta),
+        AccountantKind::Pld => batch_pld(event, counts, delta),
+    }
+}
+
+fn batch_rdp(event: &DpEvent, counts: &[u64], delta: f64) -> Result<Vec<f64>, AccountError> {
+    let mut acc = RdpEventAccountant::new();
+    acc.compose(event, 1)?;
+    counts
+        .iter()
+        .map(|&k| acc.epsilon_scaled(k as f64, delta))
+        .collect()
+}
+
+/// Shared cache of `base^(2^i)` PLDs, grown lazily.
+struct BinaryPowers {
+    powers: Vec<Pld>,
+    opts: PldOptions,
+}
+
+impl BinaryPowers {
+    fn new(base: Pld, opts: PldOptions) -> Self {
+        Self {
+            powers: vec![base],
+            opts,
+        }
+    }
+
+    /// `base^n` assembled from the cached squarings.
+    fn pow(&mut self, mut n: u64) -> Result<Pld, AccountError> {
+        let mut result = Pld::identity(self.opts.discretization);
+        let mut i = 0usize;
+        while n > 0 {
+            if i >= self.powers.len() {
+                let last = &self.powers[self.powers.len() - 1];
+                let squared = last.compose_with(last, &self.opts)?;
+                self.powers.push(squared);
+            }
+            if n & 1 == 1 {
+                result = result.compose_with(&self.powers[i], &self.opts)?;
+            }
+            n >>= 1;
+            i += 1;
+        }
+        Ok(result)
+    }
+}
+
+fn batch_pld(event: &DpEvent, counts: &[u64], delta: f64) -> Result<Vec<f64>, AccountError> {
+    let opts = PldOptions::default();
+    let mut acc = PldAccountant::with_options(opts)?;
+    acc.compose(event, 1)?;
+    let (up_base, down_base) = acc.directions();
+    let mut dirs: Vec<BinaryPowers> = Vec::with_capacity(2);
+    dirs.push(BinaryPowers::new(up_base.clone(), opts));
+    if let Some(down) = down_base {
+        dirs.push(BinaryPowers::new(down.clone(), opts));
+    }
+
+    // Sort counts (keeping original positions) so each prefix extends the
+    // previous one; equal counts reuse the same ε without recomposing.
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by_key(|&i| counts[i]);
+
+    let mut out = vec![0.0f64; counts.len()];
+    let mut prefixes: Vec<Pld> = dirs
+        .iter()
+        .map(|_| Pld::identity(opts.discretization))
+        .collect();
+    let mut at = 0u64;
+    let mut last_eps = 0.0f64;
+    for &idx in &order {
+        let k = counts[idx];
+        if k > at {
+            let diff = k - at;
+            for (prefix, powers) in prefixes.iter_mut().zip(dirs.iter_mut()) {
+                let step = powers.pow(diff)?;
+                *prefix = prefix.compose_with(&step, &powers.opts)?;
+            }
+            at = k;
+            last_eps = prefixes
+                .iter()
+                .map(|p| p.epsilon_at(delta))
+                .try_fold(0.0f64, |m, e| e.map(|e| m.max(e)))?;
+        }
+        out[idx] = if k == 0 { 0.0 } else { last_eps };
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::event_epsilon;
+
+    #[test]
+    fn batch_matches_one_shot_queries_rdp() {
+        let event = DpEvent::poisson_sampled(0.01, DpEvent::gaussian(1.0));
+        let counts = [100u64, 1_000, 4_000];
+        let batch = batch_epsilons(AccountantKind::Rdp, &event, &counts, 1e-5).unwrap();
+        for (i, &k) in counts.iter().enumerate() {
+            let single = event_epsilon(
+                AccountantKind::Rdp,
+                &DpEvent::self_composed(event.clone(), k),
+                1e-5,
+            )
+            .unwrap();
+            assert!(
+                (batch[i] - single).abs() < 1e-12,
+                "count {k}: batch {} vs single {single}",
+                batch[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_one_shot_queries_pld() {
+        let event = DpEvent::poisson_sampled(0.01, DpEvent::gaussian(1.0));
+        let counts = [200u64, 800];
+        let batch = batch_epsilons(AccountantKind::Pld, &event, &counts, 1e-5).unwrap();
+        for (i, &k) in counts.iter().enumerate() {
+            let single = event_epsilon(
+                AccountantKind::Pld,
+                &DpEvent::self_composed(event.clone(), k),
+                1e-5,
+            )
+            .unwrap();
+            // Prefix reuse takes a different (but equally valid) truncation
+            // path than one-shot binary exponentiation; agreement is up to
+            // discretization error, not bitwise.
+            assert!(
+                (batch[i] - single).abs() < 1e-3 * single.max(1.0),
+                "count {k}: batch {} vs single {single}",
+                batch[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_input_order_invariant() {
+        let event = DpEvent::poisson_sampled(0.02, DpEvent::gaussian(1.2));
+        let a = batch_epsilons(AccountantKind::Pld, &event, &[500, 100, 300], 1e-5).unwrap();
+        let b = batch_epsilons(AccountantKind::Pld, &event, &[100, 300, 500], 1e-5).unwrap();
+        assert_eq!(a[0], b[2]);
+        assert_eq!(a[1], b[0]);
+        assert_eq!(a[2], b[1]);
+    }
+
+    #[test]
+    fn zero_and_duplicate_counts() {
+        let event = DpEvent::gaussian(2.0);
+        let eps = batch_epsilons(AccountantKind::Pld, &event, &[0, 5, 5, 0], 1e-5).unwrap();
+        assert_eq!(eps[0], 0.0);
+        assert_eq!(eps[3], 0.0);
+        assert!(eps[1] > 0.0);
+        assert_eq!(eps[1], eps[2]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let event = DpEvent::gaussian(1.0);
+        assert!(batch_epsilons(AccountantKind::Rdp, &event, &[], 1e-5)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn epsilon_is_monotone_in_count() {
+        let event = DpEvent::poisson_sampled(0.01, DpEvent::gaussian(1.0));
+        let counts: Vec<u64> = (1..=8).map(|i| i * 250).collect();
+        for kind in [AccountantKind::Rdp, AccountantKind::Pld] {
+            let eps = batch_epsilons(kind, &event, &counts, 1e-5).unwrap();
+            for w in eps.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "{kind:?}: {} > {}", w[0], w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Typed errors for the privacy-accounting engine.
+//!
+//! Continues the no-panic direction established by the scenario layer's
+//! `ScenarioError`: invalid arguments, unachievable calibration targets
+//! and unsupported event trees surface as values the caller can match on
+//! (and `diva-report` maps onto its existing exit-code taxonomy), not as
+//! `assert!` aborts.
+
+use std::fmt;
+
+/// An error from an accountant, a calibration search, or PLD construction.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AccountError {
+    /// An argument is outside its domain (sampling rate, noise multiplier,
+    /// δ, target ε, discretization, …).
+    InvalidParameter(String),
+    /// A calibration target that no noise multiplier in the search bracket
+    /// can reach.
+    UnachievableTarget(String),
+    /// The event tree contains a mechanism this accountant has no bound
+    /// for (e.g. Poisson subsampling around a non-Gaussian mechanism).
+    UnsupportedEvent(String),
+    /// The query has no finite answer — e.g. ε(δ) with δ at or below the
+    /// PLD's truncated infinity mass.
+    NoFiniteAnswer(String),
+    /// A composition outgrew the discretization grid's size cap; coarsen
+    /// `PldOptions::discretization` or reduce the composition count.
+    GridOverflow(String),
+}
+
+impl fmt::Display for AccountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::UnachievableTarget(msg) => write!(f, "unachievable target: {msg}"),
+            Self::UnsupportedEvent(msg) => write!(f, "unsupported event: {msg}"),
+            Self::NoFiniteAnswer(msg) => write!(f, "no finite answer: {msg}"),
+            Self::GridOverflow(msg) => write!(f, "PLD grid overflow: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AccountError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_the_variant() {
+        let e = AccountError::UnachievableTarget("eps 0.001 needs sigma > 1000".into());
+        assert_eq!(
+            e.to_string(),
+            "unachievable target: eps 0.001 needs sigma > 1000"
+        );
+        let e = AccountError::UnsupportedEvent("subsampled Laplace".into());
+        assert!(e.to_string().starts_with("unsupported event:"));
+    }
+}

@@ -8,6 +8,8 @@ use diva_nn::{GradMode, Network, NetworkGrads};
 use diva_tensor::{softmax_cross_entropy, Backend, DivaRng, Tensor};
 
 use crate::clip::{clip_factors, ClipSummary};
+use crate::error::AccountError;
+use crate::event::{event_epsilon, AccountantKind, DpEvent};
 use crate::mechanism::GaussianMechanism;
 
 /// The three training algorithms the paper characterizes (Section III).
@@ -103,6 +105,22 @@ pub struct StepReport {
     pub clip: Option<ClipSummary>,
     /// L2 norm of the final (averaged, noised) update direction.
     pub update_norm: f64,
+}
+
+/// The privacy cost of a training run, reported under both accountants.
+///
+/// `epsilon` (from the PLD accountant — near exact) is the number to
+/// publish; `epsilon_rdp` is the classic moments-accountant bound, kept so
+/// results remain comparable with the literature and with earlier releases
+/// of this workspace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacySpent {
+    /// ε under the PLD accountant (the tighter default).
+    pub epsilon: f64,
+    /// ε under the RDP (moments) accountant.
+    pub epsilon_rdp: f64,
+    /// The δ both ε values are reported at.
+    pub delta: f64,
 }
 
 /// Builder for [`DpTrainer`]: hyper-parameters, clip mode and compute
@@ -332,6 +350,34 @@ impl DpTrainer {
     /// The compute backend steps execute under.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The privacy spent by `steps` steps of this trainer at Poisson
+    /// sampling rate `sampling_rate`, reported at `delta` under both the
+    /// PLD (tight, published as `epsilon`) and RDP accountants.
+    ///
+    /// # Errors
+    ///
+    /// [`AccountError::InvalidParameter`] if the trainer is non-private
+    /// (plain SGD spends no budget but has no meaningful ε to report), has
+    /// a zero noise multiplier, or the arguments are out of domain.
+    pub fn privacy_spent(
+        &self,
+        sampling_rate: f64,
+        steps: u64,
+        delta: f64,
+    ) -> Result<PrivacySpent, AccountError> {
+        if !self.config.is_private() {
+            return Err(AccountError::InvalidParameter(
+                "plain SGD has no privacy guarantee to account".into(),
+            ));
+        }
+        let event = DpEvent::dp_sgd(sampling_rate, self.config.noise_multiplier, steps);
+        Ok(PrivacySpent {
+            epsilon: event_epsilon(AccountantKind::Pld, &event, delta)?,
+            epsilon_rdp: event_epsilon(AccountantKind::Rdp, &event, delta)?,
+            delta,
+        })
     }
 
     /// Runs one training step on a classification mini-batch, updating the
@@ -786,6 +832,31 @@ mod tests {
         assert_eq!(legacy.config(), built.config());
         assert_eq!(legacy.clip_mode(), built.clip_mode());
         assert_eq!(legacy.backend(), built.backend());
+    }
+
+    /// The trainer's privacy report routes through the accounting engine:
+    /// PLD at or below RDP, both positive, and non-private configs refuse.
+    #[test]
+    fn privacy_spent_reports_both_accountants() {
+        let trainer = DpTrainer::new(DpSgdConfig::default());
+        let spent = trainer.privacy_spent(0.01, 500, 1e-5).unwrap();
+        assert!(spent.epsilon > 0.0);
+        assert!(
+            spent.epsilon <= spent.epsilon_rdp,
+            "pld {} vs rdp {}",
+            spent.epsilon,
+            spent.epsilon_rdp
+        );
+        assert_eq!(spent.delta, 1e-5);
+
+        let sgd = DpTrainer::new(DpSgdConfig {
+            algorithm: TrainingAlgorithm::Sgd,
+            ..DpSgdConfig::default()
+        });
+        assert!(matches!(
+            sgd.privacy_spent(0.01, 500, 1e-5),
+            Err(crate::AccountError::InvalidParameter(_))
+        ));
     }
 
     /// Builder defaults mirror `DpTrainer::new(DpSgdConfig::default())`.

@@ -42,6 +42,7 @@
 
 mod bf16;
 mod conv;
+pub mod fft;
 mod gemm;
 mod matmul;
 mod ops;

@@ -1,11 +1,12 @@
 //! End-to-end differentially private training with the functional stack:
 //! trains a small MLP classifier on synthetic Gaussian-cluster data with
-//! DP-SGD(R), tracks the privacy budget with the RDP accountant, and
-//! verifies the DP-SGD ≡ DP-SGD(R) identity the paper exploits.
+//! DP-SGD(R), tracks the privacy budget with the accounting engine (the
+//! tight PLD bound next to the conservative RDP one), and verifies the
+//! DP-SGD ≡ DP-SGD(R) identity the paper exploits.
 //!
 //! Run with: `cargo run -p diva-examples --bin dp_training`
 
-use diva_dp::{make_blobs, DpSgdConfig, DpTrainer, RdpAccountant, TrainingAlgorithm};
+use diva_dp::{make_blobs, DpSgdConfig, DpTrainer, TrainingAlgorithm};
 use diva_nn::{Layer, Network};
 use diva_tensor::{argmax_rows, DivaRng};
 
@@ -29,7 +30,7 @@ fn main() {
         learning_rate: 0.5,
     };
     let trainer = DpTrainer::builder().config(config).build();
-    let accountant = RdpAccountant::new(batch as f64 / train.len() as f64, config.noise_multiplier);
+    let sampling_rate = batch as f64 / train.len() as f64;
 
     println!(
         "Training a {}-parameter MLP with {} (C = {}, sigma = {})\n",
@@ -51,13 +52,16 @@ fn main() {
             clipped += report.clip.as_ref().map_or(0, |c| c.clipped_count);
             steps += 1;
         }
-        let eps = accountant.epsilon(steps, 1e-5);
+        let spent = trainer
+            .privacy_spent(sampling_rate, steps, 1e-5)
+            .expect("private config");
         println!(
-            "epoch {epoch:>2}: loss {:.3}  clipped {:>4}/{}  eps = {:.2} (delta = 1e-5)",
+            "epoch {epoch:>2}: loss {:.3}  clipped {:>4}/{}  eps = {:.2} (rdp {:.2}, delta = 1e-5)",
             loss_sum / steps_per_epoch as f64,
             clipped,
             steps_per_epoch * batch,
-            eps
+            spent.epsilon,
+            spent.epsilon_rdp
         );
     }
 

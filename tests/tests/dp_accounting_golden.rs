@@ -1,0 +1,116 @@
+//! Golden-value pins for the accounting engine: exact ε for the canonical
+//! MNIST configuration and exact analytical-calibration σ values.
+//!
+//! These are regression pins, not literature transcriptions: the values
+//! were produced by this engine and frozen, so any change to the RDP
+//! bound, the PLD discretization, the FFT, or the erfc kernel that moves
+//! ε by more than ~1e-9 relative trips a test and must be deliberate.
+//! (Bitwise pins would be tighter but `sin`/`cos`/`exp` route through the
+//! platform libm, which is not correctly-rounded everywhere; 1e-9 is far
+//! below any accounting-relevant change and safely above libm skew.)
+//!
+//! Sanity anchors baked into the choice of pins:
+//! * the MNIST config (q = 600/60000 = 0.01, σ = 1.0, δ = 1e-5) sits in
+//!   the regime published DP-SGD results report ε ≈ 1–5;
+//! * σ_analytic(1, 1e-5) ≈ 3.73 reproduces Balle & Wang's worked example;
+//! * PLD ε is 60–85% of RDP ε across the pinned step counts — the
+//!   tightening the engine exists to deliver.
+
+use diva_dp::{
+    classic_gaussian_sigma, event_epsilon, gaussian_delta, gaussian_sigma, AccountantKind, DpEvent,
+};
+
+const Q: f64 = 0.01; // 600 / 60_000
+const SIGMA: f64 = 1.0;
+const DELTA: f64 = 1e-5;
+
+fn close(got: f64, pin: f64, what: &str) {
+    assert!(
+        (got - pin).abs() <= 1e-9 * pin.abs(),
+        "{what}: got {got:.17e}, pinned {pin:.17e}"
+    );
+}
+
+/// ε under the RDP (moments) accountant for the MNIST configuration.
+#[test]
+fn mnist_rdp_epsilon_pins() {
+    let pins = [
+        (500u64, 2.091_525_591_655_903_7),
+        (1_000, 2.538_347_545_458_917_5),
+        (2_000, 3.346_113_821_021_002_2),
+        (4_000, 4.636_577_688_746_822_2),
+        (6_000, 5.690_234_819_257_238_3),
+    ];
+    for (steps, pin) in pins {
+        let eps = event_epsilon(
+            AccountantKind::Rdp,
+            &DpEvent::dp_sgd(Q, SIGMA, steps),
+            DELTA,
+        )
+        .unwrap();
+        close(eps, pin, &format!("rdp epsilon at {steps} steps"));
+    }
+}
+
+/// ε under the PLD accountant for the same configuration — strictly inside
+/// the RDP pins above (62–79% here), which is the engine's reason to exist.
+#[test]
+fn mnist_pld_epsilon_pins() {
+    let pins = [
+        (500u64, 1.326_489_890_429_684_7),
+        (1_000, 1.829_063_665_110_348_0),
+        (2_000, 2.585_392_085_785_442_0),
+        (4_000, 3.725_403_506_242_670_9),
+        (6_000, 4.649_068_324_451_747_0),
+    ];
+    for (steps, pin) in pins {
+        let eps = event_epsilon(
+            AccountantKind::Pld,
+            &DpEvent::dp_sgd(Q, SIGMA, steps),
+            DELTA,
+        )
+        .unwrap();
+        close(eps, pin, &format!("pld epsilon at {steps} steps"));
+    }
+}
+
+/// Analytical Gaussian calibration (Balle & Wang 2018): σ(ε, δ) pins,
+/// including the paper's worked ε = 1 example, plus the round-trip
+/// δ(σ(ε, δ), ε) = δ and dominance over the classic calibration.
+#[test]
+fn analytic_gaussian_sigma_pins() {
+    let pins = [
+        (0.5, 1e-5, 7.031_826_675_587_362_6),
+        (1.0, 1e-5, 3.730_631_634_816_464_5),
+        (2.0, 1e-6, 2.230_476_271_188_041_3),
+        (4.0, 1e-5, 1.081_161_849_520_820_6),
+    ];
+    for (eps, delta, pin) in pins {
+        let sigma = gaussian_sigma(eps, delta).unwrap();
+        close(sigma, pin, &format!("analytic sigma({eps}, {delta:e})"));
+        // The calibration inverts the exact divergence...
+        let back = gaussian_delta(sigma, eps).unwrap();
+        assert!(
+            (back - delta).abs() <= 1e-6 * delta,
+            "delta round-trip at eps {eps}: {back} vs {delta}"
+        );
+        // ...and dominates the classic sufficient condition.
+        let classic = classic_gaussian_sigma(eps, delta).unwrap();
+        assert!(
+            sigma < classic,
+            "analytic {sigma} not below classic {classic} at eps {eps}"
+        );
+    }
+}
+
+/// The classic calibration formula itself (one pinned spot check, so a
+/// typo in the constant 1.25 or the square root cannot slip through).
+#[test]
+fn classic_gaussian_sigma_pin() {
+    // sqrt(2 ln(1.25e5)) / 1.0
+    close(
+        classic_gaussian_sigma(1.0, 1e-5).unwrap(),
+        4.844_805_262_605_389,
+        "classic sigma(1, 1e-5)",
+    );
+}
