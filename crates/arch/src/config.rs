@@ -269,6 +269,14 @@ pub enum ConfigError {
     },
     /// A design-point spec string that is not `preset[:k=v,...]`.
     MalformedSpec(String),
+    /// A `--set`/`--sweep`-style assignment that is not `KEY=VALUE`
+    /// (missing `=`, empty key, or an empty value list).
+    MalformedAssignment {
+        /// The offending input.
+        spec: String,
+        /// The expected shape, e.g. `"KEY=VALUE"` or `"KEY=V1,V2,..."`.
+        usage: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -305,6 +313,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "malformed design-point spec {spec:?}; want preset[:key=value,...]"
             ),
+            ConfigError::MalformedAssignment { spec, usage } => {
+                write!(f, "malformed assignment {spec:?}; want {usage}")
+            }
         }
     }
 }

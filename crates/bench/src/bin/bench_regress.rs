@@ -17,17 +17,26 @@
 //! (`speedup_vs_scalar` / `speedup_vs_naive`), not wall-clock. Both sides
 //! of each speedup are measured in the same process on the same host, so
 //! the ratio survives the heterogeneous CI runners that absolute
-//! milliseconds do not. Gated rows are the convolution, DP-step and
-//! accounting-throughput records (names containing `conv`, `step` or
-//! `eps`); matmul rows are informational.
+//! milliseconds do not. Gated rows are the convolution, DP-step,
+//! accounting-throughput and serve-latency records (names containing
+//! `conv`, `step`, `eps` or `serve`); matmul rows are informational. The
+//! serve rows gate on `speedup_vs_uncached` — the memo-cache hit's edge
+//! over a cold request, measured against the same in-process server.
 
 use diva_bench::perf::{parse_perf_json, PerfRecord};
 
 /// Metrics eligible as the throughput proxy, in preference order.
-const SPEEDUP_METRICS: [&str; 2] = ["speedup_vs_scalar", "speedup_vs_naive"];
+const SPEEDUP_METRICS: [&str; 3] = [
+    "speedup_vs_scalar",
+    "speedup_vs_naive",
+    "speedup_vs_uncached",
+];
 
 fn gated(record: &PerfRecord) -> bool {
-    (record.name.contains("conv") || record.name.contains("step") || record.name.contains("eps"))
+    (record.name.contains("conv")
+        || record.name.contains("step")
+        || record.name.contains("eps")
+        || record.name.contains("serve"))
         && SPEEDUP_METRICS
             .iter()
             .any(|m| record.metric_value(m).is_some())
@@ -78,9 +87,9 @@ fn main() {
     );
     for base in baseline.iter().filter(|r| gated(r)) {
         let backend = base.tag_value("backend").unwrap_or("");
-        // The scalar baseline row's speedup is 1.0 by construction —
-        // nothing to gate.
-        if backend == "scalar" || backend == "naive" {
+        // The scalar/naive/uncached baseline rows' speedup is 1.0 by
+        // construction — nothing to gate.
+        if backend == "scalar" || backend == "naive" || backend == "uncached" {
             continue;
         }
         let Some((metric, base_speedup)) = speedup(base) else {

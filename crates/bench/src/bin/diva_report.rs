@@ -171,21 +171,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--csv" => args.csv = Some(value_of(&mut it, "--csv")?),
             "--set" => {
                 let spec = value_of(&mut it, "--set")?;
-                let (key, value) = spec
-                    .split_once('=')
-                    .ok_or_else(|| format!("--set wants KEY=VALUE, got {spec:?}"))?;
-                args.opts
-                    .set_overrides
-                    .push((key.trim().to_string(), value.trim().to_string()));
+                // The shared parse/message path (`diva_core::spec`) keeps
+                // CLI and diva-serve errors word-for-word identical.
+                let (key, value) = diva_core::spec::parse_set_spec(&spec)
+                    .map_err(|e| diva_core::spec::config_message(&e))?;
+                args.opts.set_overrides.push((key, value));
             }
             "--sweep" => {
                 let spec = value_of(&mut it, "--sweep")?;
-                let (key, values) = spec
-                    .split_once('=')
-                    .ok_or_else(|| format!("--sweep wants KEY=V1,V2,..., got {spec:?}"))?;
-                args.opts
-                    .sweeps
-                    .push((key.trim().to_string(), split_csv(values)));
+                let (key, values) = diva_core::spec::parse_sweep_spec(&spec)
+                    .map_err(|e| diva_core::spec::config_message(&e))?;
+                args.opts.sweeps.push((key, values));
             }
             "--compare" => {
                 let a = value_of(&mut it, "--compare")?;

@@ -112,6 +112,63 @@ impl PerfSink {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+
+    /// Merges this sink's records into the perf document at `path` (the
+    /// default path if `None`) and writes the result: existing rows with
+    /// the same `(name, backend tag)` identity are replaced in place,
+    /// every other existing row is preserved in its original order, and
+    /// rows new to the document append. A missing or unparseable
+    /// document is treated as empty. This is how bench drivers that
+    /// record different subsystems (`compute_backend`, `serve_load`)
+    /// share one `BENCH_perf.json` without clobbering each other.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_merged(&self, path: Option<&Path>) -> std::io::Result<PathBuf> {
+        let path = path
+            .map(Path::to_path_buf)
+            .unwrap_or_else(Self::default_path);
+        let existing = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse_perf_json(&text).ok())
+            .unwrap_or_default();
+        let identity =
+            |r: &PerfRecord| (r.name.clone(), r.tag_value("backend").map(str::to_string));
+        let mut merged = PerfSink::new();
+        for old in existing {
+            let replacement = self.records.iter().find(|r| identity(r) == identity(&old));
+            merged.push(replacement.unwrap_or(&old).clone());
+        }
+        for new in &self.records {
+            if !merged.records.iter().any(|r| identity(r) == identity(new)) {
+                merged.push(new.clone());
+            }
+        }
+        std::fs::write(&path, merged.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Parses one flat JSON object — `{"key": "string", "key2": 1.5, ...}` —
+/// into a [`PerfRecord`]-shaped bag: string values land in `tags`,
+/// numeric values in `metrics`, `null`s are dropped, and a `"name"` key
+/// (optional here, unlike in a perf document) fills `name`. This is the
+/// same scanner the perf and scenario documents use, exposed for callers
+/// that speak the workspace's flat-JSON convention over the wire
+/// (`diva-serve` request bodies).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct (missing
+/// braces, unterminated string, non-finite number, stray token).
+pub fn parse_flat_json_object(text: &str) -> Result<PerfRecord, String> {
+    let trimmed = text.trim();
+    let body = trimmed
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| "expected a JSON object {...}".to_string())?;
+    parse_fields(body)
 }
 
 /// Parses a `BENCH_perf.json` document produced by [`PerfSink::to_json`]
@@ -151,8 +208,18 @@ pub fn parse_perf_json(text: &str) -> Result<Vec<PerfRecord>, String> {
 }
 
 /// Parses one `"key": value` comma-separated record body (also used by the
-/// scenario JSON parser, whose arrays hold the same flat objects).
+/// scenario JSON parser, whose arrays hold the same flat objects) and
+/// requires a `"name"` key.
 pub(crate) fn parse_record(body: &str) -> Result<PerfRecord, String> {
+    let record = parse_fields(body)?;
+    if record.name.is_empty() {
+        return Err("record without a name".to_string());
+    }
+    Ok(record)
+}
+
+/// Parses the fields of one flat object body; `"name"` is optional.
+fn parse_fields(body: &str) -> Result<PerfRecord, String> {
     let mut record = PerfRecord::default();
     let mut rest = body.trim();
     while !rest.is_empty() {
@@ -191,9 +258,6 @@ pub(crate) fn parse_record(body: &str) -> Result<PerfRecord, String> {
         };
         rest = after_value.trim_start();
         rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
-    }
-    if record.name.is_empty() {
-        return Err("record without a name".to_string());
     }
     Ok(record)
 }
@@ -241,8 +305,10 @@ impl PerfRecord {
 }
 
 /// Escapes a string as a JSON string literal (control characters, quotes
-/// and backslashes; everything we emit is ASCII identifiers).
-pub(crate) fn json_string(s: &str) -> String {
+/// and backslashes; everything we emit is ASCII identifiers). Public
+/// because every hand-rolled emitter in the workspace — scenario JSON,
+/// the serve layer's response bodies — shares this one escaper.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -316,6 +382,60 @@ mod tests {
         // NaN was serialized as null and therefore dropped on parse.
         assert_eq!(parsed[0].metric_value("nan_metric"), None);
         assert_eq!(parsed[1].metric_value("threads"), Some(4.0));
+    }
+
+    #[test]
+    fn flat_object_parse_accepts_nameless_bodies() {
+        let r = parse_flat_json_object(
+            "{\"scenario\": \"fig13\", \"models\": \"mobilenet,squeezenet\", \"steps\": 100}",
+        )
+        .expect("flat object");
+        assert_eq!(r.name, "");
+        assert_eq!(r.tag_value("scenario"), Some("fig13"));
+        assert_eq!(r.metric_value("steps"), Some(100.0));
+        assert!(parse_flat_json_object("not json").is_err());
+        assert!(parse_flat_json_object("{\"k\": nope}").is_err());
+    }
+
+    #[test]
+    fn write_merged_replaces_by_identity_and_keeps_foreign_rows() {
+        let dir = std::env::temp_dir().join(format!("diva_perf_merge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf.json");
+
+        let mut first = PerfSink::new();
+        first.push(
+            PerfRecord::new("conv_b32")
+                .tag("backend", "pool")
+                .metric("ms", 10.0),
+        );
+        first.push(
+            PerfRecord::new("conv_b32")
+                .tag("backend", "scalar")
+                .metric("ms", 50.0),
+        );
+        first.write(Some(&path)).unwrap();
+
+        let mut second = PerfSink::new();
+        second.push(
+            PerfRecord::new("conv_b32")
+                .tag("backend", "pool")
+                .metric("ms", 8.0),
+        );
+        second.push(
+            PerfRecord::new("serve_eps")
+                .tag("backend", "cached")
+                .metric("p50_us", 90.0),
+        );
+        second.write_merged(Some(&path)).unwrap();
+
+        let merged = parse_perf_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.len(), 3);
+        // Replaced in place, original order kept, new row appended.
+        assert_eq!(merged[0].metric_value("ms"), Some(8.0));
+        assert_eq!(merged[1].tag_value("backend"), Some("scalar"));
+        assert_eq!(merged[2].name, "serve_eps");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod accelerator;
 mod comparison;
 mod design_point;
 mod gpu_compare;
+pub mod spec;
 mod training_run;
 
 pub use accelerator::{Accelerator, RunReport};

@@ -1,0 +1,116 @@
+//! Shared parsing for `--set`/`--sweep`-style parameter assignments.
+//!
+//! Both front ends over the scenario runner — the `diva-report` CLI and
+//! the `diva-serve` HTTP service — accept design-space overrides as
+//! `KEY=VALUE` (one override) and `KEY=V1,V2,...` (an ad-hoc sweep axis).
+//! Before this module each front end split and validated the spec itself,
+//! so the same typo produced differently-worded errors depending on the
+//! entry point. These functions are the single path: split, trim,
+//! validate the parameter name against the `diva_arch::params` registry,
+//! and surface failures as [`ConfigError`] rendered through
+//! [`config_message`] so every surface prints the identical text.
+
+use diva_arch::{params, ConfigError};
+
+/// Parses a `--set` assignment `KEY=VALUE` into a trimmed `(key, value)`
+/// pair, validating `KEY` against the parameter registry.
+///
+/// # Errors
+///
+/// [`ConfigError::MalformedAssignment`] when the spec is not `KEY=VALUE`,
+/// [`ConfigError::UnknownParameter`] when `KEY` is not registered (the
+/// message lists every registered name).
+pub fn parse_set_spec(spec: &str) -> Result<(String, String), ConfigError> {
+    const USAGE: &str = "KEY=VALUE";
+    let (key, value) = spec.split_once('=').ok_or_else(|| malformed(spec, USAGE))?;
+    let (key, value) = (key.trim(), value.trim());
+    if key.is_empty() || value.is_empty() {
+        return Err(malformed(spec, USAGE));
+    }
+    check_param(key)?;
+    Ok((key.to_string(), value.to_string()))
+}
+
+/// Parses a `--sweep` assignment `KEY=V1,V2,...` into a trimmed
+/// `(key, values)` pair, validating `KEY` against the parameter registry.
+/// Empty list entries are dropped; an all-empty list is malformed.
+///
+/// # Errors
+///
+/// Same taxonomy as [`parse_set_spec`].
+pub fn parse_sweep_spec(spec: &str) -> Result<(String, Vec<String>), ConfigError> {
+    const USAGE: &str = "KEY=V1,V2,...";
+    let (key, values) = spec.split_once('=').ok_or_else(|| malformed(spec, USAGE))?;
+    let key = key.trim();
+    let values: Vec<String> = values
+        .split(',')
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .map(str::to_string)
+        .collect();
+    if key.is_empty() || values.is_empty() {
+        return Err(malformed(spec, USAGE));
+    }
+    check_param(key)?;
+    Ok((key.to_string(), values))
+}
+
+/// Renders a [`ConfigError`] as the one user-facing message both the CLI
+/// and the HTTP service print, matching the framing the scenario runner
+/// uses for registry-rejected overrides (`ScenarioError::Config`).
+pub fn config_message(err: &ConfigError) -> String {
+    format!("configuration error: {err}")
+}
+
+fn malformed(spec: &str, usage: &'static str) -> ConfigError {
+    ConfigError::MalformedAssignment {
+        spec: spec.to_string(),
+        usage,
+    }
+}
+
+fn check_param(key: &str) -> Result<(), ConfigError> {
+    if params::is_param(key) {
+        Ok(())
+    } else {
+        Err(ConfigError::UnknownParameter(key.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_spec_parses_and_trims() {
+        assert_eq!(
+            parse_set_spec(" sram_mib = 8 ").unwrap(),
+            ("sram_mib".to_string(), "8".to_string())
+        );
+    }
+
+    #[test]
+    fn set_spec_rejects_malformed_and_unknown() {
+        let err = parse_set_spec("sram_mib").unwrap_err();
+        assert!(config_message(&err).contains("want KEY=VALUE"), "{err}");
+        assert!(parse_set_spec("=8").is_err());
+        assert!(parse_set_spec("sram_mib=").is_err());
+        let err = parse_set_spec("sram_gb=8").unwrap_err();
+        let msg = config_message(&err);
+        assert!(msg.starts_with("configuration error: unknown parameter"));
+        assert!(msg.contains("sram_mib"), "lists registry names: {msg}");
+    }
+
+    #[test]
+    fn sweep_spec_parses_lists() {
+        assert_eq!(
+            parse_sweep_spec("drain_rows=2, 4,8,").unwrap(),
+            (
+                "drain_rows".to_string(),
+                vec!["2".to_string(), "4".to_string(), "8".to_string()]
+            )
+        );
+        assert!(parse_sweep_spec("drain_rows=,").is_err());
+        assert!(parse_sweep_spec("nope=1,2").is_err());
+    }
+}

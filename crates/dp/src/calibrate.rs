@@ -304,7 +304,7 @@ mod tests {
         // Abramowitz & Stegun / mpmath references.
         let cases = [
             (0.0, 1.0),
-            (0.5, 0.479_500_122_186_953_44),
+            (0.5, 0.479_500_122_186_953_4),
             (1.0, 0.157_299_207_050_285_13),
             (2.0, 0.004_677_734_981_047_266),
             (3.0, 2.209_049_699_858_544e-5),

@@ -67,6 +67,7 @@ mod event;
 mod mechanism;
 mod optimizer;
 mod pld;
+mod query;
 mod sampling;
 mod synthetic;
 
@@ -84,5 +85,6 @@ pub use optimizer::{
     ClipMode, DpSgdConfig, DpTrainer, DpTrainerBuilder, PrivacySpent, StepReport, TrainingAlgorithm,
 };
 pub use pld::{Pld, PldAccountant, PldOptions};
+pub use query::{answer_epsilon_query, EpsilonAnswer, EpsilonQuery};
 pub use sampling::poisson_sample;
 pub use synthetic::{make_blobs, make_image_blobs, make_sequence_blobs, Dataset};

@@ -1,0 +1,130 @@
+//! The serving-layer ε query: one DP-SGD training configuration in, the
+//! accountant's ε (and optionally an ε-vs-steps curve) out.
+//!
+//! This is the typed surface `diva-serve`'s `POST /epsilon` endpoint and
+//! any other front end share: a [`EpsilonQuery`] names the sampling rate,
+//! noise multiplier, step count, δ and accountant; [`answer_epsilon_query`]
+//! builds the corresponding [`DpEvent`] tree and evaluates it through
+//! [`event_epsilon`] (the headline number) and [`batch_epsilons`] (the
+//! curve, sharing composition prefixes across step counts). Everything is
+//! deterministic and thread-count independent, so answers are cacheable
+//! byte-for-byte.
+
+use crate::batch::batch_epsilons;
+use crate::error::AccountError;
+use crate::event::{event_epsilon, AccountantKind, DpEvent};
+
+/// One ε query: the DP-SGD training configuration of
+/// [`DpEvent::dp_sgd`] plus the δ target and the accountant to evaluate
+/// it under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpsilonQuery {
+    /// Which accountant answers.
+    pub accountant: AccountantKind,
+    /// Poisson inclusion probability `q ∈ (0, 1]` per step.
+    pub sampling_rate: f64,
+    /// Gaussian noise multiplier σ (sensitivity-1 scale).
+    pub noise_multiplier: f64,
+    /// Number of training steps composed.
+    pub steps: u64,
+    /// The δ at which ε is reported.
+    pub delta: f64,
+    /// Optional extra step counts for an ε-vs-steps curve (empty for a
+    /// single-number answer). Order is preserved in the answer.
+    pub step_counts: Vec<u64>,
+}
+
+/// The answer to an [`EpsilonQuery`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpsilonAnswer {
+    /// ε at [`EpsilonQuery::delta`] after [`EpsilonQuery::steps`] steps.
+    pub epsilon: f64,
+    /// `(step count, ε)` for every requested curve point, in request
+    /// order.
+    pub curve: Vec<(u64, f64)>,
+}
+
+/// Evaluates `query` under its accountant.
+///
+/// # Errors
+///
+/// [`AccountError::InvalidParameter`] for a zero step count or
+/// out-of-domain q/σ/δ; otherwise whatever the accountant reports.
+pub fn answer_epsilon_query(query: &EpsilonQuery) -> Result<EpsilonAnswer, AccountError> {
+    if query.steps == 0 {
+        return Err(AccountError::InvalidParameter(
+            "steps must be at least 1".to_string(),
+        ));
+    }
+    let step = DpEvent::poisson_sampled(
+        query.sampling_rate,
+        DpEvent::gaussian(query.noise_multiplier),
+    );
+    step.validate()?;
+    let run = DpEvent::self_composed(step.clone(), query.steps);
+    let epsilon = event_epsilon(query.accountant, &run, query.delta)?;
+    let curve = if query.step_counts.is_empty() {
+        Vec::new()
+    } else {
+        let epsilons = batch_epsilons(query.accountant, &step, &query.step_counts, query.delta)?;
+        query.step_counts.iter().copied().zip(epsilons).collect()
+    };
+    Ok(EpsilonAnswer { epsilon, curve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_query(kind: AccountantKind) -> EpsilonQuery {
+        EpsilonQuery {
+            accountant: kind,
+            sampling_rate: 0.01,
+            noise_multiplier: 1.1,
+            steps: 1000,
+            delta: 1e-5,
+            step_counts: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn answer_matches_event_epsilon() {
+        for kind in [AccountantKind::Rdp, AccountantKind::Pld] {
+            let q = base_query(kind);
+            let answer = answer_epsilon_query(&q).unwrap();
+            let direct = event_epsilon(kind, &DpEvent::dp_sgd(0.01, 1.1, 1000), 1e-5).unwrap();
+            assert_eq!(answer.epsilon.to_bits(), direct.to_bits());
+            assert!(answer.curve.is_empty());
+        }
+    }
+
+    #[test]
+    fn curve_matches_batch_epsilons_in_request_order() {
+        let mut q = base_query(AccountantKind::Pld);
+        q.step_counts = vec![1000, 100, 500];
+        let answer = answer_epsilon_query(&q).unwrap();
+        let step = DpEvent::poisson_sampled(0.01, DpEvent::gaussian(1.1));
+        let direct = batch_epsilons(AccountantKind::Pld, &step, &[1000, 100, 500], 1e-5).unwrap();
+        let counts: Vec<u64> = answer.curve.iter().map(|(c, _)| *c).collect();
+        let eps: Vec<f64> = answer.curve.iter().map(|(_, e)| *e).collect();
+        assert_eq!(counts, vec![1000, 100, 500]);
+        assert_eq!(eps, direct);
+        // The headline number agrees with the curve at the full step
+        // count (batch and one-shot paths compose in different orders —
+        // the same 1e-3 agreement bound the compute_backend bench pins).
+        assert!((answer.epsilon - direct[0]).abs() / direct[0] < 1e-3);
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed() {
+        let mut q = base_query(AccountantKind::Rdp);
+        q.steps = 0;
+        assert!(matches!(
+            answer_epsilon_query(&q),
+            Err(AccountError::InvalidParameter(_))
+        ));
+        let mut q = base_query(AccountantKind::Rdp);
+        q.sampling_rate = 1.5;
+        assert!(answer_epsilon_query(&q).is_err());
+    }
+}

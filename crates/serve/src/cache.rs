@@ -1,0 +1,290 @@
+//! The response memo cache: perfect-hit memoization with single-flight
+//! de-duplication and an LRU byte budget.
+//!
+//! Every cacheable response in this service is a pure function of its
+//! canonical request key — scenario cells are deterministic and
+//! thread-count-bit-identical, accounting answers are closed-form — so a
+//! cache hit can return the stored bytes verbatim ("perfect hit": no
+//! revalidation, no TTL). Two concerns shape the implementation:
+//!
+//! * **Single-flight**: when N requests race on the same cold key, the
+//!   first becomes the *leader* and computes; the rest park on a
+//!   [`Condvar`] and share the leader's result (including its error).
+//!   An expensive grid is evaluated exactly once no matter how many
+//!   clients ask for it concurrently.
+//! * **Byte budget**: entries are evicted least-recently-used once the
+//!   stored bytes exceed the budget. A single result larger than the
+//!   whole budget is returned but not stored.
+//!
+//! Errors are *never* stored (a failed computation is retried by the
+//! next request); they are only shared with the followers of the flight
+//! that produced them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a request was satisfied, for the stats endpoint and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the store without computing.
+    Hit,
+    /// This request led the computation.
+    Miss,
+    /// Joined an in-flight computation started by another request.
+    Joined,
+}
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the store.
+    pub hits: u64,
+    /// Requests that led a computation.
+    pub misses: u64,
+    /// Requests that joined an in-flight computation.
+    pub joined: u64,
+    /// Computations that completed successfully.
+    pub computed: u64,
+    /// Entries evicted by the byte budget.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Bytes currently stored.
+    pub bytes: usize,
+}
+
+struct Flight<E> {
+    done: Mutex<Option<Result<Arc<[u8]>, E>>>,
+    cv: Condvar,
+}
+
+struct Entry {
+    bytes: Arc<[u8]>,
+    last_used: u64,
+}
+
+struct Inner<E> {
+    entries: HashMap<String, Entry>,
+    inflight: HashMap<String, Arc<Flight<E>>>,
+    tick: u64,
+    stored_bytes: usize,
+    stats: CacheStats,
+}
+
+/// A keyed byte cache with single-flight computation. `E` is the shared
+/// error type (cloned to every follower of a failed flight).
+pub struct MemoCache<E> {
+    inner: Mutex<Inner<E>>,
+    budget_bytes: usize,
+}
+
+impl<E: Clone> MemoCache<E> {
+    /// An empty cache storing at most `budget_bytes` of response bytes.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                inflight: HashMap::new(),
+                tick: 0,
+                stored_bytes: 0,
+                stats: CacheStats::default(),
+            }),
+            budget_bytes,
+        }
+    }
+
+    /// Returns the stored bytes for `key` without computing anything on
+    /// a miss. A present entry counts as a hit (and is LRU-touched); an
+    /// absent one counts nothing — the caller is expected to follow up
+    /// with [`Self::get_or_compute`], which records the miss. This is
+    /// the handlers' fast path: a perfect hit skips even the request's
+    /// routing work (grid estimation, experiment construction).
+    pub fn peek(&self, key: &str) -> Option<Arc<[u8]>> {
+        let inner = &mut *self.inner.lock().unwrap();
+        inner.tick += 1;
+        if let Some(entry) = inner.entries.get_mut(key) {
+            entry.last_used = inner.tick;
+            inner.stats.hits += 1;
+            return Some(Arc::clone(&entry.bytes));
+        }
+        None
+    }
+
+    /// Returns the cached bytes for `key`, or computes them with
+    /// `compute` (single-flight: concurrent callers on the same cold key
+    /// wait for the first caller's result instead of recomputing).
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> (Result<Arc<[u8]>, E>, CacheOutcome) {
+        let flight = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(key) {
+                entry.last_used = tick;
+                let bytes = Arc::clone(&entry.bytes);
+                inner.stats.hits += 1;
+                return (Ok(bytes), CacheOutcome::Hit);
+            }
+            if let Some(flight) = inner.inflight.get(key) {
+                let flight = Arc::clone(flight);
+                inner.stats.joined += 1;
+                Some(flight)
+            } else {
+                let flight = Arc::new(Flight {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                inner.inflight.insert(key.to_string(), Arc::clone(&flight));
+                inner.stats.misses += 1;
+                None
+            }
+        };
+
+        if let Some(flight) = flight {
+            // Follower: park until the leader publishes its result.
+            let mut done = flight.done.lock().unwrap();
+            while done.is_none() {
+                done = flight.cv.wait(done).unwrap();
+            }
+            return (done.clone().unwrap(), CacheOutcome::Joined);
+        }
+
+        // Leader: compute outside the cache lock, publish, then store.
+        let result: Result<Arc<[u8]>, E> = compute().map(Arc::from);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            let flight = inner
+                .inflight
+                .remove(key)
+                .expect("leader's flight entry vanished");
+            if let Ok(bytes) = &result {
+                inner.stats.computed += 1;
+                self.store(&mut inner, key, Arc::clone(bytes));
+            }
+            *flight.done.lock().unwrap() = Some(result.clone());
+            flight.cv.notify_all();
+        }
+        (result, CacheOutcome::Miss)
+    }
+
+    fn store(&self, inner: &mut Inner<E>, key: &str, bytes: Arc<[u8]>) {
+        if bytes.len() > self.budget_bytes {
+            return;
+        }
+        while inner.stored_bytes + bytes.len() > self.budget_bytes {
+            let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = inner.entries.remove(&victim).unwrap();
+            inner.stored_bytes -= evicted.bytes.len();
+            inner.stats.evictions += 1;
+        }
+        inner.stored_bytes += bytes.len();
+        let tick = inner.tick;
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                bytes,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            entries: inner.entries.len(),
+            bytes: inner.stored_bytes,
+            ..inner.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn hit_returns_identical_bytes_without_recompute() {
+        let cache: MemoCache<String> = MemoCache::new(1 << 20);
+        let calls = AtomicUsize::new(0);
+        let compute = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(b"payload".to_vec())
+        };
+        assert!(cache.peek("k").is_none(), "peek must not compute");
+        let (a, first) = cache.get_or_compute("k", compute);
+        let (b, second) = cache.get_or_compute("k", || unreachable!());
+        assert_eq!(first, CacheOutcome::Miss);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert_eq!(a.unwrap(), b.unwrap());
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.peek("k").as_deref(), Some(&b"payload"[..]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.computed), (2, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: MemoCache<String> = MemoCache::new(1 << 20);
+        let (r, _) = cache.get_or_compute("k", || Err("boom".to_string()));
+        assert_eq!(r.unwrap_err(), "boom");
+        let (r, outcome) = cache.get_or_compute("k", || Ok(b"ok".to_vec()));
+        assert!(r.is_ok());
+        assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn lru_budget_evicts_oldest_and_skips_oversized() {
+        let cache: MemoCache<String> = MemoCache::new(10);
+        let _ = cache.get_or_compute("a", || Ok(vec![0u8; 4]));
+        let _ = cache.get_or_compute("b", || Ok(vec![0u8; 4]));
+        // Touch "a" so "b" is the LRU victim.
+        let _ = cache.get_or_compute("a", || unreachable!());
+        let _ = cache.get_or_compute("c", || Ok(vec![0u8; 4]));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        let (_, outcome) = cache.get_or_compute("b", || Ok(vec![0u8; 4]));
+        assert_eq!(outcome, CacheOutcome::Miss, "b was evicted");
+        // An entry larger than the whole budget is served but not stored.
+        let (r, _) = cache.get_or_compute("huge", || Ok(vec![0u8; 64]));
+        assert_eq!(r.unwrap().len(), 64);
+        let (_, outcome) = cache.get_or_compute("huge", || Ok(vec![0u8; 64]));
+        assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn single_flight_computes_once_across_threads() {
+        let cache: Arc<MemoCache<String>> = Arc::new(MemoCache::new(1 << 20));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let calls = Arc::clone(&calls);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_compute("k", || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        Ok(b"shared".to_vec())
+                    })
+                    .0
+                    .unwrap()
+            }));
+        }
+        let results: Vec<Arc<[u8]>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "one leader computed");
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+}

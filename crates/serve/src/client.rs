@@ -1,0 +1,187 @@
+//! A minimal blocking HTTP client for tests, benches and smoke scripts.
+//!
+//! Two modes: the free functions ([`get`], [`post_json`]) open a fresh
+//! connection per request (`Connection: close`), exercising the server's
+//! full accept → parse → route → respond path; a [`Connection`] keeps
+//! one socket alive across sequential requests, isolating per-request
+//! latency from connect/thread-spawn cost — what the `serve_load` bench
+//! measures. Not a general client: it speaks the same length-delimited
+//! HTTP/1.1 subset the server does.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One parsed response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers with lowercased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first header named `name` (lowercase), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as (lossy) UTF-8 text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// Sends a `GET` request.
+///
+/// # Errors
+///
+/// Connection/IO failures, or a malformed response.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<HttpResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// Sends a `POST` with a JSON body.
+///
+/// # Errors
+///
+/// Connection/IO failures, or a malformed response.
+pub fn post_json(addr: SocketAddr, path: &str, body: &[u8]) -> std::io::Result<HttpResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Sends one request on a fresh connection and reads the response.
+///
+/// # Errors
+///
+/// Connection/IO failures, or a malformed response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_request(&mut stream, method, path, body, false)?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// A keep-alive connection for sequential requests over one socket.
+pub struct Connection {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Opens a connection to the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn open(addr: SocketAddr) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one request on this connection and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// IO failures or a malformed response; the connection state is
+    /// undefined afterwards — drop it.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<HttpResponse> {
+        write_request(&mut self.writer, method, path, body, true)?;
+        read_response(&mut self.reader)
+    }
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: diva-serve\r\nConnection: {connection}\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    // One write per request: a head-then-body pair of segments interacts
+    // with Nagle + delayed ACK into a ~40 ms stall per exchange.
+    let mut request = head.into_bytes();
+    if let Some(body) = body {
+        request.extend_from_slice(body);
+    }
+    stream.write_all(&request)?;
+    stream.flush()
+}
+
+fn read_response(reader: &mut impl BufRead) -> std::io::Result<HttpResponse> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid(format!("malformed status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(invalid("truncated response head".to_string()));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid(format!("malformed response header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|e| invalid(format!("malformed Content-Length: {e}")))?;
+    let body = match content_length {
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}

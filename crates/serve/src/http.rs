@@ -1,0 +1,381 @@
+//! A minimal, defensive HTTP/1.1 reader/writer over blocking streams.
+//!
+//! This is not a general web server: it parses exactly the request shape
+//! the `diva-serve` API speaks (a request line, headers, an optional
+//! `Content-Length` body), enforces hard size limits, and turns every
+//! malformed input into a typed [`HttpError`] with a 4xx status — the
+//! connection handler renders those as JSON error bodies and never
+//! panics. Chunked transfer encoding is deliberately rejected with `411
+//! Length Required`: every client this service targets can send a
+//! length, and a length-first protocol keeps the body reader a single
+//! bounded `read_exact`.
+
+use std::io::{BufRead, Write};
+
+/// The largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, Default)]
+pub struct Request {
+    /// Uppercase method, e.g. `"GET"`.
+    pub method: String,
+    /// Path without the query string, e.g. `"/run"`.
+    pub path: String,
+    /// Decoded `key=value` query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter named `name`, if any.
+    pub fn query_value(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// Typed protocol-level failures, each mapping to a response status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400: malformed request line, header, or truncated head/body.
+    BadRequest(String),
+    /// 408: the socket read timed out mid-request.
+    Timeout(String),
+    /// 411: a body-carrying request without `Content-Length`
+    /// (including chunked transfer encoding).
+    LengthRequired(String),
+    /// 413: the head or the declared body exceeds the configured limit.
+    PayloadTooLarge(String),
+}
+
+impl HttpError {
+    /// The response status this error renders as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::Timeout(_) => 408,
+            HttpError::LengthRequired(_) => 411,
+            HttpError::PayloadTooLarge(_) => 413,
+        }
+    }
+
+    /// A stable kind slug for JSON error bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(_) => "bad-request",
+            HttpError::Timeout(_) => "timeout",
+            HttpError::LengthRequired(_) => "length-required",
+            HttpError::PayloadTooLarge(_) => "payload-too-large",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            HttpError::BadRequest(m)
+            | HttpError::Timeout(m)
+            | HttpError::LengthRequired(m)
+            | HttpError::PayloadTooLarge(m) => m,
+        }
+    }
+}
+
+fn io_error(context: &str, e: &std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HttpError::Timeout(format!("{context}: read timed out"))
+        }
+        _ => HttpError::BadRequest(format!("{context}: {e}")),
+    }
+}
+
+/// Reads one line (LF-terminated, CR trimmed) with a running head-size
+/// budget. `Ok(None)` means EOF before any byte of this line.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest(
+                    "truncated request head (connection closed mid-line)".to_string(),
+                ));
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(HttpError::PayloadTooLarge(format!(
+                        "request head exceeds {MAX_HEAD_BYTES} bytes"
+                    )));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(io_error("reading request head", &e)),
+        }
+    }
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request from `reader`. `Ok(None)` is a clean end of the
+/// connection (EOF between requests — the keep-alive loop's exit).
+///
+/// # Errors
+///
+/// A typed [`HttpError`]; after one, the connection state is
+/// unsynchronized and the handler must close it.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(request_line) = read_line(reader, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        ..Request::default()
+    };
+    match target.split_once('?') {
+        Some((path, query)) => {
+            request.path = path.to_string();
+            request.query = parse_query(query);
+        }
+        None => request.path = target.to_string(),
+    }
+    if !request.path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target {target:?} is not an absolute path"
+        )));
+    }
+
+    loop {
+        let line = read_line(reader, &mut budget)?.ok_or_else(|| {
+            HttpError::BadRequest("truncated request head (no blank line)".to_string())
+        })?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        request
+            .headers
+            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if let Some(te) = request.header("transfer-encoding") {
+        return Err(HttpError::LengthRequired(format!(
+            "transfer-encoding {te:?} is not supported; send Content-Length"
+        )));
+    }
+    let content_length = match request.header("content-length") {
+        Some(raw) => Some(
+            raw.trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("malformed Content-Length {raw:?}")))?,
+        ),
+        None => None,
+    };
+    match content_length {
+        None | Some(0) => {
+            if matches!(request.method.as_str(), "POST" | "PUT") && content_length.is_none() {
+                return Err(HttpError::LengthRequired(format!(
+                    "{} requests must carry Content-Length",
+                    request.method
+                )));
+            }
+        }
+        Some(n) if n > max_body_bytes => {
+            return Err(HttpError::PayloadTooLarge(format!(
+                "body of {n} bytes exceeds the {max_body_bytes}-byte limit"
+            )));
+        }
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body).map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => HttpError::BadRequest(format!(
+                    "truncated body (Content-Length {n}, connection closed early)"
+                )),
+                _ => io_error("reading request body", &e),
+            })?;
+            request.body = body;
+        }
+    }
+    Ok(Some(request))
+}
+
+/// The standard reason phrase for the statuses this service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response with an explicit `Content-Length` and connection
+/// disposition.
+///
+/// # Errors
+///
+/// Propagates socket write errors.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One write per response: a head-then-body segment pair interacts
+    // with Nagle + delayed ACK into a ~40 ms stall per exchange.
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason_phrase(status),
+        body.len(),
+    )
+    .into_bytes();
+    response.extend_from_slice(body);
+    writer.write_all(&response)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req =
+            parse(b"GET /jobs/j1?verbose=1&x HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/j1");
+        assert_eq!(req.query_value("verbose"), Some("1"));
+        assert_eq!(req.query_value("x"), Some(""));
+        assert_eq!(req.header("host"), Some("h"));
+        assert!(req.wants_close());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse(b"POST /run HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_input() {
+        assert_eq!(parse(b"GARBAGE\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nHost h\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            parse(b"POST /run HTTP/1.1\r\n\r\n").unwrap_err().status(),
+            411
+        );
+        assert_eq!(
+            parse(b"POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            411
+        );
+        assert_eq!(
+            parse(b"POST /run HTTP/1.1\r\nContent-Length: 9999\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            413
+        );
+        assert_eq!(
+            parse(b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse(huge.as_bytes()).unwrap_err().status(), 413);
+    }
+}

@@ -1,0 +1,45 @@
+//! `diva-serve`: a long-running HTTP service over the scenario runner
+//! and the privacy-accounting engine.
+//!
+//! The CLI tools (`diva-report`, `dp_account`) pay full grid-evaluation
+//! cost on every invocation. This crate keeps one warm process around
+//! instead: the `diva_tensor` keep-alive pool stays spun up, and every
+//! deterministic response is memoized, so repeated queries — the common
+//! shape during design-space exploration — return stored bytes.
+//!
+//! * [`http`] — a defensive, std-only HTTP/1.1 reader/writer: typed 4xx
+//!   for every malformed input, hard head/body size limits, no panics.
+//! * [`api`] — flat-JSON request parsing, canonical cache keys, and the
+//!   endpoint implementations. `/run` responses are byte-identical to
+//!   `diva-report --json` for the same options.
+//! * [`cache`] — perfect-hit memoization with single-flight
+//!   de-duplication and an LRU byte budget.
+//! * [`jobs`] — the bounded background queue behind `202 + /jobs/{id}`
+//!   polling for grid-sized requests.
+//! * [`server`] — the thread-per-connection accept loop tying it
+//!   together, with per-request panic isolation and cooperative
+//!   shutdown.
+//! * [`client`] — a minimal blocking client for tests, benches and smoke
+//!   scripts.
+//!
+//! Endpoints: `GET /scenarios`, `POST /run`, `POST /epsilon`,
+//! `POST /compare`, `GET /jobs/{id}`, `GET /stats`, `POST /shutdown`.
+//! See the workspace README's "Serving" section for request examples and
+//! `ARCHITECTURE.md` for the cache-keying and failure-semantics design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use api::{ApiError, EpsilonRequest, RunMode, RunRequest};
+pub use cache::{CacheOutcome, CacheStats, MemoCache};
+pub use client::{get, post_json, Connection, HttpResponse};
+pub use http::{Request, MAX_HEAD_BYTES};
+pub use jobs::{JobQueue, JobStatus};
+pub use server::{Server, ServerConfig};

@@ -37,9 +37,9 @@ fn mnist_rdp_epsilon_pins() {
     let pins = [
         (500u64, 2.091_525_591_655_903_7),
         (1_000, 2.538_347_545_458_917_5),
-        (2_000, 3.346_113_821_021_002_2),
-        (4_000, 4.636_577_688_746_822_2),
-        (6_000, 5.690_234_819_257_238_3),
+        (2_000, 3.346_113_821_021_002),
+        (4_000, 4.636_577_688_746_822),
+        (6_000, 5.690_234_819_257_238),
     ];
     for (steps, pin) in pins {
         let eps = event_epsilon(
@@ -58,10 +58,10 @@ fn mnist_rdp_epsilon_pins() {
 fn mnist_pld_epsilon_pins() {
     let pins = [
         (500u64, 1.326_489_890_429_684_7),
-        (1_000, 1.829_063_665_110_348_0),
-        (2_000, 2.585_392_085_785_442_0),
-        (4_000, 3.725_403_506_242_670_9),
-        (6_000, 4.649_068_324_451_747_0),
+        (1_000, 1.829_063_665_110_348),
+        (2_000, 2.585_392_085_785_442),
+        (4_000, 3.725_403_506_242_671),
+        (6_000, 4.649_068_324_451_747),
     ];
     for (steps, pin) in pins {
         let eps = event_epsilon(
@@ -80,7 +80,7 @@ fn mnist_pld_epsilon_pins() {
 #[test]
 fn analytic_gaussian_sigma_pins() {
     let pins = [
-        (0.5, 1e-5, 7.031_826_675_587_362_6),
+        (0.5, 1e-5, 7.031_826_675_587_363),
         (1.0, 1e-5, 3.730_631_634_816_464_5),
         (2.0, 1e-6, 2.230_476_271_188_041_3),
         (4.0, 1e-5, 1.081_161_849_520_820_6),

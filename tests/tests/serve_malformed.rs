@@ -1,0 +1,199 @@
+//! Malformed-input tests for `diva-serve`: every broken request —
+//! truncated heads, oversized and chunked bodies, bad JSON, unknown
+//! scenario/parameter names — must produce a *typed* 4xx response (or a
+//! clean close), never a panic, and must leave the server fully
+//! functional. A seeded mutation corpus (same FNV-1a hashing style as
+//! the fault-injection planner) hammers the parser with deterministic
+//! garbage; the final assertions are the real test: zero handler panics
+//! and a healthy `/scenarios` answer afterwards.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use diva_bench::faults::fnv1a64;
+use diva_serve::{client, Server, ServerConfig};
+
+fn start() -> Server {
+    Server::start(ServerConfig {
+        max_body_bytes: 4096,
+        read_timeout_ms: 2000,
+        ..ServerConfig::default()
+    })
+    .expect("starting in-process server")
+}
+
+/// Writes `raw` to a fresh connection, half-closes, and reads whatever
+/// the server answers (empty = closed without a response).
+fn send_raw(server: &Server, raw: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // The server may answer (and half-close) before the whole payload is
+    // written — e.g. an oversized head trips the budget 16 KiB in — so
+    // write and shutdown errors are expected, not failures.
+    let _ = stream.write_all(raw);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    response
+}
+
+fn status_of(response: &[u8]) -> Option<u16> {
+    let text = String::from_utf8_lossy(response);
+    text.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+fn protocol_errors_get_typed_statuses() {
+    let server = start();
+    let cases: &[(&[u8], u16)] = &[
+        // Truncated request head (connection closed mid-line).
+        (b"GET /scenarios HTTP", 400),
+        // Garbage request line.
+        (b"GARBAGE\r\n\r\n", 400),
+        // Malformed header line.
+        (b"GET /scenarios HTTP/1.1\r\nHost diva\r\n\r\n", 400),
+        // POST without Content-Length.
+        (b"POST /run HTTP/1.1\r\n\r\n", 411),
+        // Chunked transfer encoding is rejected, not half-parsed.
+        (
+            b"POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nabcd\r\n0\r\n\r\n",
+            411,
+        ),
+        // Declared body larger than the configured limit.
+        (b"POST /run HTTP/1.1\r\nContent-Length: 999999\r\n\r\n", 413),
+        // Body truncated below its declared length.
+        (
+            b"POST /run HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"scenario\"",
+            400,
+        ),
+        // Unparseable Content-Length.
+        (b"POST /run HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
+        // Unsupported protocol version.
+        (b"GET /scenarios SPDY/99\r\n\r\n", 400),
+    ];
+    for (raw, want) in cases {
+        let response = send_raw(&server, raw);
+        assert_eq!(
+            status_of(&response),
+            Some(*want),
+            "request {:?} answered {:?}",
+            String::from_utf8_lossy(raw),
+            String::from_utf8_lossy(&response)
+        );
+    }
+    // An oversized head trips the head budget, not an allocation.
+    let huge = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(64 * 1024));
+    assert_eq!(status_of(&send_raw(&server, huge.as_bytes())), Some(413));
+
+    assert_healthy(&server);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn api_errors_are_typed_and_name_the_problem() {
+    let server = start();
+    let post = |path: &str, body: &[u8]| client::post_json(server.addr(), path, body).unwrap();
+
+    let response = post("/run", b"this is not json");
+    assert_eq!(response.status, 400, "{}", response.text());
+    assert!(response.text().contains("bad-request"));
+
+    let response = post("/run", br#"{"models": "squeezenet"}"#);
+    assert_eq!(response.status, 400);
+    assert!(response.text().contains("scenario"));
+
+    let response = post("/run", br#"{"scenario": "fig99"}"#);
+    assert_eq!(response.status, 404, "{}", response.text());
+    assert!(response.text().contains("unknown scenario"));
+    assert!(response.text().contains("fig13"), "names the registry");
+
+    let response = post("/run", br#"{"scenario": "fig13", "set.sram_gib": "8"}"#);
+    assert_eq!(response.status, 400);
+    assert!(response.text().contains("unknown parameter"));
+
+    let response = post("/run", br#"{"scenario": "fig13", "batch": "0"}"#);
+    assert_eq!(response.status, 400);
+
+    let response = post("/run", br#"{"scenario": "fig13", "mode": "eventually"}"#);
+    assert_eq!(response.status, 400);
+
+    let response = post("/epsilon", br#"{"q": 0.01, "sigma": 1.1}"#);
+    assert_eq!(response.status, 400);
+    assert!(response.text().contains("steps"));
+
+    let response = post(
+        "/epsilon",
+        br#"{"accountant": "magic", "q": 0.01, "sigma": 1.1, "steps": 10}"#,
+    );
+    assert_eq!(response.status, 400, "{}", response.text());
+
+    let response = post("/epsilon", br#"{"q": 2.5, "sigma": 1.1, "steps": 10}"#);
+    assert_eq!(response.status, 400, "q out of domain: {}", response.text());
+
+    let response = post("/compare", b"no separator here");
+    assert_eq!(response.status, 400);
+    assert!(response.text().contains("---"));
+
+    // Wrong method and unknown path.
+    let response = client::request(server.addr(), "GET", "/run", None).unwrap();
+    assert_eq!(response.status, 405);
+    let response = client::get(server.addr(), "/nope").unwrap();
+    assert_eq!(response.status, 404);
+    assert!(response.text().contains("/scenarios"), "lists endpoints");
+    let response = client::get(server.addr(), "/jobs/banana").unwrap();
+    assert_eq!(response.status, 400);
+
+    assert_healthy(&server);
+    server.shutdown();
+    server.wait();
+}
+
+/// Deterministic mutation corpus: truncations and byte flips of a valid
+/// request, positions derived by FNV-1a hashing (the `faults` module's
+/// style) so every run exercises the identical corpus.
+#[test]
+fn seeded_mutation_corpus_never_kills_the_server() {
+    let server = start();
+    let valid: &[u8] = b"POST /epsilon HTTP/1.1\r\nHost: diva\r\nContent-Length: 38\r\n\r\n{\"q\": 0.01, \"sigma\": 1.1, \"steps\": 10}";
+    for case in 0u64..48 {
+        let h = fnv1a64(&[b"serve-malformed", &case.to_le_bytes()]);
+        let mut raw = valid.to_vec();
+        if case % 2 == 0 {
+            // Truncate at a hash-derived position.
+            raw.truncate(1 + (h as usize) % (valid.len() - 1));
+        } else {
+            // Flip a hash-derived byte to a hash-derived value.
+            let pos = (h as usize) % raw.len();
+            raw[pos] = (h >> 32) as u8;
+        }
+        let response = send_raw(&server, &raw);
+        if let Some(status) = status_of(&response) {
+            assert!(
+                (200..=599).contains(&status),
+                "case {case}: nonsense status {status}"
+            );
+        }
+        // No response at all is acceptable (the mutation broke the
+        // request line); a dead server is not — checked below.
+    }
+    assert_healthy(&server);
+    server.shutdown();
+    server.wait();
+}
+
+/// The server answers `/scenarios` and reports zero internal (panic)
+/// errors — the "still alive and never panicked" invariant every test
+/// above ends on.
+fn assert_healthy(server: &Server) {
+    let response = client::get(server.addr(), "/scenarios").unwrap();
+    assert_eq!(response.status, 200, "server unhealthy after abuse");
+    let stats = client::get(server.addr(), "/stats").unwrap();
+    let records = diva_bench::perf::parse_perf_json(&stats.text()).unwrap();
+    let errors = records.iter().find(|r| r.name == "errors").unwrap();
+    assert_eq!(
+        errors.metric_value("internal"),
+        Some(0.0),
+        "a handler panicked: {}",
+        stats.text()
+    );
+}
