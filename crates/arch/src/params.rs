@@ -294,6 +294,19 @@ pub fn set_param(cfg: &mut AcceleratorConfig, name: &str, value: &str) -> Result
     (spec(name)?.set)(cfg, value)
 }
 
+/// The canonical registry string of a configuration: every registered
+/// parameter as `name=value` (canonical [`ParamValue::format`] form)
+/// joined by commas, in registry order. Two configurations that agree on
+/// every registered knob produce byte-identical keys, however they were
+/// constructed — this is the design-space explorer's memoization key.
+pub fn config_key(cfg: &AcceleratorConfig) -> String {
+    let parts: Vec<String> = PARAMS
+        .iter()
+        .map(|p| format!("{}={}", p.name, (p.get)(cfg).format()))
+        .collect();
+    parts.join(",")
+}
+
 /// Applies `(name, value)` string pairs in order, then validates the
 /// result — the one-call form behind preset+override design points and
 /// the CLI's `--set`/`--sweep`.
@@ -367,6 +380,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn config_key_is_construction_independent() {
+        // Same knobs, different construction paths → identical keys.
+        let mut a = base();
+        apply_overrides(&mut a, &[("sram_mib", "8"), ("drain_rows", "4")]).unwrap();
+        let mut b = base();
+        apply_overrides(&mut b, &[("drain_rows", "4"), ("sram_mib", "8")]).unwrap();
+        assert_eq!(config_key(&a), config_key(&b));
+        // A no-op override keeps the key identical to the base's.
+        let mut c = base();
+        apply_overrides(&mut c, &[("drain_rows", "8")]).unwrap();
+        assert_eq!(config_key(&c), config_key(&base()));
+        // Every registered knob appears, and a changed knob changes the key.
+        let key = config_key(&a);
+        for p in PARAMS {
+            assert!(key.contains(p.name), "{key} missing {}", p.name);
+        }
+        assert_ne!(config_key(&a), config_key(&base()));
     }
 
     #[test]

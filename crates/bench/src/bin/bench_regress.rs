@@ -26,17 +26,19 @@
 use diva_bench::perf::{parse_perf_json, PerfRecord};
 
 /// Metrics eligible as the throughput proxy, in preference order.
-const SPEEDUP_METRICS: [&str; 3] = [
+const SPEEDUP_METRICS: [&str; 4] = [
     "speedup_vs_scalar",
     "speedup_vs_naive",
     "speedup_vs_uncached",
+    "speedup_vs_nomemo",
 ];
 
 fn gated(record: &PerfRecord) -> bool {
     (record.name.contains("conv")
         || record.name.contains("step")
         || record.name.contains("eps")
-        || record.name.contains("serve"))
+        || record.name.contains("serve")
+        || record.name.contains("explore"))
         && SPEEDUP_METRICS
             .iter()
             .any(|m| record.metric_value(m).is_some())
@@ -87,9 +89,10 @@ fn main() {
     );
     for base in baseline.iter().filter(|r| gated(r)) {
         let backend = base.tag_value("backend").unwrap_or("");
-        // The scalar/naive/uncached baseline rows' speedup is 1.0 by
-        // construction — nothing to gate.
-        if backend == "scalar" || backend == "naive" || backend == "uncached" {
+        // The scalar/naive/uncached/nomemo baseline rows' speedup is 1.0
+        // by construction — nothing to gate.
+        if backend == "scalar" || backend == "naive" || backend == "uncached" || backend == "nomemo"
+        {
             continue;
         }
         let Some((metric, base_speedup)) = speedup(base) else {

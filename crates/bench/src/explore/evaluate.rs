@@ -1,0 +1,308 @@
+//! Candidate evaluation: objectives, the workload set, and the keyed
+//! single-flight memo cache that deduplicates repeated accelerator
+//! materializations.
+//!
+//! The cache key is [`diva_arch::params::config_key`] — the canonical
+//! registry rendering of the *resolved* configuration — so two different
+//! spec strings that pin the same knobs (or pin a knob to its preset
+//! value) share one simulation. Hit accounting is deterministic: every
+//! evaluation performs exactly one lookup, and `computed` counts unique
+//! keys, which single-flight keeps exact even when racing evaluations
+//! request the same key concurrently.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use diva_arch::AcceleratorConfig;
+use diva_core::Accelerator;
+use diva_energy::EnergyModel;
+use diva_workload::{zoo, Algorithm, ModelSpec};
+
+use super::Objective;
+
+/// One workload the objectives are summed over.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Stable slug used in metric names and fingerprints.
+    pub slug: String,
+    /// The model to train.
+    pub model: ModelSpec,
+    /// Training algorithm (DP-SGD(R) unless stated otherwise).
+    pub algorithm: Algorithm,
+    /// Mini-batch size.
+    pub batch: u64,
+}
+
+impl Workload {
+    /// Looks up a zoo model by slug with the explorer's default
+    /// algorithm, DP-SGD(R).
+    pub fn by_name(name: &str, batch: u64) -> Option<Self> {
+        let slug = name.trim().to_ascii_lowercase();
+        let model = match slug.as_str() {
+            "vgg16" => zoo::vgg16(),
+            "resnet50" => zoo::resnet50(),
+            "resnet152" => zoo::resnet152(),
+            "squeezenet" => zoo::squeezenet(),
+            "mobilenet" => zoo::mobilenet(),
+            "bert_base" => zoo::bert_base(),
+            "bert_large" => zoo::bert_large(),
+            "lstm_small" => zoo::lstm_small(),
+            "lstm_large" => zoo::lstm_large(),
+            _ => return None,
+        };
+        Some(Self {
+            slug,
+            model,
+            algorithm: Algorithm::DpSgdReweighted,
+            batch,
+        })
+    }
+
+    /// Parses a `name@batch` workload spec (`squeezenet@32`); a bare name
+    /// defaults to batch 32.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown model slugs and unparseable batch sizes.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (name, batch) = match text.split_once('@') {
+            Some((n, b)) => {
+                let batch: u64 = b
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("workload {text:?}: bad batch: {e}"))?;
+                (n, batch)
+            }
+            None => (text, 32),
+        };
+        Self::by_name(name, batch).ok_or_else(|| {
+            format!(
+                "workload {text:?}: unknown model {:?} (expected one of vgg16, resnet50, \
+                 resnet152, squeezenet, mobilenet, bert_base, bert_large, lstm_small, lstm_large)",
+                name.trim()
+            )
+        })
+    }
+
+    /// The `name@batch` rendering [`parse`](Self::parse) round-trips.
+    pub fn spec_string(&self) -> String {
+        format!("{}@{}", self.slug, self.batch)
+    }
+}
+
+/// Simulates `config` over the workload set and returns the full metric
+/// vector in canonical order: the three objective metrics first
+/// (`latency_s`, `energy_j`, `area_mm2` — always all three, independent
+/// of which objectives the search optimizes), then per-workload seconds
+/// and energy.
+pub(crate) fn evaluate_config(
+    config: &AcceleratorConfig,
+    workloads: &[Workload],
+) -> Vec<(String, f64)> {
+    let accel = Accelerator::from_config("explore", config.clone())
+        .expect("candidate configs are validated before dispatch");
+    let mut latency_s = 0.0;
+    let mut energy_j = 0.0;
+    let mut per_workload = Vec::with_capacity(workloads.len() * 2);
+    for w in workloads {
+        let r = accel.run(&w.model, w.algorithm, w.batch);
+        latency_s += r.seconds;
+        energy_j += r.energy.total();
+        per_workload.push((format!("seconds_{}", w.slug), r.seconds));
+        per_workload.push((format!("energy_j_{}", w.slug), r.energy.total()));
+    }
+    let area_mm2 = EnergyModel::calibrated()
+        .synthesis
+        .engine_cost_for(config)
+        .area_mm2;
+    let mut metrics = vec![
+        (Objective::Latency.metric().to_string(), latency_s),
+        (Objective::Energy.metric().to_string(), energy_j),
+        (Objective::Area.metric().to_string(), area_mm2),
+    ];
+    metrics.extend(per_workload);
+    metrics
+}
+
+/// Memo-cache counters: `lookups` is one per evaluation request,
+/// `computed` one per unique key actually simulated. Both are exact under
+/// concurrency (single-flight), so the hit rate
+/// `(lookups - computed) / lookups` is deterministic for a fixed
+/// candidate sequence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Evaluation requests routed through the cache.
+    pub lookups: u64,
+    /// Unique configurations actually simulated.
+    pub computed: u64,
+}
+
+/// A cached evaluation result: named metrics in render order.
+type CachedMetrics = Arc<Vec<(String, f64)>>;
+
+/// A computation slot: the first requester computes, racers park on the
+/// condvar until the value lands.
+struct Flight {
+    done: Mutex<Option<CachedMetrics>>,
+    cv: Condvar,
+}
+
+/// The keyed single-flight memo cache over candidate evaluations.
+pub struct EvalCache {
+    state: Mutex<CacheState>,
+}
+
+struct CacheState {
+    entries: HashMap<String, Arc<Flight>>,
+    lookups: u64,
+    computed: u64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                lookups: 0,
+                computed: 0,
+            }),
+        }
+    }
+
+    /// Returns the cached metric vector for `key`, computing it at most
+    /// once across all concurrent callers. The second return is `true`
+    /// when *this* call performed the computation.
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Vec<(String, f64)>,
+    ) -> (CachedMetrics, bool) {
+        let (flight, owner) = {
+            let mut state = self.state.lock().expect("cache mutex");
+            state.lookups += 1;
+            match state.entries.get(key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    state.entries.insert(key.to_string(), Arc::clone(&f));
+                    state.computed += 1;
+                    (f, true)
+                }
+            }
+        };
+        if owner {
+            let value = Arc::new(compute());
+            let mut done = flight.done.lock().expect("flight mutex");
+            *done = Some(Arc::clone(&value));
+            flight.cv.notify_all();
+            return (value, true);
+        }
+        let mut done = flight.done.lock().expect("flight mutex");
+        while done.is_none() {
+            done = flight.cv.wait(done).expect("flight condvar");
+        }
+        (Arc::clone(done.as_ref().expect("flight filled")), false)
+    }
+
+    /// Counter-only path for the `memo: false` bench baseline: records
+    /// one lookup that always computes, without touching the entry map.
+    pub(crate) fn count_uncached(&self) {
+        let mut state = self.state.lock().expect("cache mutex");
+        state.lookups += 1;
+        state.computed += 1;
+    }
+
+    /// Snapshot of the hit counters.
+    pub fn stats(&self) -> MemoStats {
+        let state = self.state.lock().expect("cache mutex");
+        MemoStats {
+            lookups: state.lookups,
+            computed: state.computed,
+        }
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_parse_round_trips() {
+        let w = Workload::parse("squeezenet@8").unwrap();
+        assert_eq!(w.slug, "squeezenet");
+        assert_eq!(w.batch, 8);
+        assert_eq!(w.spec_string(), "squeezenet@8");
+        assert_eq!(Workload::parse("bert_base").unwrap().batch, 32);
+        assert!(Workload::parse("nope@4").is_err());
+        assert!(Workload::parse("squeezenet@x").is_err());
+    }
+
+    #[test]
+    fn cache_computes_each_key_once() {
+        let cache = EvalCache::new();
+        let (a, computed_a) = cache.get_or_compute("k", || vec![("m".into(), 1.0)]);
+        let (b, computed_b) = cache.get_or_compute("k", || panic!("must not recompute"));
+        assert!(computed_a);
+        assert!(!computed_b);
+        assert_eq!(a, b);
+        assert_eq!(
+            cache.stats(),
+            MemoStats {
+                lookups: 2,
+                computed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn racing_lookups_single_flight_exactly_once() {
+        let cache = Arc::new(EvalCache::new());
+        let computed = Arc::new(Mutex::new(0u32));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                s.spawn(move || {
+                    for i in 0..32 {
+                        let key = format!("k{}", i % 4);
+                        let (v, _) = cache.get_or_compute(&key, || {
+                            *computed.lock().unwrap() += 1;
+                            // Widen the race window.
+                            std::thread::yield_now();
+                            vec![("m".into(), (i % 4) as f64)]
+                        });
+                        assert_eq!(v[0].1, (i % 4) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(*computed.lock().unwrap(), 4, "one compute per unique key");
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 8 * 32);
+        assert_eq!(stats.computed, 4);
+    }
+
+    #[test]
+    fn evaluate_config_orders_objectives_first() {
+        let cfg = diva_core::DesignPoint::Diva.config();
+        let w = vec![Workload::parse("squeezenet@4").unwrap()];
+        let metrics = evaluate_config(&cfg, &w);
+        assert_eq!(metrics[0].0, "latency_s");
+        assert_eq!(metrics[1].0, "energy_j");
+        assert_eq!(metrics[2].0, "area_mm2");
+        assert_eq!(metrics[3].0, "seconds_squeezenet");
+        assert_eq!(metrics[4].0, "energy_j_squeezenet");
+        assert!(metrics.iter().all(|(_, v)| v.is_finite() && *v > 0.0));
+        assert_eq!(metrics[0].1, metrics[3].1, "one workload: sums equal parts");
+    }
+}

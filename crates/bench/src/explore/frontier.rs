@@ -1,0 +1,184 @@
+//! The exact Pareto frontier over evaluated design points.
+//!
+//! All objectives are *minimized*. A point `a` **dominates** `b` when it
+//! is no worse on every objective and strictly better on at least one.
+//! The frontier is maintained incrementally: an incoming point is pruned
+//! if any resident dominates it, otherwise it evicts every resident it
+//! dominates and joins. Because dominance is transitive, every point ever
+//! pruned (directly, or via eviction of the resident that dominated it)
+//! is dominated by some *final* frontier member — the property the seeded
+//! tests in `tests/explore_tests.rs` verify.
+//!
+//! Determinism: membership is a pure function of the evaluated set
+//! (insertion order cannot change *what* survives, only the transient
+//! path), and residents are kept sorted by `(objective vector, candidate
+//! spec)` with [`f64::total_cmp`], so iteration order — and therefore
+//! every rendered artifact — is bitwise identical across thread counts
+//! and across kill/resume boundaries.
+
+use std::cmp::Ordering;
+
+use super::EvaluatedPoint;
+
+/// `true` when `a` Pareto-dominates `b` (minimization: `a` is ≤
+/// everywhere and < somewhere). Slices must be equal length.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Deterministic frontier ordering: objective vector lexicographically
+/// (via `total_cmp`), ties broken by the candidate spec string.
+pub fn point_order(a: &EvaluatedPoint, b: &EvaluatedPoint) -> Ordering {
+    for ((_, x), (_, y)) in a.objectives.iter().zip(&b.objectives) {
+        match x.total_cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.spec.cmp(&b.spec)
+}
+
+/// The incrementally-maintained exact Pareto frontier.
+#[derive(Clone, Debug, Default)]
+pub struct Frontier {
+    points: Vec<EvaluatedPoint>,
+}
+
+impl Frontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a point. Returns `true` if it joined the frontier (possibly
+    /// evicting dominated residents), `false` if a resident dominates it.
+    /// Duplicate specs are rejected idempotently.
+    pub fn offer(&mut self, point: EvaluatedPoint) -> bool {
+        if self.points.iter().any(|p| p.spec == point.spec) {
+            return false;
+        }
+        let vals = point.objective_values();
+        if self
+            .points
+            .iter()
+            .any(|p| dominates(&p.objective_values(), &vals))
+        {
+            return false;
+        }
+        self.points
+            .retain(|p| !dominates(&vals, &p.objective_values()));
+        let at = self
+            .points
+            .partition_point(|p| point_order(p, &point) == Ordering::Less);
+        self.points.insert(at, point);
+        true
+    }
+
+    /// The frontier members, in the deterministic `(objectives, spec)`
+    /// order.
+    pub fn points(&self) -> &[EvaluatedPoint] {
+        &self.points
+    }
+
+    /// Number of frontier members.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no point has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(spec: &str, vals: &[f64]) -> EvaluatedPoint {
+        EvaluatedPoint {
+            spec: spec.to_string(),
+            config_key: spec.to_string(),
+            objectives: vals
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (format!("o{i}"), *v))
+                .collect(),
+            metrics: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(dominates(&[0.5, 2.0], &[1.0, 2.0]));
+        assert!(
+            !dominates(&[1.0, 2.0], &[1.0, 2.0]),
+            "equal never dominates"
+        );
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "incomparable");
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 3.0]), "incomparable");
+    }
+
+    #[test]
+    fn frontier_prunes_and_evicts() {
+        let mut f = Frontier::new();
+        assert!(f.offer(pt("a", &[2.0, 2.0])));
+        assert!(f.offer(pt("b", &[1.0, 3.0])), "incomparable point joins");
+        assert!(!f.offer(pt("c", &[3.0, 3.0])), "dominated point pruned");
+        assert!(f.offer(pt("d", &[1.0, 1.0])), "dominator joins");
+        // d dominates both a and b.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].spec, "d");
+    }
+
+    #[test]
+    fn equal_vectors_coexist_in_spec_order() {
+        let mut f = Frontier::new();
+        assert!(f.offer(pt("zz", &[1.0, 2.0])));
+        assert!(f.offer(pt("aa", &[1.0, 2.0])));
+        let specs: Vec<&str> = f.points().iter().map(|p| p.spec.as_str()).collect();
+        assert_eq!(specs, vec!["aa", "zz"]);
+        // Re-offering an existing spec is a no-op.
+        assert!(!f.offer(pt("aa", &[1.0, 2.0])));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn membership_is_insertion_order_independent() {
+        let points = [
+            ("a", [3.0, 1.0]),
+            ("b", [1.0, 3.0]),
+            ("c", [2.0, 2.0]),
+            ("d", [2.5, 2.5]),
+            ("e", [0.5, 4.0]),
+            ("f", [3.0, 1.0]),
+        ];
+        let build = |order: &[usize]| {
+            let mut f = Frontier::new();
+            for &i in order {
+                let (s, v) = points[i];
+                f.offer(pt(s, &v));
+            }
+            f.points()
+                .iter()
+                .map(|p| p.spec.clone())
+                .collect::<Vec<_>>()
+        };
+        let forward = build(&[0, 1, 2, 3, 4, 5]);
+        let reverse = build(&[5, 4, 3, 2, 1, 0]);
+        let shuffled = build(&[3, 0, 5, 2, 4, 1]);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, shuffled);
+    }
+}

@@ -1,0 +1,283 @@
+//! Frontier renderers: text table, JSON document and CSV.
+//!
+//! The JSON document follows the workspace's flat-object conventions
+//! (`diva-scenario/v1` style: hand-rolled emitter, `Display`-formatted
+//! floats that round-trip bit-exactly, strings through the shared
+//! escaper) under its own `diva-explore/v1` schema tag. Because every
+//! value in an [`ExploreResult`] is deterministic, the rendered bytes are
+//! the artifact the thread-count and kill/resume identity tests `cmp`.
+
+use std::fmt::Write as _;
+
+use crate::perf::json_string;
+
+use super::{ExploreResult, Objective};
+
+/// Renders the search's JSON document (`diva-explore/v1`).
+pub fn render_json(result: &ExploreResult) -> String {
+    let cfg = &result.config;
+    let knobs = cfg
+        .space
+        .knobs
+        .iter()
+        .map(|k| format!("{}={}", k.param, k.values.join("|")))
+        .collect::<Vec<_>>()
+        .join(";");
+    let workloads = cfg
+        .workloads
+        .iter()
+        .map(|w| w.spec_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let objectives = cfg
+        .objectives
+        .iter()
+        .map(|o| o.metric())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"name\": \"explore\",");
+    let _ = writeln!(out, "  \"schema\": \"diva-explore/v1\",");
+    let _ = writeln!(out, "  \"base\": {},", json_string(cfg.space.base.label()));
+    let _ = writeln!(out, "  \"strategy\": {},", json_string(cfg.strategy.slug()));
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"budget\": {},", cfg.budget);
+    let _ = writeln!(out, "  \"objectives\": {},", json_string(&objectives));
+    let _ = writeln!(out, "  \"workloads\": {},", json_string(&workloads));
+    let _ = writeln!(out, "  \"knobs\": {},", json_string(&knobs));
+    // Run-variant counters (journal reuse, memo hits) are deliberately
+    // absent: a resumed search must render byte-identically to a fresh
+    // one. They live in the text summary and in `ExploreResult::stats`.
+    let _ = writeln!(out, "  \"evaluated\": {},", result.evaluated.len());
+    let _ = writeln!(out, "  \"generated\": {},", result.stats.generated);
+    let _ = writeln!(out, "  \"invalid\": {},", result.stats.invalid);
+    let _ = writeln!(out, "  \"frontier_size\": {},", result.frontier.len());
+    let _ = writeln!(out, "  \"complete\": {},", result.complete);
+    out.push_str("  \"frontier\": [\n");
+    let points = result.frontier.points();
+    for (i, p) in points.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(out, "\"name\": \"point\", \"rank\": {}", i + 1);
+        let _ = write!(out, ", \"spec\": {}", json_string(&p.spec));
+        let _ = write!(out, ", \"config\": {}", json_string(&p.config_key));
+        for (k, v) in &p.metrics {
+            if v.is_finite() {
+                let _ = write!(out, ", {}: {v}", json_string(k));
+            } else {
+                let _ = write!(out, ", {}: null", json_string(k));
+            }
+        }
+        out.push('}');
+        if i + 1 < points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the frontier as CSV: `rank,spec` plus the canonical metric
+/// columns. The spec cell is quoted (it contains commas).
+pub fn render_csv(result: &ExploreResult) -> String {
+    let mut out = String::from("rank,spec");
+    if let Some(first) = result.frontier.points().first() {
+        for (k, _) in &first.metrics {
+            let _ = write!(out, ",{k}");
+        }
+    } else {
+        for o in &result.config.objectives {
+            let _ = write!(out, ",{}", o.metric());
+        }
+    }
+    out.push('\n');
+    for (i, p) in result.frontier.points().iter().enumerate() {
+        let _ = write!(out, "{},\"{}\"", i + 1, p.spec.replace('"', "\"\""));
+        for (_, v) in &p.metrics {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the human-facing summary and frontier table.
+pub fn render_text(result: &ExploreResult) -> String {
+    let cfg = &result.config;
+    let memo = result.stats.memo;
+    let hit_rate = if memo.lookups > 0 {
+        (memo.lookups - memo.computed) as f64 / memo.lookups as f64
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== diva-explore: {} search over {} ({} knobs, {} grid points) ==",
+        cfg.strategy.slug(),
+        cfg.space.base.label(),
+        cfg.space.knobs.len(),
+        cfg.space.grid_size()
+    );
+    let _ = writeln!(
+        out,
+        "evaluated {} / budget {} (reused {}, invalid {}), memo hit rate {:.0}%{}",
+        result.evaluated.len(),
+        cfg.budget,
+        result.stats.journal_reused,
+        result.stats.invalid,
+        hit_rate * 100.0,
+        if result.complete {
+            ""
+        } else {
+            "  [killed early]"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "frontier: {} non-dominated point(s) over ({})",
+        result.frontier.len(),
+        cfg.objectives
+            .iter()
+            .map(|o| o.metric())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Frontier table: rank, spec, the searched objectives.
+    let mut headers = vec!["rank".to_string(), "spec".to_string()];
+    headers.extend(cfg.objectives.iter().map(|o| o.metric().to_string()));
+    let rows: Vec<Vec<String>> = result
+        .frontier
+        .points()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut row = vec![(i + 1).to_string(), p.spec.clone()];
+            row.extend(p.objectives.iter().map(|(_, v)| format!("{v:.4e}")));
+            row
+        })
+        .collect();
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            rows.iter()
+                .map(|r| r[c].len())
+                .chain([h.len()])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(out, "{}", fmt_row(&headers));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in &rows {
+        let _ = writeln!(out, "{}", fmt_row(row));
+    }
+    out
+}
+
+/// The minimum value each searched objective attains over the frontier —
+/// the "best corner" scalars the `explore_frontier` scenario gates on.
+pub fn best_per_objective(result: &ExploreResult) -> Vec<(Objective, f64)> {
+    result
+        .config
+        .objectives
+        .iter()
+        .map(|o| {
+            let best = result
+                .frontier
+                .points()
+                .iter()
+                .filter_map(|p| {
+                    p.objectives
+                        .iter()
+                        .find(|(k, _)| k == o.metric())
+                        .map(|(_, v)| *v)
+                })
+                .fold(f64::INFINITY, f64::min);
+            (*o, best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{EvaluatedPoint, ExploreConfig, ExploreResult, ExploreStats, Frontier};
+    use super::*;
+
+    fn tiny_result() -> ExploreResult {
+        let cfg = ExploreConfig::new(super::super::SearchSpace::default_space());
+        let mut frontier = Frontier::new();
+        let point = EvaluatedPoint {
+            spec: "DiVa:pe.rows=64".to_string(),
+            config_key: "pe.rows=64,...".to_string(),
+            objectives: vec![
+                ("latency_s".to_string(), 0.5),
+                ("energy_j".to_string(), 2.0),
+                ("area_mm2".to_string(), 100.0),
+            ],
+            metrics: vec![
+                ("latency_s".to_string(), 0.5),
+                ("energy_j".to_string(), 2.0),
+                ("area_mm2".to_string(), 100.0),
+            ],
+        };
+        frontier.offer(point.clone());
+        ExploreResult {
+            config: cfg,
+            evaluated: vec![point],
+            frontier,
+            stats: ExploreStats::default(),
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn json_is_balanced_and_tagged() {
+        let json = render_json(&tiny_result());
+        assert!(json.contains("\"schema\": \"diva-explore/v1\""));
+        assert!(json.contains("\"frontier_size\": 1"));
+        assert!(json.contains("\"complete\": true"));
+        assert!(json.contains("\"spec\": \"DiVa:pe.rows=64\""));
+        assert!(json.contains("\"latency_s\": 0.5"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_quotes_specs_and_lists_metrics() {
+        let csv = render_csv(&tiny_result());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("rank,spec,latency_s,energy_j,area_mm2"));
+        assert_eq!(lines.next(), Some("1,\"DiVa:pe.rows=64\",0.5,2,100"));
+    }
+
+    #[test]
+    fn text_mentions_the_frontier() {
+        let text = render_text(&tiny_result());
+        assert!(text.contains("frontier: 1 non-dominated point(s)"));
+        assert!(text.contains("DiVa:pe.rows=64"));
+    }
+
+    #[test]
+    fn best_per_objective_takes_minima() {
+        let best = best_per_objective(&tiny_result());
+        assert_eq!(best.len(), 3);
+        assert_eq!(best[0].1, 0.5);
+        assert_eq!(best[1].1, 2.0);
+    }
+}

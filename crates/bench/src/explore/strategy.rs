@@ -1,0 +1,382 @@
+//! Candidate generation over the 12-knob parameter registry: the search
+//! space description plus the three search strategies (exhaustive grid,
+//! seeded random sampling, and frontier-guided local refinement).
+//!
+//! Generation is strictly sequential and fed by one [`DivaRng`] stream,
+//! so for a fixed `(space, strategy, seed)` the candidate sequence is
+//! identical across runs, thread counts and kill/resume boundaries — the
+//! driver only parallelizes *evaluation*, never generation.
+
+use std::collections::HashSet;
+
+use diva_arch::params;
+use diva_core::{DesignPoint, DesignSpec};
+use diva_tensor::DivaRng;
+
+use super::frontier::Frontier;
+
+/// One searchable knob: a registered parameter name plus the ordered
+/// value grid the strategies draw from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Knob {
+    /// Registered parameter name (`pe.rows`, `freq_mhz`, ...).
+    pub param: String,
+    /// Ordered candidate values, as registry-formatted strings.
+    pub values: Vec<String>,
+}
+
+impl Knob {
+    /// Parses a `param=v1|v2|v3` knob description.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown parameter names and empty value lists.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (param, values) = text
+            .split_once('=')
+            .ok_or_else(|| format!("knob {text:?}: expected param=v1|v2|..."))?;
+        let param = param.trim();
+        if !params::is_param(param) {
+            return Err(format!(
+                "knob {text:?}: unknown parameter {param:?} (see diva-report --params)"
+            ));
+        }
+        let values: Vec<String> = values
+            .split('|')
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .collect();
+        if values.is_empty() {
+            return Err(format!("knob {text:?}: no values"));
+        }
+        Ok(Self {
+            param: param.to_string(),
+            values,
+        })
+    }
+}
+
+/// The search space: a base design point plus the knob grid around it.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// Preset every candidate starts from.
+    pub base: DesignPoint,
+    /// The searchable knobs, in a fixed order.
+    pub knobs: Vec<Knob>,
+}
+
+impl SearchSpace {
+    /// The default six-knob space around the DiVa preset: array shape,
+    /// clock, SRAM, drain rate and DRAM bandwidth — 729 grid points.
+    pub fn default_space() -> Self {
+        let knob = |param: &str, values: &[&str]| Knob {
+            param: param.to_string(),
+            values: values.iter().map(|v| v.to_string()).collect(),
+        };
+        Self {
+            base: DesignPoint::Diva,
+            knobs: vec![
+                knob("pe.rows", &["64", "128", "256"]),
+                knob("pe.cols", &["64", "128", "256"]),
+                knob("freq_mhz", &["470", "940", "1410"]),
+                knob("sram_mib", &["8", "16", "32"]),
+                knob("drain_rows", &["4", "8", "16"]),
+                knob("mem.bandwidth_gbps", &["225", "450", "900"]),
+            ],
+        }
+    }
+
+    /// Number of grid points (product of knob arities).
+    pub fn grid_size(&self) -> u128 {
+        self.knobs.iter().map(|k| k.values.len() as u128).product()
+    }
+
+    /// Materializes the candidate at `choice` (one value index per knob,
+    /// every knob pinned so the spec string is canonical).
+    pub fn candidate(&self, choice: &[usize]) -> DesignSpec {
+        let mut spec = DesignSpec::preset(self.base);
+        for (knob, &i) in self.knobs.iter().zip(choice) {
+            spec = spec.with(&knob.param, &knob.values[i]);
+        }
+        spec
+    }
+}
+
+/// The three search strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Exhaustive sweep in odometer order (last knob fastest).
+    Grid,
+    /// Seeded uniform sampling without replacement.
+    Random,
+    /// Successive halving: seed with random samples, then spend the rest
+    /// of the budget mutating the surviving (frontier) configurations one
+    /// knob step at a time, with a trickle of fresh random exploration.
+    Halving,
+}
+
+impl Strategy {
+    /// Stable CLI/JSON slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Strategy::Grid => "grid",
+            Strategy::Random => "random",
+            Strategy::Halving => "halving",
+        }
+    }
+
+    /// Parses a strategy slug (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Lists the valid slugs when `text` matches none of them.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "grid" => Ok(Strategy::Grid),
+            "random" => Ok(Strategy::Random),
+            "halving" => Ok(Strategy::Halving),
+            other => Err(format!(
+                "unknown strategy {other:?} (expected grid, random or halving)"
+            )),
+        }
+    }
+}
+
+/// Retry budget per emitted candidate before random/halving generation
+/// concedes the neighborhood is exhausted.
+const ATTEMPTS_PER_CANDIDATE: usize = 64;
+
+/// Sequential candidate generator; one per search run.
+pub(crate) struct Generator {
+    space: SearchSpace,
+    strategy: Strategy,
+    rng: DivaRng,
+    /// Next grid odometer position (grid strategy).
+    cursor: u128,
+    /// Spec strings already emitted (all strategies sample without
+    /// replacement).
+    seen: HashSet<String>,
+    /// Choice vector per emitted spec, for halving's mutations.
+    choices: Vec<(String, Vec<usize>)>,
+    exhausted: bool,
+}
+
+impl Generator {
+    pub(crate) fn new(space: SearchSpace, strategy: Strategy, seed: u64) -> Self {
+        Self {
+            space,
+            strategy,
+            rng: DivaRng::seed_from_u64(seed),
+            cursor: 0,
+            seen: HashSet::new(),
+            choices: Vec::new(),
+            exhausted: false,
+        }
+    }
+
+    pub(crate) fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Emits up to `want` fresh candidates; fewer (possibly zero, with
+    /// `exhausted` set) when the space or neighborhood runs dry.
+    pub(crate) fn next_batch(&mut self, frontier: &Frontier, want: usize) -> Vec<DesignSpec> {
+        let mut out = Vec::with_capacity(want);
+        while out.len() < want && !self.exhausted {
+            let choice = match self.strategy {
+                Strategy::Grid => self.next_grid(),
+                Strategy::Random => self.next_random(),
+                Strategy::Halving => self.next_halving(frontier, out.len()),
+            };
+            let Some(choice) = choice else {
+                self.exhausted = true;
+                break;
+            };
+            let spec = self.space.candidate(&choice);
+            let key = spec.spec_string();
+            self.seen.insert(key.clone());
+            self.choices.push((key, choice));
+            out.push(spec);
+        }
+        out
+    }
+
+    fn next_grid(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.space.grid_size() {
+            return None;
+        }
+        let mut rem = self.cursor;
+        self.cursor += 1;
+        let mut choice = vec![0usize; self.space.knobs.len()];
+        for (slot, knob) in choice.iter_mut().zip(&self.space.knobs).rev() {
+            let arity = knob.values.len() as u128;
+            *slot = (rem % arity) as usize;
+            rem /= arity;
+        }
+        Some(choice)
+    }
+
+    fn random_choice(&mut self) -> Vec<usize> {
+        let arities: Vec<usize> = self.space.knobs.iter().map(|k| k.values.len()).collect();
+        arities.into_iter().map(|a| self.rng.index(a)).collect()
+    }
+
+    fn is_fresh(&self, choice: &[usize]) -> bool {
+        !self
+            .seen
+            .contains(&self.space.candidate(choice).spec_string())
+    }
+
+    fn next_random(&mut self) -> Option<Vec<usize>> {
+        for _ in 0..ATTEMPTS_PER_CANDIDATE {
+            let choice = self.random_choice();
+            if self.is_fresh(&choice) {
+                return Some(choice);
+            }
+        }
+        None
+    }
+
+    /// One knob nudged one step along its value grid.
+    fn mutate(&mut self, parent: &[usize]) -> Vec<usize> {
+        let mut child = parent.to_vec();
+        let k = self.rng.index(child.len());
+        let arity = self.space.knobs[k].values.len();
+        if arity > 1 {
+            let up = self.rng.index(2) == 0;
+            child[k] = if up && child[k] + 1 < arity {
+                child[k] + 1
+            } else if !up && child[k] > 0 {
+                child[k] - 1
+            } else if child[k] + 1 < arity {
+                child[k] + 1
+            } else {
+                child[k] - 1
+            };
+        }
+        child
+    }
+
+    fn next_halving(&mut self, frontier: &Frontier, emitted: usize) -> Option<Vec<usize>> {
+        // Bootstrap round (and a 1-in-4 exploration trickle thereafter):
+        // fall back to fresh random samples.
+        if frontier.is_empty() || emitted % 4 == 3 {
+            return self.next_random();
+        }
+        // Parent choice vectors for the current survivors, in the
+        // frontier's deterministic order.
+        let parents: Vec<Vec<usize>> = frontier
+            .points()
+            .iter()
+            .filter_map(|p| {
+                self.choices
+                    .iter()
+                    .find(|(k, _)| *k == p.spec)
+                    .map(|(_, c)| c.clone())
+            })
+            .collect();
+        if parents.is_empty() {
+            return self.next_random();
+        }
+        for _ in 0..ATTEMPTS_PER_CANDIDATE {
+            let parent = &parents[self.rng.index(parents.len())];
+            let child = self.mutate(parent);
+            if self.is_fresh(&child) {
+                return Some(child);
+            }
+        }
+        // Neighborhood saturated: widen back out to random sampling.
+        self.next_random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_space() -> SearchSpace {
+        SearchSpace {
+            base: DesignPoint::Diva,
+            knobs: vec![
+                Knob::parse("pe.rows=64|128").unwrap(),
+                Knob::parse("freq_mhz=470|940|1410").unwrap(),
+            ],
+        }
+    }
+
+    #[test]
+    fn knob_parse_validates_names_and_values() {
+        let k = Knob::parse("sram_mib=8|16|32").unwrap();
+        assert_eq!(k.param, "sram_mib");
+        assert_eq!(k.values, vec!["8", "16", "32"]);
+        assert!(Knob::parse("nope=1|2").is_err());
+        assert!(Knob::parse("sram_mib=").is_err());
+        assert!(Knob::parse("sram_mib").is_err());
+    }
+
+    #[test]
+    fn grid_enumerates_every_point_in_odometer_order() {
+        let space = tiny_space();
+        let mut gen = Generator::new(space.clone(), Strategy::Grid, 0);
+        let f = Frontier::new();
+        let batch = gen.next_batch(&f, 100);
+        assert_eq!(batch.len(), 6);
+        assert!(gen.exhausted());
+        // Last knob fastest: freq cycles before pe.rows advances.
+        assert_eq!(batch[0].spec_string(), "DiVa:pe.rows=64,freq_mhz=470");
+        assert_eq!(batch[1].spec_string(), "DiVa:pe.rows=64,freq_mhz=940");
+        assert_eq!(batch[3].spec_string(), "DiVa:pe.rows=128,freq_mhz=470");
+        let unique: std::collections::HashSet<String> =
+            batch.iter().map(DesignSpec::spec_string).collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn random_samples_without_replacement_and_exhausts() {
+        let mut gen = Generator::new(tiny_space(), Strategy::Random, 7);
+        let f = Frontier::new();
+        let batch = gen.next_batch(&f, 100);
+        assert_eq!(batch.len(), 6, "tiny space fully sampled");
+        assert!(gen.exhausted());
+        let unique: std::collections::HashSet<String> =
+            batch.iter().map(DesignSpec::spec_string).collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn random_sequence_is_seed_deterministic_and_batch_size_independent() {
+        let space = SearchSpace::default_space();
+        let f = Frontier::new();
+        let mut one = Generator::new(space.clone(), Strategy::Random, 42);
+        let whole: Vec<String> = one
+            .next_batch(&f, 24)
+            .iter()
+            .map(DesignSpec::spec_string)
+            .collect();
+        let mut two = Generator::new(space, Strategy::Random, 42);
+        let mut pieces = Vec::new();
+        for _ in 0..4 {
+            pieces.extend(two.next_batch(&f, 6).iter().map(DesignSpec::spec_string));
+        }
+        assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn mutation_moves_exactly_one_knob_one_step() {
+        let space = SearchSpace::default_space();
+        let mut gen = Generator::new(space, Strategy::Halving, 3);
+        let parent = vec![1usize; 6];
+        for _ in 0..64 {
+            let child = gen.mutate(&parent);
+            let diffs: Vec<(usize, usize)> = parent
+                .iter()
+                .zip(&child)
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| (*a, *b))
+                .collect();
+            assert_eq!(diffs.len(), 1);
+            let (a, b) = diffs[0];
+            assert_eq!(a.abs_diff(b), 1);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod faults;
 pub mod harness;
 pub mod perf;

@@ -112,6 +112,53 @@ pub(in super::super) fn dse_sram() -> Experiment {
     )
 }
 
+/// DSE: clock frequency under the V∝f DVFS energy model — the one knob
+/// where perf and energy pull in opposite directions, so the scenario
+/// reports both (and is the seed of the explorer's energy objective).
+pub(in super::super) fn dse_frequency() -> Experiment {
+    let cfg_axis = config_axis("freq_mhz", &["470", "705", "940", "1175", "1410"]);
+    let axis_name = cfg_axis.name.clone();
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let r = ctx
+            .accel()
+            .run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
+        Cell::from(&r)
+    });
+    Experiment::new(
+        "dse_frequency",
+        "DSE: clock-frequency sweep under the V-prop-f DVFS energy model (MHz, Table II nominal 940)",
+        eval,
+    )
+    .axis(dse_models_axis())
+    .axis(dse_points_axis())
+    .axis(cfg_axis)
+    .axis(paper_batch_axis())
+    .derive(Normalize::speedup("seconds", &[("point", "WS")], "speedup"))
+    .display(&["seconds", "speedup", "energy_j"])
+    .pivot_on(&axis_name, "speedup")
+    .reduce(
+        Reduction::new(
+            "DiVa speedup vs WS (geomean)",
+            "speedup",
+            ReduceKind::Geomean,
+        )
+        .filter(&[("point", "DiVa")])
+        .group_by(&[axis_name.as_str()]),
+    )
+    .reduce(
+        Reduction::new("DiVa step energy J (mean)", "energy_j", ReduceKind::Mean)
+            .filter(&[("point", "DiVa")])
+            .group_by(&[axis_name.as_str()]),
+    )
+    .note(
+        "Dynamic power rides the V-prop-f rail (prop f^3), leakage prop f, so\n\
+         per-MAC energy falls quadratically when underclocked while step time\n\
+         and the fixed uncore charge grow — the energy-delay tradeoff the\n\
+         explorer's latency x energy frontier walks."
+            .to_string(),
+    )
+}
+
 /// DSE: off-chip DRAM bandwidth.
 pub(in super::super) fn dse_bandwidth() -> Experiment {
     dse(

@@ -1,0 +1,108 @@
+//! The `explore_frontier` scenario: a small fixed-seed Pareto search per
+//! strategy, registered so `diva-report explore_frontier --compare` can
+//! regression-gate the explorer like any paper figure.
+//!
+//! Each cell runs the *same* 4-knob / 16-point space with the cell's
+//! strategy and a pinned seed, then summarizes the search as scalars: the
+//! frontier size, candidate/memo counters, the best value per objective,
+//! and a 32-bit FNV digest of the frontier's spec strings (`frontier_fnv`)
+//! — the digest turns "the frontier changed at all" into a single gated
+//! metric while staying exactly representable as an `f64`.
+
+use std::sync::Arc;
+
+use diva_core::DesignPoint;
+
+use crate::explore::{
+    explore, render::best_per_objective, ExploreConfig, Knob, SearchSpace, Strategy, Workload,
+};
+use crate::faults::fnv1a64;
+
+use super::super::{Axis, AxisValue, Cell, CellCtx, Experiment};
+
+/// The fixed search every cell runs (only the strategy varies): 4 knobs,
+/// 2 values each, budget 12 of the 16-point grid.
+fn gate_config(strategy: Strategy) -> ExploreConfig {
+    let knob = |param: &str, values: &[&str]| Knob {
+        param: param.to_string(),
+        values: values.iter().map(|v| v.to_string()).collect(),
+    };
+    let space = SearchSpace {
+        base: DesignPoint::Diva,
+        knobs: vec![
+            knob("pe.rows", &["64", "128"]),
+            knob("freq_mhz", &["470", "940"]),
+            knob("sram_mib", &["8", "16"]),
+            knob("drain_rows", &["4", "8"]),
+        ],
+    };
+    let mut cfg = ExploreConfig::new(space);
+    cfg.strategy = strategy;
+    cfg.seed = 42;
+    cfg.budget = 12;
+    cfg.batch_size = 4;
+    cfg.workloads = vec![
+        Workload::parse("squeezenet@8").expect("gate workload"),
+        Workload::parse("lstm_small@8").expect("gate workload"),
+    ];
+    cfg
+}
+
+/// Builds the registered experiment.
+pub(in super::super) fn explore_frontier() -> Experiment {
+    let eval = Arc::new(|ctx: &CellCtx| {
+        let strategy = Strategy::parse(ctx.label("strategy")).expect("axis carries valid slugs");
+        let result = explore(&gate_config(strategy)).expect("fixed gate search cannot fail");
+        let specs: Vec<&[u8]> = result
+            .frontier
+            .points()
+            .iter()
+            .map(|p| p.spec.as_bytes())
+            .collect();
+        // Truncate to 32 bits so the digest survives the f64 metric path
+        // exactly (f64 holds integers up to 2^53).
+        let digest = (fnv1a64(&specs) & 0xffff_ffff) as f64;
+        let mut cell = Cell::new()
+            .metric("evaluated", result.evaluated.len() as f64)
+            .metric("frontier_size", result.frontier.len() as f64)
+            .metric("memo_lookups", result.stats.memo.lookups as f64)
+            .metric("memo_computed", result.stats.memo.computed as f64)
+            .metric("frontier_fnv", digest);
+        for (objective, best) in best_per_objective(&result) {
+            cell = cell.metric(format!("best_{}", objective.metric()), best);
+        }
+        cell.note("frontier_top", {
+            result
+                .frontier
+                .points()
+                .first()
+                .map(|p| p.spec.clone())
+                .unwrap_or_default()
+        })
+    });
+    Experiment::new(
+        "explore_frontier",
+        "Explorer regression gate: fixed-seed 12-candidate search per strategy \
+         (4 knobs around DiVa, latency x energy x area)",
+        eval,
+    )
+    .axis(Axis::new(
+        "strategy",
+        ["grid", "random", "halving"].map(AxisValue::label),
+    ))
+    .display(&[
+        "evaluated",
+        "frontier_size",
+        "memo_computed",
+        "best_latency_s",
+        "best_energy_j",
+        "best_area_mm2",
+        "frontier_fnv",
+    ])
+    .note(
+        "frontier_fnv digests the frontier's candidate specs; any change to\n\
+         generation order, dominance or tie-breaking moves it, so --compare\n\
+         catches explorer regressions without storing whole frontiers."
+            .to_string(),
+    )
+}

@@ -117,11 +117,10 @@ pub(in super::super) fn fig04() -> Experiment {
 
 /// Figure 5: WS-baseline training-time breakdown per algorithm.
 pub(in super::super) fn fig05() -> Experiment {
-    let ws = Arc::new(
-        Accelerator::from_design_point(DesignPoint::WsBaseline).expect("preset configs validate"),
-    );
+    // The WS baseline rides a (single-arm) point axis rather than a
+    // closure capture so `--set`/`--sweep` can re-materialize it.
     let eval = Arc::new(move |ctx: &CellCtx| {
-        let r = ws.run(ctx.model(), ctx.algorithm(), ctx.batch());
+        let r = ctx.accel().run(ctx.model(), ctx.algorithm(), ctx.batch());
         let fwd = r.phase_cycles(Phase::Forward) as f64;
         let total = r.timing.total_cycles() as f64;
         Cell::from(&r).metric("bwd_fraction", 1.0 - fwd / total)
@@ -140,6 +139,7 @@ pub(in super::super) fn fig05() -> Experiment {
         eval,
     )
     .axis(models_axis())
+    .axis(points_axis(&[DesignPoint::WsBaseline]))
     .axis(algorithms_axis(&Algorithm::ALL))
     .axis(paper_batch_axis())
     .derive(Normalize::fraction(
@@ -292,11 +292,10 @@ pub(in super::super) fn fig06() -> Experiment {
 
 /// Figure 7: WS-baseline FLOPS utilization per GEMM class.
 pub(in super::super) fn fig07() -> Experiment {
-    let ws = Arc::new(
-        Accelerator::from_design_point(DesignPoint::WsBaseline).expect("preset configs validate"),
-    );
     let eval = Arc::new(move |ctx: &CellCtx| {
-        // DP-SGD(R) exercises all four GEMM classes in one step.
+        // DP-SGD(R) exercises all four GEMM classes in one step; the WS
+        // arm comes from the point axis so `--set`/`--sweep` apply.
+        let ws = ctx.accel();
         let r = ws.run(ctx.model(), Algorithm::DpSgdReweighted, ctx.batch());
         let utils = class_utils(&r, ws.config().pe.macs());
         let pb = utils[2].1;
@@ -314,6 +313,7 @@ pub(in super::super) fn fig07() -> Experiment {
         eval,
     )
     .axis(models_axis())
+    .axis(points_axis(&[DesignPoint::WsBaseline]))
     .axis(paper_batch_axis())
     .display(&[
         "util_fwd",
@@ -634,18 +634,8 @@ pub(in super::super) fn fig16() -> Experiment {
 
 /// Figure 17: DiVa vs V100/A100 on the per-example-gradient bottleneck.
 pub(in super::super) fn fig17() -> Experiment {
-    let diva = Arc::new(
-        Accelerator::from_design_point(DesignPoint::Diva).expect("preset configs validate"),
-    );
     let v100 = GpuModel::v100();
     let a100 = GpuModel::a100();
-    let devices = [
-        "V100 (FP32)",
-        "V100 (FP16)",
-        "A100 (FP32)",
-        "A100 (FP16)",
-        "DiVa (BF16)",
-    ];
     let eval = Arc::new(move |ctx: &CellCtx| {
         let model = ctx.model();
         let batch = ctx.batch();
@@ -654,7 +644,10 @@ pub(in super::super) fn fig17() -> Experiment {
             "V100 (FP16)" => bottleneck_gpu_seconds(model, batch, &v100, Precision::Fp16TensorCore),
             "A100 (FP32)" => bottleneck_gpu_seconds(model, batch, &a100, Precision::Fp32),
             "A100 (FP16)" => bottleneck_gpu_seconds(model, batch, &a100, Precision::Fp16TensorCore),
-            "DiVa (BF16)" => bottleneck_accel_seconds(&diva, model, batch),
+            // The DiVa arm carries its accelerator on the axis, so
+            // `--set`/`--sweep` re-materialize it (the GPU arms are
+            // bare labels and take no hardware overrides).
+            "DiVa (BF16)" => bottleneck_accel_seconds(ctx.accel(), model, batch),
             other => panic!("unknown device {other:?}"),
         };
         Cell::new().metric("seconds", seconds)
@@ -667,7 +660,16 @@ pub(in super::super) fn fig17() -> Experiment {
     .axis(models_axis())
     .axis(Axis::new(
         "device",
-        devices.iter().map(|d| AxisValue::label(*d)),
+        [
+            AxisValue::label("V100 (FP32)"),
+            AxisValue::label("V100 (FP16)"),
+            AxisValue::label("A100 (FP32)"),
+            AxisValue::label("A100 (FP16)"),
+            AxisValue::accel(
+                Accelerator::from_config("DiVa (BF16)", DesignPoint::Diva.config())
+                    .expect("preset configs validate"),
+            ),
+        ],
     ))
     .axis(paper_batch_axis())
     .derive(Normalize::speedup(

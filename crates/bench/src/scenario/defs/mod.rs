@@ -9,6 +9,7 @@
 pub(super) mod ablations;
 pub(super) mod accounting;
 pub(super) mod dse;
+pub(super) mod explore;
 pub(super) mod figures;
 pub(super) mod sensitivity;
 pub(super) mod tables;

@@ -103,13 +103,9 @@ pub(in super::super) fn table3() -> Experiment {
             .find(|(_, d)| d.label() == engine)
             .map(|(i, d)| (i, *d))
             .expect("engine axis label");
-        let design = match df {
-            Dataflow::WeightStationary => DesignPoint::WsBaseline,
-            Dataflow::OutputStationary => DesignPoint::OsWithPpu,
-            Dataflow::OuterProduct => DesignPoint::Diva,
-        };
-        // Effective TFLOPS over the full DP-SGD(R) suite on this engine.
-        let accel = Accelerator::from_design_point(design).expect("preset configs validate");
+        // Effective TFLOPS over the full DP-SGD(R) suite on this engine;
+        // the accelerator rides the axis so `--set`/`--sweep` re-shape it.
+        let accel = ctx.accel();
         let mut flops = 0.0;
         let mut seconds = 0.0;
         for model in zoo::all_models() {
@@ -156,7 +152,20 @@ pub(in super::super) fn table3() -> Experiment {
     )
     .axis(Axis::new(
         "engine",
-        Dataflow::ALL.iter().map(|d| AxisValue::label(d.label())),
+        Dataflow::ALL.iter().map(|d| {
+            let design = match d {
+                Dataflow::WeightStationary => DesignPoint::WsBaseline,
+                Dataflow::OutputStationary => DesignPoint::OsWithPpu,
+                Dataflow::OuterProduct => DesignPoint::Diva,
+            };
+            // Named after the dataflow (not the preset) so the paper's
+            // WS / OS / DiVa row labels — and every filter and reduction
+            // keyed on them — survive the move onto an accelerator axis.
+            AxisValue::accel(
+                Accelerator::from_config(d.label(), design.config())
+                    .expect("preset configs validate"),
+            )
+        }),
     ))
     .axis(paper_batch_axis())
     .derive(Normalize::fraction(

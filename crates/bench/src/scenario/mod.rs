@@ -288,20 +288,31 @@ impl CellCtx<'_> {
 
     /// The cell's accelerator: the config-axis materialization when any
     /// coordinate carries [`Payload::Overrides`], otherwise the arm of the
-    /// `"point"` axis.
+    /// `"point"` axis, otherwise the first coordinate carrying a
+    /// [`Payload::Accel`] value (so axes named `"engine"` or `"device"`
+    /// work too).
     ///
     /// # Panics
     ///
-    /// Panics if there is no materialized accelerator and no `"point"`
-    /// axis carrying [`Payload::Accel`] values.
+    /// Panics if there is no materialized accelerator and no coordinate
+    /// carries [`Payload::Accel`] values.
     pub fn accel(&self) -> &Accelerator {
         if let Some(accel) = &self.accel_override {
             return accel;
         }
-        match &self.value("point").payload {
-            Payload::Accel(a) => a,
-            other => panic!("axis \"point\" does not carry Accelerator payloads: {other:?}"),
+        if let Some((_, v)) = self.coords.iter().find(|(name, _)| *name == "point") {
+            match &v.payload {
+                Payload::Accel(a) => return a,
+                other => panic!("axis \"point\" does not carry Accelerator payloads: {other:?}"),
+            }
         }
+        self.coords
+            .iter()
+            .find_map(|(_, v)| match &v.payload {
+                Payload::Accel(a) => Some(a.as_ref()),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("cell has no accelerator coordinate: {:?}", self.coords))
     }
 
     /// The algorithm carried by the `"algorithm"` axis.

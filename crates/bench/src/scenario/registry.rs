@@ -2,7 +2,7 @@
 //! stable name, plus the convenience entry points the legacy figure
 //! binaries shim onto.
 
-use super::defs::{ablations, accounting, dse, figures, sensitivity, tables};
+use super::defs::{ablations, accounting, dse, explore, figures, sensitivity, tables};
 use super::error::ScenarioError;
 use super::render::print_result;
 use super::runner::{run_experiment, RunOptions, ScenarioResult};
@@ -128,6 +128,16 @@ pub const REGISTRY: &[ScenarioInfo] = &[
         build: dse::dse_bandwidth,
     },
     ScenarioInfo {
+        name: "dse_frequency",
+        summary: "DSE: clock sweep under the V-prop-f DVFS energy model (perf + energy)",
+        build: dse::dse_frequency,
+    },
+    ScenarioInfo {
+        name: "explore_frontier",
+        summary: "Explorer: small fixed-seed Pareto search per strategy (regression gate)",
+        build: explore::explore_frontier,
+    },
+    ScenarioInfo {
         name: "ablation_drain_overlap",
         summary: "Ablation: shadow-accumulator drain/compute overlap on DiVa",
         build: ablations::ablation_drain_overlap,
@@ -205,13 +215,15 @@ mod tests {
         let mut names = list();
         assert_eq!(
             names.len(),
-            26,
-            "expected 21 paper artifacts + 4 dse scenarios + dp_accounting"
+            28,
+            "expected 21 paper artifacts + 5 dse scenarios + dp_accounting + explore_frontier"
         );
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 26);
+        assert_eq!(names.len(), 28);
         assert!(find("dp_accounting").is_some());
+        assert!(find("dse_frequency").is_some());
+        assert!(find("explore_frontier").is_some());
         assert!(find("fig13").is_some());
         assert!(find("FIG13").is_some(), "lookup is case-insensitive");
         assert!(find("dse_drain_rate").is_some());

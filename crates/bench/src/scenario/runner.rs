@@ -584,10 +584,11 @@ pub fn run_experiment(
                 continue;
             }
             let Payload::Accel(base) = &axes[pa].values[idx[pa]].payload else {
-                return Err(ScenarioError::Definition(format!(
-                    "axis {:?} mixes accelerator and non-accelerator values",
-                    axes[pa].name
-                )));
+                // A mixed axis (fig17's GPU-label + accelerator arms):
+                // non-accelerator arms take no overrides — the swept knob
+                // only varies the hardware arms, and those cells keep
+                // `accel_override == None`.
+                continue;
             };
             let mut overrides: Vec<(String, String)> = Vec::new();
             for &a in &cfg_axes {

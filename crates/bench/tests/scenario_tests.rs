@@ -21,10 +21,13 @@ fn small_fig13_opts() -> RunOptions {
 #[test]
 fn every_registered_scenario_is_listed() {
     let names = scenario::list();
-    assert_eq!(names.len(), 26);
+    assert_eq!(names.len(), 28);
     // Every legacy figure/table/ablation binary has its scenario, plus
-    // the four design-space exploration starters and the accounting grid.
+    // the design-space exploration starters, the accounting grid and the
+    // explorer's regression gate.
     for expected in [
+        "dse_frequency",
+        "explore_frontier",
         "fig04",
         "fig05",
         "fig06",
@@ -406,6 +409,192 @@ fn sensitivity_matches_legacy_design_points() {
             ws.run(&model, Algorithm::DpSgdReweighted, batch).seconds / legacy.seconds;
         assert_eq!(row.get("speedup"), Some(legacy_speedup));
     }
+}
+
+/// fig05/fig07/fig17/table3 moved their closure-captured accelerators
+/// onto axes so `--set`/`--sweep` apply; these pins hold every migrated
+/// scenario's metric values bit-for-bit to the legacy (closure-built)
+/// computation.
+#[test]
+fn migrated_point_axis_scenarios_match_legacy_values() {
+    use diva_core::{bottleneck_accel_seconds, bottleneck_gpu_seconds, Accelerator, DesignPoint};
+    use diva_gpu::{GpuModel, Precision};
+    use diva_workload::{zoo, Algorithm};
+
+    let model = zoo::squeezenet();
+    let batch = diva_bench::paper_batch(&model);
+    let ws = Accelerator::from_design_point(DesignPoint::WsBaseline).unwrap();
+
+    // fig05: the WS arm on the new single-value point axis must simulate
+    // exactly what the old closure-captured baseline did.
+    let result = scenario::run_with(
+        "fig05",
+        &RunOptions::default().filter("model", &["squeezenet"]),
+    )
+    .expect("fig05 runs");
+    assert!(!result.rows.is_empty());
+    for row in &result.rows {
+        assert_eq!(row.coord("point"), Some("WS"));
+        let alg = Algorithm::ALL
+            .iter()
+            .copied()
+            .find(|a| Some(a.label()) == row.coord("algorithm"))
+            .expect("algorithm label");
+        let legacy = ws.run(&model, alg, batch);
+        assert_eq!(
+            row.get("total_cycles"),
+            Some(legacy.timing.total_cycles() as f64),
+            "fig05 {:?} diverged from the legacy closure path",
+            row.coords
+        );
+    }
+
+    // fig07: utilization metrics come from the same WS run.
+    let result = scenario::run_with(
+        "fig07",
+        &RunOptions::default().filter("model", &["squeezenet"]),
+    )
+    .expect("fig07 runs");
+    let legacy = ws.run(&model, Algorithm::DpSgdReweighted, batch);
+    let fwd = legacy
+        .timing
+        .phases
+        .get(&diva_core::Phase::Forward)
+        .expect("forward phase");
+    let legacy_util = fwd.macs as f64 / (fwd.cycles as f64 * ws.config().pe.macs() as f64);
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].get("util_fwd"), Some(legacy_util));
+
+    // fig17: GPU arms are untouched labels; the DiVa arm now rides the
+    // axis but is built from the identical preset config.
+    let result = scenario::run_with(
+        "fig17",
+        &RunOptions::default().filter("model", &["squeezenet"]),
+    )
+    .expect("fig17 runs");
+    let diva = Accelerator::from_design_point(DesignPoint::Diva).unwrap();
+    let v100 = GpuModel::v100();
+    let a100 = GpuModel::a100();
+    for row in &result.rows {
+        let legacy = match row.coord("device").expect("device coord") {
+            "V100 (FP32)" => bottleneck_gpu_seconds(&model, batch, &v100, Precision::Fp32),
+            "V100 (FP16)" => {
+                bottleneck_gpu_seconds(&model, batch, &v100, Precision::Fp16TensorCore)
+            }
+            "A100 (FP32)" => bottleneck_gpu_seconds(&model, batch, &a100, Precision::Fp32),
+            "A100 (FP16)" => {
+                bottleneck_gpu_seconds(&model, batch, &a100, Precision::Fp16TensorCore)
+            }
+            "DiVa (BF16)" => bottleneck_accel_seconds(&diva, &model, batch),
+            other => panic!("unexpected device {other:?}"),
+        };
+        assert_eq!(
+            row.get("seconds"),
+            Some(legacy),
+            "fig17 {:?} diverged from the legacy closure path",
+            row.coords
+        );
+    }
+
+    // table3: the DiVa engine row must reproduce the legacy
+    // closure-computed effective-TFLOPS + Table III values.
+    let result = scenario::run_with("table3", &RunOptions::default()).expect("table3 runs");
+    let (mut flops, mut seconds) = (0.0f64, 0.0f64);
+    for m in zoo::all_models() {
+        let r = diva.run(&m, Algorithm::DpSgdReweighted, diva_bench::paper_batch(&m));
+        flops += 2.0 * r.timing.total_macs() as f64;
+        seconds += r.seconds;
+    }
+    let mut effective = [0.0f64; 3];
+    effective[2] = flops / seconds / 1e12;
+    let legacy_row = diva_energy::table_iii(
+        &DesignPoint::Diva.config(),
+        &diva_energy::SynthesisModel::calibrated(),
+        effective,
+    )
+    .into_iter()
+    .nth(2)
+    .expect("three engine rows");
+    let diva_row = result
+        .rows
+        .iter()
+        .find(|r| r.coord("engine") == Some("DiVa"))
+        .expect("DiVa engine row");
+    assert_eq!(diva_row.get("peak_tflops"), Some(legacy_row.peak_tflops));
+    assert_eq!(
+        diva_row.get("effective_tflops"),
+        Some(legacy_row.effective_tflops)
+    );
+    assert_eq!(diva_row.get("power_w"), Some(legacy_row.power_w));
+    assert_eq!(diva_row.get("area_mm2"), Some(legacy_row.area_mm2));
+    assert_eq!(
+        diva_row.get("tflops_per_watt"),
+        Some(legacy_row.tflops_per_watt)
+    );
+}
+
+/// The payoff of the migration: every one of the re-based scenarios
+/// accepts `--set`/`--sweep`, and the overrides actually reshape the
+/// hardware arms (while fig17's GPU label arms stay untouched).
+#[test]
+fn migrated_point_axis_scenarios_accept_set_and_sweep() {
+    let base = scenario::run_with(
+        "fig05",
+        &RunOptions::default()
+            .filter("model", &["squeezenet"])
+            .filter("algorithm", &["dp-sgd-r"]),
+    )
+    .expect("fig05 runs");
+    let shrunk = scenario::run_with(
+        "fig05",
+        &RunOptions::default()
+            .filter("model", &["squeezenet"])
+            .filter("algorithm", &["dp-sgd-r"])
+            .set("pe.rows", "64"),
+    )
+    .expect("fig05 accepts --set");
+    assert!(
+        shrunk.rows[0].get("total_cycles") > base.rows[0].get("total_cycles"),
+        "a quarter-size PE array must cost cycles"
+    );
+
+    let swept = scenario::run_with(
+        "fig07",
+        &RunOptions::default()
+            .filter("model", &["squeezenet"])
+            .sweep("drain_rows", &["4", "8"]),
+    )
+    .expect("fig07 accepts --sweep");
+    assert_eq!(swept.rows.len(), 2, "one row per swept drain rate");
+
+    let swept = scenario::run_with(
+        "fig17",
+        &RunOptions::default()
+            .filter("model", &["squeezenet"])
+            .sweep("freq_mhz", &["470", "940"]),
+    )
+    .expect("fig17 accepts --sweep on its mixed device axis");
+    let seconds_of = |device: &str, freq: &str| {
+        swept
+            .rows
+            .iter()
+            .find(|r| r.coord("device") == Some(device) && r.coord("freq_mhz") == Some(freq))
+            .and_then(|r| r.get("seconds"))
+            .unwrap_or_else(|| panic!("no {device}@{freq} row"))
+    };
+    assert!(
+        seconds_of("DiVa (BF16)", "470") > seconds_of("DiVa (BF16)", "940"),
+        "halving the clock must slow the accelerator arm"
+    );
+    assert_eq!(
+        seconds_of("V100 (FP16)", "470"),
+        seconds_of("V100 (FP16)", "940"),
+        "hardware knobs must not touch the GPU label arms"
+    );
+
+    let result = scenario::run_with("table3", &RunOptions::default().set("sram_mib", "16"))
+        .expect("table3 accepts --set");
+    assert_eq!(result.rows.len(), 3);
 }
 
 /// The JSON document names its derived (ratio) metrics, so `--compare`

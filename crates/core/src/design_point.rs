@@ -156,6 +156,25 @@ impl DesignSpec {
         format!("{} {}", self.base.label(), pins.join(" "))
     }
 
+    /// The canonical `preset[:key=value,...]` string form: exactly what
+    /// [`Self::parse`] accepts, with the preset's display label and the
+    /// overrides in application order. This is the design-space
+    /// explorer's candidate identity (journal cell key): two specs with
+    /// the same base and the same ordered overrides produce
+    /// byte-identical strings, and `parse(spec_string())` round-trips
+    /// (modulo an explicit `name`, which is display-only).
+    pub fn spec_string(&self) -> String {
+        if self.overrides.is_empty() {
+            return self.base.label().to_string();
+        }
+        let pins: Vec<String> = self
+            .overrides
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}:{}", self.base.label(), pins.join(","))
+    }
+
     /// Builds the validated configuration: preset, overrides in order,
     /// then [`AcceleratorConfig::validate`].
     ///
@@ -308,6 +327,25 @@ mod tests {
         assert_eq!(
             spec.config().unwrap_err(),
             ConfigError::InvalidDrainRate(4096)
+        );
+    }
+
+    #[test]
+    fn spec_string_round_trips_through_parse() {
+        for dp in DesignPoint::ALL {
+            let spec = DesignSpec::preset(dp).with("drain_rows", "4");
+            let round = DesignSpec::parse(&spec.spec_string()).unwrap();
+            assert_eq!(round.base, spec.base);
+            assert_eq!(round.overrides, spec.overrides);
+            assert_eq!(round.spec_string(), spec.spec_string());
+        }
+        assert_eq!(DesignSpec::preset(DesignPoint::Diva).spec_string(), "DiVa");
+        assert_eq!(
+            DesignSpec::preset(DesignPoint::WsBaseline)
+                .with("sram_mib", "8")
+                .with("ppu", "false")
+                .spec_string(),
+            "WS:sram_mib=8,ppu=false"
         );
     }
 

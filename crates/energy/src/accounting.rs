@@ -4,6 +4,21 @@
 //! split into an activity-proportional dynamic part and an idle/leakage
 //! part, SRAM energy per byte from a CACTI-style capacity curve, and DRAM
 //! energy per byte from the Horowitz ISSCC'14 model.
+//!
+//! # Voltage/frequency scaling
+//!
+//! The synthesis constants are calibrated at the paper's nominal clock
+//! (Table II: 940 MHz). When a design point overrides `freq_mhz`, the
+//! model applies a linear DVFS rail (`V ∝ f`, [`DvfsScaling`]):
+//!
+//! * **dynamic** power (`C·V²·f`) scales as `(f/f₀)³`, so the energy of a
+//!   fixed amount of work (per MAC, per SRAM byte) scales as `(f/f₀)²`;
+//! * **static** power (leakage, `∝ V`) scales as `(f/f₀)`;
+//! * DRAM per-byte energy and the uncore (DMA engines, IO — their own
+//!   always-on domain) are unscaled.
+//!
+//! At the nominal frequency every factor is exactly `1.0`, so existing
+//! Table II-scale results are bit-identical with or without this model.
 
 use diva_arch::AcceleratorConfig;
 use diva_sim::StepTiming;
@@ -32,11 +47,26 @@ impl EnergyReport {
     }
 }
 
+/// The DVFS factors applied at a given clock under the linear `V ∝ f`
+/// rail model, relative to the calibration frequency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DvfsScaling {
+    /// `V/V₀ = f/f₀`: the supply-voltage ratio.
+    pub voltage: f64,
+    /// `(f/f₀)³`: multiplier on dynamic (switching) power.
+    pub dynamic_power: f64,
+    /// `f/f₀`: multiplier on static (leakage) power.
+    pub static_power: f64,
+}
+
 /// The assembled energy model.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyModel {
     /// Component area/power model.
     pub synthesis: SynthesisModel,
+    /// The clock the synthesis powers were calibrated at (Table II:
+    /// 940 MHz). DVFS factors are relative to this.
+    pub nominal_freq_hz: f64,
     /// Fraction of engine power that is activity-independent (clock tree,
     /// leakage). The rest scales with MAC utilization.
     pub engine_idle_fraction: f64,
@@ -56,10 +86,23 @@ impl EnergyModel {
     pub fn calibrated() -> Self {
         Self {
             synthesis: SynthesisModel::calibrated(),
+            nominal_freq_hz: 940e6,
             engine_idle_fraction: 0.3,
             sram_pj_per_byte: 6.0,
             dram_pj_per_byte: 160.0,
             uncore_power_w: 25.0,
+        }
+    }
+
+    /// The DVFS factors for a clock of `freq_hz` under the linear
+    /// `V ∝ f` rail: dynamic power scales as `(f/f₀)³`, static power as
+    /// `f/f₀`. Exactly `1.0` across the board at the nominal clock.
+    pub fn dvfs(&self, freq_hz: f64) -> DvfsScaling {
+        let v = freq_hz / self.nominal_freq_hz;
+        DvfsScaling {
+            voltage: v,
+            dynamic_power: v * v * v,
+            static_power: v,
         }
     }
 
@@ -68,23 +111,31 @@ impl EnergyModel {
     ///
     /// Engine dynamic energy is charged per useful MAC
     /// (`P_dyn / peak_mac_rate`); idle energy and uncore power are charged
-    /// for the full step duration.
+    /// for the full step duration. Dynamic powers (engine switching, PPU,
+    /// SRAM access) carry the [`DvfsScaling::dynamic_power`] factor for
+    /// the configured clock; the engine's idle/leakage share carries
+    /// [`DvfsScaling::static_power`]; DRAM and uncore are unscaled.
     pub fn step_energy(&self, config: &AcceleratorConfig, step: &StepTiming) -> EnergyReport {
         let seconds = step.total_cycles() as f64 / config.freq_hz;
         let engine = self.synthesis.engine(config.dataflow, false);
+        let dvfs = self.dvfs(config.freq_hz);
 
         let peak_macs_per_sec = config.peak_macs_per_sec();
-        let dynamic_power = engine.power_w * (1.0 - self.engine_idle_fraction);
+        let dynamic_power = engine.power_w * (1.0 - self.engine_idle_fraction) * dvfs.dynamic_power;
         let energy_per_mac = dynamic_power / peak_macs_per_sec;
         let engine_j = energy_per_mac * step.total_macs() as f64
-            + engine.power_w * self.engine_idle_fraction * seconds;
+            + engine.power_w * self.engine_idle_fraction * dvfs.static_power * seconds;
 
         let ppu_j = if config.has_ppu {
-            self.synthesis.ppu.power_w * seconds
+            self.synthesis.ppu.power_w * dvfs.dynamic_power * seconds
         } else {
             0.0
         };
-        let sram_j = self.sram_pj_per_byte * 1e-12 * step.total_sram_bytes() as f64;
+        let sram_j = self.sram_pj_per_byte
+            * dvfs.voltage
+            * dvfs.voltage
+            * 1e-12
+            * step.total_sram_bytes() as f64;
         let dram_j = self.dram_pj_per_byte * 1e-12 * step.total_dram_bytes() as f64;
         let uncore_j = self.uncore_power_w * seconds;
 
@@ -171,6 +222,101 @@ mod tests {
         let es = model.step_energy(&cfg, &ts);
         let eb = model.step_energy(&cfg, &tb);
         assert!(eb.dram_j > 10.0 * es.dram_j);
+    }
+
+    /// Builds a timing at a non-nominal clock by rescaling the config
+    /// frequency (the simulator's cycle counts are frequency-independent).
+    fn step_at(freq_hz: f64, df: Dataflow, ops: &[TrainingOp]) -> (AcceleratorConfig, StepTiming) {
+        let mut cfg = AcceleratorConfig::tpu_v3_like(df);
+        cfg.freq_hz = freq_hz;
+        let sim = Simulator::new(cfg.clone()).unwrap();
+        let t = sim.time_step(ops);
+        (cfg, t)
+    }
+
+    #[test]
+    fn dvfs_factors_are_unity_at_nominal() {
+        let model = EnergyModel::calibrated();
+        let dvfs = model.dvfs(model.nominal_freq_hz);
+        assert_eq!(dvfs.voltage, 1.0);
+        assert_eq!(dvfs.dynamic_power, 1.0);
+        assert_eq!(dvfs.static_power, 1.0);
+        // Half clock: half voltage, 1/8 dynamic power, half leakage.
+        let half = model.dvfs(model.nominal_freq_hz / 2.0);
+        assert_eq!(half.voltage, 0.5);
+        assert_eq!(half.dynamic_power, 0.125);
+        assert_eq!(half.static_power, 0.5);
+    }
+
+    #[test]
+    fn nominal_clock_energy_matches_legacy_formula_bitwise() {
+        // The DVFS factors must not perturb Table II-scale results: at
+        // 940 MHz the scaled formula reduces to the pre-DVFS one exactly.
+        let ops = vec![TrainingOp::gemm(
+            GemmShape::new(1024, 512, 1024),
+            Phase::Forward,
+            "fc",
+        )];
+        let (cfg, t) = step(Dataflow::OuterProduct, &ops);
+        assert_eq!(cfg.freq_hz, 940e6);
+        let m = EnergyModel::calibrated();
+        let e = m.step_energy(&cfg, &t);
+        let seconds = t.total_cycles() as f64 / cfg.freq_hz;
+        let engine = m.synthesis.engine(cfg.dataflow, false);
+        let legacy_engine = engine.power_w * (1.0 - m.engine_idle_fraction)
+            / cfg.peak_macs_per_sec()
+            * t.total_macs() as f64
+            + engine.power_w * m.engine_idle_fraction * seconds;
+        assert_eq!(e.engine_j, legacy_engine);
+        assert_eq!(
+            e.sram_j,
+            m.sram_pj_per_byte * 1e-12 * t.total_sram_bytes() as f64
+        );
+        assert_eq!(e.ppu_j, m.synthesis.ppu.power_w * seconds);
+    }
+
+    #[test]
+    fn underclocking_trades_time_for_energy() {
+        let ops = vec![TrainingOp::gemm(
+            GemmShape::new(2048, 512, 2048),
+            Phase::Forward,
+            "fc",
+        )];
+        let model = EnergyModel::calibrated();
+        let (nom_cfg, nom_t) = step_at(940e6, Dataflow::OuterProduct, &ops);
+        let (slow_cfg, slow_t) = step_at(470e6, Dataflow::OuterProduct, &ops);
+        assert_eq!(nom_t.total_cycles(), slow_t.total_cycles());
+        let nom = model.step_energy(&nom_cfg, &nom_t);
+        let slow = model.step_energy(&slow_cfg, &slow_t);
+        // Per-MAC dynamic energy scales as V² = (f/f₀)²: the same work
+        // costs the engine and SRAM less at half clock...
+        assert!(slow.sram_j < nom.sram_j);
+        assert!(slow.engine_j < nom.engine_j);
+        // ...but the step takes twice as long, so the (unscaled) uncore
+        // charge doubles. DVFS is a real tradeoff, not a free win.
+        assert!(slow.uncore_j > 1.9 * nom.uncore_j);
+        // And DRAM traffic energy is clock-independent.
+        assert_eq!(slow.dram_j, nom.dram_j);
+    }
+
+    #[test]
+    fn overclocking_inflates_dynamic_energy_quadratically() {
+        let ops = vec![TrainingOp::gemm(
+            GemmShape::new(1024, 256, 1024),
+            Phase::Forward,
+            "fc",
+        )];
+        let model = EnergyModel::calibrated();
+        let (nom_cfg, nom_t) = step_at(940e6, Dataflow::WeightStationary, &ops);
+        let (fast_cfg, fast_t) = step_at(1880e6, Dataflow::WeightStationary, &ops);
+        let nom = model.step_energy(&nom_cfg, &nom_t);
+        let fast = model.step_energy(&fast_cfg, &fast_t);
+        // SRAM access energy is pure dynamic-per-byte: exactly V² = 4x.
+        assert!((fast.sram_j / nom.sram_j - 4.0).abs() < 1e-12);
+        // Engine: dynamic part 4x, idle part 2x (leakage) over half the
+        // time (= 1x) — strictly more than nominal, less than 4x total.
+        assert!(fast.engine_j > nom.engine_j);
+        assert!(fast.engine_j < 4.0 * nom.engine_j);
     }
 
     #[test]

@@ -36,6 +36,6 @@ mod accounting;
 mod synthesis;
 mod table3;
 
-pub use accounting::{EnergyModel, EnergyReport};
+pub use accounting::{DvfsScaling, EnergyModel, EnergyReport};
 pub use synthesis::{ComponentCost, SynthesisModel};
 pub use table3::{table_iii, TableIiiRow};

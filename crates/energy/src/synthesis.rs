@@ -96,6 +96,36 @@ impl SynthesisModel {
         total
     }
 
+    /// Area/power of the GEMM engine a *configuration* describes: the
+    /// calibrated 128×128-array costs scaled linearly to the configured
+    /// MAC count (datapath overheads — latches, accumulators, broadcast
+    /// buses — grow with the array), plus the PPU scaled to the
+    /// configured drain rate (`R` adder trees; the paper's unit is
+    /// R = 8). This is the design-space explorer's area objective. At
+    /// the Table II configuration it reproduces
+    /// [`Self::engine`]`(dataflow, has_ppu)` bit-for-bit.
+    pub fn engine_cost_for(&self, config: &diva_arch::AcceleratorConfig) -> ComponentCost {
+        let mac_scale = config.pe.macs() as f64 / self.mac_count as f64;
+        let overhead = match config.dataflow {
+            Dataflow::WeightStationary => self.ws_overhead,
+            Dataflow::OutputStationary => self.os_overhead,
+            Dataflow::OuterProduct => self.outer_overhead,
+        };
+        let engine = self.mac_array().plus(overhead);
+        let mut total = ComponentCost {
+            area_mm2: engine.area_mm2 * mac_scale,
+            power_w: engine.power_w * mac_scale,
+        };
+        if config.has_ppu {
+            let ppu_scale = config.drain_rows_per_cycle as f64 / 8.0;
+            total = total.plus(ComponentCost {
+                area_mm2: self.ppu.area_mm2 * ppu_scale,
+                power_w: self.ppu.power_w * ppu_scale,
+            });
+        }
+        total
+    }
+
     /// DiVa's area overhead versus the WS baseline as a fraction — the
     /// paper reports 19.6% for the engine plus 4.6% for the PPU.
     pub fn area_overhead_vs_ws(&self, with_ppu: bool) -> f64 {
@@ -145,6 +175,37 @@ mod tests {
         let ws = s.engine(Dataflow::WeightStationary, false).power_w;
         let diva = s.engine(Dataflow::OuterProduct, true).power_w;
         assert!((diva - ws - 10.4).abs() < 0.2, "{}", diva - ws);
+    }
+
+    #[test]
+    fn engine_cost_for_reproduces_table_ii_points_bitwise() {
+        use diva_arch::AcceleratorConfig;
+        let s = SynthesisModel::calibrated();
+        for df in Dataflow::ALL {
+            let cfg = AcceleratorConfig::tpu_v3_like(df);
+            let direct = s.engine(df, cfg.has_ppu);
+            let derived = s.engine_cost_for(&cfg);
+            assert_eq!(derived.area_mm2, direct.area_mm2, "{df:?}");
+            assert_eq!(derived.power_w, direct.power_w, "{df:?}");
+        }
+    }
+
+    #[test]
+    fn engine_cost_scales_with_array_and_drain_rate() {
+        use diva_arch::AcceleratorConfig;
+        let s = SynthesisModel::calibrated();
+        let base = AcceleratorConfig::tpu_v3_like(Dataflow::OuterProduct);
+        let mut small = base.clone();
+        small.pe.rows = 64;
+        small.pe.cols = 64;
+        let mut fat_ppu = base.clone();
+        fat_ppu.drain_rows_per_cycle = 16;
+        assert!(s.engine_cost_for(&small).area_mm2 < s.engine_cost_for(&base).area_mm2);
+        let delta = s.engine_cost_for(&fat_ppu).area_mm2 - s.engine_cost_for(&base).area_mm2;
+        assert!(
+            (delta - s.ppu.area_mm2).abs() < 1e-12,
+            "doubling R adds one PPU's area"
+        );
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Explorer throughput: candidates/sec for a fixed grid search, with and
+//! without the config-keyed memo cache.
+//!
+//! The search space is built so distinct candidate specs resolve to
+//! duplicate configurations — float knobs pinned under two spellings
+//! (`8` vs `8.0`), exactly the redundancy the canonical
+//! `params::config_key` collapses — giving the memoized run a 75%
+//! deterministic hit rate over the same 32-candidate sequence the
+//! unmemoized run simulates in full. `speedup_vs_nomemo` on the memo row
+//! is gated by `bench_regress` like the kernel speedups: both sides run
+//! in the same process, so the ratio survives heterogeneous CI hosts.
+
+use diva_bench::harness::Harness;
+use diva_bench::perf::{PerfRecord, PerfSink};
+use diva_explore::{explore, ExploreConfig, Knob, SearchSpace, Strategy, Workload};
+
+/// The redundant-encoding space: 32 grid specs over 8 distinct configs.
+fn bench_space() -> SearchSpace {
+    let knob = |param: &str, values: &[&str]| Knob {
+        param: param.to_string(),
+        values: values.iter().map(|v| v.to_string()).collect(),
+    };
+    SearchSpace {
+        base: diva_core::DesignPoint::Diva,
+        knobs: vec![
+            knob("sram_mib", &["8", "8.0", "16", "16.0"]),
+            knob("freq_mhz", &["470", "470.0", "940", "940.0"]),
+            knob("drain_rows", &["4", "8"]),
+        ],
+    }
+}
+
+fn bench_config(memo: bool) -> ExploreConfig {
+    let mut cfg = ExploreConfig::new(bench_space());
+    cfg.strategy = Strategy::Grid;
+    cfg.budget = 32;
+    cfg.batch_size = 8;
+    cfg.workloads = vec![Workload::parse("squeezenet@4").expect("bench workload")];
+    cfg.memo = memo;
+    cfg
+}
+
+fn main() {
+    // Sanity-pin the redundancy the bench advertises: 32 lookups over 8
+    // distinct configurations.
+    let probe = explore(&bench_config(true)).expect("probe search");
+    assert_eq!(probe.evaluated.len(), 32);
+    assert_eq!(probe.stats.memo.lookups, 32);
+    assert_eq!(probe.stats.memo.computed, 8, "canonical keying broke");
+    let hit_rate = (probe.stats.memo.lookups - probe.stats.memo.computed) as f64
+        / probe.stats.memo.lookups as f64;
+
+    let mut h = Harness::new("explore_throughput");
+    h.bench("search_memo", || explore(&bench_config(true)).unwrap())
+        .bench("search_nomemo", || explore(&bench_config(false)).unwrap());
+
+    let memo = h.get("search_memo").expect("memo measurement").clone();
+    let nomemo = h.get("search_nomemo").expect("nomemo measurement").clone();
+    let speedup = nomemo.secs_per_iter / memo.secs_per_iter;
+    let candidates = 32.0;
+
+    println!(
+        "\nexplore_throughput: memo {:.1} cands/s, nomemo {:.1} cands/s, \
+         hit rate {:.0}%, speedup {speedup:.2}x",
+        candidates * memo.per_second(),
+        candidates * nomemo.per_second(),
+        hit_rate * 100.0
+    );
+
+    let mut sink = PerfSink::new();
+    sink.push(
+        PerfRecord::new("explore_search")
+            .tag("backend", "nomemo")
+            .metric("candidates_per_sec", candidates * nomemo.per_second()),
+    );
+    sink.push(
+        PerfRecord::new("explore_search")
+            .tag("backend", "memo")
+            .metric("candidates_per_sec", candidates * memo.per_second())
+            .metric("memo_hit_rate", hit_rate)
+            .metric("speedup_vs_nomemo", speedup),
+    );
+    match sink.write_merged(None) {
+        Ok(path) => println!("merged explore rows into {}", path.display()),
+        Err(e) => eprintln!("failed to write explore rows: {e}"),
+    }
+}

@@ -1,0 +1,8 @@
+//! The `diva-explore` binary: a thin shim over [`diva_explore::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    diva_explore::cli::main_with(&argv)
+}

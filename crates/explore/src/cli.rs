@@ -1,0 +1,264 @@
+//! Argument parsing and the top-level run loop for the `diva-explore`
+//! binary, kept in the library so integration tests can drive the exact
+//! CLI path in-process.
+
+use std::process::ExitCode;
+
+use diva_bench::explore::{
+    explore, render, ExploreConfig, Knob, Objective, SearchSpace, Strategy, Workload,
+};
+use diva_bench::print_table;
+use diva_bench::scenario::ScenarioError;
+use diva_core::DesignPoint;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usage: diva-explore [options]
+
+Searches the accelerator design space around a preset and reports the
+exact Pareto frontier over the chosen objectives (all minimized).
+
+options:
+  --strategy S         grid | random | halving (default random)
+  --budget N           max candidates to evaluate (default 64)
+  --seed N             RNG seed for random/halving (default 42)
+  --batch-size N       candidates per parallel dispatch batch (default 16)
+  --objectives A,B     latency, energy, area (default all three)
+  --workloads W,..     model@batch list (default squeezenet@32,mobilenet@32);
+                       models: vgg16 resnet50 resnet152 squeezenet mobilenet
+                       bert_base bert_large lstm_small lstm_large
+  --base P             preset to search around: ws | os | diva-no-ppu | diva
+                       (default diva)
+  --knob K=V1|V2|..    add a knob (repeatable; replaces the default 6-knob
+                       space; K is a registry name, see --list-knobs)
+  --resume DIR         journal evaluated points under DIR and reuse them:
+                       a killed search continues byte-identically
+  --kill-after N       stop after journaling N fresh points (CI resume smoke)
+  --json PATH          write the diva-explore/v1 frontier document (\"-\" = stdout)
+  --csv PATH           write the frontier as CSV (\"-\" = stdout)
+  --no-table           suppress the text summary
+  --list-knobs         list the registered parameters and exit
+  --help               show this help
+
+exit codes:
+  0 success (including a --kill-after stop)    1 usage/config error
+  4 resume-journal error";
+
+/// Parsed command line.
+struct Args {
+    config: ExploreConfig,
+    json: Option<String>,
+    csv: Option<String>,
+    no_table: bool,
+    list_knobs: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = ExploreConfig::new(SearchSpace::default_space());
+    let mut knobs: Vec<Knob> = Vec::new();
+    let mut json = None;
+    let mut csv = None;
+    let mut no_table = false;
+    let mut list_knobs = false;
+    let mut it = argv.iter();
+    let value_of = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let parse_num = |raw: &str, flag: &str| -> Result<u64, String> {
+        raw.parse()
+            .map_err(|e| format!("{flag} wants an integer: {e}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--no-table" => no_table = true,
+            "--list-knobs" => list_knobs = true,
+            "--strategy" => config.strategy = Strategy::parse(&value_of(&mut it, "--strategy")?)?,
+            "--budget" => {
+                config.budget = parse_num(&value_of(&mut it, "--budget")?, "--budget")? as usize;
+            }
+            "--seed" => config.seed = parse_num(&value_of(&mut it, "--seed")?, "--seed")?,
+            "--batch-size" => {
+                config.batch_size =
+                    parse_num(&value_of(&mut it, "--batch-size")?, "--batch-size")? as usize;
+            }
+            "--kill-after" => {
+                config.kill_after =
+                    Some(parse_num(&value_of(&mut it, "--kill-after")?, "--kill-after")? as usize);
+            }
+            "--objectives" => {
+                config.objectives = Objective::parse_list(&value_of(&mut it, "--objectives")?)?;
+            }
+            "--workloads" => {
+                let raw = value_of(&mut it, "--workloads")?;
+                let workloads: Result<Vec<Workload>, String> = raw
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(Workload::parse)
+                    .collect();
+                config.workloads = workloads?;
+                if config.workloads.is_empty() {
+                    return Err("--workloads wants at least one model@batch".to_string());
+                }
+            }
+            "--base" => {
+                let raw = value_of(&mut it, "--base")?;
+                config.space.base = DesignPoint::parse(&raw).map_err(|e| format!("--base: {e}"))?;
+            }
+            "--knob" => knobs.push(Knob::parse(&value_of(&mut it, "--knob")?)?),
+            "--resume" => config.journal_dir = Some(value_of(&mut it, "--resume")?.into()),
+            "--json" => json = Some(value_of(&mut it, "--json")?),
+            "--csv" => csv = Some(value_of(&mut it, "--csv")?),
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    if !knobs.is_empty() {
+        config.space.knobs = knobs;
+    }
+    Ok(Args {
+        config,
+        json,
+        csv,
+        no_table,
+        list_knobs,
+    })
+}
+
+/// Prints the parameter registry with the base preset's defaults.
+fn print_knobs() {
+    let default = DesignPoint::Diva.config();
+    let rows: Vec<Vec<String>> = diva_arch::params::PARAMS
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                (p.get)(&default).format(),
+                p.doc.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Registered knobs (diva-explore --knob NAME=V1|V2|...)",
+        &["name", "DiVa default", "description"],
+        &rows,
+    );
+}
+
+fn run(args: &Args) -> Result<ExitCode, ScenarioError> {
+    if args.list_knobs {
+        print_knobs();
+        return Ok(ExitCode::SUCCESS);
+    }
+    let result = explore(&args.config)?;
+    if !args.no_table {
+        print!("{}", render::render_text(&result));
+    }
+    if !result.complete {
+        // A --kill-after stop is a successful partial run, but its
+        // artifacts would describe a truncated search — refuse to write
+        // them so CI can only ever compare complete documents.
+        eprintln!(
+            "diva-explore: stopped by --kill-after with {} point(s) journaled; \
+             re-run with --resume to continue (no artifacts written)",
+            result.evaluated.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let write = |path: &str, text: &str| -> Result<(), ScenarioError> {
+        if path == "-" {
+            print!("{text}");
+            return Ok(());
+        }
+        std::fs::write(path, text).map_err(|e| ScenarioError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })?;
+        eprintln!("wrote {path}");
+        Ok(())
+    };
+    if let Some(path) = &args.json {
+        write(path, &render::render_json(&result))?;
+    }
+    if let Some(path) = &args.csv {
+        write(path, &render::render_csv(&result))?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `diva-explore` entry point (parse, search, render, map errors to
+/// exit codes).
+pub fn main_with(argv: &[String]) -> ExitCode {
+    let args = match parse_args(argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("diva-explore: {err}");
+            ExitCode::from(err.exit_code())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_builds_a_config() {
+        let args = parse_args(&argv(&[
+            "--strategy",
+            "halving",
+            "--budget",
+            "10",
+            "--seed",
+            "7",
+            "--objectives",
+            "latency,area",
+            "--workloads",
+            "squeezenet@8",
+            "--knob",
+            "pe.rows=64|128",
+            "--base",
+            "ws",
+        ]))
+        .expect("parses");
+        assert_eq!(args.config.strategy, Strategy::Halving);
+        assert_eq!(args.config.budget, 10);
+        assert_eq!(args.config.seed, 7);
+        assert_eq!(
+            args.config.objectives,
+            vec![Objective::Latency, Objective::Area]
+        );
+        assert_eq!(args.config.workloads.len(), 1);
+        assert_eq!(args.config.space.knobs.len(), 1);
+        assert_eq!(args.config.space.base, DesignPoint::WsBaseline);
+    }
+
+    #[test]
+    fn parse_rejects_bad_flags() {
+        assert!(parse_args(&argv(&["--strategy", "nope"])).is_err());
+        assert!(parse_args(&argv(&["--objectives", "speed"])).is_err());
+        assert!(parse_args(&argv(&["--knob", "bogus=1|2"])).is_err());
+        assert!(parse_args(&argv(&["--base", "gpu"])).is_err());
+        assert!(parse_args(&argv(&["--budget"])).is_err());
+        assert!(parse_args(&argv(&["--frontier"])).is_err());
+    }
+
+    #[test]
+    fn default_space_survives_when_no_knobs_given() {
+        let args = parse_args(&argv(&[])).expect("parses");
+        assert_eq!(args.config.space.knobs.len(), 6);
+        assert_eq!(args.config.space.base, DesignPoint::Diva);
+    }
+}

@@ -1,0 +1,23 @@
+//! `diva-explore` — the CLI front door of the design-space explorer.
+//!
+//! The search engine itself lives in [`diva_bench::explore`] (it shares
+//! the scenario journal, the parallel runner and the registered
+//! `explore_frontier` regression gate); this crate re-exports it and adds
+//! the command-line driver plus the `explore_throughput` bench target.
+//!
+//! ```text
+//! diva-explore --strategy halving --budget 120 --seed 7 --json frontier.json
+//! diva-explore --knob pe.rows=64|128|256 --knob freq_mhz=470|940 \
+//!              --objectives latency,energy --workloads squeezenet@16
+//! diva-explore --budget 500 --resume /tmp/search   # continue a killed run
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use diva_bench::explore::{
+    dominates, explore, render, EvalCache, EvaluatedPoint, ExploreConfig, ExploreResult,
+    ExploreStats, Frontier, Knob, MemoStats, Objective, SearchSpace, Strategy, Workload,
+};

@@ -17,6 +17,9 @@
 //! artifact for the same cell — the property the memo cache's perfect-hit
 //! semantics and the e2e suite both lean on.
 
+use diva_bench::explore::{
+    self as explore_engine, ExploreConfig, Knob, Objective, SearchSpace, Strategy, Workload,
+};
 use diva_bench::perf::{json_string, parse_flat_json_object};
 use diva_bench::scenario::{
     self, compare::compare_docs, json, norm_label, RunOptions, ScenarioError,
@@ -346,6 +349,159 @@ pub fn execute_run(req: &RunRequest) -> Result<Vec<u8>, ApiError> {
     Ok(json::to_json(&result).into_bytes())
 }
 
+/// A parsed `/explore` request: the search handed to the design-space
+/// explorer, plus execution routing.
+#[derive(Clone, Debug)]
+pub struct ExploreRequest {
+    /// The search [`explore_engine::explore`] runs. Served searches never
+    /// journal (`journal_dir` stays `None`) — resumability belongs to the
+    /// CLI; the server's idempotence comes from the memo cache instead.
+    pub config: ExploreConfig,
+    /// Sync/job routing. Defaults to [`RunMode::Job`]: a search is
+    /// grid-sized by construction, so `/explore` answers `202 +
+    /// /jobs/{id}` unless the body forces `"mode": "sync"`.
+    pub mode: RunMode,
+}
+
+/// Parses an `/explore` body. All fields are optional — an empty object
+/// runs the default 6-knob search around the DiVa preset.
+///
+/// String fields: `strategy` (`grid`/`random`/`halving`), `objectives`
+/// (comma list of `latency`/`energy`/`area`), `workloads` (comma list of
+/// `model@batch`), `base` (preset name), `mode`, and repeatable
+/// `knob.NAME` entries (`"knob.pe.rows": "64|128"`) which together
+/// replace the default knob grid. Numeric fields: `budget`, `seed`,
+/// `batch_size`.
+///
+/// # Errors
+///
+/// 400 for malformed JSON, unknown fields, unknown strategy/objective/
+/// workload/preset names, unregistered knob parameters, or non-integer
+/// numeric fields.
+pub fn parse_explore_request(body: &[u8]) -> Result<ExploreRequest, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    let record = parse_flat_json_object(text)
+        .map_err(|e| ApiError::bad_request(format!("malformed JSON body: {e}")))?;
+
+    let mut config = ExploreConfig::new(SearchSpace::default_space());
+    let mut knobs: Vec<Knob> = Vec::new();
+    let mut mode = RunMode::Job;
+
+    for (key, value) in &record.tags {
+        match key.as_str() {
+            "strategy" => {
+                config.strategy = Strategy::parse(value).map_err(ApiError::bad_request)?
+            }
+            "objectives" => {
+                config.objectives = Objective::parse_list(value).map_err(ApiError::bad_request)?;
+            }
+            "workloads" => {
+                let parsed: Result<Vec<Workload>, String> = split_list(value)
+                    .iter()
+                    .map(|w| Workload::parse(w))
+                    .collect();
+                config.workloads = parsed.map_err(ApiError::bad_request)?;
+                if config.workloads.is_empty() {
+                    return Err(ApiError::bad_request(
+                        "workloads wants at least one model@batch",
+                    ));
+                }
+            }
+            "base" => {
+                config.space.base =
+                    diva_core::DesignPoint::parse(value).map_err(|e| config_error(&e))?;
+            }
+            "mode" => {
+                mode = match value.as_str() {
+                    "sync" => RunMode::Sync,
+                    "job" => RunMode::Job,
+                    other => {
+                        return Err(ApiError::bad_request(format!(
+                            "unknown mode {other:?} (want sync or job)"
+                        )))
+                    }
+                };
+            }
+            _ if key.starts_with("knob.") => {
+                let name = &key["knob.".len()..];
+                knobs.push(Knob::parse(&format!("{name}={value}")).map_err(ApiError::bad_request)?);
+            }
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown field {other:?}; known fields: strategy, budget, seed, \
+                     batch_size, objectives, workloads, base, knob.NAME, mode"
+                )))
+            }
+        }
+    }
+    let int_field = |value: f64, name: &str| -> Result<u64, ApiError> {
+        if value < 0.0 || value.fract() != 0.0 {
+            return Err(ApiError::bad_request(format!(
+                "{name} wants a non-negative integer, got {value}"
+            )));
+        }
+        Ok(value as u64)
+    };
+    for (key, value) in &record.metrics {
+        match key.as_str() {
+            "budget" => config.budget = int_field(*value, "budget")? as usize,
+            "seed" => config.seed = int_field(*value, "seed")?,
+            "batch_size" => config.batch_size = int_field(*value, "batch_size")? as usize,
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown numeric field {other:?}; known numeric fields: budget, seed, \
+                     batch_size"
+                )))
+            }
+        }
+    }
+    if !knobs.is_empty() {
+        config.space.knobs = knobs;
+    }
+    Ok(ExploreRequest { config, mode })
+}
+
+/// The canonical cache key of an `/explore` request: everything that
+/// shapes the candidate sequence or a point's metrics, in a fixed field
+/// order (knob order is semantic — it fixes the grid odometer and the
+/// random choice order — so keys preserve it). `mode` is excluded: sync
+/// and job execution share one cache entry.
+pub fn explore_cache_key(req: &ExploreRequest) -> String {
+    let cfg = &req.config;
+    let mut key = format!(
+        "explore;base={};strategy={};seed={};budget={};batch={}",
+        cfg.space.base.label(),
+        cfg.strategy.slug(),
+        cfg.seed,
+        cfg.budget,
+        cfg.batch_size
+    );
+    for k in &cfg.space.knobs {
+        let _ = write!(key, ";knob:{}={}", k.param, k.values.join("|"));
+    }
+    for w in &cfg.workloads {
+        let _ = write!(key, ";workload={}", w.spec_string());
+    }
+    for o in &cfg.objectives {
+        let _ = write!(key, ";objective={}", o.metric());
+    }
+    key
+}
+
+/// Runs the search and renders the `diva-explore/v1` frontier document —
+/// byte-identical to what `diva-explore --json` writes for the same
+/// configuration.
+///
+/// # Errors
+///
+/// The mapped [`ScenarioError`] taxonomy (an ill-formed search is a 400
+/// `invalid-options`).
+pub fn execute_explore(req: &ExploreRequest) -> Result<Vec<u8>, ApiError> {
+    let result = explore_engine::explore(&req.config).map_err(|e| ApiError::from_scenario(&e))?;
+    Ok(explore_engine::render::render_json(&result).into_bytes())
+}
+
 /// A parsed `/epsilon` request: the base query evaluated under one or
 /// more accountants.
 #[derive(Clone, Debug, PartialEq)]
@@ -651,6 +807,94 @@ mod tests {
         assert!(filtered_cells < full_cells * 4, "filters shrink the grid");
         // 1 model x 2 points x 2 sweep values x 2 batches x other axes.
         assert_eq!(filtered_cells % (2 * 2 * 2), 0);
+    }
+
+    #[test]
+    fn explore_request_defaults_and_overrides() {
+        let req = parse_explore_request(b"{}").unwrap();
+        assert_eq!(req.mode, RunMode::Job, "searches default to the job queue");
+        assert_eq!(req.config.space.knobs.len(), 6, "default knob grid");
+        assert_eq!(req.config.budget, 64);
+
+        let req = parse_explore_request(
+            br#"{"strategy": "halving", "budget": 10, "seed": 7, "batch_size": 4,
+                 "objectives": "latency,area", "workloads": "squeezenet@8",
+                 "base": "ws", "knob.pe.rows": "64|128",
+                 "knob.freq_mhz": "470|940", "mode": "sync"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.mode, RunMode::Sync);
+        assert_eq!(req.config.strategy, Strategy::Halving);
+        assert_eq!(
+            (req.config.budget, req.config.seed, req.config.batch_size),
+            (10, 7, 4)
+        );
+        assert_eq!(
+            req.config.objectives,
+            vec![Objective::Latency, Objective::Area]
+        );
+        assert_eq!(req.config.workloads.len(), 1);
+        assert_eq!(req.config.space.base, diva_core::DesignPoint::WsBaseline);
+        assert_eq!(
+            req.config.space.knobs.len(),
+            2,
+            "knob.* replaces the default grid"
+        );
+        assert_eq!(req.config.space.knobs[0].param, "pe.rows");
+        assert!(
+            req.config.journal_dir.is_none(),
+            "served searches never journal"
+        );
+    }
+
+    #[test]
+    fn explore_request_errors_are_typed() {
+        for body in [
+            br#"{"strategy": "annealing"}"#.as_slice(),
+            br#"{"objectives": "speed"}"#.as_slice(),
+            br#"{"workloads": "gpt4@8"}"#.as_slice(),
+            br#"{"base": "gpu"}"#.as_slice(),
+            br#"{"knob.sram_gb": "8|16"}"#.as_slice(),
+            br#"{"budget": 1.5}"#.as_slice(),
+            br#"{"mode": "auto"}"#.as_slice(),
+            br#"{"bogus": "x"}"#.as_slice(),
+        ] {
+            let err = parse_explore_request(body).unwrap_err();
+            assert_eq!(err.status, 400, "{}", String::from_utf8_lossy(body));
+        }
+    }
+
+    #[test]
+    fn explore_cache_key_is_mode_free_and_knob_order_preserving() {
+        let sync = parse_explore_request(br#"{"knob.pe.rows": "64|128", "mode": "sync"}"#).unwrap();
+        let job = parse_explore_request(br#"{"knob.pe.rows": "64|128", "mode": "job"}"#).unwrap();
+        assert_eq!(explore_cache_key(&sync), explore_cache_key(&job));
+        let a = parse_explore_request(br#"{"knob.pe.rows": "64|128", "knob.sram_mib": "8|16"}"#)
+            .unwrap();
+        let b = parse_explore_request(br#"{"knob.sram_mib": "8|16", "knob.pe.rows": "64|128"}"#)
+            .unwrap();
+        assert_ne!(
+            explore_cache_key(&a),
+            explore_cache_key(&b),
+            "knob order fixes the candidate sequence"
+        );
+    }
+
+    #[test]
+    fn explore_document_matches_the_cli_renderer() {
+        let body = br#"{"strategy": "grid", "budget": 4, "batch_size": 2,
+                        "workloads": "squeezenet@4", "knob.pe.rows": "64|128",
+                        "knob.drain_rows": "4|8"}"#;
+        let req = parse_explore_request(body).unwrap();
+        let served = execute_explore(&req).unwrap();
+        let direct = explore_engine::explore(&req.config).unwrap();
+        assert_eq!(
+            served,
+            explore_engine::render::render_json(&direct).into_bytes(),
+            "served /explore document differs from diva-explore --json bytes"
+        );
+        let text = String::from_utf8(served).unwrap();
+        assert!(text.contains("\"schema\": \"diva-explore/v1\""), "{text}");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! * [`client`] — a minimal blocking client for tests, benches and smoke
 //!   scripts.
 //!
-//! Endpoints: `GET /scenarios`, `POST /run`, `POST /epsilon`,
+//! Endpoints: `GET /scenarios`, `POST /run`, `POST /explore` (the
+//! design-space explorer as a deferred job: `202 + /jobs/{id}`, document
+//! bytes identical to `diva-explore --json`), `POST /epsilon`,
 //! `POST /compare`, `GET /jobs/{id}`, `GET /stats`, `POST /shutdown`.
 //! See the workspace README's "Serving" section for request examples and
 //! `ARCHITECTURE.md` for the cache-keying and failure-semantics design.
@@ -37,7 +39,7 @@ pub mod http;
 pub mod jobs;
 pub mod server;
 
-pub use api::{ApiError, EpsilonRequest, RunMode, RunRequest};
+pub use api::{ApiError, EpsilonRequest, ExploreRequest, RunMode, RunRequest};
 pub use cache::{CacheOutcome, CacheStats, MemoCache};
 pub use client::{get, post_json, Connection, HttpResponse};
 pub use http::{Request, MAX_HEAD_BYTES};

@@ -247,6 +247,7 @@ fn route(state: &Arc<AppState>, request: &http::Request) -> Response {
         ("GET", "/scenarios") => Response::json(200, state.scenarios_doc.clone()),
         ("GET", "/stats") => Response::json(200, stats_document(state)),
         ("POST", "/run") => handle_run(state, &request.body),
+        ("POST", "/explore") => handle_explore(state, &request.body),
         ("POST", "/epsilon") => handle_epsilon(state, &request.body),
         ("POST", "/compare") => handle_compare(request),
         ("POST", "/shutdown") => Response {
@@ -262,17 +263,19 @@ fn route(state: &Arc<AppState>, request: &http::Request) -> Response {
                 format!("{path} wants GET, not {method}"),
             ))
         }
-        (_, "/run" | "/epsilon" | "/compare" | "/shutdown") => Response::error(&ApiError::new(
-            405,
-            "method-not-allowed",
-            format!("{path} wants POST, not {method}"),
-        )),
+        (_, "/run" | "/explore" | "/epsilon" | "/compare" | "/shutdown") => {
+            Response::error(&ApiError::new(
+                405,
+                "method-not-allowed",
+                format!("{path} wants POST, not {method}"),
+            ))
+        }
         _ => Response::error(&ApiError::new(
             404,
             "unknown-path",
             format!(
-                "no endpoint {path}; endpoints: GET /scenarios, POST /run, POST /epsilon, \
-                 POST /compare, GET /jobs/ID, GET /stats, POST /shutdown"
+                "no endpoint {path}; endpoints: GET /scenarios, POST /run, POST /explore, \
+                 POST /epsilon, POST /compare, GET /jobs/ID, GET /stats, POST /shutdown"
             ),
         )),
     }
@@ -326,6 +329,55 @@ fn handle_run(state: &Arc<AppState>, body: &[u8]) -> Response {
     match state
         .cache
         .get_or_compute(&key, || api::execute_run(&parsed))
+        .0
+    {
+        Ok(bytes) => Response::json(200, bytes.to_vec()),
+        Err(e) => Response::error(&e),
+    }
+}
+
+fn handle_explore(state: &Arc<AppState>, body: &[u8]) -> Response {
+    let parsed = match api::parse_explore_request(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::error(&e),
+    };
+    let key = api::explore_cache_key(&parsed);
+    if let Some(bytes) = state.cache.peek(&key) {
+        return Response::json(200, bytes.to_vec());
+    }
+    // A search is grid-sized by construction, so Job is the parsed
+    // default; "mode": "sync" opts into an inline answer for small
+    // budgets (RunMode::Auto never reaches here — the parser only
+    // produces Sync or Job).
+    if parsed.mode != RunMode::Sync {
+        let budget = parsed.config.budget;
+        let job_state = Arc::clone(state);
+        let job_key = key;
+        let work = Box::new(move || {
+            job_state
+                .cache
+                .get_or_compute(&job_key, || api::execute_explore(&parsed))
+                .0
+        });
+        return match state.jobs.submit(work) {
+            Ok(id) => Response::json(
+                202,
+                format!("{{\"job_id\": {id}, \"poll\": \"/jobs/{id}\", \"budget\": {budget}}}\n")
+                    .into_bytes(),
+            ),
+            Err(()) => Response::error(&ApiError::new(
+                429,
+                "queue-full",
+                format!(
+                    "job queue is full ({} deferred runs); retry after polling existing jobs",
+                    state.config.job_capacity
+                ),
+            )),
+        };
+    }
+    match state
+        .cache
+        .get_or_compute(&key, || api::execute_explore(&parsed))
         .0
     {
         Ok(bytes) => Response::json(200, bytes.to_vec()),

@@ -216,6 +216,62 @@ fn job_mode_defers_and_returns_the_sync_bytes() {
 }
 
 #[test]
+fn explore_endpoint_defers_to_a_job_and_matches_the_cli_document() {
+    let server = start();
+    let body = br#"{"strategy": "grid", "budget": 6, "batch_size": 3,
+                    "workloads": "squeezenet@4", "knob.pe.rows": "64|128",
+                    "knob.drain_rows": "2|4|8"}"#;
+
+    let accepted = client::post_json(server.addr(), "/explore", body).unwrap();
+    assert_eq!(accepted.status, 202, "{}", accepted.text());
+    let text = accepted.text();
+    let poll_path = text
+        .split('"')
+        .find(|s| s.starts_with("/jobs/"))
+        .unwrap_or_else(|| panic!("no poll path in {text}"))
+        .to_string();
+
+    let mut job_bytes = None;
+    for _ in 0..600 {
+        let poll = client::get(server.addr(), &poll_path).unwrap();
+        match poll.status {
+            200 => {
+                job_bytes = Some(poll.body);
+                break;
+            }
+            202 => std::thread::sleep(std::time::Duration::from_millis(20)),
+            other => panic!("explore job poll answered {other}: {}", poll.text()),
+        }
+    }
+    let job_bytes = job_bytes.expect("explore job never completed");
+
+    // The served document is byte-identical to diva-explore --json for
+    // the same search.
+    let req = diva_serve::api::parse_explore_request(body).unwrap();
+    let direct = diva_bench::explore::explore(&req.config).unwrap();
+    assert_eq!(
+        job_bytes,
+        diva_bench::explore::render::render_json(&direct).into_bytes(),
+        "served /explore document differs from the CLI renderer's bytes"
+    );
+
+    // "mode": "sync" on the same search is a perfect cache hit.
+    let sync_body = br#"{"strategy": "grid", "budget": 6, "batch_size": 3,
+                    "workloads": "squeezenet@4", "knob.pe.rows": "64|128",
+                    "knob.drain_rows": "2|4|8", "mode": "sync"}"#;
+    let sync = client::post_json(server.addr(), "/explore", sync_body).unwrap();
+    assert_eq!(sync.status, 200, "{}", sync.text());
+    assert_eq!(sync.body, job_bytes);
+
+    // A malformed search is the caller's 400, not a queued failure.
+    let bad =
+        client::post_json(server.addr(), "/explore", br#"{"strategy": "annealing"}"#).unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let server = start();
     let response = client::post_json(server.addr(), "/shutdown", b"{}").unwrap();
