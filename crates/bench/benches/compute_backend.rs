@@ -6,21 +6,35 @@
 //! and the accounting engine's batch-ε API versus a naive per-count query
 //! loop. Results are written to `BENCH_perf.json` at the workspace root
 //! (override with `DIVA_BENCH_OUT`) so subsequent PRs have a trajectory to
-//! regress against (`bench_regress` gates the conv/DP-step/ε rows in CI).
+//! regress against (`bench_regress` gates the matmul/conv/DP-step/ε rows
+//! in CI).
 //!
 //! Backend sweep: `serial` and `parallel(auto)` rows are recorded for the
 //! step benchmarks; on a single-core host the two coincide and the blocked
 //! kernel carries the whole speedup.
 //!
-//! SIMD policy: the standard rows are always measured with the explicit
-//! AVX2+FMA kernel **disabled** (`set_simd_enabled(false)` — a no-op
+//! SIMD policy: the conv / DP-step / ε standard rows are measured with the
+//! explicit SIMD kernels **disabled** (`set_simd_enabled(false)` — a no-op
 //! without the `simd` feature), so their speedups are comparable whether or
 //! not the bench was compiled with the feature; that is what lets the CI
 //! regression gate, which builds without features, diff them against a
-//! record generated with `--features simd`. When the feature is compiled in
-//! and the host supports it, additional `serial_simd` / `parallel_simd`
-//! matmul rows record the explicit kernel's throughput (results are
-//! bit-identical, see `diva_tensor::simd`; only the ms column moves).
+//! record generated with `--features simd`. The matmul section is the
+//! exception: its `serial` / `parallel` rows record **production dispatch**
+//! (AVX-512 → AVX2 → safe, whatever this build and host resolve to) so the
+//! recorded milliseconds reflect what `matmul` actually delivers, and those
+//! rows carry no speedup metric (the absolute number is ISA-dependent, so
+//! gating its ratio across heterogeneous runners would be noise). The
+//! cross-config `serial_safe` / `serial_safe_noreorder` rows keep the safe
+//! kernel and carry `speedup_vs_scalar`; those are what `bench_regress`
+//! gates (the noreorder row pins the L1 B-strip-grouping delta — see
+//! `diva_tensor::gemm::set_l1_reorder`).
+//!
+//! Nested-scaling row: `dpsgd_step_b32_nested` runs the full DP-SGD step
+//! inside an outer 2-cell parallel region — the scenario-runner shape —
+//! with hierarchical nested scheduling on versus off. The `nested_on` row
+//! carries `speedup_vs_nonested`, gated by `bench_regress`: a change that
+//! silently re-serializes nested regions shows up as that ratio collapsing
+//! on multi-core hosts (on a single-core host both sides coincide at 1.0).
 
 use std::hint::black_box;
 
@@ -31,9 +45,11 @@ use diva_dp::{
     TrainingAlgorithm,
 };
 use diva_nn::{slice_example, Conv2dLayer, GradMode, Layer, Network, ParamGrads};
+use std::sync::Mutex;
+
 use diva_tensor::{
     conv2d, conv2d_backward_data, conv2d_backward_weight, matmul, matmul_reference, parallel,
-    set_scalar_reference_mode, set_simd_enabled, simd_available, Backend, Conv2dGeom, DivaRng,
+    set_l1_reorder, set_scalar_reference_mode, set_simd_enabled, Backend, Conv2dGeom, DivaRng,
     Tensor,
 };
 
@@ -49,6 +65,12 @@ fn bench_matmul(h: &mut Harness, sink: &mut PerfSink) {
     let b = Tensor::uniform(&[D, D], -1.0, 1.0, &mut rng);
 
     h.bench("matmul_256/scalar", || matmul_reference(black_box(&a), &b));
+
+    // Production-dispatch rows: whatever kernel this build and host resolve
+    // to (AVX-512 → AVX2 → safe). These record what `matmul` actually
+    // delivers; their absolute numbers are ISA-dependent, so they carry no
+    // speedup metric and are not gated (see the module docs).
+    set_simd_enabled(true);
     h.bench("matmul_256/blocked_serial", || {
         Backend::serial().install(|| matmul(black_box(&a), &b))
     });
@@ -56,40 +78,38 @@ fn bench_matmul(h: &mut Harness, sink: &mut PerfSink) {
         Backend::auto().install(|| matmul(black_box(&a), &b))
     });
 
-    // Explicit-SIMD rows: same shapes, the AVX2+FMA kernel instead of the
-    // autovectorized safe kernel. Informational (not gated by
-    // `bench_regress` — only built with `--features simd` on a capable
-    // host, so a feature-less CI run would report them missing).
-    if simd_available() {
-        set_simd_enabled(true);
-        h.bench("matmul_256/simd_serial", || {
-            Backend::serial().install(|| matmul(black_box(&a), &b))
-        });
-        h.bench("matmul_256/simd_parallel", || {
-            Backend::auto().install(|| matmul(black_box(&a), &b))
-        });
-        set_simd_enabled(false);
-    }
+    // Cross-config rows: explicit kernels off, so the numbers are
+    // comparable whether or not the bench was compiled with `simd`. The
+    // noreorder variant additionally disables the L1 B-strip grouping —
+    // its delta versus `safe_serial` is the reorder's contribution on this
+    // host (results are bit-identical either way).
+    set_simd_enabled(false);
+    h.bench("matmul_256/safe_serial", || {
+        Backend::serial().install(|| matmul(black_box(&a), &b))
+    });
+    set_l1_reorder(false);
+    h.bench("matmul_256/safe_serial_noreorder", || {
+        Backend::serial().install(|| matmul(black_box(&a), &b))
+    });
+    set_l1_reorder(true);
 
     let scalar = h.get("matmul_256/scalar").unwrap().secs_per_iter;
-    let mut rows = vec![
-        ("scalar", "scalar"),
-        ("blocked_serial", "serial"),
-        ("blocked_parallel", "parallel"),
-    ];
-    if simd_available() {
-        rows.push(("simd_serial", "serial_simd"));
-        rows.push(("simd_parallel", "parallel_simd"));
-    }
-    for (short, backend) in rows {
+    for (short, backend, gate) in [
+        ("scalar", "scalar", true),
+        ("blocked_serial", "serial", false),
+        ("blocked_parallel", "parallel", false),
+        ("safe_serial", "serial_safe", true),
+        ("safe_serial_noreorder", "serial_safe_noreorder", true),
+    ] {
         let secs = h.get(&format!("matmul_256/{short}")).unwrap().secs_per_iter;
-        sink.push(
-            PerfRecord::new("matmul_256x256x256")
-                .tag("backend", backend)
-                .metric("ms", secs * 1e3)
-                .metric("gflops", gflops(D, D, D, secs))
-                .metric("speedup_vs_scalar", scalar / secs),
-        );
+        let mut record = PerfRecord::new("matmul_256x256x256")
+            .tag("backend", backend)
+            .metric("ms", secs * 1e3)
+            .metric("gflops", gflops(D, D, D, secs));
+        if gate {
+            record = record.metric("speedup_vs_scalar", scalar / secs);
+        }
+        sink.push(record);
     }
 }
 
@@ -224,6 +244,69 @@ fn bench_dp_step(h: &mut Harness, sink: &mut PerfSink) {
                     .metric("speedup_vs_scalar", scalar / secs),
             );
         }
+    }
+}
+
+/// The nested-scaling canary (see the module docs): full DP-SGD steps on
+/// two independent model replicas inside an outer parallel region — the
+/// shape the scenario runner's cell fan-out produces — with hierarchical
+/// nested scheduling on versus off. Under the old scheduler the inner
+/// per-example fan-out always collapsed to serial inside the outer region;
+/// the `nested_on` row's `speedup_vs_nonested` pins that this no longer
+/// happens (it reads ~1.0 on a single-core host, > 1 with real workers).
+fn bench_nested_step(h: &mut Harness, sink: &mut PerfSink) {
+    const B: usize = 32;
+    const CELLS: usize = 2;
+    let label = "dpsgd_step_b32_nested";
+    let mut rng = DivaRng::seed_from_u64(16);
+    let x = Tensor::uniform(&[B, 256], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..B).map(|i| i % 10).collect();
+    let config = DpSgdConfig {
+        algorithm: TrainingAlgorithm::DpSgd,
+        clip_norm: 1.0,
+        noise_multiplier: 1.1,
+        learning_rate: 0.05,
+    };
+    // One replica per cell so the outer tasks share nothing mutable; the
+    // Mutex is uncontended (each task locks only its own cell).
+    let cells: Vec<Mutex<(Network, DivaRng)>> = (0..CELLS)
+        .map(|c| {
+            let mut cell_rng = DivaRng::seed_from_u64(17 + c as u64);
+            let net = step_net(&mut cell_rng);
+            Mutex::new((net, cell_rng))
+        })
+        .collect();
+    let trainer = DpTrainer::builder()
+        .config(config)
+        .backend(Backend::auto())
+        .build();
+    let run_cells = || {
+        parallel::par_map(CELLS, |c| {
+            let mut cell = cells[c].lock().unwrap();
+            let (net, cell_rng) = &mut *cell;
+            trainer
+                .step(net, black_box(&x), &labels, cell_rng)
+                .mean_loss
+        })
+    };
+
+    parallel::set_nested_parallelism(false);
+    h.bench(&format!("{label}/nested_off"), run_cells);
+    parallel::set_nested_parallelism(true);
+    h.bench(&format!("{label}/nested_on"), run_cells);
+
+    let off = h.get(&format!("{label}/nested_off")).unwrap().secs_per_iter;
+    for (short, backend) in [("nested_off", "nested_off"), ("nested_on", "nested_on")] {
+        let secs = h.get(&format!("{label}/{short}")).unwrap().secs_per_iter;
+        let mut record = PerfRecord::new(label)
+            .tag("backend", backend)
+            .tag("algorithm", "DP-SGD")
+            .metric("ms", secs * 1e3)
+            .metric("steps_per_sec", CELLS as f64 / secs);
+        if short == "nested_on" {
+            record = record.metric("speedup_vs_nonested", off / secs);
+        }
+        sink.push(record);
     }
 }
 
@@ -444,9 +527,10 @@ fn bench_eps_throughput(h: &mut Harness, sink: &mut PerfSink) {
 }
 
 fn main() {
-    // Standard rows are measured with the portable safe kernel regardless
-    // of how the bench was compiled (see the module docs); the matmul
-    // section re-enables simd for its dedicated `*_simd` rows.
+    // Conv / step / ε rows are measured with the portable safe kernel
+    // regardless of how the bench was compiled (see the module docs); the
+    // matmul section toggles simd itself for its production-dispatch rows
+    // and leaves it disabled for everything after.
     set_simd_enabled(false);
     let mut h = Harness::new("compute_backend");
     let mut sink = PerfSink::new();
@@ -458,6 +542,7 @@ fn main() {
     bench_matmul(&mut h, &mut sink);
     bench_conv(&mut h, &mut sink);
     bench_dp_step(&mut h, &mut sink);
+    bench_nested_step(&mut h, &mut sink);
     bench_conv_dp_step(&mut h, &mut sink);
     bench_conv_first_backward(&mut h, &mut sink);
     bench_eps_throughput(&mut h, &mut sink);

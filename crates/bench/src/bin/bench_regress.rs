@@ -17,24 +17,28 @@
 //! (`speedup_vs_scalar` / `speedup_vs_naive`), not wall-clock. Both sides
 //! of each speedup are measured in the same process on the same host, so
 //! the ratio survives the heterogeneous CI runners that absolute
-//! milliseconds do not. Gated rows are the convolution, DP-step,
+//! milliseconds do not. Gated rows are the matmul, convolution, DP-step,
 //! accounting-throughput and serve-latency records (names containing
-//! `conv`, `step`, `eps` or `serve`); matmul rows are informational. The
-//! serve rows gate on `speedup_vs_uncached` — the memo-cache hit's edge
-//! over a cold request, measured against the same in-process server.
+//! `matmul`, `conv`, `step`, `eps` or `serve`). The serve rows gate on
+//! `speedup_vs_uncached` — the memo-cache hit's edge over a cold request,
+//! measured against the same in-process server. The nested-scaling step
+//! row gates on `speedup_vs_nonested` — nested parallelism on versus off
+//! inside an outer region, same process, same host.
 
 use diva_bench::perf::{parse_perf_json, PerfRecord};
 
 /// Metrics eligible as the throughput proxy, in preference order.
-const SPEEDUP_METRICS: [&str; 4] = [
+const SPEEDUP_METRICS: [&str; 5] = [
     "speedup_vs_scalar",
     "speedup_vs_naive",
     "speedup_vs_uncached",
     "speedup_vs_nomemo",
+    "speedup_vs_nonested",
 ];
 
 fn gated(record: &PerfRecord) -> bool {
-    (record.name.contains("conv")
+    (record.name.contains("matmul")
+        || record.name.contains("conv")
         || record.name.contains("step")
         || record.name.contains("eps")
         || record.name.contains("serve")

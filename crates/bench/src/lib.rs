@@ -95,9 +95,12 @@ pub fn fmt_bytes(bytes: u64) -> String {
 /// installed `Backend` override or the process default, capped by the item
 /// count — never more), so a figure binary's first sweep doesn't pay
 /// thread-spawn latency; the same parked workers then serve every later
-/// region (per-model simulations here, GEMM M-splits inside them — nested
-/// calls degrade gracefully to serial execution instead of spawning
-/// threads² workers).
+/// region. Nested calls (per-model simulations here, GEMM M-splits and
+/// per-example backward fan-outs inside them) are scheduled
+/// hierarchically on the same pool — inner tasks run on idle workers or
+/// inline on the waiting submitter, never on threads² ad-hoc threads —
+/// and task-to-data assignment stays fixed pre-execution, so results are
+/// byte-identical whatever gets stolen where.
 pub fn run_parallel<T, I, F>(items: Vec<I>, f: F) -> Vec<T>
 where
     T: Send,

@@ -144,22 +144,36 @@ fn fig13_json_round_trips_values() {
     }
 }
 
-/// The runner must be bit-identical across worker-thread counts: the grid
-/// assignment is fixed before execution, so serial and 8-way runs produce
-/// byte-identical JSON.
+/// The runner must be bit-identical across worker-thread counts *and*
+/// across the nested-parallelism toggle: the grid assignment is fixed
+/// before execution and task-to-data assignment inside nested regions is
+/// data-determined, so every (thread count, nested on/off) combination
+/// renders byte-identical JSON. (Toggling the process-global nested flag
+/// mid-suite is safe precisely because of this contract: concurrency
+/// structure may change, bytes may not.)
 #[test]
-fn runner_is_bit_identical_across_thread_counts() {
+fn runner_is_bit_identical_across_thread_counts_and_nesting() {
     let opts = small_fig13_opts();
-    let serial =
+    let reference =
         Backend::serial().install(|| scenario::run_with("fig13", &opts).expect("serial run"));
-    let parallel = Backend::with_threads(8)
-        .install(|| scenario::run_with("fig13", &opts).expect("parallel run"));
-    assert_eq!(serial, parallel, "results differ across thread counts");
-    assert_eq!(
-        to_json(&serial),
-        to_json(&parallel),
-        "JSON differs across thread counts"
-    );
+    let reference_json = to_json(&reference);
+    for nested in [true, false] {
+        diva_tensor::parallel::set_nested_parallelism(nested);
+        for threads in [1usize, 2, 8] {
+            let run = Backend::with_threads(threads)
+                .install(|| scenario::run_with("fig13", &opts).expect("run"));
+            assert_eq!(
+                reference, run,
+                "results differ at threads={threads} nested={nested}"
+            );
+            assert_eq!(
+                reference_json,
+                to_json(&run),
+                "JSON differs at threads={threads} nested={nested}"
+            );
+        }
+    }
+    diva_tensor::parallel::set_nested_parallelism(true);
 }
 
 /// `--batch` replaces the symbolic paper batch with fixed sizes.

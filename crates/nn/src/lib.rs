@@ -19,8 +19,10 @@
 //! Compute: every GEMM a layer issues runs on `diva_tensor`'s blocked
 //! kernel, and the per-example fan-outs (`PerExample` / `NormOnly`) are
 //! batch-parallel over the workspace-wide keep-alive pool
-//! (`diva_tensor::parallel`) — nested GEMMs inside a fan-out degrade to
-//! serial automatically. Convolution layers lower their batch with
+//! (`diva_tensor::parallel`) — nested GEMMs inside a fan-out are
+//! scheduled hierarchically on the same pool (idle workers steal them;
+//! results are bit-identical regardless). Convolution layers lower their
+//! batch with
 //! `im2col` exactly once per forward (`diva_tensor::PatchBuffer`) and
 //! reuse both the patch buffer and its packed GEMM panels across DP-SGD(R)'s
 //! two backward passes. See `ARCHITECTURE.md` at the workspace root for

@@ -14,6 +14,14 @@
 //! Results are merged into `BENCH_perf.json` (or `DIVA_BENCH_OUT`)
 //! alongside the compute rows: merged, not overwritten, so running this
 //! bench alone refreshes only the serve rows.
+//!
+//! Prewarm note: `Server::start` now calls `Backend::auto().prewarm()`,
+//! so the compute pool's `n - 1` workers are spawned and parked before
+//! the listener accepts traffic. The `serve_first_request` row records
+//! the very first post-bind request's latency; before the prewarm call
+//! that request also paid worker thread-spawn (~100-300 us per worker
+//! on multi-core hosts). On a single-core host `prewarm(1)` is a no-op
+//! and the row simply documents cold-start (allocator + route) cost.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -78,7 +86,12 @@ fn main() {
              \"step_counts\": \"500,1000,2000\"}}"
         )
     };
+    // First request after bind: with the startup prewarm, this no longer
+    // includes pool thread-spawn — recorded as its own row (see module
+    // docs) so the cold-start cost stays visible across revisions.
+    let t_first = Instant::now();
     post_ok(&mut conn, "/epsilon", eps_body(1999)); // warm the pool/allocator
+    let first_us = t_first.elapsed().as_secs_f64() * 1e6;
     let (eps_unc_p50, eps_unc_p99) = measure(budget, |i| {
         post_ok(&mut conn, "/epsilon", eps_body(2000 + i as u64));
     });
@@ -113,6 +126,12 @@ fn main() {
     server.wait();
 
     println!("serve_load (budget {budget:?} per series, keep-alive connection)");
+    println!("  serve_first_request (post-bind, pool prewarmed): {first_us:>10.1} us");
+    sink.push(
+        PerfRecord::new("serve_first_request")
+            .tag("backend", "prewarmed")
+            .metric("first_us", first_us),
+    );
     let mut report = |name: &str, backend: &str, p50: f64, p99: f64, speedup: Option<f64>| {
         println!("  {name:>17}/{backend:<8}  p50 {p50:>10.1} us   p99 {p99:>10.1} us");
         let mut record = PerfRecord::new(name)

@@ -93,6 +93,11 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn start(config: ServerConfig) -> std::io::Result<Self> {
+        // Spin up (and park) the compute pool's workers before accepting
+        // traffic, so the first `/run` or `/epsilon` request does not pay
+        // thread-spawn latency inside its measured handler. See the
+        // `serve_load` bench notes for the measured first-request delta.
+        diva_tensor::Backend::auto().prewarm();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(AppState {
@@ -450,11 +455,14 @@ fn stats_document(state: &AppState) -> Vec<u8> {
     let cache = state.cache.stats();
     let (queued, running) = state.jobs.depth();
     let internal = state.internal_errors.load(Ordering::SeqCst);
+    let pool = diva_tensor::parallel::pool_stats();
     format!(
         "{{\n  \"schema\": \"diva-stats/v1\",\n  \"records\": [\n    \
          {{\"name\": \"cache\", \"hits\": {}, \"misses\": {}, \"joined\": {}, \"computed\": {}, \
          \"evictions\": {}, \"entries\": {}, \"bytes\": {}}},\n    \
          {{\"name\": \"jobs\", \"queued\": {queued}, \"running\": {running}}},\n    \
+         {{\"name\": \"pool\", \"workers\": {}, \"idle\": {}, \"steals\": {}, \
+         \"inline_runs\": {}, \"max_region_depth\": {}}},\n    \
          {{\"name\": \"errors\", \"internal\": {internal}}}\n  ]\n}}\n",
         cache.hits,
         cache.misses,
@@ -463,6 +471,11 @@ fn stats_document(state: &AppState) -> Vec<u8> {
         cache.evictions,
         cache.entries,
         cache.bytes,
+        pool.spawned,
+        pool.idle,
+        pool.steals,
+        pool.inline_runs,
+        pool.max_depth,
     )
     .into_bytes()
 }

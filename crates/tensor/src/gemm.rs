@@ -87,6 +87,39 @@ pub fn simd_enabled() -> bool {
     simd_available() && !SIMD_DISABLED.load(Ordering::Relaxed)
 }
 
+/// When set, the AVX-512 arm of the explicit kernel is skipped even where
+/// available, so an AVX-512 host can still measure/test the AVX2 arm.
+/// Stored inverted so the default (`false`) means "avx512 on when
+/// available".
+static AVX512_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the AVX-512 micro-kernel arm is compiled in (`simd` feature,
+/// `x86_64` target) *and* supported by the running CPU (`avx512f`).
+pub fn avx512_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        crate::simd::detected_avx512()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Enables or disables the AVX-512 arm of the explicit kernel
+/// process-wide. A testing/benchmarking hook like [`set_simd_enabled`]
+/// (which it is subordinate to: disabling simd disables this arm too);
+/// results are bit-identical either way. A no-op when [`avx512_available`]
+/// is `false`.
+pub fn set_avx512_enabled(enabled: bool) {
+    AVX512_DISABLED.store(!enabled, Ordering::Relaxed);
+}
+
+/// Whether GEMMs will currently use the AVX-512 micro-kernel arm.
+pub fn avx512_enabled() -> bool {
+    simd_enabled() && avx512_available() && !AVX512_DISABLED.load(Ordering::Relaxed)
+}
+
 /// Micro-tile height (rows of C held in registers). With `NR = 16` the
 /// accumulator occupies 12 256-bit registers — enough independent FMA
 /// chains to hide the FMA latency without spilling.
@@ -107,6 +140,57 @@ const MC: usize = 72;
 /// the scalar reference kernel is faster.
 const BLOCKED_THRESHOLD: usize = 48 * 48 * 48;
 
+/// When cleared, [`gemm_rows`] walks B strips one at a time (the
+/// pre-reorder interior). Bench/bisect hook: results are bit-identical
+/// either way — grouping changes tile *visit order*, never any tile's FMA
+/// chain — only the L2 traffic of the packed-A block changes. Stored
+/// inverted so the default (`false`) means "reorder on".
+static L1_REORDER_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the L1-aware B-strip grouping in the GEMM interior
+/// process-wide. Benchmark/testing hook; on by default.
+pub fn set_l1_reorder(enabled: bool) {
+    L1_REORDER_DISABLED.store(!enabled, Ordering::Relaxed);
+}
+
+/// Whether the GEMM interior currently groups B strips for L1 residency.
+pub fn l1_reorder_enabled() -> bool {
+    !L1_REORDER_DISABLED.load(Ordering::Relaxed)
+}
+
+/// Most packed-B strips processed per sweep of the packed-A block, and the
+/// packed-B byte budget a group must fit in (picked against a 48 KiB L1d:
+/// the group's B panels plus one `MR × kb` A panel, the accumulator tiles
+/// and the active C rows must all stay resident). The effective group
+/// width is `min(NB_GROUP, L1_GROUP_BUDGET / strip_bytes)`, so long-K
+/// panels (`kb` near [`KC`], where one strip alone approaches the budget)
+/// degrade gracefully to width 1 — exactly the ungrouped interior.
+const NB_GROUP: usize = 3;
+const L1_GROUP_BUDGET: usize = 36 * 1024;
+
+/// B strips per packed-A sweep for a `kb`-row panel (see [`NB_GROUP`]).
+///
+/// The AVX-512 arm opts out: measured on the dev host, its kernel is fast
+/// enough that the grouped order's extra L1 pressure (two B panels + the
+/// widened accumulator set live at once) costs ~20% — while the prefetcher
+/// already hides the packed-A streaming the grouping exists to save. The
+/// safe/AVX2 paths keep the grouping: neutral where prefetch covers L2
+/// traffic, a win where it does not (the bandwidth-constrained hosts the
+/// blocking parameters are sized for).
+fn group_width(kb: usize, kernel: Kernel) -> usize {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if kernel == Kernel::Avx512 {
+        return 1;
+    }
+    let _ = kernel;
+    if !l1_reorder_enabled() {
+        return 1;
+    }
+    NB_GROUP
+        .min(L1_GROUP_BUDGET / (kb * NR * size_of::<f32>()))
+        .max(1)
+}
+
 thread_local! {
     /// Per-thread packed-A scratch, reused across GEMM calls. The packed-A
     /// block is ~216 KiB — past the allocator's mmap threshold — so a fresh
@@ -122,9 +206,13 @@ thread_local! {
 /// Contents are **unspecified on entry** — `pack_a`/`pack_b` overwrite
 /// every slot the kernels later read (tail strips are zero-padded
 /// explicitly), so stale data from a previous GEMM can never leak into a
-/// result. If the slot is already borrowed (a re-entrant GEMM on this
-/// thread, which current call graphs never produce), falls back to a fresh
-/// allocation rather than panicking.
+/// result. If the slot is already borrowed, falls back to a fresh
+/// allocation rather than panicking. Re-entrancy is real under
+/// hierarchical nested scheduling: a GEMM's submitter *helps* while
+/// waiting on its region latch (see `pool::run_region`), and a stolen job
+/// can open another GEMM on this very thread while the outer one's scratch
+/// is still borrowed. The fallback costs an allocation, never correctness
+/// — packing layout is identical either way.
 fn with_pack_scratch<R>(
     key: &'static LocalKey<RefCell<Vec<f32>>>,
     len: usize,
@@ -323,25 +411,49 @@ pub(crate) fn microkernel(kb: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut
     }
 }
 
-/// Runs one register tile on the best available kernel: the explicit
-/// AVX2+FMA kernel when compiled in, CPU-supported and not disabled, else
-/// the safe kernel. Both produce bit-identical tiles (see [`crate::simd`]),
-/// so dispatch is a pure throughput decision.
+/// The micro-kernel a GEMM call resolved to. All arms produce
+/// bit-identical tiles (see [`crate::simd`]), so dispatch is a pure
+/// throughput decision, hoisted out of the tile loops once per
+/// [`gemm_rows`] call.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Safe,
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    Avx2,
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    Avx512,
+}
+
+/// The best currently-enabled kernel: AVX-512, else AVX2+FMA, else safe.
+fn kernel_choice() -> Kernel {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if avx512_enabled() {
+            return Kernel::Avx512;
+        }
+        if simd_enabled() {
+            return Kernel::Avx2;
+        }
+    }
+    Kernel::Safe
+}
+
+/// Runs one register tile on the resolved kernel.
 #[inline(always)]
 fn run_microkernel(
-    use_simd: bool,
+    kernel: Kernel,
     kb: usize,
     a_panel: &[f32],
     b_panel: &[f32],
     acc: &mut [[f32; NR]; MR],
 ) {
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    if use_simd {
-        crate::simd::microkernel_6x16(kb, a_panel, b_panel, acc);
-        return;
+    match kernel {
+        Kernel::Safe => microkernel(kb, a_panel, b_panel, acc),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Kernel::Avx2 => crate::simd::microkernel_6x16(kb, a_panel, b_panel, acc),
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Kernel::Avx512 => crate::simd::microkernel_6x16_avx512(kb, a_panel, b_panel, acc),
     }
-    let _ = use_simd;
-    microkernel(kb, a_panel, b_panel, acc);
 }
 
 /// Computes one worker's row-range of C against the shared packed B panel.
@@ -360,29 +472,46 @@ fn gemm_rows(
     let n_strips = n.div_ceil(NR);
     // Kernel choice is hoisted out of the tile loops; it cannot change
     // results (the kernels are bit-identical), only throughput.
-    let use_simd = simd_enabled();
+    let kernel = kernel_choice();
+    // L1-aware interior: walk B strips in groups of `gw` per sweep of the
+    // packed-A block. The packed-A block (up to MC × kb ≈ 216 KiB) only
+    // streams from L2 once per *group* instead of once per strip, while the
+    // group's B panels (≤ L1_GROUP_BUDGET by construction) stay
+    // L1-resident across the strip_a sweep. Every (strip_a, strip_b) tile
+    // still gets exactly one full-`kb` kernel call, so the per-element FMA
+    // chains — and therefore the results — are bit-identical to the
+    // ungrouped order; tiles are disjoint, so visit order is free.
+    let gw = group_width(kb, kernel);
     with_pack_scratch(&PACK_A_SCRATCH, MC.div_ceil(MR) * MR * kb, |packed_a| {
         let mut i0 = 0;
         while i0 < rows {
             let mb = MC.min(rows - i0);
             pack_a(a, row0 + i0, mb, kc, kb, packed_a);
-            for strip_b in 0..n_strips {
-                let j0 = strip_b * NR;
-                let jw = NR.min(n - j0);
-                let b_panel = &packed_b[strip_b * kb * NR..(strip_b + 1) * kb * NR];
+            let mut gb = 0;
+            while gb < n_strips {
+                let g_count = gw.min(n_strips - gb);
                 for strip_a in 0..mb.div_ceil(MR) {
                     let r0 = i0 + strip_a * MR;
                     let rh = MR.min(i0 + mb - r0);
                     let a_panel = &packed_a[strip_a * kb * MR..(strip_a + 1) * kb * MR];
-                    let mut acc = [[0.0f32; NR]; MR];
-                    run_microkernel(use_simd, kb, a_panel, b_panel, &mut acc);
-                    for ir in 0..rh {
-                        let crow = &mut out_rows[(r0 + ir) * n + j0..(r0 + ir) * n + j0 + jw];
-                        for (c, &v) in crow.iter_mut().zip(acc[ir].iter()) {
-                            *c += v;
+                    let mut accs = [[[0.0f32; NR]; MR]; NB_GROUP];
+                    for (g, acc) in accs.iter_mut().take(g_count).enumerate() {
+                        let strip_b = gb + g;
+                        let b_panel = &packed_b[strip_b * kb * NR..(strip_b + 1) * kb * NR];
+                        run_microkernel(kernel, kb, a_panel, b_panel, acc);
+                    }
+                    for (g, acc) in accs.iter().take(g_count).enumerate() {
+                        let j0 = (gb + g) * NR;
+                        let jw = NR.min(n - j0);
+                        for ir in 0..rh {
+                            let crow = &mut out_rows[(r0 + ir) * n + j0..(r0 + ir) * n + j0 + jw];
+                            for (c, &v) in crow.iter_mut().zip(acc[ir].iter()) {
+                                *c += v;
+                            }
                         }
                     }
                 }
+                gb += g_count;
             }
             i0 += mb;
         }
@@ -779,6 +908,138 @@ mod tests {
         assert_eq!(content_token(&a), content_token(&c));
         assert_ne!(content_token(&a), content_token(&b));
         assert_ne!(content_token(&a), content_token(&a[..2]));
+    }
+
+    /// On-host tuning diagnostic (ignored; run with `--ignored --nocapture`):
+    /// times the serial 256³ GEMM with the L1 B-strip grouping on and off.
+    /// Not an assertion — wall-clock on shared CI boxes is too noisy to
+    /// gate on; the acceptance numbers live in `BENCH_perf.json`.
+    #[test]
+    #[ignore = "timing diagnostic, run manually"]
+    fn l1_reorder_timing() {
+        const D: usize = 256;
+        let mut rng = DivaRng::seed_from_u64(3);
+        let a = dense(D, D, &mut rng);
+        let b = dense(D, D, &mut rng);
+        let av = MatRef::row_major(&a, D);
+        let bv = MatRef::row_major(&b, D);
+        let mut out = vec![0.0f32; D * D];
+        let time_once = |reorder: bool, out: &mut [f32]| {
+            set_l1_reorder(reorder);
+            let reps = 20;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                out.fill(0.0);
+                crate::parallel::Backend::serial().install(|| gemm(D, D, D, av, bv, out));
+            }
+            let dt = t0.elapsed().as_secs_f64() / f64::from(reps);
+            set_l1_reorder(true);
+            dt
+        };
+        // Interleave off/on samples (ABAB…) and take medians, so slow drift
+        // on a shared host cancels instead of biasing one side.
+        let _ = time_once(false, &mut out);
+        let base = out.clone();
+        let _ = time_once(true, &mut out);
+        assert_eq!(out, base, "reorder changed results");
+        let mut offs = Vec::new();
+        let mut ons = Vec::new();
+        for _ in 0..9 {
+            offs.push(time_once(false, &mut out));
+            ons.push(time_once(true, &mut out));
+        }
+        offs.sort_by(f64::total_cmp);
+        ons.sort_by(f64::total_cmp);
+        let (off, on) = (offs[offs.len() / 2], ons[ons.len() / 2]);
+        println!(
+            "256^3 serial: reorder off {:.3} ms, on {:.3} ms ({:+.1}%)  \
+             off-samples {:?}",
+            off * 1e3,
+            on * 1e3,
+            (on / off - 1.0) * 100.0,
+            offs.iter()
+                .map(|s| (s * 1e4).round() / 10.0)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// On-host cost-split diagnostic (ignored): times the bare micro-kernel
+    /// sweep, the packing passes, and the full GEMM at 256³ so interior
+    /// changes can be attributed to compute vs. packing vs. traffic.
+    #[test]
+    #[ignore = "timing diagnostic, run manually"]
+    fn interior_cost_split_timing() {
+        const D: usize = 256;
+        let mut rng = DivaRng::seed_from_u64(3);
+        let a = dense(D, D, &mut rng);
+        let b = dense(D, D, &mut rng);
+        let av = MatRef::row_major(&a, D);
+        let bv = MatRef::row_major(&b, D);
+        let kb = D;
+        let n_strips = D.div_ceil(NR);
+        let mut packed_b = vec![0.0f32; n_strips * kb * NR];
+        pack_b(bv, 0, kb, D, &mut packed_b);
+        let mut packed_a = vec![0.0f32; D.div_ceil(MR) * MR * kb];
+        pack_a(av, 0, D, 0, kb, &mut packed_a);
+        let reps = 40;
+
+        // Bare kernel sweep over all tiles, panels streamed as in gemm_rows.
+        let kernel = kernel_choice();
+        let t0 = std::time::Instant::now();
+        let mut sink = 0.0f32;
+        for _ in 0..reps {
+            for strip_b in 0..n_strips {
+                let b_panel = &packed_b[strip_b * kb * NR..(strip_b + 1) * kb * NR];
+                for strip_a in 0..D.div_ceil(MR) {
+                    let a_panel = &packed_a[strip_a * kb * MR..(strip_a + 1) * kb * MR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    run_microkernel(kernel, kb, a_panel, b_panel, &mut acc);
+                    // Defeat dead-code elimination of unused lanes.
+                    let acc = std::hint::black_box(acc);
+                    sink += acc[0][0];
+                }
+            }
+        }
+        let kernel_ms = t0.elapsed().as_secs_f64() / f64::from(reps) * 1e3;
+
+        // Same tile count, but one fixed L1-resident panel pair: the pure
+        // compute floor with no panel streaming at all.
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            for _ in 0..n_strips {
+                let b_panel = &packed_b[..kb * NR];
+                for _ in 0..D.div_ceil(MR) {
+                    let a_panel = &packed_a[..kb * MR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    run_microkernel(kernel, kb, a_panel, b_panel, &mut acc);
+                    let acc = std::hint::black_box(acc);
+                    sink += acc[0][0];
+                }
+            }
+        }
+        let resident_ms = t0.elapsed().as_secs_f64() / f64::from(reps) * 1e3;
+        println!("fixed-panel compute floor: {resident_ms:.3} ms");
+
+        // Packing passes alone.
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            pack_b(bv, 0, kb, D, &mut packed_b);
+            pack_a(av, 0, D, 0, kb, &mut packed_a);
+        }
+        let pack_ms = t0.elapsed().as_secs_f64() / f64::from(reps) * 1e3;
+
+        // Full serial GEMM.
+        let mut out = vec![0.0f32; D * D];
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            out.fill(0.0);
+            crate::parallel::Backend::serial().install(|| gemm(D, D, D, av, bv, &mut out));
+        }
+        let gemm_ms = t0.elapsed().as_secs_f64() / f64::from(reps) * 1e3;
+        println!(
+            "256^3 serial: kernel sweep {kernel_ms:.3} ms, packing {pack_ms:.3} ms, \
+             full gemm {gemm_ms:.3} ms (sink {sink})"
+        );
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub use conv::{
     im2col, nchw_to_rows, Conv2dGeom, PatchBuffer,
 };
 pub use gemm::{
-    scalar_reference_mode, set_scalar_reference_mode, set_simd_enabled, simd_available,
-    simd_enabled, PackCache,
+    avx512_available, avx512_enabled, l1_reorder_enabled, scalar_reference_mode,
+    set_avx512_enabled, set_l1_reorder, set_scalar_reference_mode, set_simd_enabled,
+    simd_available, simd_enabled, PackCache,
 };
 pub use matmul::{
     matmul, matmul_nt, matmul_reference, matmul_tn, matmul_tt, outer_product_accumulate,

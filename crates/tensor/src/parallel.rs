@@ -13,19 +13,30 @@
 //! * Workers live in a **persistent keep-alive pool** (the crate-private
 //!   `pool` module):
 //!   lazily spawned on first use, parked on a condvar between regions, and
-//!   never torn down. A region hands each worker a contiguous task before
+//!   never torn down. A region fixes task-to-data assignment before
 //!   execution starts, so scheduling can never influence results (see the
 //!   pool docs for the bit-stability argument); two back-to-back regions
 //!   reuse the same OS threads instead of paying spawn/join per region as
 //!   the original `std::thread::scope` design did. [`prewarm`] (or
 //!   [`Backend::prewarm`]) spawns the workers ahead of the first hot
-//!   region; [`pool_stats`] exposes occupancy for tests and diagnostics.
-//! * A thread-local "inside a parallel region" flag makes nested parallel
-//!   calls run serially: the GEMM called from a batch-parallel per-example
-//!   backward does not fan out again.
+//!   region; [`pool_stats`] exposes occupancy and scheduling counters for
+//!   tests, benches and `diva-serve`'s `/stats`.
+//! * **Nested regions are scheduled hierarchically**, not serialized: a
+//!   parallel call made from inside a region's task (the GEMM under a
+//!   batch-parallel per-example backward, a cell's compute under the
+//!   scenario grid) queues its tasks on the shared pool, where idle
+//!   workers steal them; the nested caller executes its own queued tasks
+//!   while it waits, so the nested region never deadlocks and never runs
+//!   slower than the old collapse-to-serial behavior. The *data* split of
+//!   a nested region is still decided by its requested width before
+//!   execution — scheduling decides who runs a task, never what a task
+//!   computes. [`set_nested_parallelism`] restores the legacy serial
+//!   collapse (a bench/bisect hook; results are bit-identical either way).
 //! * [`Backend`] is the user-facing knob. Installing one scopes a thread
 //!   count to a closure, which is how `DpTrainer` and the benches sweep
-//!   serial vs. parallel execution without touching global state.
+//!   serial vs. parallel execution without touching global state. The
+//!   override travels *with the region*: a task executing on a stolen
+//!   worker sees the submitting thread's backend, not the worker's.
 //!
 //! The process-wide default is `DIVA_NUM_THREADS` if set, else the number of
 //! available cores.
@@ -34,18 +45,53 @@ use crate::pool;
 pub use crate::pool::PoolStats;
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread::LocalKey;
 
 /// Process-wide default thread count; 0 means "not yet initialized".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// When cleared, nested parallel regions collapse to serial execution on
+/// their calling thread (the pre-work-stealing behavior). Stored inverted
+/// so the default (`false`) means "nested scheduling on".
+static NESTED_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Regions nested deeper than this run serially: by then every level of
+/// the machine is saturated and further task-splitting is pure overhead
+/// (the depth is data-flow determined, so the cutoff is deterministic).
+/// Depth 1 is an un-nested region; the deepest real chain in this
+/// workspace is scenario grid → per-example backward → GEMM M-split = 3.
+const MAX_REGION_DEPTH: usize = 4;
+
 thread_local! {
-    /// Set while executing inside a worker of a parallel region; forces any
-    /// nested parallel call on this thread to run serially.
-    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    /// Nesting depth of the region task currently executing on this thread
+    /// (0 = not inside any region). Tasks carry their submitting region's
+    /// depth + 1, whichever thread they execute on.
+    static REGION_DEPTH: Cell<usize> = const { Cell::new(0) };
     /// Per-thread override installed by [`Backend::install`]; 0 = none.
+    /// Region tasks re-install their submitter's override while they run.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Enables or disables hierarchical scheduling of nested parallel regions
+/// process-wide. Disabled, a nested region runs serially on its calling
+/// thread — the legacy behavior. Results are bit-identical either way
+/// (pinned by the scenario/explorer byte-identity suites); only
+/// scheduling, and therefore throughput, changes.
+pub fn set_nested_parallelism(enabled: bool) {
+    NESTED_DISABLED.store(!enabled, Ordering::Relaxed);
+}
+
+/// Whether nested parallel regions are currently scheduled hierarchically
+/// (the default) rather than collapsed to serial.
+pub fn nested_parallelism() -> bool {
+    !NESTED_DISABLED.load(Ordering::Relaxed)
+}
+
+/// The nesting depth of the parallel region this thread is currently
+/// executing a task of (0 = top level). Diagnostics/tests.
+pub fn region_depth() -> usize {
+    REGION_DEPTH.with(Cell::get)
 }
 
 fn default_threads() -> usize {
@@ -83,10 +129,15 @@ pub fn set_max_threads(n: usize) {
 }
 
 /// The thread count parallel kernels should use *right now* on this thread:
-/// 1 inside an existing parallel region, otherwise the installed
-/// [`Backend`] override or the global default.
+/// the installed [`Backend`] override or the global default — even inside
+/// an existing parallel region, because nested regions are scheduled for
+/// real (their tasks run on idle workers, or on the caller while it waits).
+/// Collapses to 1 inside a region only when nested parallelism is disabled
+/// ([`set_nested_parallelism`]) or the region is already
+/// `MAX_REGION_DEPTH` levels deep.
 pub fn effective_threads() -> usize {
-    if IN_PARALLEL.with(Cell::get) {
+    let depth = REGION_DEPTH.with(Cell::get);
+    if depth > 0 && (!nested_parallelism() || depth >= MAX_REGION_DEPTH) {
         return 1;
     }
     let o = THREAD_OVERRIDE.with(Cell::get);
@@ -194,7 +245,7 @@ impl Backend {
 
 /// Sets a thread-local `Cell` and restores the previous value on drop, so
 /// panics unwinding through a parallel region cannot leave the thread's
-/// scheduling state (`IN_PARALLEL`, `THREAD_OVERRIDE`) permanently stuck.
+/// scheduling state (`REGION_DEPTH`, `THREAD_OVERRIDE`) permanently stuck.
 struct SetCell<T: Copy + 'static> {
     key: &'static LocalKey<Cell<T>>,
     prev: T,
@@ -278,9 +329,42 @@ where
     })
 }
 
+/// The scheduling context a region's tasks carry with them: the
+/// submitter's backend override and the region's nesting depth. Installing
+/// it on the executing thread (worker, stealer, or helping waiter) makes
+/// nested `effective_threads()` calls resolve exactly as they would have
+/// on the submitting thread — context flows lexically with the region
+/// tree, never with the OS thread, which is what keeps data splits
+/// deterministic under work-stealing.
+#[derive(Clone, Copy)]
+struct RegionCtx {
+    thread_override: usize,
+    depth: usize,
+}
+
+impl RegionCtx {
+    /// The context tasks of a region submitted from this thread must run
+    /// under: same override, one level deeper.
+    fn capture() -> Self {
+        Self {
+            thread_override: THREAD_OVERRIDE.with(Cell::get),
+            depth: REGION_DEPTH.with(Cell::get) + 1,
+        }
+    }
+
+    /// Installs the context for the duration of a task body.
+    fn install(self) -> (SetCell<usize>, SetCell<usize>) {
+        (
+            SetCell::new(&THREAD_OVERRIDE, self.thread_override),
+            SetCell::new(&REGION_DEPTH, self.depth),
+        )
+    }
+}
+
 /// Maps `f` over `0..n` on the shared keep-alive pool, returning results in
-/// index order. Runs serially when the effective thread count is 1, `n < 2`,
-/// or the call is nested inside another parallel region.
+/// index order. Runs serially when the effective thread count is 1 or
+/// `n < 2`; a call nested inside another parallel region fans out onto
+/// idle workers (see the module docs).
 ///
 /// Determinism: range `w` of the deterministic `split_ranges` partition
 /// always writes slots
@@ -295,6 +379,7 @@ where
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
+    let ctx = RegionCtx::capture();
     let ranges = split_ranges(n, threads);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     {
@@ -305,15 +390,15 @@ where
             let (head, tail) = rest.split_at_mut(range.len());
             rest = tail;
             tasks.push(Box::new(move || {
-                let _nested = SetCell::new(&IN_PARALLEL, true);
+                let _ctx = ctx.install();
                 for (slot, i) in head.iter_mut().zip(range) {
                     *slot = Some(f(i));
                 }
             }));
         }
-        // The last task runs inline on the calling thread; the rest go to
-        // parked pool workers.
-        pool::run_region(tasks);
+        // The last task runs inline on the calling thread; the rest are
+        // queued for idle (or stealing) pool workers.
+        pool::run_region(tasks, ctx.depth);
     }
     slots
         .into_iter()
@@ -345,6 +430,7 @@ where
     }
     // Distribute whole chunks across tasks: task w handles a contiguous
     // run of chunks, so each worker still touches a contiguous byte range.
+    let ctx = RegionCtx::capture();
     let ranges = split_ranges(n_chunks, threads);
     let f = &f;
     let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ranges.len());
@@ -356,13 +442,13 @@ where
         rest = tail;
         consumed = end_item;
         tasks.push(Box::new(move || {
-            let _nested = SetCell::new(&IN_PARALLEL, true);
+            let _ctx = ctx.install();
             for (off, chunk) in head.chunks_mut(chunk_len).enumerate() {
                 f(range.start + off, chunk);
             }
         }));
     }
-    pool::run_region(tasks);
+    pool::run_region(tasks, ctx.depth);
 }
 
 #[cfg(test)]
@@ -395,19 +481,43 @@ mod tests {
     }
 
     #[test]
-    fn nested_parallel_regions_run_serially() {
-        // Inside a worker, effective_threads() must collapse to 1.
-        let inner_counts = par_map(4, |_| {
-            // We're potentially on a worker thread now.
-            let nested = par_map(4, |_| effective_threads());
-            nested.into_iter().max().unwrap()
-        });
-        // On a single-core host the outer loop is serial, so the nested
-        // calls may still see the full count; the invariant we can assert
-        // everywhere is "at most the global maximum".
-        for c in inner_counts {
-            assert!(c <= max_threads());
+    fn nested_regions_track_depth_and_produce_identical_results() {
+        // Force a real two-level region tree (a plain call would degrade to
+        // serial on a single-core host) and check every inner task observes
+        // depth 2 wherever it executed, with index-ordered results.
+        let outer = Backend::with_threads(2)
+            .install(|| par_map(4, |i| par_map(4, |j| (region_depth(), i * 10 + j))));
+        for (i, inner) in outer.iter().enumerate() {
+            for (j, (depth, v)) in inner.iter().enumerate() {
+                assert_eq!(*depth, 2, "inner task at wrong depth");
+                assert_eq!(*v, i * 10 + j);
+            }
         }
+        assert_eq!(region_depth(), 0, "depth must be restored after regions");
+    }
+
+    #[test]
+    fn nested_parallelism_toggle_collapses_inner_regions() {
+        set_nested_parallelism(false);
+        let counts = par_map(2, |_| par_map(2, |_| effective_threads()));
+        set_nested_parallelism(true);
+        // With the legacy collapse restored, any task that ran inside a
+        // real (fanned-out) region must have seen width 1; tasks of a
+        // serially-degraded outer region run at depth 0 and may see more.
+        for inner in counts {
+            for c in inner {
+                assert!(c <= max_threads());
+            }
+        }
+        assert!(nested_parallelism(), "toggle must be restored");
+    }
+
+    #[test]
+    fn depth_cutoff_forces_serial_beyond_max_depth() {
+        // Simulate a task executing at the cutoff depth: effective_threads
+        // must collapse to 1 regardless of the configured width.
+        let _depth = SetCell::new(&REGION_DEPTH, MAX_REGION_DEPTH);
+        assert_eq!(effective_threads(), 1);
     }
 
     #[test]
@@ -439,9 +549,10 @@ mod tests {
             par_map(2, |i| if i == 1 { panic!("worker boom") } else { i })
         });
         assert!(result.is_err());
-        assert!(
-            !IN_PARALLEL.with(Cell::get),
-            "IN_PARALLEL must not stick after a worker panic"
+        assert_eq!(
+            REGION_DEPTH.with(Cell::get),
+            0,
+            "REGION_DEPTH must not stick after a worker panic"
         );
     }
 

@@ -1,8 +1,11 @@
 //! Lifecycle contract of the persistent worker pool behind
 //! `diva_tensor::parallel`: workers are spawned lazily, parked between
 //! regions, reused by later regions (never re-spawned per region, which is
-//! what the old `std::thread::scope` design did), and nested regions still
-//! degrade to serial execution on the worker they run on.
+//! what the old `std::thread::scope` design did), and nested regions are
+//! scheduled hierarchically — their tasks go on the submitting worker's
+//! deque, to be run inline while it waits or stolen by idle siblings, so
+//! an inner region inside a pool worker fans out with its configured
+//! width instead of degrading to serial.
 //!
 //! This suite lives in its own integration-test binary so its pool-growth
 //! assertions see a process whose pool traffic it fully controls.
@@ -65,21 +68,90 @@ fn back_to_back_regions_reuse_workers() {
     });
 }
 
-/// A nested parallel region inside a pool worker must not fan out again:
-/// it runs serially, on the worker thread itself.
+/// Nested regions are scheduled for real: for every outer × inner width
+/// combination the nested evaluation must produce exactly the values the
+/// serial evaluation would — task-to-data assignment is fixed before
+/// execution, so which worker (or the waiting submitter) runs each task
+/// cannot leak into the output.
 #[test]
-fn nested_region_falls_back_to_serial_on_the_worker() {
-    Backend::with_threads(4).install(|| {
-        let reports = par_map(4, |_| {
-            let outer = std::thread::current().id();
-            let nested = par_map(4, |_| std::thread::current().id());
-            (outer, nested)
-        });
-        for (outer, nested) in reports {
-            for id in nested {
-                assert_eq!(id, outer, "nested region escaped its worker thread");
-            }
+fn nested_regions_execute_across_width_matrix() {
+    let _guard = pool_guard();
+    assert!(
+        parallel::nested_parallelism(),
+        "hierarchical nested scheduling is the default"
+    );
+    let expected: Vec<Vec<usize>> = (0..4)
+        .map(|i| (0..6).map(|j| i * 100 + j * 7).collect())
+        .collect();
+    for outer_w in [1usize, 2, 4] {
+        for inner_w in [1usize, 2, 4] {
+            let got = Backend::with_threads(outer_w).install(|| {
+                par_map(4, |i| {
+                    Backend::with_threads(inner_w).install(|| par_map(6, |j| i * 100 + j * 7))
+                })
+            });
+            assert_eq!(got, expected, "outer={outer_w} inner={inner_w} diverged");
         }
+    }
+}
+
+/// The scheduler sees both levels of a two-level region tree: the inner
+/// tasks observe region depth 2, the pool's high-water depth counter
+/// records it, and the steal / inline-run counters only ever move forward.
+#[test]
+fn nested_region_depth_and_counters_are_sane() {
+    let _guard = pool_guard();
+    let before = pool_stats();
+    Backend::with_threads(2).install(|| {
+        let depths = par_map(2, |_| {
+            assert_eq!(parallel::region_depth(), 1, "outer task depth");
+            par_map(2, |_| parallel::region_depth())
+        });
+        assert_eq!(depths, vec![vec![2, 2], vec![2, 2]]);
+    });
+    let after = pool_stats();
+    assert!(
+        after.max_depth >= 2,
+        "a nested region must raise the pool's depth high-water (got {})",
+        after.max_depth
+    );
+    assert!(
+        after.steals >= before.steals,
+        "steal counter went backwards"
+    );
+    assert!(
+        after.inline_runs >= before.inline_runs,
+        "inline-run counter went backwards"
+    );
+}
+
+/// A panic inside an *inner* region must re-raise through the outer
+/// region to the caller, without wedging either region's latch and
+/// without costing the pool a worker.
+#[test]
+fn panic_in_inner_region_reraises_through_outer() {
+    let _guard = pool_guard();
+    Backend::with_threads(3).install(|| {
+        let _ = par_map(3, |i| i); // warm up
+        let spawned_before = pool_stats().spawned;
+        let result = std::panic::catch_unwind(|| {
+            par_map(3, |i| {
+                par_map(3, move |j| {
+                    assert!(!(i == 1 && j == 2), "deliberate inner panic");
+                    i * 10 + j
+                })
+            })
+        });
+        assert!(result.is_err(), "inner panic must reach the outer caller");
+        // Both latches resolved and the workers survived: an ordinary
+        // two-level region still works, with no replacement spawns.
+        let out = par_map(2, |i| par_map(2, move |j| i * 2 + j));
+        assert_eq!(out, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(
+            pool_stats().spawned,
+            spawned_before,
+            "a panicking nested region must not cost a worker"
+        );
     });
 }
 
